@@ -1,0 +1,38 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench runs its experiment once (``benchmark.pedantic`` with a single
+round — the underlying simulations are deterministic), asserts the paper's
+*shape* criteria, and dumps a JSON artifact with paper-vs-measured values to
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write one experiment's paper-vs-measured artifact."""
+
+    def _write(experiment_id: str, payload: dict) -> None:
+        path = results_dir / f"{experiment_id}.json"
+        path.write_text(json.dumps(payload, indent=2, default=float, sort_keys=True))
+
+    return _write
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

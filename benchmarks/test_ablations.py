@@ -1,0 +1,46 @@
+"""Architecture ablations — the design choices DESIGN.md calls out.
+
+Not a single paper figure, but the decomposition behind Figs. 1/9: what TTB
+bundling, TTB-level skipping, and stratified heterogeneous dispatch each
+contribute on the ImageNet-100 workload.
+"""
+
+from conftest import run_once
+
+from repro.harness.ablation import architecture_ablation
+
+
+def test_architecture_ablations(benchmark, record_result):
+    points = run_once(benchmark, lambda: architecture_ablation("model3"))
+
+    full = points["full"]
+    # The full design is Pareto-best on latency.
+    for variant, point in points.items():
+        assert point.latency_s >= full.latency_s * 0.999, variant
+
+    # Each mechanism contributes:
+    assert points["no_stratifier"].latency_s > 1.2 * full.latency_s
+    assert points["no_skip"].energy_mj > full.energy_mj
+    assert points["tiny_bundles"].latency_s > 1.5 * full.latency_s
+    assert points["tiny_bundles"].energy_mj > 1.2 * full.energy_mj
+    # Removing both skipping and stratification is at least as bad as either.
+    assert points["no_skip_no_strat"].edp >= max(
+        points["no_skip"].edp, points["no_stratifier"].edp
+    ) * 0.999
+
+    record_result(
+        "ablations",
+        {
+            "paper": "mechanism decomposition (Figs. 1/9 narrative)",
+            "measured": {
+                variant: {
+                    "latency_ms": point.latency_s * 1e3,
+                    "energy_mj": point.energy_mj,
+                    "edp": point.edp,
+                    "latency_vs_full": point.latency_s / full.latency_s,
+                    "energy_vs_full": point.energy_mj / full.energy_mj,
+                }
+                for variant, point in points.items()
+            },
+        },
+    )

@@ -1,0 +1,55 @@
+"""Fig. 11 — layer-wise (block × phase) latency/energy, Bishop vs PTB.
+
+Paper shape: PTB bars sit above Bishop's in every phase, with the spiking
+self-attention (ATN) phase showing the largest gap.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig11
+
+MODELS = ("model1", "model2", "model3", "model4")
+
+
+def test_fig11_layerwise(benchmark, record_result):
+    comparisons = run_once(
+        benchmark,
+        lambda: {model: fig11.layerwise_comparison(model) for model in MODELS},
+    )
+
+    payload = {}
+    for model, comparison in comparisons.items():
+        # Bishop wins every phase on average.
+        for phase in fig11.PHASES:
+            assert comparison.mean_latency_ratio(phase) > 1.0, (model, phase)
+        # Attention is the biggest win (the dedicated AAC/SAC core).
+        atn = comparison.mean_latency_ratio("ATN")
+        rest = max(comparison.mean_latency_ratio(p) for p in ("P1", "P2", "MLP"))
+        assert atn > rest, model
+        payload[model] = {
+            "mean_latency_ratio_by_phase": {
+                phase: comparison.mean_latency_ratio(phase) for phase in fig11.PHASES
+            },
+            "mean_energy_ratio_by_phase": {
+                phase: comparison.mean_energy_ratio(phase) for phase in fig11.PHASES
+            },
+            "cells": [
+                {
+                    "block": cell.block,
+                    "phase": cell.phase,
+                    "bishop_latency": cell.bishop_latency,
+                    "ptb_latency": cell.ptb_latency,
+                    "bishop_energy": cell.bishop_energy,
+                    "ptb_energy": cell.ptb_energy,
+                }
+                for cell in comparison.cells
+            ],
+        }
+
+    record_result(
+        "fig11",
+        {
+            "paper": "PTB > Bishop on every (block, phase); ATN gap largest",
+            "measured": payload,
+        },
+    )

@@ -1,0 +1,56 @@
+"""Fig. 13 — end-to-end normalized energy across the five models.
+
+The paper's headline: 6.11× average energy-efficiency gain over PTB for the
+full Bishop+BSA+ECP stack, with every algorithm step adding savings.
+"""
+
+from conftest import run_once
+
+from repro.harness import endtoend
+
+
+def test_fig13_end_to_end_energy(benchmark, record_result):
+    grid = run_once(benchmark, endtoend.run_grid)
+
+    measured = {
+        model: {
+            system: comparison.energy_gain_vs(system)
+            for system in ("bishop", "bishop_bsa", "bishop_bsa_ecp")
+        }
+        for model, comparison in grid.items()
+    }
+
+    for model, comparison in grid.items():
+        # Bishop saves energy vs PTB; BSA and ECP never cost energy.
+        assert measured[model]["bishop"] > 1.2, model
+        assert (
+            measured[model]["bishop"]
+            <= measured[model]["bishop_bsa"] * 1.001
+            <= measured[model]["bishop_bsa_ecp"] * 1.002
+        ), model
+        # GPU is orders of magnitude worse.
+        gpu_gain = (
+            comparison.results["gpu"].energy_mj
+            / comparison.results["bishop_bsa_ecp"].energy_mj
+        )
+        assert gpu_gain > 100, model
+
+    mean_gain = sum(m["bishop_bsa_ecp"] for m in measured.values()) / len(measured)
+    # Paper average: 6.11×.  Accept the 2-12× band for the shape criterion.
+    assert 2.0 < mean_gain < 12.0
+
+    record_result(
+        "fig13",
+        {
+            "paper": {"mean_energy_gain_vs_ptb": 6.11},
+            "measured_mean_energy_gain_vs_ptb": mean_gain,
+            "measured_energy_gains_vs_ptb": measured,
+            "measured_energy_mj": {
+                model: {
+                    system: result.energy_mj
+                    for system, result in comparison.results.items()
+                }
+                for model, comparison in grid.items()
+            },
+        },
+    )

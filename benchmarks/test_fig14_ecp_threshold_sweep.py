@@ -1,0 +1,98 @@
+"""Fig. 14 — ECP threshold sweep: accuracy vs SSA energy-efficiency/speedup.
+
+Paper anchors: at the chosen thresholds, CIFAR10 keeps ~72%/52% of Q/K with
+2.25× SSA speedup; ImageNet-100 keeps ~11%/10% with 65.8× speedup and 38.8×
+energy efficiency; DVS-Gesture keeps ~8%/5.5% with 170.7× speedup; accuracy
+stays flat (sometimes improving) for moderate θ, degrading only past the
+"appropriate θ_p range".
+"""
+
+from conftest import run_once
+
+from repro.harness import fig14
+
+PAPER_ANCHORS = {
+    # model: (theta, q_keep, k_keep, min_speedup, max_speedup)
+    "model1": (8, 0.718, 0.520, 1.4, 8.0),
+    "model3": (6, 0.107, 0.097, 15.0, 400.0),
+    "model4": (10, 0.080, 0.055, 20.0, 600.0),
+}
+
+
+def test_fig14_hardware_sweep(benchmark, record_result):
+    sweeps = run_once(
+        benchmark,
+        lambda: {
+            model: fig14.ecp_hardware_sweep(model)
+            for model in ("model1", "model2", "model3", "model4")
+        },
+    )
+
+    for model, points in sweeps.items():
+        thetas = [p.theta for p in points]
+        keeps = [p.q_keep_fraction for p in points]
+        speedups = [p.speedup for p in points]
+        # Monotone: higher θ prunes more and speeds SSA up.
+        assert all(a >= b - 1e-12 for a, b in zip(keeps, keeps[1:])), model
+        assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:])), model
+
+    for model, (theta, q_keep, k_keep, lo, hi) in PAPER_ANCHORS.items():
+        point = next(p for p in sweeps[model] if p.theta == theta)
+        assert abs(point.q_keep_fraction - q_keep) < 0.25, (model, point.q_keep_fraction)
+        assert abs(point.k_keep_fraction - k_keep) < 0.25, (model, point.k_keep_fraction)
+        assert lo < point.speedup < hi, (model, point.speedup)
+
+    record_result(
+        "fig14_hardware",
+        {
+            "paper_anchors": {
+                m: {"theta": a[0], "q_keep": a[1], "k_keep": a[2]}
+                for m, a in PAPER_ANCHORS.items()
+            },
+            "measured": {
+                model: [
+                    {
+                        "theta": p.theta,
+                        "q_keep": p.q_keep_fraction,
+                        "k_keep": p.k_keep_fraction,
+                        "speedup": p.speedup,
+                        "energy_efficiency": p.energy_efficiency,
+                    }
+                    for p in points
+                ]
+                for model, points in sweeps.items()
+            },
+        },
+    )
+
+
+def test_fig14_accuracy_sweep(benchmark, record_result):
+    points = run_once(benchmark, lambda: fig14.ecp_accuracy_sweep())
+
+    accuracies = {p.theta: p.accuracy for p in points}
+    base = accuracies[0]
+    # Plateau: moderate thresholds stay within a small band of the baseline
+    # (the paper reports drops < ~1.3% and occasional improvements).
+    moderate = [p for p in points if 0 < p.theta <= 2]
+    assert moderate, "sweep must include moderate thresholds"
+    for p in moderate:
+        assert p.accuracy > base - 0.30, (p.theta, p.accuracy, base)
+    # Pruning monotone in θ.
+    keeps = [p.q_keep_fraction for p in points]
+    assert all(a >= b - 1e-12 for a, b in zip(keeps, keeps[1:]))
+
+    record_result(
+        "fig14_accuracy",
+        {
+            "paper": "flat accuracy for moderate θ, degradation beyond",
+            "measured": [
+                {
+                    "theta": p.theta,
+                    "accuracy": p.accuracy,
+                    "q_keep": p.q_keep_fraction,
+                    "k_keep": p.k_keep_fraction,
+                }
+                for p in points
+            ],
+        },
+    )

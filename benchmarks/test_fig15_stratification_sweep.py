@@ -1,0 +1,54 @@
+"""Fig. 15 — stratification threshold θ_s sweep (Model 3).
+
+Paper shape: near-balanced splits minimize EDP (≈2.49× better than PTB at
+equal area); heavy imbalance degrades EDP by up to 1.65×; energy moves less
+than latency across the sweep.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.harness import fig15
+
+
+def test_fig15_stratification_sweep(benchmark, record_result):
+    sweep = run_once(benchmark, lambda: fig15.stratification_sweep("model3"))
+
+    edps = [p.edp for p in sweep.points]
+    fractions = [p.dense_fraction_target for p in sweep.points]
+
+    # The optimum is interior (a U-shape), not at either extreme split.
+    best_index = int(np.argmin(edps))
+    assert 0 < best_index < len(edps) - 1, fractions[best_index]
+
+    # Balanced policy lands near the swept optimum and beats PTB on EDP.
+    assert sweep.balanced.edp <= min(edps) * 1.25
+    assert sweep.edp_gain_vs_ptb > 1.5      # paper: ≈2.49×
+
+    # Imbalance penalty is material (paper: up to 1.65×).
+    assert sweep.worst_imbalance_penalty > 1.15
+
+    # Latency varies more than energy across the sweep (Sec. 6.5.1).
+    latencies = np.array([p.latency_s for p in sweep.points])
+    energies = np.array([p.energy_mj for p in sweep.points])
+    assert latencies.max() / latencies.min() > energies.max() / energies.min()
+
+    record_result(
+        "fig15",
+        {
+            "paper": {"edp_gain_vs_ptb": 2.49, "worst_imbalance_penalty": 1.65},
+            "measured": {
+                "edp_gain_vs_ptb": sweep.edp_gain_vs_ptb,
+                "worst_imbalance_penalty": sweep.worst_imbalance_penalty,
+                "points": [
+                    {
+                        "dense_fraction": p.dense_fraction_target,
+                        "latency_ms": p.latency_s * 1e3,
+                        "energy_mj": p.energy_mj,
+                        "edp": p.edp,
+                    }
+                    for p in sweep.points
+                ],
+            },
+        },
+    )

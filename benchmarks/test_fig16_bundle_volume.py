@@ -1,0 +1,64 @@
+"""Fig. 16 — TTB bundle-volume (BS_t, BS_n) sensitivity (Model 3).
+
+Paper shape: U-curves for energy and latency with a near-optimal band at
+volume ≈4-8; very small volumes lose reuse, very large ones bundle idle
+tokens so spike-activation memory share grows while weight share falls
+(13%→21.4% and 36.9%→16.9% when going from (2,4) to (4,14)).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.harness import fig16
+
+
+def test_fig16_bundle_volume(benchmark, record_result):
+    points = run_once(benchmark, lambda: fig16.bundle_volume_sweep("model3"))
+    by_volume = sorted(points, key=lambda p: p.volume)
+
+    # Optimal total latency lands in the paper's 4-8 volume band.
+    best = min(points, key=lambda p: p.total_latency_s)
+    assert 4 <= best.volume <= 8, (best.bs_t, best.bs_n)
+
+    # U-shape: the extremes are worse than the band optimum.
+    smallest = by_volume[0]
+    largest = by_volume[-1]
+    assert smallest.total_latency_s > best.total_latency_s
+    assert largest.total_latency_s > best.total_latency_s
+
+    # Memory-share crossover: activation share grows with volume while the
+    # weight share falls.
+    small_band = [p for p in points if p.volume <= 8]
+    large_band = [p for p in points if p.volume >= 28]
+    assert large_band, "sweep must include a large-volume point"
+    act_small = np.mean([p.activation_memory_share for p in small_band])
+    act_large = np.mean([p.activation_memory_share for p in large_band])
+    w_small = np.mean([p.weight_memory_share for p in small_band])
+    w_large = np.mean([p.weight_memory_share for p in large_band])
+    assert act_large > act_small
+    assert w_large < w_small
+
+    record_result(
+        "fig16",
+        {
+            "paper": {
+                "optimal_volume_band": [4, 8],
+                "activation_share_growth": [0.13, 0.214],
+                "weight_share_drop": [0.369, 0.169],
+            },
+            "measured": [
+                {
+                    "bs_t": p.bs_t,
+                    "bs_n": p.bs_n,
+                    "volume": p.volume,
+                    "total_latency_ms": p.total_latency_s * 1e3,
+                    "total_energy_mj": p.total_energy_mj,
+                    "attention_latency_ms": p.attention_latency_s * 1e3,
+                    "matmul_latency_ms": p.matmul_latency_s * 1e3,
+                    "weight_memory_share": p.weight_memory_share,
+                    "activation_memory_share": p.activation_memory_share,
+                }
+                for p in by_volume
+            ],
+        },
+    )

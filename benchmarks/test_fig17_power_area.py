@@ -1,0 +1,38 @@
+"""Fig. 17 — power/area breakdown of the synthesized Bishop accelerator."""
+
+import pytest
+from conftest import run_once
+
+from repro.harness import run_experiment
+
+PAPER = {
+    "totals": {"area_mm2": 2.96, "power_mw": 627.0},
+    "ptb_totals": {"area_mm2": 2.80, "power_mw": 606.9},
+    "power_fractions": {
+        "sparse_core": 0.115, "dense_core": 0.392, "attention_core": 0.387,
+        "spike_generator": 0.029, "glb": 0.077,
+    },
+    "area_fractions": {
+        "sparse_core": 0.128, "dense_core": 0.313, "attention_core": 0.360,
+        "spike_generator": 0.032, "glb": 0.167,
+    },
+}
+
+
+def test_fig17_power_area(benchmark, record_result):
+    out = run_once(benchmark, lambda: run_experiment("fig17"))
+
+    assert out["bishop_totals"]["area_mm2"] == pytest.approx(2.96, abs=0.01)
+    assert out["bishop_totals"]["power_mw"] == pytest.approx(627.0, abs=0.5)
+    assert out["ptb_totals"]["area_mm2"] == pytest.approx(2.80, abs=0.01)
+
+    total_power = out["bishop_totals"]["power_mw"]
+    total_area = out["bishop_totals"]["area_mm2"]
+    for component, fraction in PAPER["power_fractions"].items():
+        measured = out["bishop"][component]["power_mw"] / total_power
+        assert measured == pytest.approx(fraction, abs=0.01), component
+    for component, fraction in PAPER["area_fractions"].items():
+        measured = out["bishop"][component]["area_mm2"] / total_area
+        assert measured == pytest.approx(fraction, abs=0.01), component
+
+    record_result("fig17", {"paper": PAPER, "measured": out})

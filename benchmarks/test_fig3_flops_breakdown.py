@@ -1,0 +1,33 @@
+"""Fig. 3 — FLOPs breakdown of spiking transformers.
+
+Paper shape: attention + MLP dominate (66.5%-91.0% across the sweep) and the
+attention share intensifies as N grows.
+"""
+
+from conftest import run_once
+
+from repro.harness import run_experiment
+
+
+def test_fig3_flops_breakdown(benchmark, record_result):
+    sweep = run_once(benchmark, lambda: run_experiment("fig3"))
+
+    shares = {k: v["attention_plus_mlp_fraction"] for k, v in sweep.items()}
+    # Cumulative attention+MLP share band (paper: 0.665-0.910).
+    assert all(0.5 < s < 0.95 for s in shares.values()), shares
+
+    # Attention dominance grows with N at fixed depth.
+    by_n = {
+        64: sweep["N64_D384_L8"]["attention_fraction"],
+        128: sweep["N128_D256_L8"]["attention_fraction"],
+        196: sweep["N196_D128_L8"]["attention_fraction"],
+    }
+    assert by_n[64] < by_n[128] < by_n[196]
+
+    record_result(
+        "fig3",
+        {
+            "paper": {"attention_plus_mlp_band": [0.665, 0.910]},
+            "measured": sweep,
+        },
+    )

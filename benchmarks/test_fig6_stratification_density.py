@@ -1,0 +1,48 @@
+"""Fig. 6 — spike/TTB density of the raw and stratified workloads, ± BSA.
+
+Paper anchors (output projection, 3rd block, Model 1): unstratified
+6.34%/11.16% (spike/TTB) → stratified-up 1.28%/8.58% and stratified-down
+23.89%/75.50%; with BSA everything drops (2.75%/5.22% unstratified).
+"""
+
+from conftest import run_once
+
+from repro.harness import run_experiment
+
+
+def test_fig6_stratification_density(benchmark, record_result):
+    out = run_once(benchmark, lambda: run_experiment("fig6"))
+
+    for variant in ("without_bsa", "with_bsa"):
+        entry = out[variant]
+        dense = entry["stratified_down_dense"]
+        sparse = entry["stratified_up_sparse"]
+        overall = entry["overall"]
+        # Stratification separates densities in both directions.
+        assert dense["spike_density"] > overall["spike_density"] > sparse["spike_density"]
+        assert dense["bundle_density"] > overall["bundle_density"] > sparse["bundle_density"]
+        # TTB density always sits above spike density (bundle clustering).
+        for report in (dense, sparse, overall):
+            if report["num_features"]:
+                assert report["bundle_density"] >= report["spike_density"]
+
+    # BSA lowers both densities of the whole workload.
+    assert (
+        out["with_bsa"]["overall"]["spike_density"]
+        < out["without_bsa"]["overall"]["spike_density"]
+    )
+    assert (
+        out["with_bsa"]["overall"]["bundle_density"]
+        < out["without_bsa"]["overall"]["bundle_density"]
+    )
+
+    record_result(
+        "fig6",
+        {
+            "paper": {
+                "without_bsa": {"overall": [0.0634, 0.1116], "up": [0.0128, 0.0858], "down": [0.2389, 0.7550]},
+                "with_bsa": {"overall": [0.0275, 0.0522]},
+            },
+            "measured": out,
+        },
+    )

@@ -1,0 +1,34 @@
+"""Sec. 6.2 — headline averages: 5.91× speedup and 6.11× energy efficiency
+over PTB, ~299× speedup over the edge GPU (full Bishop+BSA+ECP stack)."""
+
+from conftest import run_once
+
+from repro.harness import endtoend
+
+
+def test_sec62_headline_summary(benchmark, record_result):
+    def run():
+        grid = endtoend.run_grid()
+        return grid, endtoend.headline_summary(grid)
+
+    grid, summary = run_once(benchmark, run)
+
+    # Paper: 5.91× mean speedup; accept a generous band around it since our
+    # substrate is an analytic simulator, not the authors' RTL.
+    assert 3.0 < summary["mean_speedup_vs_ptb"] < 12.0
+    # Paper: 6.11× mean energy gain.
+    assert 2.5 < summary["mean_energy_gain_vs_ptb"] < 12.0
+    # Paper: ~299× mean over the edge GPU (173.9-474.8 per model).
+    assert 100 < summary["mean_speedup_vs_gpu"] < 700
+
+    record_result(
+        "sec62",
+        {
+            "paper": {
+                "mean_speedup_vs_ptb": 5.91,
+                "mean_energy_gain_vs_ptb": 6.11,
+                "mean_speedup_vs_gpu": 299.0,
+            },
+            "measured": summary,
+        },
+    )

@@ -1,0 +1,45 @@
+"""Sec. 6.4 — the dedicated attention core vs PTB on SSA layers only
+(architecture only, no BSA/ECP).
+
+Paper: 10.7-23.3× latency reduction and 1.39-1.96× energy saving.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.harness import hetero
+
+MODELS = ("model1", "model2", "model3", "model4")
+
+
+def test_sec64_attention_core(benchmark, record_result):
+    results = run_once(
+        benchmark,
+        lambda: {m: hetero.attention_core_comparison(m) for m in MODELS},
+    )
+
+    latency_gains = [r.latency_gain for r in results.values()]
+    energy_gains = [r.energy_gain for r in results.values()]
+
+    # Paper band 10.7-23.3× latency: require every model in a generous
+    # envelope and the mean inside 8-30×.
+    assert all(5.0 < g < 45.0 for g in latency_gains), latency_gains
+    assert 8.0 < float(np.mean(latency_gains)) < 30.0
+    # Paper band 1.39-1.96× energy.
+    assert all(1.1 < g < 15.0 for g in energy_gains), energy_gains
+
+    record_result(
+        "sec64_attention",
+        {
+            "paper": {"latency_gain_band": [10.7, 23.3], "energy_gain_band": [1.39, 1.96]},
+            "measured": {
+                model: {
+                    "latency_gain": r.latency_gain,
+                    "energy_gain": r.energy_gain,
+                    "bishop_latency_ms": r.bishop_latency_s * 1e3,
+                    "ptb_latency_ms": r.ptb_latency_s * 1e3,
+                }
+                for model, r in results.items()
+            },
+        },
+    )

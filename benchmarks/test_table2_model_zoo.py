@@ -1,0 +1,21 @@
+"""Table 2 — the spiking transformer model zoo."""
+
+from conftest import run_once
+
+from repro.harness import run_experiment
+
+PAPER_TABLE2 = {
+    "model1": {"blocks": 4, "timesteps": 10, "tokens": 64, "features": 384},
+    "model2": {"blocks": 4, "timesteps": 8, "tokens": 64, "features": 384},
+    "model3": {"blocks": 8, "timesteps": 4, "tokens": 196, "features": 128},
+    "model4": {"blocks": 2, "timesteps": 20, "tokens": 64, "features": 128},
+    "model5": {"blocks": 4, "timesteps": 8, "tokens": 256, "features": 384},
+}
+
+
+def test_table2_model_zoo(benchmark, record_result):
+    zoo = run_once(benchmark, lambda: run_experiment("table2"))
+    for model, expected in PAPER_TABLE2.items():
+        for key, value in expected.items():
+            assert zoo[model][key] == value, (model, key)
+    record_result("table2", {"paper": PAPER_TABLE2, "measured": zoo})

@@ -1,0 +1,54 @@
+"""Full evaluation grid — paper Figs. 12-13 and the Sec.-6.2 headline.
+
+Runs all five Table-2 workloads through the five systems (edge GPU, PTB,
+Bishop, Bishop+BSA, Bishop+BSA+ECP) and prints latency/energy tables plus
+the headline averages.
+
+Run:  python examples/accelerator_comparison.py    (takes ~1-2 minutes)
+"""
+
+from repro.harness.endtoend import headline_summary, run_grid
+
+SYSTEMS = ("gpu", "ptb", "bishop", "bishop_bsa", "bishop_bsa_ecp")
+
+
+def main() -> None:
+    grid = run_grid()
+
+    print("latency (ms):")
+    header = "            " + "".join(f"{s:>16}" for s in SYSTEMS)
+    print(header)
+    for model, comparison in grid.items():
+        row = "".join(
+            f"{comparison.results[s].latency_s * 1e3:16.3f}" for s in SYSTEMS
+        )
+        print(f"{model:<12}{row}")
+
+    print("\nenergy (mJ):")
+    print(header)
+    for model, comparison in grid.items():
+        row = "".join(
+            f"{comparison.results[s].energy_mj:16.4f}" for s in SYSTEMS
+        )
+        print(f"{model:<12}{row}")
+
+    print("\nspeedup over PTB:")
+    for model, comparison in grid.items():
+        print(
+            f"  {model}: bishop {comparison.speedup_vs('bishop'):5.2f}x"
+            f"  +BSA {comparison.speedup_vs('bishop_bsa'):5.2f}x"
+            f"  +BSA+ECP {comparison.speedup_vs('bishop_bsa_ecp'):5.2f}x"
+            f"   (vs GPU {comparison.speedup_vs('bishop_bsa_ecp', baseline='gpu'):6.1f}x)"
+        )
+
+    summary = headline_summary(grid)
+    print(
+        f"\nheadline (paper: 5.91x speedup, 6.11x energy, ~299x vs GPU):"
+        f"\n  mean speedup vs PTB: {summary['mean_speedup_vs_ptb']:.2f}x"
+        f"\n  mean energy gain vs PTB: {summary['mean_energy_gain_vs_ptb']:.2f}x"
+        f"\n  mean speedup vs GPU: {summary['mean_speedup_vs_gpu']:.0f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

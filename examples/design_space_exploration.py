@@ -1,0 +1,49 @@
+"""Design-space exploration — paper Sec. 6.5 (Figs. 15-16).
+
+Sweeps the two architectural hyperparameters the paper calls out on the
+ImageNet-100 workload (Model 3):
+
+* the stratification threshold θ_s, via targeted dense-fraction splits
+  (latency is minimized near balance; EDP traces a U-shape);
+* the TTB bundle volume (BS_t × BS_n) (near-optimal at volume 4-8; large
+  volumes shift memory energy from weights to spike activations).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.harness.fig15 import stratification_sweep
+from repro.harness.fig16 import bundle_volume_sweep
+
+
+def main() -> None:
+    print("== Fig. 15: stratification threshold sweep (Model 3) ==")
+    sweep = stratification_sweep("model3")
+    print(" dense-frac   latency(ms)   energy(mJ)        EDP")
+    for point in sweep.points:
+        print(
+            f"  {point.dense_fraction_target:9.2f}  {point.latency_s * 1e3:11.3f}"
+            f"  {point.energy_mj:11.4f}  {point.edp:10.3e}"
+        )
+    print(
+        f"  balanced θ  {sweep.balanced.latency_s * 1e3:11.3f}"
+        f"  {sweep.balanced.energy_mj:11.4f}  {sweep.balanced.edp:10.3e}"
+    )
+    print(f"EDP gain vs PTB at balance: {sweep.edp_gain_vs_ptb:.2f}x (paper ~2.49x)")
+    print(f"worst imbalance penalty:    {sweep.worst_imbalance_penalty:.2f}x (paper up to 1.65x)")
+
+    print("\n== Fig. 16: TTB bundle-volume sweep (Model 3) ==")
+    points = bundle_volume_sweep("model3")
+    print(" (BSt,BSn)  vol  latency(ms)  energy(mJ)  weight-mem%  act-mem%")
+    for p in sorted(points, key=lambda p: p.volume):
+        print(
+            f"   ({p.bs_t},{p.bs_n:2d})  {p.volume:3d}  {p.total_latency_s * 1e3:10.3f}"
+            f"  {p.total_energy_mj:10.4f}  {p.weight_memory_share:10.1%}"
+            f"  {p.activation_memory_share:8.1%}"
+        )
+    best = min(points, key=lambda p: p.total_latency_s)
+    print(f"\nbest volume: {best.bs_t}x{best.bs_n} = {best.volume} "
+          "(paper: near-optimal at 4-8)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: build a spiking transformer, trace it, run it on Bishop.
+
+This walks the library's core loop in under a minute:
+
+1. build a laptop-scale spiking transformer (same topology as Table 2),
+2. run one batch of inference and capture the accelerator-facing workload,
+3. simulate the workload on Bishop, on the PTB baseline, and on an edge GPU,
+4. print the per-phase latency/energy comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.arch import BishopAccelerator, BishopConfig
+from repro.baselines import EdgeGPU, PTBAccelerator
+from repro.bundles import BundleSpec
+from repro.model import SpikingTransformer, tiny_config
+from repro.snn import direct_encode
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. A tiny spiking transformer: 2 encoder blocks, T=4, N=16, D=32.
+    config = tiny_config(num_classes=4)
+    model = SpikingTransformer(config, seed=0)
+    print(f"model: {config.name}  blocks={config.num_blocks}  T={config.timesteps}"
+          f"  N={config.num_tokens}  D={config.embed_dim}")
+
+    # 2. One inference over random images; trace records every layer's
+    #    binary spike workload for the accelerator.
+    images = rng.random((2, 3, config.image_size, config.image_size))
+    encoded = direct_encode(images, config.timesteps)
+    logits = model(encoded)
+    print(f"logits: {np.round(logits.data[0], 3)}")
+
+    trace = model.trace(encoded)
+    print(f"traced {len(trace.records)} layers, "
+          f"avg spike density {trace.average_spike_density():.1%}, "
+          f"{trace.total_macs() / 1e6:.1f} M dense-equivalent MACs")
+
+    # 3. Simulate the three systems.
+    spec = BundleSpec(2, 2)
+    bishop = BishopAccelerator(BishopConfig(bundle_spec=spec)).run_trace(trace)
+    ptb = PTBAccelerator().run_trace(trace)
+    gpu = EdgeGPU().run_trace(trace)
+
+    # 4. Report.
+    print("\n          latency (µs)   energy (µJ)")
+    for name, report in (("bishop", bishop), ("ptb", ptb), ("gpu", gpu)):
+        print(f"{name:>8}  {report.total_latency_s * 1e6:12.2f}"
+              f"  {report.total_energy_pj / 1e6:12.3f}")
+    print(f"\nBishop vs PTB: {ptb.total_latency_s / bishop.total_latency_s:.2f}x faster,"
+          f" {ptb.total_energy_pj / bishop.total_energy_pj:.2f}x less energy")
+    print(f"Bishop vs GPU: {gpu.total_latency_s / bishop.total_latency_s:.0f}x faster")
+
+    print("\nper-phase latency share on Bishop:")
+    for phase in ("P1", "ATN", "P2", "MLP"):
+        share = bishop.phase_latency(phase) / bishop.total_latency_s
+        print(f"  {phase:<4} {share:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Bishop (ISCA 2025) reproduction: sparsified bundling spiking transformers
+on heterogeneous cores with error-constrained pruning.
+
+Subpackages
+-----------
+autograd
+    NumPy reverse-mode autodiff with surrogate-gradient support.
+snn
+    LIF neurons, spike encoders, spiking layers.
+model
+    Spiking transformer (tokenizer, SSA, MLP) and the Table-2 model zoo.
+bundles
+    Token-Time Bundle (TTB) partitioning, tags, and statistics.
+algo
+    Bundle-Sparsity-Aware training (BSA) and Error-Constrained Pruning (ECP).
+train
+    Synthetic datasets, training loop, metrics.
+arch
+    The Bishop accelerator simulator (stratifier, dense/sparse/attention
+    cores, spike generator, memory hierarchy, energy model).
+baselines
+    PTB systolic accelerator and edge-GPU roofline comparators.
+harness
+    Experiment registry regenerating every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,111 @@
+"""Bundle-Sparsity-Aware training (BSA) — paper Sec. 4.1, Eq. 9-10.
+
+BSA adds a bundle-level sparsity loss over the spiking activations entering
+every MLP / projection layer plus the attention Q and K tensors::
+
+    L_bsp = Σ_layers Σ_bundles Z(bundle)          (Eq. 10)
+    L_tot = L_CE + λ · L_bsp
+
+The paper defines the tag ``Z`` as the L0 norm of the bundle's contents
+(Eq. 9).  For binary spikes, summing L0 tags equals the global spike count —
+a *spike*-level pressure.  To obtain the *bundle*-level behaviour the paper
+reports (more fully-inactive TTBs, whole features going silent — Fig. 5), we
+additionally provide a saturating tag ``Z = s/(s+α)``, whose gradient is
+largest for nearly-empty bundles so optimization drains them completely, and
+a straight-through indicator tag ``Z = min(s, 1)``.  ``tag="saturating"`` is
+the default used by the trainer; see DESIGN.md "Interpretation choices".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..bundles import BundleSpec
+
+__all__ = ["BundleSparsityLoss", "bundle_sums", "TAG_MODES"]
+
+TAG_MODES = ("l0", "saturating", "indicator")
+
+
+def bundle_sums(x: Tensor, spec: BundleSpec) -> Tensor:
+    """Differentiable per-bundle spike counts.
+
+    ``x`` has shape ``(T, B, N, D)``; the result has shape
+    ``(n_bt, B, n_bn, D)``.  T and N are zero-padded to multiples of the
+    bundle sizes (padding contributes nothing to any sum).
+    """
+    t, b, n, d = x.shape
+    n_bt, n_bn = spec.grid_shape(t, n)
+    pad_t = n_bt * spec.bs_t - t
+    pad_n = n_bn * spec.bs_n - n
+    if pad_t:
+        zeros = Tensor(np.zeros((pad_t, b, n, d)))
+        x = Tensor.concatenate([x, zeros], axis=0)
+    if pad_n:
+        zeros = Tensor(np.zeros((n_bt * spec.bs_t, b, pad_n, d)))
+        x = Tensor.concatenate([x, zeros], axis=2)
+    grouped = x.reshape(n_bt, spec.bs_t, b, n_bn, spec.bs_n, d)
+    return grouped.sum(axis=4).sum(axis=1)
+
+
+@dataclass
+class BundleSparsityLoss:
+    """Callable computing ``L_bsp`` over a list of tapped activations.
+
+    Parameters
+    ----------
+    spec:
+        TTB volume used for bundling (must match the accelerator's).
+    tag:
+        ``"l0"`` — Eq. 9 verbatim; ``"saturating"`` — ``s/(s+α)``;
+        ``"indicator"`` — straight-through ``min(s, 1)``.
+    alpha:
+        Saturation constant for the saturating tag.
+    normalize:
+        Divide by the total number of bundles so λ has a scale-free meaning
+        (the paper's per-dataset λ values assume an implementation-defined
+        scale; normalization makes ours transferable across model sizes).
+    """
+
+    spec: BundleSpec
+    tag: str = "saturating"
+    alpha: float = 0.5
+    normalize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tag not in TAG_MODES:
+            raise ValueError(f"unknown tag mode {self.tag!r}; options: {TAG_MODES}")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+
+    def tag_values(self, sums: Tensor) -> Tensor:
+        """Apply the tag transform to per-bundle spike counts."""
+        if self.tag == "l0":
+            return sums
+        if self.tag == "saturating":
+            return sums / (sums + self.alpha)
+        # Straight-through indicator: forward min(s, 1), identity backward.
+        return sums.apply(
+            lambda s: np.minimum(s, 1.0),
+            lambda s, grad: grad,
+        )
+
+    def __call__(self, taps: list[tuple[str, Tensor]]) -> Tensor:
+        """``taps``: named ``(T, B, N, D)`` spike tensors from a forward pass."""
+        if not taps:
+            raise ValueError("BSA loss needs at least one tapped activation")
+        total: Tensor | None = None
+        bundle_count = 0
+        for _, activation in taps:
+            sums = bundle_sums(activation, self.spec)
+            tags = self.tag_values(sums)
+            batch = activation.shape[1]
+            bundle_count += tags.size // batch
+            term = tags.sum() * (1.0 / batch)
+            total = term if total is None else total + term
+        if self.normalize:
+            total = total * (1.0 / bundle_count)
+        return total

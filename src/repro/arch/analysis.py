@@ -1,0 +1,131 @@
+"""Post-simulation analysis utilities.
+
+Turns :class:`~repro.arch.report.InferenceReport` objects into the summaries
+an architect actually reads: compute-vs-memory boundedness, per-unit
+utilization, energy decomposition, and cross-accelerator comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .energy import EnergyModel
+from .report import InferenceReport, LayerReport
+
+__all__ = [
+    "LayerBoundedness",
+    "boundedness_profile",
+    "EnergyDecomposition",
+    "energy_decomposition",
+    "utilization_summary",
+    "speedup_table",
+]
+
+
+@dataclass(frozen=True)
+class LayerBoundedness:
+    """Whether one layer is compute- or DRAM-bound, and by how much."""
+
+    block: int
+    kind: str
+    compute_time_s: float
+    dram_time_s: float
+
+    @property
+    def bound(self) -> str:
+        return "memory" if self.dram_time_s > self.compute_time_s else "compute"
+
+    @property
+    def imbalance(self) -> float:
+        """max(compute, dram) / min(...) — 1.0 means perfectly overlapped."""
+        lo = min(self.compute_time_s, self.dram_time_s)
+        hi = max(self.compute_time_s, self.dram_time_s)
+        return hi / lo if lo > 0 else float("inf")
+
+
+def boundedness_profile(report: InferenceReport) -> list[LayerBoundedness]:
+    """Classify every layer (layers lacking timing notes are skipped)."""
+    out = []
+    for layer in report.layers:
+        if "compute_time_s" not in layer.notes:
+            continue
+        out.append(
+            LayerBoundedness(
+                block=layer.block,
+                kind=layer.kind,
+                compute_time_s=layer.notes["compute_time_s"],
+                dram_time_s=layer.notes["dram_time_s"],
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class EnergyDecomposition:
+    """Whole-inference energy split (fractions of total)."""
+
+    compute: float
+    memory: float
+    spike_generation: float
+    static: float
+    memory_by_kind: dict[str, float]
+
+    def dominant(self) -> str:
+        parts = {
+            "compute": self.compute,
+            "memory": self.memory,
+            "spike_generation": self.spike_generation,
+            "static": self.static,
+        }
+        return max(parts, key=parts.get)
+
+
+def energy_decomposition(
+    report: InferenceReport, energy_model: EnergyModel | None = None
+) -> EnergyDecomposition:
+    total = report.total_energy_pj
+    if total <= 0:
+        raise ValueError("report has no energy recorded")
+    compute = sum(l.energy.compute_pj for l in report.layers)
+    memory = sum(l.energy.memory_pj for l in report.layers)
+    spikes = sum(l.energy.spike_gen_pj for l in report.layers)
+    static = sum(l.energy.static_pj for l in report.layers)
+    by_kind = report.memory_energy_share_by_kind(energy_model or EnergyModel())
+    return EnergyDecomposition(
+        compute=compute / total,
+        memory=memory / total,
+        spike_generation=spikes / total,
+        static=static / total,
+        memory_by_kind=by_kind,
+    )
+
+
+def utilization_summary(report: InferenceReport) -> dict[str, float]:
+    """Mean/min/max datapath utilization across layers (0 omitted)."""
+    values = [l.utilization for l in report.layers if l.utilization > 0]
+    if not values:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "mean": float(np.mean(values)),
+        "min": float(np.min(values)),
+        "max": float(np.max(values)),
+    }
+
+
+def speedup_table(
+    baseline: InferenceReport, candidate: InferenceReport
+) -> dict[str, float]:
+    """Totals and per-phase speedups of ``candidate`` over ``baseline``."""
+    table = {
+        "total_speedup": baseline.total_latency_s / candidate.total_latency_s,
+        "total_energy_gain": baseline.total_energy_pj / candidate.total_energy_pj,
+        "edp_gain": baseline.edp / candidate.edp,
+    }
+    for phase in ("P1", "ATN", "P2", "MLP"):
+        base_phase = baseline.phase_latency(phase)
+        cand_phase = candidate.phase_latency(phase)
+        if base_phase > 0 and cand_phase > 0:
+            table[f"{phase}_speedup"] = base_phase / cand_phase
+    return table

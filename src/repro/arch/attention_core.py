@@ -1,0 +1,180 @@
+"""TT-Bundle Attention Core — reconfigurable AAC/SAC systolic array (Sec. 5.5).
+
+Two-step spiking attention on binary Q/K/V:
+
+* **Mode 1** (And-ACcumulate, S-stationary): Q bundles flow left→right, K
+  tokens stream top→bottom; each PE ANDs binary Q/K bits and accumulates the
+  attention score ``S`` in a local register.  K-tokens are reused intra- and
+  inter-Q-bundle.
+* **Mode 2** (Select-ACcumulate, S-stationary): ``S`` stays in the PE
+  registers — the multi-bit scores never travel — while binary ``V`` streams
+  and selects scores into ``Y`` partial sums; ``Y`` is rescaled by the
+  power-of-two factor ``s`` (a shifter) and fed to the spike generator.
+
+ECP (Sec. 5.1) runs ahead of the core: pruned Q bundle-rows and K rows are
+never fetched nor scheduled, so compute shrinks by the *product* of the two
+surviving fractions, V fetches shrink with K, and Y writebacks with Q.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algo import ECPConfig, ecp_prune_qk
+from ..bundles import TTBGrid
+from .config import BishopConfig
+from .energy import EnergyModel
+from .memory import TrafficLedger, bundle_storage_bytes
+
+__all__ = ["AttentionCoreResult", "simulate_attention_core", "merge_attention_heads"]
+
+
+def merge_attention_heads(per_head: np.ndarray) -> np.ndarray:
+    """``(T, H, N, d)`` → full-feature ``(T, N, H·d)`` (concat of heads)."""
+    t, h, n, d = per_head.shape
+    return per_head.transpose(0, 2, 1, 3).reshape(t, n, h * d)
+
+
+@dataclass(frozen=True)
+class AttentionCoreResult:
+    """Outcome of one spiking self-attention layer on the attention core."""
+
+    mode1_cycles: float
+    mode2_cycles: float
+    aac_ops: float                 # Mode-1 AND-accumulates
+    sac_ops: float                 # Mode-2 select-accumulates
+    q_keep_fraction: float         # after ECP ∧ activity skipping
+    k_keep_fraction: float
+    utilization: float
+    traffic: TrafficLedger
+
+    @property
+    def cycles(self) -> float:
+        return self.mode1_cycles + self.mode2_cycles
+
+    def time_s(self, config: BishopConfig) -> float:
+        return self.cycles / config.clock_hz
+
+    def compute_energy_pj(self, energy: EnergyModel) -> float:
+        return energy.compute_pj("aac", self.aac_ops) + energy.compute_pj(
+            "sac", self.sac_ops
+        )
+
+    @property
+    def score_compute_fraction(self) -> float:
+        """Surviving share of the dense S computation (the Fig.-7 compounding)."""
+        return self.q_keep_fraction * self.k_keep_fraction
+
+
+def _row_survivors(
+    spikes_full: np.ndarray, config: BishopConfig, keep_rows: np.ndarray | None
+) -> np.ndarray:
+    """Token-time keep mask ``(T, N)``: ECP survivors ∧ bundle activity."""
+    grid = TTBGrid(spikes_full, config.bundle_spec)
+    rows = grid.active_per_bundle_row > 0 if config.skip_inactive_bundles else np.ones(
+        (grid.n_bt, grid.n_bn), dtype=bool
+    )
+    if keep_rows is not None:
+        rows = rows & keep_rows
+    spec = config.bundle_spec
+    per_time = np.repeat(rows, spec.bs_t, axis=0)[: spikes_full.shape[0]]
+    return np.repeat(per_time, spec.bs_n, axis=1)[:, : spikes_full.shape[1]]
+
+
+def simulate_attention_core(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    config: BishopConfig,
+    ecp: ECPConfig | None = None,
+) -> AttentionCoreResult:
+    """Simulate one SSA layer: ``q, k, v`` are binary ``(T, H, N, d)``.
+
+    With ``ecp`` set, Q/K bundle-rows below the thresholds are pruned before
+    scheduling (the certified-error path); without it, only intrinsically
+    inactive bundles are skipped (when the config allows).
+    """
+    if q.shape != k.shape or q.shape != v.shape:
+        raise ValueError(f"Q/K/V shapes differ: {q.shape}, {k.shape}, {v.shape}")
+    t, h, n, d = q.shape
+    features = h * d
+    traffic = TrafficLedger()
+
+    q_full = merge_attention_heads(q)
+    k_full = merge_attention_heads(k)
+    if ecp is not None:
+        _, _, report = ecp_prune_qk(q_full, k_full, ecp)
+        q_keep_rows, k_keep_rows = report.q_row_keep, report.k_row_keep
+    else:
+        q_keep_rows = k_keep_rows = None
+
+    q_mask = _row_survivors(q_full, config, q_keep_rows)   # (T, N)
+    k_mask = _row_survivors(k_full, config, k_keep_rows)
+
+    q_tokens_per_t = q_mask.sum(axis=1).astype(np.float64)
+    k_tokens_per_t = k_mask.sum(axis=1).astype(np.float64)
+    pair_count = float((q_tokens_per_t * k_tokens_per_t).sum())  # Σ_t N_q(t)·N_k(t)
+
+    # Mode 1: S[t,i,j] accumulated over all features with AND-accumulate.
+    aac_ops = pair_count * features
+    # Mode 2: Y[t,i,:] = Σ_j S[t,i,j]·V[t,j,:] — same op count, SAC flavour.
+    sac_ops = pair_count * features
+
+    effective = config.attn_throughput * config.attn_utilization
+    mode1_cycles = aac_ops / effective + config.pipeline_fill_cycles
+    mode2_cycles = sac_ops / effective + config.pipeline_fill_cycles
+
+    q_keep = float(q_mask.mean())
+    k_keep = float(k_mask.mean())
+
+    # ---- traffic ---------------------------------------------------------
+    spec = config.bundle_spec
+    q_grid = TTBGrid(q_full * q_mask[:, :, None], spec)
+    k_grid = TTBGrid(k_full * k_mask[:, :, None], spec)
+    v_grid = TTBGrid(merge_attention_heads(v) * k_mask[:, :, None], spec)
+
+    q_bytes = bundle_storage_bytes(q_grid.num_active_bundles, spec.volume, q_grid.num_bundles)
+    k_bytes = bundle_storage_bytes(k_grid.num_active_bundles, spec.volume, k_grid.num_bundles)
+    v_bytes = bundle_storage_bytes(v_grid.num_active_bundles, spec.volume, v_grid.num_bundles)
+
+    # Tiling: surviving Q bundle-rows across PE rows, K tokens across columns.
+    q_rows_surviving = max(
+        1.0, float(q_mask.any(axis=0).sum()) / spec.bs_n
+    )
+    k_col_tiles = max(1.0, float(np.ceil(k_tokens_per_t.max() / config.attn_cols)) if n else 1.0)
+    q_row_tiles = max(1.0, np.ceil(q_rows_surviving / config.attn_rows))
+
+    # Q re-streamed once per K column tile; K/V reused across Q tiles
+    # (intra/inter-Q-bundle K-reuse, intra/inter-S-bundle V-reuse).
+    traffic.add("glb", "activation", q_bytes * k_col_tiles)
+    traffic.add("glb", "activation", k_bytes * q_row_tiles)
+    traffic.add("glb", "activation", v_bytes * q_row_tiles)
+
+    # S never leaves the PEs (score-stationary): local register traffic only.
+    s_entries = pair_count
+    traffic.add("spad", "score", s_entries * config.score_bits / 8.0)
+    # Y streams through the shifter straight into the spike generator — it is
+    # never stored wholesale, so it costs output-buffer traffic only.
+    y_bytes = q_keep * t * n * features * config.accumulator_bits / 8.0
+    traffic.add("spad", "output", y_bytes)
+
+    dense_ops = 2.0 * t * n * n * features
+    utilization = (
+        (aac_ops + sac_ops)
+        / ((mode1_cycles + mode2_cycles) * config.attn_throughput)
+        if (mode1_cycles + mode2_cycles) > 0
+        else 0.0
+    )
+
+    return AttentionCoreResult(
+        mode1_cycles=mode1_cycles,
+        mode2_cycles=mode2_cycles,
+        aac_ops=aac_ops,
+        sac_ops=sac_ops,
+        q_keep_fraction=q_keep,
+        k_keep_fraction=k_keep,
+        utilization=float(utilization),
+        traffic=traffic,
+    )

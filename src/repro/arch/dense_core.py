@@ -1,0 +1,152 @@
+"""TT-Bundle Dense Core — output-stationary systolic array (Sec. 5.4).
+
+Organization (Fig. 9): ``dense_rows`` TT-bundles × ``dense_cols`` output
+features, 512 PEs total.  Spiking bundles flow top-to-bottom, coordinated
+weights flow left-to-right, partial sums stay in PE registers
+(output-stationary).  Each PE executes Select-ACcumulate (SAC) operations —
+one MUX + one accumulator — on up to ``spikes_per_cycle`` spikes per cycle.
+
+Weight reuse:
+* intra-bundle — one weight serves all ``BS_t × BS_n`` spikes of a bundle;
+* inter-bundle — the same weight row serves all bundles in a row-tile, and
+  is re-streamed once per bundle-row tile (``⌈B/rows⌉`` passes per layer),
+  instead of once per token-time as in conventional spike-serial dataflows.
+
+Cycle model: per (bundle-row-tile × output-tile), the array streams the
+layer's input features; each step costs ``⌈volume/spikes_per_cycle⌉`` cycles
+for rows whose bundle is active, and is skipped (tag lookahead) otherwise.
+Rows advance in lockstep, so a feature step costs the maximum over the
+tile's rows — fully-inactive feature columns vanish, partially-active ones
+do not (this is why stratification matters: mixed-density workloads stall
+the dense array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bundles import BundleSpec, TTBGrid
+from .config import BishopConfig
+from .energy import EnergyModel
+from .memory import TrafficLedger, bundle_storage_bytes
+
+__all__ = ["DenseCoreResult", "simulate_dense_core"]
+
+
+@dataclass(frozen=True)
+class DenseCoreResult:
+    """Cycle/op/traffic outcome of one layer's dense partition."""
+
+    cycles: float
+    sac_ops: float
+    idle_slots: float
+    utilization: float
+    traffic: TrafficLedger
+
+    def time_s(self, config: BishopConfig) -> float:
+        return self.cycles / config.clock_hz
+
+    def compute_energy_pj(self, energy: EnergyModel) -> float:
+        """Active select-accumulates plus clocked-but-gated slot overhead —
+        the lockstep array pays a toll for every stall it forces."""
+        return energy.compute_pj("sac", self.sac_ops) + energy.compute_pj(
+            "idle", self.idle_slots
+        )
+
+
+def simulate_dense_core(
+    spikes: np.ndarray,
+    out_features: int,
+    config: BishopConfig,
+    skip_inactive: bool | None = None,
+) -> DenseCoreResult:
+    """Simulate the dense core on ``spikes (T, N, D_dense)`` × ``(D_dense, O)``.
+
+    ``spikes`` is the stratified dense partition (already restricted to the
+    dense feature set).  Returns cycles, SAC operation count, utilization,
+    and the GLB/spad traffic the pass generates.
+    """
+    if skip_inactive is None:
+        skip_inactive = config.skip_inactive_bundles
+    traffic = TrafficLedger()
+    t, n, d_in = spikes.shape
+    if d_in == 0 or out_features == 0:
+        return DenseCoreResult(0.0, 0.0, 0.0, 0.0, traffic)
+
+    spec: BundleSpec = config.bundle_spec
+    grid = TTBGrid(spikes, spec)
+    num_bundles = grid.n_bt * grid.n_bn
+    active = grid.active.reshape(num_bundles, d_in)          # (B, D_in)
+
+    # A bundle larger than the PE's psum register file is processed in
+    # chunks, re-streaming the weights once per chunk (Fig.-16 penalty).
+    chunks = -(-spec.volume // config.psum_regs_per_pe)
+    chunk_volume = -(-spec.volume // chunks)
+    volume_cycles = -(-chunk_volume // config.spikes_per_cycle) * chunks
+
+    row_tiles = -(-num_bundles // config.dense_rows)
+    col_tiles = -(-out_features // config.dense_cols)
+
+    # --- cycles ---------------------------------------------------------
+    cycles = 0.0
+    total_needed_steps = 0.0
+    occupied_slots = 0.0
+    for tile in range(row_tiles):
+        rows = active[tile * config.dense_rows : (tile + 1) * config.dense_rows]
+        if skip_inactive:
+            # A feature step is needed iff any row in the tile is active for
+            # that feature (lockstep: the slowest row paces the column).
+            needed_steps = float(rows.any(axis=0).sum())
+        else:
+            needed_steps = float(d_in)
+        total_needed_steps += needed_steps
+        cycles += needed_steps * volume_cycles
+        occupied_slots += (
+            needed_steps * volume_cycles * config.spikes_per_cycle * rows.shape[0]
+        )
+    cycles *= col_tiles
+    cycles += (row_tiles * col_tiles) * config.pipeline_fill_cycles
+    occupied_slots *= col_tiles * config.dense_cols
+
+    # --- operations (energy) ---------------------------------------------
+    # Each active (bundle, feature) pair costs `volume` SAC lane-slots per
+    # output feature; gated slots in occupied lockstep steps still pay the
+    # clocked-idle toll (registers toggle, clock tree runs).
+    active_pairs = float(active.sum()) if skip_inactive else float(active.size)
+    sac_ops = active_pairs * spec.volume * out_features
+    idle_slots = max(0.0, occupied_slots - sac_ops)
+
+    # --- utilization ------------------------------------------------------
+    peak_ops = cycles * config.dense_throughput
+    utilization = float(sac_ops / peak_ops) if peak_ops else 0.0
+
+    # --- traffic ----------------------------------------------------------
+    # Weights stream through the array once per bundle-row tile (and once
+    # per psum-register chunk), but only for input features some bundle in
+    # the tile actually needs — the activity tags gate weight fetches as
+    # well as compute (the structured weight skipping BSA amplifies).
+    weight_bytes = (
+        total_needed_steps * chunks * out_features * config.weight_bits / 8.0
+    )
+    traffic.add("glb", "weight", weight_bytes)
+    # Activation bundles are re-broadcast once per output tile; only active
+    # payloads move (plus the tag bitmap).
+    act_bytes = bundle_storage_bytes(
+        active.sum() if skip_inactive else active.size,
+        spec.volume,
+        active.size,
+    )
+    traffic.add("glb", "activation", act_bytes * col_tiles)
+    # Output partial sums drain to the output buffer once per tile pass.
+    psum_bytes = num_bundles * spec.volume * out_features * config.accumulator_bits / 8.0
+    traffic.add("spad", "output", psum_bytes)
+
+    return DenseCoreResult(
+        cycles=cycles,
+        sac_ops=sac_ops,
+        idle_slots=idle_slots,
+        utilization=utilization,
+        traffic=traffic,
+    )

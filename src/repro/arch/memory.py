@@ -1,0 +1,89 @@
+"""Traffic accounting for the three-level memory hierarchy (Sec. 6.1).
+
+The simulators record every byte moved as ``(level, kind)`` entries in a
+:class:`TrafficLedger`; energy and DRAM time are derived from the ledger.
+Levels: ``dram`` (off-chip), ``glb`` (weight GLB / spike TTB GLBs), ``spad``
+(PE-local and output buffers).  Kinds: ``weight``, ``activation``, ``score``,
+``output`` — the decomposition behind Fig. 16's memory-share discussion.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .config import DRAMConfig
+from .energy import EnergyModel
+
+__all__ = ["TrafficLedger", "spike_payload_bytes", "bundle_storage_bytes"]
+
+_LEVELS = ("dram", "glb", "spad")
+_KINDS = ("weight", "activation", "score", "output")
+
+
+@dataclass
+class TrafficLedger:
+    """Byte counts per (memory level, data kind)."""
+
+    entries: dict[tuple[str, str], float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+
+    def add(self, level: str, kind: str, num_bytes: float) -> None:
+        if level not in _LEVELS:
+            raise ValueError(f"unknown level {level!r}; options {_LEVELS}")
+        if kind not in _KINDS:
+            raise ValueError(f"unknown kind {kind!r}; options {_KINDS}")
+        if num_bytes < 0:
+            raise ValueError("traffic must be non-negative")
+        self.entries[(level, kind)] += num_bytes
+
+    def bytes(self, level: str | None = None, kind: str | None = None) -> float:
+        """Total bytes, optionally filtered by level and/or kind."""
+        total = 0.0
+        for (entry_level, entry_kind), count in self.entries.items():
+            if level is not None and entry_level != level:
+                continue
+            if kind is not None and entry_kind != kind:
+                continue
+            total += count
+        return total
+
+    def energy_pj(self, model: EnergyModel) -> float:
+        return sum(
+            model.memory_pj(level, count)
+            for (level, _), count in self.entries.items()
+        )
+
+    def energy_by_kind_pj(self, model: EnergyModel) -> dict[str, float]:
+        out: dict[str, float] = defaultdict(float)
+        for (level, kind), count in self.entries.items():
+            out[kind] += model.memory_pj(level, count)
+        return dict(out)
+
+    def dram_time_s(self, dram: DRAMConfig) -> float:
+        return dram.transfer_time_s(self.bytes(level="dram"))
+
+    def merge(self, other: "TrafficLedger") -> None:
+        for key, count in other.entries.items():
+            self.entries[key] += count
+
+
+def spike_payload_bytes(num_token_times: float, num_features: float) -> float:
+    """Bytes of a dense binary spike tensor (1 bit per token-time-feature)."""
+    return num_token_times * num_features / 8.0
+
+
+def bundle_storage_bytes(
+    active_bundles: float, bundle_volume: int, total_bundles: float
+) -> float:
+    """Storage/traffic for a TTB-compressed spike tensor.
+
+    Active bundles move their full binary payload (``bundle_volume`` bits);
+    every bundle slot additionally carries a 1-bit activity tag (the tag
+    bitmap is how the stratifier, skip logic, and ECP read sparsity without
+    touching payloads).
+    """
+    payload_bits = active_bundles * bundle_volume
+    tag_bits = total_bundles
+    return (payload_bits + tag_bits) / 8.0

@@ -1,0 +1,54 @@
+"""Spike Generator — sparse-dense addition + parallel LIF update (Fig. 9).
+
+Partial sums streaming out of the dense and sparse cores (or the attention
+core's rescaled ``Y``) are merged, added to each neuron's membrane potential,
+compared against ``V_th``, conditionally reset, and the binary output spikes
+are written back to the TTB GLBs.  Up to ``spike_generator_lanes`` neurons
+update per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import BishopConfig
+from .energy import EnergyModel
+from .memory import TrafficLedger, spike_payload_bytes
+
+__all__ = ["SpikeGeneratorResult", "simulate_spike_generator"]
+
+
+@dataclass(frozen=True)
+class SpikeGeneratorResult:
+    """Cycle/energy outcome of generating one layer's output spikes."""
+
+    cycles: float
+    updates: float
+    traffic: TrafficLedger
+
+    def time_s(self, config: BishopConfig) -> float:
+        return self.cycles / config.clock_hz
+
+    def compute_energy_pj(self, energy: EnergyModel) -> float:
+        return energy.compute_pj("lif", self.updates)
+
+
+def simulate_spike_generator(
+    timesteps: int,
+    tokens: int,
+    out_features: int,
+    config: BishopConfig,
+) -> SpikeGeneratorResult:
+    """LIF updates for a ``(T, N, D_out)`` output tensor.
+
+    Membrane state forces time-serial processing per neuron, but the
+    ``N × D_out`` neurons update in parallel across lanes, so the cycle count
+    is ``T × ⌈N·D_out / lanes⌉``.
+    """
+    neurons = tokens * out_features
+    updates = float(timesteps * neurons)
+    cycles = float(timesteps * -(-neurons // config.spike_generator_lanes))
+    traffic = TrafficLedger()
+    # Binary output spikes written back to the spike TTB GLB.
+    traffic.add("glb", "activation", spike_payload_bytes(timesteps * tokens, out_features))
+    return SpikeGeneratorResult(cycles=cycles, updates=updates, traffic=traffic)

@@ -1,0 +1,130 @@
+"""The TTB stratifier — Algorithm 1 of the paper.
+
+For each input feature ``i``, compare the number of active bundles in column
+``i`` against the stratification threshold ``θ_s``: features with more active
+bundles than ``θ_s`` are routed (with their weight rows) to the dense core,
+the rest to the sparse core.  The feature-index buffers ``R_D``/``R_S``
+realign the weight matrix, so ``X_D·W_D + X_S·W_S = X·W`` exactly — the
+partition is a correctness-preserving reordering (property-tested).
+
+``θ_s`` selection: Sec. 6.5.1 shows EDP is near-optimal when the threshold
+approximately balances the two cores' latencies; :func:`balanced_theta`
+implements that search, and :func:`theta_for_dense_fraction` realizes the
+"targeted dense-to-sparse split ratio" strategies of Fig. 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bundles import BundleSpec, TTBGrid
+
+__all__ = [
+    "StratifiedWorkload",
+    "stratify",
+    "theta_for_dense_fraction",
+    "balanced_theta",
+]
+
+
+@dataclass(frozen=True)
+class StratifiedWorkload:
+    """Output of Algorithm 1 for one layer's input spikes."""
+
+    dense_features: np.ndarray   # R_D: indices routed to the dense core
+    sparse_features: np.ndarray  # R_S: indices routed to the sparse core
+    theta: float                 # θ_s actually applied
+    active_per_feature: np.ndarray
+
+    @property
+    def num_features(self) -> int:
+        return len(self.dense_features) + len(self.sparse_features)
+
+    @property
+    def dense_fraction(self) -> float:
+        return len(self.dense_features) / self.num_features if self.num_features else 0.0
+
+    def split(self, spikes: np.ndarray, weights: np.ndarray | None = None):
+        """Partition ``spikes (T,N,D)`` (and optionally ``weights (D,O)``).
+
+        Returns ``(x_dense, x_sparse)`` or, with weights,
+        ``(x_dense, w_dense, x_sparse, w_sparse)``.
+        """
+        x_dense = spikes[:, :, self.dense_features]
+        x_sparse = spikes[:, :, self.sparse_features]
+        if weights is None:
+            return x_dense, x_sparse
+        return (
+            x_dense,
+            weights[self.dense_features, :],
+            x_sparse,
+            weights[self.sparse_features, :],
+        )
+
+
+def stratify(
+    spikes: np.ndarray, spec: BundleSpec, theta: float
+) -> StratifiedWorkload:
+    """Algorithm 1: route features with ``active_bundles > θ_s`` to the dense
+    core, the rest to the sparse core."""
+    grid = TTBGrid(spikes, spec)
+    counts = grid.active_per_feature
+    dense = np.flatnonzero(counts > theta)
+    sparse = np.flatnonzero(counts <= theta)
+    return StratifiedWorkload(
+        dense_features=dense,
+        sparse_features=sparse,
+        theta=float(theta),
+        active_per_feature=counts,
+    )
+
+
+def theta_for_dense_fraction(
+    spikes: np.ndarray, spec: BundleSpec, dense_fraction: float
+) -> float:
+    """θ_s that routes approximately ``dense_fraction`` of features dense.
+
+    Implements the Fig.-15 "targeted dense-to-sparse split" strategies: the
+    threshold is the (1 - fraction) quantile of the per-feature active-bundle
+    counts.
+    """
+    if not 0.0 <= dense_fraction <= 1.0:
+        raise ValueError(f"dense_fraction must be in [0, 1], got {dense_fraction}")
+    counts = TTBGrid(spikes, spec).active_per_feature
+    if dense_fraction >= 1.0:
+        return -1.0                      # every feature is > -1 → all dense
+    if dense_fraction <= 0.0:
+        return float(counts.max())       # nothing exceeds the max → all sparse
+    return float(np.quantile(counts, 1.0 - dense_fraction, method="lower"))
+
+
+def balanced_theta(
+    spikes: np.ndarray,
+    spec: BundleSpec,
+    dense_time_fn,
+    sparse_time_fn,
+    num_candidates: int = 16,
+) -> float:
+    """Pick θ_s minimizing ``max(dense core time, sparse core time)``.
+
+    ``dense_time_fn(workload)`` / ``sparse_time_fn(workload)`` are callbacks
+    supplied by the accelerator so the search uses the real cycle models.
+    Candidates are quantiles of the per-feature activity distribution.
+    """
+    counts = TTBGrid(spikes, spec).active_per_feature
+    unique = np.unique(counts)
+    if len(unique) > num_candidates:
+        quantiles = np.linspace(0.0, 1.0, num_candidates)
+        candidates = np.unique(np.quantile(unique, quantiles, method="lower"))
+    else:
+        candidates = unique
+    best_theta, best_time = float(candidates[0]), np.inf
+    for theta in candidates:
+        workload = stratify(spikes, spec, float(theta))
+        bottleneck = max(dense_time_fn(workload), sparse_time_fn(workload))
+        if bottleneck < best_time:
+            best_time = bottleneck
+            best_theta = float(theta)
+    return best_theta

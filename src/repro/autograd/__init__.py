@@ -1,0 +1,30 @@
+"""NumPy reverse-mode autodiff engine (system S1).
+
+Public surface:
+
+* :class:`Tensor`, :func:`no_grad`, :func:`as_tensor` — the tape.
+* :mod:`repro.autograd.functional` — differentiable layers (linear, conv2d,
+  batch_norm, cross_entropy, ...).
+* :class:`Module`, :class:`Parameter`, :class:`ModuleList` — containers.
+* :class:`SGD`, :class:`Adam`, :class:`CosineSchedule` — optimizers.
+"""
+
+from . import functional
+from .module import Module, ModuleList, Parameter, init_rng
+from .optim import Adam, CosineSchedule, SGD
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "init_rng",
+    "SGD",
+    "Adam",
+    "CosineSchedule",
+]

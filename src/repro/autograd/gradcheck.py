@@ -1,0 +1,65 @@
+"""Numerical gradient checking for the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    tensors: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(tensors))`` w.r.t. one input."""
+    target = tensors[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(tensors).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(tensors).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    tensors: Sequence[Tensor],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+) -> bool:
+    """Compare analytic and numerical gradients for every input tensor.
+
+    ``fn`` must be built from smooth operations (no spikes/steps — surrogate
+    gradients intentionally disagree with the true derivative).
+    Raises ``AssertionError`` with context on mismatch; returns True on pass.
+    """
+    for tensor in tensors:
+        tensor.zero_grad()
+    output = fn(tensors)
+    output.sum().backward()
+    for index, tensor in enumerate(tensors):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad
+        if analytic is None:
+            raise AssertionError(f"input {index} received no gradient")
+        numeric = numerical_gradient(fn, tensors, index, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch on input {index}: max |Δ| = {worst:.3e}"
+            )
+    return True

@@ -1,0 +1,114 @@
+"""Minimal ``nn.Module``-style container system for the model zoo."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "ModuleList", "init_rng"]
+
+
+def init_rng(seed: int) -> np.random.Generator:
+    """A seeded generator for reproducible parameter initialization."""
+    return np.random.default_rng(seed)
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as trainable model state."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+        # Parameters must always be leaves that require grad, even if they
+        # are constructed inside a ``no_grad`` block (e.g. weight init).
+        self.requires_grad = True
+
+
+class Module:
+    """Base class providing parameter registration and train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- registration ---------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+
+    # -- mode & grads ----------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # -- serialization ----------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, parameter in own.items():
+            if parameter.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {parameter.shape} vs {state[name].shape}"
+                )
+            parameter.data = state[name].copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ModuleList(Module):
+    """An indexable list of sub-modules whose parameters are registered."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items: list[Module] = list(modules)
+        self._sync()
+
+    def _sync(self) -> None:
+        # Expose items as attributes so Module's reflection sees them.
+        for index, module in enumerate(self._items):
+            setattr(self, f"item_{index}", module)
+
+    def append(self, module: Module) -> None:
+        self._items.append(module)
+        self._sync()
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

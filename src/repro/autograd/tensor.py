@@ -1,0 +1,531 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This is the training substrate for the Bishop reproduction (system S1 in
+DESIGN.md).  The paper trains spiking transformers with surrogate gradients in
+PyTorch; offline we provide a compact, well-tested engine with the same
+semantics: a :class:`Tensor` wraps an ``np.ndarray``, records the operations
+that produced it, and :meth:`Tensor.backward` accumulates gradients through
+the recorded graph, handling NumPy broadcasting.
+
+Only float64 data participates in differentiation; integer tensors may flow
+through the graph (e.g. class labels) but never receive gradients.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autodiff graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions.
+
+    NumPy broadcasting may both prepend axes and stretch size-1 axes; the
+    adjoint of broadcasting is summation over exactly those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched size-1 axes.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` (Tensor, array, or scalar) into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A NumPy array plus an autodiff tape entry.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Floating inputs are stored as ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` on
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_flowing_grads")
+
+    def __init__(self, data, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype.kind == "f" and arr.dtype != np.float64:
+            arr = arr.astype(np.float64)
+        elif arr.dtype.kind in "iub" and requires_grad:
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op output, wiring the backward closure if recording."""
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None else grad
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (so scalars need no argument).  Gradients
+        accumulate into ``.grad`` of every reachable tensor that has
+        ``requires_grad=True``.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data, dtype=np.float64)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}"
+                )
+
+        # Topological order via iterative DFS (avoids recursion limits on
+        # long BPTT chains through LIF dynamics).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor.
+                node._accumulate(node_grad)
+            if node._backward is not None:
+                node._flowing_grads = grads  # type: ignore[attr-defined]
+                try:
+                    node._backward(node_grad)
+                finally:
+                    del node._flowing_grads  # type: ignore[attr-defined]
+
+    def _send(self, parent: "Tensor", grad: np.ndarray) -> None:
+        """Route ``grad`` to ``parent`` during an active backward pass."""
+        if not parent.requires_grad:
+            return
+        if parent._backward is None:
+            parent._accumulate(grad)
+            return
+        flowing: dict[int, np.ndarray] = self._flowing_grads  # type: ignore[attr-defined]
+        key = id(parent)
+        if key in flowing:
+            flowing[key] = flowing[key] + grad
+        else:
+            flowing[key] = np.asarray(grad, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, _unbroadcast(grad, self.shape))
+            out._send(other, _unbroadcast(grad, other.shape))
+
+        out = Tensor._make(out_data, (self, other), lambda g: backward(g, out=out))
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, -grad)
+
+        out = Tensor._make(-self.data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, _unbroadcast(grad * other.data, self.shape))
+            out._send(other, _unbroadcast(grad * self.data, other.shape))
+
+        out = Tensor._make(out_data, (self, other), lambda g: backward(g, out=out))
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, _unbroadcast(grad / other.data, self.shape))
+            out._send(
+                other,
+                _unbroadcast(-grad * self.data / (other.data**2), other.shape),
+            )
+
+        out = Tensor._make(out_data, (self, other), lambda g: backward(g, out=out))
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, grad * exponent * self.data ** (exponent - 1))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                out._send(self, grad * b)
+                out._send(other, grad * a)
+                return
+            a2 = a[None, :] if a.ndim == 1 else a
+            b2 = b[:, None] if b.ndim == 1 else b
+            g = grad
+            if a.ndim == 1:
+                g = np.expand_dims(g, -2)
+            if b.ndim == 1:
+                g = np.expand_dims(g, -1)
+            grad_a = g @ np.swapaxes(b2, -1, -2)
+            grad_b = np.swapaxes(a2, -1, -2) @ g
+            if a.ndim == 1:
+                grad_a = np.squeeze(grad_a, -2)
+            if b.ndim == 1:
+                grad_b = np.squeeze(grad_b, -1)
+            out._send(self, _unbroadcast(grad_a, self.shape))
+            out._send(other, _unbroadcast(grad_b, other.shape))
+
+        out = Tensor._make(out_data, (self, other), lambda g: backward(g, out=out))
+        return out
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, grad.reshape(self.shape))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        axes_t = axes if axes else tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes_t)
+        inverse = np.argsort(axes_t)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, grad.transpose(inverse))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            full = np.zeros_like(self.data, dtype=np.float64)
+            np.add.at(full, index, grad)
+            out._send(self, full)
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    @staticmethod
+    def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                out._send(tensor, grad[tuple(index)])
+
+        out = Tensor._make(out_data, tuple(tensors), lambda g: backward(g, out=out))
+        return out
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            slabs = np.moveaxis(grad, axis, 0)
+            for tensor, slab in zip(tensors, slabs):
+                out._send(tensor, slab)
+
+        out = Tensor._make(out_data, tuple(tensors), lambda g: backward(g, out=out))
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            out._send(self, np.broadcast_to(g, self.shape).copy())
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.size if axis is None else np.prod(
+            [self.shape[a] for a in np.atleast_1d(axis)]
+        )
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            expanded = out_data
+            g = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(expanded, axis)
+                g = np.expand_dims(g, axis)
+            mask = (self.data == expanded).astype(np.float64)
+            # Split gradient among ties (matches NumPy/Torch conventions
+            # closely enough for our workloads).
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            out._send(self, mask * g)
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, grad * out_data)
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, grad / self.data)
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, grad * (1.0 - out_data**2))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, grad * out_data * (1.0 - out_data))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, grad * (self.data > 0))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            inside = (self.data >= low) & (self.data <= high)
+            out._send(self, grad * inside)
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, grad * np.sign(self.data))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out
+
+    # ------------------------------------------------------------------
+    # Custom unary op hook (surrogate-gradient spikes plug in here)
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        forward_fn: Callable[[np.ndarray], np.ndarray],
+        backward_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    ) -> "Tensor":
+        """Apply a custom elementwise function.
+
+        ``forward_fn(x)`` produces the output; ``backward_fn(x, grad)``
+        produces the input gradient.  Used by surrogate-gradient spike
+        functions where the true derivative (of a Heaviside step) is zero
+        almost everywhere.
+        """
+        out_data = forward_fn(self.data)
+
+        def backward(grad: np.ndarray, out=None) -> None:
+            out._send(self, backward_fn(self.data, grad))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out=out))
+        return out

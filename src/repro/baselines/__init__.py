@@ -1,0 +1,6 @@
+"""Baseline comparators (systems S17-S18): PTB [27] and an edge GPU."""
+
+from .gpu import EdgeGPU, GPUConfig
+from .ptb import PTBAccelerator
+
+__all__ = ["PTBAccelerator", "EdgeGPU", "GPUConfig"]

@@ -1,0 +1,93 @@
+"""Edge-GPU baseline — NVIDIA Jetson Nano roofline model (Sec. 6.1).
+
+The GPU executes every layer as a dense fp16 kernel: spikes offer it no
+savings, and the per-kernel launch overhead is significant at edge-inference
+batch size 1.  Latency per layer is ``max(compute roofline, bandwidth
+roofline) + launch overhead``; energy is board power × busy time, matching
+how edge-GPU numbers are usually measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.memory import TrafficLedger
+from ..arch.report import EnergyBreakdown, InferenceReport, LayerReport
+from ..model import LayerRecord, ModelTrace
+
+__all__ = ["GPUConfig", "EdgeGPU"]
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Jetson-Nano-class parameters."""
+
+    peak_flops: float = 472e9          # fp16 FMA peak
+    compute_efficiency: float = 0.12   # achievable fraction on small GEMMs
+    memory_bandwidth: float = 25.6e9   # bytes/s (LPDDR4)
+    bandwidth_efficiency: float = 0.6
+    power_w: float = 10.0              # board power under inference load
+    kernel_overhead_s: float = 30e-6   # per-kernel launch + sync
+    bytes_per_value: int = 2           # fp16
+    # SNN frameworks (snnTorch/spikingjelly-style) step the LIF dynamics
+    # sequentially, launching the layer kernel once per time point.
+    kernels_per_timestep: bool = True
+
+
+class EdgeGPU:
+    """Roofline simulator for spiking-transformer inference on an edge GPU."""
+
+    def __init__(self, config: GPUConfig | None = None):
+        self.config = config or GPUConfig()
+
+    def _layer_report(
+        self, record: LayerRecord, flops: float, data_bytes: float, timesteps: int
+    ) -> LayerReport:
+        config = self.config
+        compute_time = flops / (config.peak_flops * config.compute_efficiency)
+        memory_time = data_bytes / (
+            config.memory_bandwidth * config.bandwidth_efficiency
+        )
+        launches = timesteps if config.kernels_per_timestep else 1
+        latency = max(compute_time, memory_time) + launches * config.kernel_overhead_s
+        energy_pj = config.power_w * latency * 1e12
+        traffic = TrafficLedger()
+        traffic.add("dram", "activation", data_bytes)
+        return LayerReport(
+            block=record.block,
+            kind=record.kind,
+            phase=record.phase,
+            cycles=0.0,
+            latency_s=latency,
+            energy=EnergyBreakdown(compute_pj=energy_pj),
+            traffic=traffic,
+            notes={
+                "flops": flops,
+                "compute_time_s": compute_time,
+                "memory_time_s": memory_time,
+            },
+        )
+
+    def run_matmul_layer(self, record: LayerRecord) -> LayerReport:
+        t, n, d_in = record.input_spikes.shape
+        d_out = record.weight_shape[1]
+        flops = 2.0 * t * n * d_in * d_out
+        data = (
+            t * n * (d_in + d_out) + t * d_in * d_out
+        ) * self.config.bytes_per_value  # weights re-read per time-point kernel
+        return self._layer_report(record, flops, data, t)
+
+    def run_attention_layer(self, record: LayerRecord) -> LayerReport:
+        t, h, n, d = record.q.shape
+        flops = 2.0 * 2.0 * t * h * n * n * d      # QK^T and SV
+        data = (3 * t * n * h * d + 2 * t * h * n * n) * self.config.bytes_per_value
+        return self._layer_report(record, flops, data, t)
+
+    def run_trace(self, trace: ModelTrace) -> InferenceReport:
+        report = InferenceReport(accelerator="gpu", model_name=trace.model_name)
+        for record in trace.records:
+            if record.is_matmul:
+                report.layers.append(self.run_matmul_layer(record))
+            elif record.kind == "attention":
+                report.layers.append(self.run_attention_layer(record))
+        return report

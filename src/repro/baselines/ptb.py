@@ -1,0 +1,189 @@
+"""PTB baseline accelerator [27] — Parallel Time Batching (HPCA 2022).
+
+PTB batches the spiking activity of each neuron across a *time window* on a
+systolic array, so one multi-bit weight fetch serves up to ``W`` time points.
+It was designed for spiking CNNs/FCs; mapped onto spiking transformers it
+keeps three structural weaknesses the paper exploits (Sec. 3.1, 7):
+
+* **No token bundling** — weights are re-fetched for every token, so weight
+  GLB traffic scales with ``N``, not with ``⌈B/rows⌉`` bundle tiles.
+* **Short-T underutilization** — the window only fills when ``T ≥ W``;
+  spiking transformers run ``T = 4-20``.
+* **No attention support** — ``S = Q·K^T`` and ``Y = S·V`` have *both*
+  operands time-indexed, so the time window cannot amortize anything; scores
+  spill through the small activation GLB (and DRAM for large ``N``) because
+  the array has no score-stationary mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch.config import PTBConfig
+from ..arch.energy import EnergyModel
+from ..arch.memory import TrafficLedger, spike_payload_bytes
+from ..arch.report import EnergyBreakdown, InferenceReport, LayerReport
+from ..model import LayerRecord, ModelTrace
+
+__all__ = ["PTBAccelerator"]
+
+
+def _window_activity(spikes: np.ndarray, window: int) -> tuple[float, float]:
+    """(active_triples, total_triples) over (token, window, feature) cells."""
+    t, n, d = spikes.shape
+    windows = -(-t // window)
+    padded = np.zeros((windows * window, n, d), dtype=spikes.dtype)
+    padded[:t] = spikes
+    per_window = padded.reshape(windows, window, n, d).any(axis=1)
+    return float(per_window.sum()), float(per_window.size)
+
+
+class PTBAccelerator:
+    """Analytic simulator of the PTB baseline on spiking-transformer traces."""
+
+    def __init__(
+        self,
+        config: PTBConfig | None = None,
+        energy: EnergyModel | None = None,
+    ):
+        self.config = config or PTBConfig()
+        self.energy = energy or EnergyModel()
+
+    # ------------------------------------------------------------------
+    def run_matmul_layer(self, record: LayerRecord) -> LayerReport:
+        config, energy = self.config, self.energy
+        spikes = record.input_spikes
+        d_in, d_out = record.weight_shape
+        timesteps, tokens, _ = spikes.shape
+        window = config.effective_time_lanes(timesteps)
+        windows = -(-timesteps // window)
+
+        slot_ops = float(timesteps * tokens * d_in * d_out)
+        active_triples, total_triples = _window_activity(spikes, window)
+        skippable = 1.0 - active_triples / total_triples if total_triples else 0.0
+        # Fine-grained skipping desynchronizes the systolic flow; only part
+        # of the skippable work converts into saved cycles.
+        ops_for_cycles = slot_ops * (1.0 - skippable * config.skip_efficiency)
+        cycles = ops_for_cycles / config.throughput + config.pipeline_fill_cycles
+        # LIF integration happens in the PEs after the last input feature.
+        lif_updates = float(timesteps * tokens * d_out)
+        cycles += lif_updates / config.pe_count
+        compute_time = cycles / config.clock_hz
+
+        # Datapath energy: slots in active windows (inactive ones are gated),
+        # plus the clocked-idle toll on the slots the partial skipping could
+        # not reclaim (the systolic flow keeps stalled PEs clocked).
+        energy_ops = active_triples * window * d_out
+        occupied_slots = (ops_for_cycles / config.mapping_efficiency)
+        idle_slots = max(0.0, occupied_slots - energy_ops)
+
+        traffic = TrafficLedger()
+        # The PTB weakness: weights re-streamed per token per time window.
+        weight_bytes = d_in * d_out * config.weight_bits / 8.0
+        traffic.add("glb", "weight", weight_bytes * tokens * windows)
+        traffic.add("dram", "weight", weight_bytes)
+        payload = spike_payload_bytes(timesteps * tokens, d_in)
+        out_tiles = max(1.0, np.ceil(d_out / 32.0))
+        traffic.add("glb", "activation", payload * out_tiles)
+        out_payload = spike_payload_bytes(timesteps * tokens, d_out)
+        traffic.add("glb", "activation", out_payload)
+        for tensor_bytes in (payload, out_payload):
+            spill = max(0.0, tensor_bytes - config.act_glb_bytes)
+            if spill:
+                traffic.add("dram", "activation", 2.0 * spill)
+
+        dram_time = traffic.dram_time_s(config.dram)
+        latency = max(compute_time, dram_time)
+        breakdown = EnergyBreakdown(
+            compute_pj=energy.compute_pj("sac", energy_ops)
+            + energy.compute_pj("idle", idle_slots),
+            memory_pj=traffic.energy_pj(energy),
+            spike_gen_pj=energy.compute_pj("lif", lif_updates),
+            static_pj=energy.static_pj(latency),
+            memory_by_kind_pj=traffic.energy_by_kind_pj(energy),
+        )
+        return LayerReport(
+            block=record.block,
+            kind=record.kind,
+            phase=record.phase,
+            cycles=cycles,
+            latency_s=latency,
+            energy=breakdown,
+            traffic=traffic,
+            unit_cycles={"array": cycles},
+            utilization=float(energy_ops / (cycles * config.pe_count * config.lanes_per_pe)),
+            notes={
+                "window": float(window),
+                "skippable_fraction": skippable,
+                "dram_time_s": dram_time,
+                "compute_time_s": compute_time,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def run_attention_layer(self, record: LayerRecord) -> LayerReport:
+        config, energy = self.config, self.energy
+        timesteps, heads, tokens, head_dim = record.q.shape
+        features = heads * head_dim
+
+        # Dense integer matmuls; no sparsity skipping, no time batching.
+        ops_scores = float(timesteps * tokens * tokens * features)
+        ops_outputs = float(timesteps * tokens * tokens * features)
+        cycles = (ops_scores + ops_outputs) / config.attention_throughput
+        cycles += 2 * config.pipeline_fill_cycles
+        lif_updates = float(timesteps * tokens * features)
+        cycles += lif_updates / config.pe_count
+        compute_time = cycles / config.clock_hz
+
+        traffic = TrafficLedger()
+        qkv_payload = spike_payload_bytes(timesteps * tokens, features)
+        reuse_tiles = max(1.0, np.ceil(tokens / 32.0))
+        traffic.add("glb", "activation", qkv_payload * (1.0 + 2.0 * reuse_tiles))
+        # Scores: written after phase 1, re-read as "weights" in phase 2.
+        s_bytes = timesteps * tokens * tokens * config.score_bits / 8.0
+        traffic.add("glb", "score", 2.0 * s_bytes)
+        s_spill = max(0.0, s_bytes - config.act_glb_bytes)
+        if s_spill:
+            traffic.add("dram", "score", 2.0 * s_spill)
+        y_bytes = timesteps * tokens * features * config.accumulator_bits / 8.0
+        traffic.add("spad", "output", y_bytes)
+
+        dram_time = traffic.dram_time_s(config.dram)
+        latency = max(compute_time, dram_time)
+        breakdown = EnergyBreakdown(
+            compute_pj=energy.compute_pj("sac", ops_scores)
+            + energy.compute_pj("mac8", ops_outputs),
+            memory_pj=traffic.energy_pj(energy),
+            spike_gen_pj=energy.compute_pj("lif", lif_updates),
+            static_pj=energy.static_pj(latency),
+            memory_by_kind_pj=traffic.energy_by_kind_pj(energy),
+        )
+        return LayerReport(
+            block=record.block,
+            kind=record.kind,
+            phase=record.phase,
+            cycles=cycles,
+            latency_s=latency,
+            energy=breakdown,
+            traffic=traffic,
+            unit_cycles={"array": cycles},
+            utilization=float(
+                (ops_scores + ops_outputs) / (cycles * config.pe_count)
+            ),
+            notes={
+                "score_bytes": s_bytes,
+                "score_dram_spill_bytes": 2.0 * s_spill,
+                "dram_time_s": dram_time,
+                "compute_time_s": compute_time,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def run_trace(self, trace: ModelTrace) -> InferenceReport:
+        report = InferenceReport(accelerator="ptb", model_name=trace.model_name)
+        for record in trace.records:
+            if record.is_matmul:
+                report.layers.append(self.run_matmul_layer(record))
+            elif record.kind == "attention":
+                report.layers.append(self.run_attention_layer(record))
+        return report

@@ -1,0 +1,80 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    Show every registered experiment (paper table/figure) id.
+run <experiment-id> [--output FILE]
+    Run one experiment and print (or write) its JSON result.
+zoo
+    Print the Table-2 model zoo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .harness import EXPERIMENTS, run_experiment
+from .model import MODEL_ZOO
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bishop (ISCA 2025) reproduction: run paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id (see `repro list`)")
+    run.add_argument(
+        "--output", type=Path, default=None, help="write JSON here instead of stdout"
+    )
+
+    sub.add_parser("zoo", help="print the Table-2 model zoo")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.command == "zoo":
+        for name, config in MODEL_ZOO.items():
+            print(
+                f"{name}: {config.name}  B={config.num_blocks} T={config.timesteps}"
+                f" N={config.num_tokens} D={config.embed_dim}"
+                f" ({config.input_kind})"
+            )
+        return 0
+
+    if args.command == "run":
+        try:
+            result = run_experiment(args.experiment)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        text = json.dumps(result, indent=2, default=float, sort_keys=True)
+        if args.output is not None:
+            args.output.write_text(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces the command set
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Experiment harness (system S19): regenerates every table and figure."""
+
+from . import ablation, endtoend, fig11, fig14, fig15, fig16, hetero, synthetic, table1
+from .experiments import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "ablation",
+    "endtoend",
+    "fig11",
+    "fig14",
+    "fig15",
+    "fig16",
+    "hetero",
+    "synthetic",
+    "table1",
+]

@@ -1,0 +1,119 @@
+"""End-to-end evaluation grid: Figs. 12-13 and the Sec. 6.2 headline numbers.
+
+For each Table-2 model we run the same synthetic workload through five
+configurations — edge GPU, PTB, Bishop (architecture only), Bishop+BSA, and
+Bishop+BSA+ECP — and report absolute plus normalized latency and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..algo import ECPConfig
+from ..arch import BishopAccelerator, BishopConfig
+from ..baselines import EdgeGPU, PTBAccelerator
+from ..bundles import BundleSpec
+from ..model import model_config
+from .synthetic import PROFILES, synthetic_trace
+
+__all__ = ["SystemResult", "ModelComparison", "run_model_comparison", "run_grid", "headline_summary", "ECP_THETA"]
+
+# The paper's per-dataset ECP thresholds (Sec. 6.1): 10 for DVS-Gesture,
+# 6 elsewhere; 8 is quoted for the CIFAR10 sweep example.
+ECP_THETA = {"model1": 8, "model2": 6, "model3": 6, "model4": 10, "model5": 6}
+
+SYSTEMS = ("gpu", "ptb", "bishop", "bishop_bsa", "bishop_bsa_ecp")
+
+
+@dataclass(frozen=True)
+class SystemResult:
+    latency_s: float
+    energy_mj: float
+    attention_latency_s: float
+    attention_energy_mj: float
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """One model's row in Figs. 12-13."""
+
+    model: str
+    results: dict[str, SystemResult]
+
+    def speedup_vs(self, system: str, baseline: str = "ptb") -> float:
+        return self.results[baseline].latency_s / self.results[system].latency_s
+
+    def energy_gain_vs(self, system: str, baseline: str = "ptb") -> float:
+        return self.results[baseline].energy_mj / self.results[system].energy_mj
+
+    def normalized_latency(self, reference: str = "bishop_bsa_ecp") -> dict[str, float]:
+        ref = self.results[reference].latency_s
+        return {name: r.latency_s / ref for name, r in self.results.items()}
+
+    def normalized_energy(self, reference: str = "bishop_bsa_ecp") -> dict[str, float]:
+        ref = self.results[reference].energy_mj
+        return {name: r.energy_mj / ref for name, r in self.results.items()}
+
+
+def _system_result(report) -> SystemResult:
+    return SystemResult(
+        latency_s=report.total_latency_s,
+        energy_mj=report.total_energy_mj,
+        attention_latency_s=report.attention_latency_s(),
+        attention_energy_mj=report.attention_energy_pj() * 1e-9,
+    )
+
+
+@lru_cache(maxsize=32)
+def run_model_comparison(
+    model: str, bs_t: int = 2, bs_n: int = 4, seed: int = 0
+) -> ModelComparison:
+    """Simulate the five-system grid for one Table-2 model."""
+    spec = BundleSpec(bs_t, bs_n)
+    config = model_config(model)
+    profile = PROFILES[model]
+    trace = synthetic_trace(config, profile, spec, seed=seed)
+    trace_bsa = synthetic_trace(config, profile.bsa_variant(), spec, seed=seed)
+
+    bishop = BishopAccelerator(BishopConfig(bundle_spec=spec))
+    ptb = PTBAccelerator()
+    gpu = EdgeGPU()
+    ecp = ECPConfig(theta_q=ECP_THETA[model], theta_k=ECP_THETA[model], spec=spec)
+
+    results = {
+        "gpu": _system_result(gpu.run_trace(trace)),
+        "ptb": _system_result(ptb.run_trace(trace)),
+        "bishop": _system_result(bishop.run_trace(trace)),
+        "bishop_bsa": _system_result(bishop.run_trace(trace_bsa)),
+        "bishop_bsa_ecp": _system_result(bishop.run_trace(trace_bsa, ecp=ecp)),
+    }
+    return ModelComparison(model=model, results=results)
+
+
+def run_grid(
+    models: tuple[str, ...] = ("model1", "model2", "model3", "model4", "model5"),
+    bs_t: int = 2,
+    bs_n: int = 4,
+    seed: int = 0,
+) -> dict[str, ModelComparison]:
+    """Figs. 12-13: every model × every system."""
+    return {m: run_model_comparison(m, bs_t, bs_n, seed) for m in models}
+
+
+def headline_summary(grid: dict[str, ModelComparison]) -> dict[str, float]:
+    """Sec.-6.2 style averages of the full stack (Bishop+BSA+ECP)."""
+    speedups = [c.speedup_vs("bishop_bsa_ecp") for c in grid.values()]
+    energies = [c.energy_gain_vs("bishop_bsa_ecp") for c in grid.values()]
+    gpu_speedups = [
+        c.speedup_vs("bishop_bsa_ecp", baseline="gpu") for c in grid.values()
+    ]
+    return {
+        "mean_speedup_vs_ptb": float(np.mean(speedups)),
+        "mean_energy_gain_vs_ptb": float(np.mean(energies)),
+        "mean_speedup_vs_gpu": float(np.mean(gpu_speedups)),
+        "min_speedup_vs_ptb": float(np.min(speedups)),
+        "max_speedup_vs_ptb": float(np.max(speedups)),
+    }

@@ -1,0 +1,247 @@
+"""Experiment registry: one callable per paper table/figure.
+
+Each experiment returns a JSON-serializable dict so benches, examples, and
+EXPERIMENTS.md generation all consume the same artifacts.  See DESIGN.md's
+per-experiment index for the mapping to paper artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..algo import BundleSparsityLoss, ECPConfig, ecp_prune_qk
+from ..arch import BISHOP_BREAKDOWN, PTB_BREAKDOWN
+from ..arch.attention_core import merge_attention_heads
+from ..bundles import BundleSpec, density_report
+from ..model import (
+    MODEL_ZOO,
+    SpikingTransformer,
+    flops_breakdown,
+    model_config,
+    tiny_config,
+)
+from ..arch.stratifier import stratify, theta_for_dense_fraction
+from ..train import (
+    TrainConfig,
+    Trainer,
+    make_image_dataset,
+    model_bundle_distributions,
+)
+from . import endtoend, fig11, fig14, fig15, fig16, hetero, table1
+from .synthetic import PROFILES, synthetic_trace
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+
+# ----------------------------------------------------------------------
+# Small experiments implemented inline
+# ----------------------------------------------------------------------
+def experiment_table2() -> dict:
+    """Table 2 — the model zoo."""
+    return {
+        name: {
+            "blocks": cfg.num_blocks,
+            "timesteps": cfg.timesteps,
+            "tokens": cfg.num_tokens,
+            "features": cfg.embed_dim,
+            "input_kind": cfg.input_kind,
+        }
+        for name, cfg in MODEL_ZOO.items()
+    }
+
+
+def experiment_fig3() -> dict:
+    """Fig. 3 — FLOPs breakdown vs (N, D) and depth."""
+    sweeps = {}
+    for n_tokens, d in ((64, 384), (128, 256), (196, 128), (256, 384)):
+        for blocks in (4, 8):
+            # sequence input_kind frees N from the image-grid constraint;
+            # the encoder-block FLOPs (the figure's subject) are identical.
+            config = model_config("model1").with_overrides(
+                name=f"sweep-N{n_tokens}-D{d}-L{blocks}",
+                num_tokens=n_tokens,
+                embed_dim=d,
+                num_blocks=blocks,
+                input_kind="sequence",
+            )
+            profile = flops_breakdown(config)
+            sweeps[f"N{n_tokens}_D{d}_L{blocks}"] = {
+                "attention_fraction": profile.attention_fraction,
+                "mlp_fraction": profile.mlp_fraction,
+                "attention_plus_mlp_fraction": profile.attention_plus_mlp_fraction,
+                "total_flops": profile.total,
+            }
+    return sweeps
+
+
+def experiment_fig5(seed: int = 0, epochs: int = 12) -> dict:
+    """Fig. 5 — active-bundle distribution without vs with BSA (trained).
+
+    λ is larger than the paper's 0.3-1.0 because our L_bsp is normalized
+    per-bundle and training runs ~12 epochs instead of 300.
+    """
+    spec = BundleSpec(2, 2)
+    dataset = make_image_dataset(num_classes=4, samples_per_class=24, image_size=16, seed=3)
+    out = {}
+    for label, lambda_bsp in (("baseline", 0.0), ("bsa", 10.0)):
+        model = SpikingTransformer(tiny_config(num_classes=4), seed=seed + 1)
+        bsa = BundleSparsityLoss(spec) if lambda_bsp else None
+        trainer = Trainer(
+            model, dataset,
+            TrainConfig(epochs=epochs, batch_size=24, lr=3e-3, lambda_bsp=lambda_bsp, seed=seed),
+            bsa_loss=bsa,
+        )
+        trainer.fit()
+        distributions = model_bundle_distributions(model, dataset, spec)
+        qk = {k: v for k, v in distributions.items() if k.endswith((".q", ".k"))}
+        out[label] = {
+            "accuracy": trainer.evaluate(dataset.x_test, dataset.y_test),
+            "zero_feature_fraction": float(np.mean([d.zero_fraction for d in qk.values()])),
+            "mean_active_bundles": float(np.mean([d.mean_active for d in qk.values()])),
+        }
+    return out
+
+
+def experiment_fig6(seed: int = 0) -> dict:
+    """Fig. 6 — density of the raw vs stratified workload, ± BSA."""
+    spec = BundleSpec(2, 4)
+    config = model_config("model1")
+    out = {}
+    for label, profile in (
+        ("without_bsa", PROFILES["model1"]),
+        ("with_bsa", PROFILES["model1"].bsa_variant()),
+    ):
+        trace = synthetic_trace(config, profile, spec, seed=seed)
+        spikes = trace.layers(kind="proj_o", block=2)[0].input_spikes
+        theta = theta_for_dense_fraction(spikes, spec, 0.5)
+        workload = stratify(spikes, spec, theta)
+        out[label] = {
+            "overall": vars(density_report(spikes, spec)),
+            "stratified_down_dense": vars(
+                density_report(spikes, spec, workload.dense_features)
+            ),
+            "stratified_up_sparse": vars(
+                density_report(spikes, spec, workload.sparse_features)
+            ),
+        }
+    return out
+
+
+def experiment_fig8(seed: int = 0) -> dict:
+    """Fig. 8 — ECP sharpens attention: score-mass concentration stats."""
+    spec = BundleSpec(2, 4)
+    config = model_config("model3")
+    trace = synthetic_trace(config, PROFILES["model3"].bsa_variant(), spec, seed=seed)
+    record = trace.layers(kind="attention")[-1]  # final block, as in the figure
+    q = merge_attention_heads(record.q)
+    k = merge_attention_heads(record.k)
+    ecp = ECPConfig(theta_q=6, theta_k=6, spec=spec)
+    q_pruned, k_pruned, report = ecp_prune_qk(q, k, ecp)
+
+    scores_before = np.einsum("tnd,tmd->tnm", q, k)
+    scores_after = np.einsum("tnd,tmd->tnm", q_pruned, k_pruned)
+    max_error = float(np.abs(scores_before - scores_after).max())
+    total_mass = float(scores_before.sum())
+    return {
+        # ECP "enhances focus": the same attention mass concentrates into a
+        # much smaller set of surviving score entries.
+        "nonzero_score_fraction_before": float((scores_before > 0).mean()),
+        "nonzero_score_fraction_after": float((scores_after > 0).mean()),
+        "retained_mass_fraction": float(scores_after.sum()) / total_mass if total_mass else 1.0,
+        "q_keep_fraction": report.q_token_keep_fraction,
+        "k_keep_fraction": report.k_token_keep_fraction,
+        "max_score_error": max_error,
+        "certified_bound": report.error_bound,
+    }
+
+
+def experiment_fig17() -> dict:
+    """Fig. 17 — synthesized power/area breakdown (anchor table)."""
+    return {
+        "bishop": {
+            name: {"area_mm2": area, "power_mw": power}
+            for name, (area, power) in BISHOP_BREAKDOWN.components.items()
+        },
+        "bishop_totals": {
+            "area_mm2": BISHOP_BREAKDOWN.total_area_mm2,
+            "power_mw": BISHOP_BREAKDOWN.total_power_mw,
+        },
+        "ptb_totals": {
+            "area_mm2": PTB_BREAKDOWN.total_area_mm2,
+            "power_mw": PTB_BREAKDOWN.total_power_mw,
+        },
+    }
+
+
+def experiment_sec62() -> dict:
+    """Sec. 6.2 — headline averages across the model zoo."""
+    grid = endtoend.run_grid()
+    summary = endtoend.headline_summary(grid)
+    summary["per_model_speedup_vs_ptb"] = {
+        m: c.speedup_vs("bishop_bsa_ecp") for m, c in grid.items()
+    }
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+EXPERIMENTS: dict[str, Callable[[], dict]] = {
+    "table1": lambda: {
+        row.network: {"family": row.family, "accuracy": row.accuracy}
+        for row in table1.run_table1()
+    },
+    "table2": experiment_table2,
+    "fig3": experiment_fig3,
+    "fig5": experiment_fig5,
+    "fig6": experiment_fig6,
+    "fig8": experiment_fig8,
+    "fig11": lambda: {
+        model: {
+            "mean_latency_ratio": fig11.layerwise_comparison(model).mean_latency_ratio(),
+            "mean_energy_ratio": fig11.layerwise_comparison(model).mean_energy_ratio(),
+        }
+        for model in ("model1", "model2", "model3", "model4")
+    },
+    "fig12": lambda: {
+        model: comparison.normalized_latency()
+        for model, comparison in endtoend.run_grid().items()
+    },
+    "fig13": lambda: {
+        model: comparison.normalized_energy()
+        for model, comparison in endtoend.run_grid().items()
+    },
+    "fig14": lambda: {
+        model: [vars(p) for p in fig14.ecp_hardware_sweep(model)]
+        for model in ("model1", "model2", "model3", "model4")
+    },
+    "fig15": lambda: {
+        "points": [vars(p) for p in fig15.stratification_sweep().points],
+        "edp_gain_vs_ptb": fig15.stratification_sweep().edp_gain_vs_ptb,
+        "worst_imbalance_penalty": fig15.stratification_sweep().worst_imbalance_penalty,
+    },
+    "fig16": lambda: [vars(p) for p in fig16.bundle_volume_sweep()],
+    "fig17": experiment_fig17,
+    "sec6.2-summary": experiment_sec62,
+    "sec6.4-hetero": lambda: vars(hetero.heterogeneity_ablation()),
+    "sec6.4-attn": lambda: {
+        model: {
+            "latency_gain": hetero.attention_core_comparison(model).latency_gain,
+            "energy_gain": hetero.attention_core_comparison(model).energy_gain,
+        }
+        for model in ("model1", "model2", "model3", "model4")
+    },
+}
+
+
+def run_experiment(name: str) -> dict:
+    """Run one registered experiment by id."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; options: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner()

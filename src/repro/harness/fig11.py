@@ -1,0 +1,98 @@
+"""Fig. 11 — layer-wise latency/energy of Bishop vs PTB.
+
+The figure plots, for every encoder block, the four phases P1 (Q/K/V
+projections), ATN (spiking self-attention), P2 (output projection) and MLP,
+normalized by Bishop's first-block P1 values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..arch import BishopAccelerator, BishopConfig
+from ..baselines import PTBAccelerator
+from ..bundles import BundleSpec
+from ..model import model_config
+from .synthetic import PROFILES, synthetic_trace
+
+__all__ = ["PhaseCell", "LayerwiseComparison", "layerwise_comparison", "PHASES"]
+
+PHASES = ("P1", "ATN", "P2", "MLP")
+
+
+@dataclass(frozen=True)
+class PhaseCell:
+    """One (block, phase) cell of Fig. 11."""
+
+    block: int
+    phase: str
+    bishop_latency: float   # normalized to Bishop block-0 P1
+    ptb_latency: float
+    bishop_energy: float
+    ptb_energy: float
+
+    @property
+    def latency_ratio(self) -> float:
+        return self.ptb_latency / self.bishop_latency if self.bishop_latency else 0.0
+
+    @property
+    def energy_ratio(self) -> float:
+        return self.ptb_energy / self.bishop_energy if self.bishop_energy else 0.0
+
+
+@dataclass(frozen=True)
+class LayerwiseComparison:
+    model: str
+    cells: tuple[PhaseCell, ...]
+
+    def phase_cells(self, phase: str) -> list[PhaseCell]:
+        return [cell for cell in self.cells if cell.phase == phase]
+
+    def mean_latency_ratio(self, phase: str | None = None) -> float:
+        cells = self.cells if phase is None else self.phase_cells(phase)
+        return sum(c.latency_ratio for c in cells) / len(cells)
+
+    def mean_energy_ratio(self, phase: str | None = None) -> float:
+        cells = self.cells if phase is None else self.phase_cells(phase)
+        return sum(c.energy_ratio for c in cells) / len(cells)
+
+
+@lru_cache(maxsize=16)
+def layerwise_comparison(
+    model: str, bsa: bool = False, bs_t: int = 2, bs_n: int = 4, seed: int = 0
+) -> LayerwiseComparison:
+    """Compute every Fig.-11 cell for one model."""
+    spec = BundleSpec(bs_t, bs_n)
+    config = model_config(model)
+    profile = PROFILES[model]
+    if bsa:
+        profile = profile.bsa_variant()
+    trace = synthetic_trace(config, profile, spec, seed=seed)
+
+    bishop_report = BishopAccelerator(BishopConfig(bundle_spec=spec)).run_trace(trace)
+    ptb_report = PTBAccelerator().run_trace(trace)
+
+    bishop_cells = bishop_report.by_phase()
+    ptb_cells = ptb_report.by_phase()
+
+    # Normalization reference: Bishop's first-block P1 (as in the paper).
+    ref = bishop_cells[(0, "P1")]
+    ref_latency, ref_energy = ref.latency_s, ref.energy_pj
+
+    cells = []
+    for block in range(config.num_blocks):
+        for phase in PHASES:
+            bishop_cell = bishop_cells[(block, phase)]
+            ptb_cell = ptb_cells[(block, phase)]
+            cells.append(
+                PhaseCell(
+                    block=block,
+                    phase=phase,
+                    bishop_latency=bishop_cell.latency_s / ref_latency,
+                    ptb_latency=ptb_cell.latency_s / ref_latency,
+                    bishop_energy=bishop_cell.energy_pj / ref_energy,
+                    ptb_energy=ptb_cell.energy_pj / ref_energy,
+                )
+            )
+    return LayerwiseComparison(model=model, cells=tuple(cells))

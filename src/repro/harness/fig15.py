@@ -1,0 +1,108 @@
+"""Fig. 15 — impact of the stratification threshold θ_s (Model 3).
+
+Different stratification strategies target different dense-to-sparse split
+ratios; the resulting θ_s shifts workload between the dense and sparse cores.
+Latency is minimized near the balance point, energy changes only mildly
+(data movement dominates), so the EDP traces a U-shape — the paper reports
+≈2.49× EDP gain over PTB at the balanced optimum and up to 1.65× EDP loss
+under heavy imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..arch import BishopAccelerator, BishopConfig
+from ..baselines import PTBAccelerator
+from ..bundles import BundleSpec
+from ..model import model_config
+from .synthetic import PROFILES, synthetic_trace
+
+__all__ = ["StratificationPoint", "StratificationSweep", "stratification_sweep"]
+
+
+@dataclass(frozen=True)
+class StratificationPoint:
+    """Bishop at one targeted dense-fraction split."""
+
+    dense_fraction_target: float
+    latency_s: float
+    energy_mj: float
+    mean_dense_cycles: float
+    mean_sparse_cycles: float
+
+    @property
+    def edp(self) -> float:
+        return self.latency_s * self.energy_mj
+
+
+@dataclass(frozen=True)
+class StratificationSweep:
+    model: str
+    points: tuple[StratificationPoint, ...]
+    balanced: StratificationPoint      # the auto-balancing policy
+    ptb_edp: float
+
+    def best_point(self) -> StratificationPoint:
+        return min(self.points, key=lambda p: p.edp)
+
+    @property
+    def edp_gain_vs_ptb(self) -> float:
+        """EDP improvement of the balanced policy over PTB."""
+        return self.ptb_edp / self.balanced.edp
+
+    @property
+    def worst_imbalance_penalty(self) -> float:
+        """EDP degradation of the worst split vs the best (paper: up to 1.65×)."""
+        worst = max(self.points, key=lambda p: p.edp)
+        return worst.edp / self.best_point().edp
+
+
+@lru_cache(maxsize=8)
+def stratification_sweep(
+    model: str = "model3",
+    fractions: tuple[float, ...] = (0.05, 0.15, 0.3, 0.5, 0.7, 0.85, 0.95),
+    bsa: bool = False,
+    bs_t: int = 2,
+    bs_n: int = 4,
+    seed: int = 0,
+) -> StratificationSweep:
+    spec = BundleSpec(bs_t, bs_n)
+    config = model_config(model)
+    profile = PROFILES[model]
+    if bsa:
+        profile = profile.bsa_variant()
+    trace = synthetic_trace(config, profile, spec, seed=seed)
+
+    def matmul_totals(report) -> tuple[float, float]:
+        layers = [l for l in report.layers if l.phase in ("P1", "P2", "MLP")]
+        return (
+            sum(l.latency_s for l in layers),
+            sum(l.energy_pj for l in layers) * 1e-9,
+        )
+
+    def run(fraction: float | None) -> StratificationPoint:
+        # Stratification only touches the MLP/projection layers, so the
+        # sweep (like the paper's Fig. 15) is scored on those.
+        arch = BishopConfig(bundle_spec=spec, stratify_dense_fraction=fraction)
+        report = BishopAccelerator(arch).run_trace(trace)
+        matmuls = [l for l in report.layers if l.phase in ("P1", "P2", "MLP")]
+        dense = sum(l.notes.get("dense_cycles", 0.0) for l in matmuls) / len(matmuls)
+        sparse = sum(l.notes.get("sparse_cycles", 0.0) for l in matmuls) / len(matmuls)
+        latency, energy = matmul_totals(report)
+        return StratificationPoint(
+            dense_fraction_target=-1.0 if fraction is None else fraction,
+            latency_s=latency,
+            energy_mj=energy,
+            mean_dense_cycles=dense,
+            mean_sparse_cycles=sparse,
+        )
+
+    points = tuple(run(f) for f in fractions)
+    balanced = run(None)
+    ptb_latency, ptb_energy = matmul_totals(PTBAccelerator().run_trace(trace))
+    return StratificationSweep(
+        model=model, points=points, balanced=balanced,
+        ptb_edp=ptb_latency * ptb_energy,
+    )

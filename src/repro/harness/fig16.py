@@ -1,0 +1,93 @@
+"""Fig. 16 — sensitivity to the TTB bundle volume (BS_t, BS_n), Model 3.
+
+Sweeps the bundle shape and reports, separately for the attention layers and
+for the projection/MLP layers, total energy and latency, plus the memory-
+energy shares of spiking activations vs multi-bit weights.  Expected shape
+(Sec. 6.5.2): U-curves with a near-optimal band at volume ≈4-8; very small
+volumes lose intra/inter-bundle reuse, very large ones bundle idle tokens so
+activation traffic displaces the weight-traffic savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..algo import ECPConfig
+from ..arch import BishopAccelerator, BishopConfig, EnergyModel
+from ..bundles import BundleSpec
+from ..model import model_config
+from .endtoend import ECP_THETA
+from .synthetic import PROFILES, synthetic_trace
+
+__all__ = ["VolumePoint", "bundle_volume_sweep", "DEFAULT_VOLUMES"]
+
+DEFAULT_VOLUMES: tuple[tuple[int, int], ...] = (
+    (1, 2), (2, 1), (2, 2), (2, 4), (4, 2), (2, 7), (4, 4), (2, 14), (4, 14),
+)
+
+
+@dataclass(frozen=True)
+class VolumePoint:
+    """Bishop on Model 3 with one (BS_t, BS_n) bundle shape."""
+
+    bs_t: int
+    bs_n: int
+    attention_latency_s: float
+    attention_energy_mj: float
+    matmul_latency_s: float
+    matmul_energy_mj: float
+    total_latency_s: float
+    total_energy_mj: float
+    weight_memory_share: float      # of total energy
+    activation_memory_share: float
+
+    @property
+    def volume(self) -> int:
+        return self.bs_t * self.bs_n
+
+
+# The firing patterns cluster at a fixed intrinsic scale; the hardware's
+# bundle grid regroups them.  (2, 4) matches the paper's default volume.
+INTRINSIC_CLUSTER_SPEC = BundleSpec(2, 4)
+
+
+@lru_cache(maxsize=8)
+def bundle_volume_sweep(
+    model: str = "model3",
+    volumes: tuple[tuple[int, int], ...] = DEFAULT_VOLUMES,
+    use_ecp: bool = True,
+    seed: int = 0,
+) -> tuple[VolumePoint, ...]:
+    config = model_config(model)
+    energy_model = EnergyModel()
+    # One workload, generated at the intrinsic clustering scale; every swept
+    # bundle shape sees the same spikes (oversized bundles then swallow idle
+    # tokens, undersized ones fragment clusters — the Fig.-16 trade-off).
+    trace = synthetic_trace(config, PROFILES[model], INTRINSIC_CLUSTER_SPEC, seed=seed)
+    points = []
+    for bs_t, bs_n in volumes:
+        spec = BundleSpec(bs_t, bs_n)
+        arch = BishopConfig(bundle_spec=spec)
+        ecp = (
+            ECPConfig(ECP_THETA[model], ECP_THETA[model], spec) if use_ecp else None
+        )
+        report = BishopAccelerator(arch).run_trace(trace, ecp=ecp)
+        attention = [l for l in report.layers if l.phase == "ATN"]
+        matmul = [l for l in report.layers if l.phase != "ATN"]
+        shares = report.memory_energy_share_by_kind(energy_model)
+        points.append(
+            VolumePoint(
+                bs_t=bs_t,
+                bs_n=bs_n,
+                attention_latency_s=sum(l.latency_s for l in attention),
+                attention_energy_mj=sum(l.energy_pj for l in attention) * 1e-9,
+                matmul_latency_s=sum(l.latency_s for l in matmul),
+                matmul_energy_mj=sum(l.energy_pj for l in matmul) * 1e-9,
+                total_latency_s=report.total_latency_s,
+                total_energy_mj=report.total_energy_mj,
+                weight_memory_share=shares.get("weight", 0.0),
+                activation_memory_share=shares.get("activation", 0.0),
+            )
+        )
+    return tuple(points)

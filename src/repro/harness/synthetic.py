@@ -1,0 +1,192 @@
+"""Synthetic workload traces for Table-2-scale models.
+
+Training the paper's full models (ImageNet-100, 300 epochs) is out of scope
+for a NumPy reproduction, but the accelerator experiments (Figs. 11-16) only
+need *spike tensors with realistic statistics*.  This module fabricates
+:class:`~repro.model.trace.ModelTrace` objects whose firing patterns follow
+the structure the paper documents:
+
+* heavy-tailed per-feature firing densities (Fig. 5: most features have few
+  active bundles, a minority are very dense — the reason stratification works);
+* token-time clustering (spikes concentrate inside a subset of bundles,
+  Fig. 6's gap between spike density and TTB density);
+* BSA profile: lower overall density, a much larger fraction of completely
+  silent features, and higher within-bundle concentration (Fig. 5b/6c-d).
+
+Density anchors come from the paper: ImageNet-100 averages ≈20% activation
+density across layers (Sec. 6.4); BSA roughly halves density while cutting
+TTB density even more (Fig. 6: 6.34%→2.75% spike, 11.16%→5.22% TTB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bundles import BundleSpec
+from ..model import LayerRecord, ModelTrace, SpikingTransformerConfig
+
+__all__ = ["DensityProfile", "PROFILES", "synthetic_spikes", "synthetic_trace"]
+
+
+@dataclass(frozen=True)
+class DensityProfile:
+    """Statistical description of one model's firing behaviour.
+
+    Q/K tensors get their own (much sparser) density: they sit behind the
+    attention LIF layers, and the paper's reported ECP keep-fractions (e.g.
+    ImageNet-100 retains only 10.7% of Q rows at θ=6) imply mean active-
+    bundle counts per bundle row of only a few — i.e. Q/K spike densities in
+    the 1-2% range for the trained models.
+    """
+
+    mean_density: float           # average spike density, MLP/projection inputs
+    zero_feature_fraction: float  # features with no activity at all
+    within_bundle: float          # spike prob inside an active bundle
+    qk_mean_density: float = 0.02 # spike density of attention Q (K is 0.8×)
+    qk_zero_fraction: float = 0.35
+    sigma: float = 1.1            # lognormal spread of per-feature densities
+    k_scale: float = 0.8          # "K bundles tend to have higher token sparsity"
+
+    def bsa_variant(self) -> "DensityProfile":
+        """The post-BSA statistics (Sec. 4.1 / Fig. 5-6 shifts)."""
+        return DensityProfile(
+            mean_density=self.mean_density * 0.68,
+            zero_feature_fraction=min(0.9, self.zero_feature_fraction + 0.18),
+            within_bundle=min(0.85, self.within_bundle + 0.08),
+            qk_mean_density=self.qk_mean_density * 0.60,
+            qk_zero_fraction=min(0.9, self.qk_zero_fraction + 0.15),
+            sigma=self.sigma + 0.25,
+            k_scale=self.k_scale,
+        )
+
+    def qk_profile(self, scale: float = 1.0) -> "DensityProfile":
+        """The profile used to draw Q (scale=1) or K (scale=k_scale)."""
+        return DensityProfile(
+            mean_density=self.qk_mean_density * scale,
+            zero_feature_fraction=self.qk_zero_fraction,
+            within_bundle=self.within_bundle,
+            sigma=self.sigma,
+        )
+
+
+# Per-model anchors, calibrated (see DESIGN.md / EXPERIMENTS.md) so that the
+# simulators reproduce the paper's relative results: arch-only speedups over
+# PTB, the BSA/ECP increments, and the ECP keep fractions at the published
+# thresholds (θ=6 static / θ=10 DVS: CIFAR10 keeps ~72%/52% of Q/K rows,
+# ImageNet-100 ~11%/10%, DVS-Gesture ~8%/5.5%).  MLP/projection densities
+# bracket model3's ≈20% average (Sec. 6.4); modality sets the rest: DVS is
+# spatially sparse, speech-command workloads fire densely.
+PROFILES: dict[str, DensityProfile] = {
+    "model1": DensityProfile(0.125, 0.10, 0.48, qk_mean_density=0.023, qk_zero_fraction=0.25, k_scale=0.87),
+    "model2": DensityProfile(0.175, 0.07, 0.40, qk_mean_density=0.023, qk_zero_fraction=0.20, k_scale=0.58),
+    "model3": DensityProfile(0.21, 0.05, 0.50, qk_mean_density=0.026, qk_zero_fraction=0.35, k_scale=0.95),
+    "model4": DensityProfile(0.12, 0.06, 0.30, qk_mean_density=0.030, qk_zero_fraction=0.35, k_scale=0.90),
+    "model5": DensityProfile(0.30, 0.02, 0.28, qk_mean_density=0.0087, qk_zero_fraction=0.35, k_scale=0.80),
+}
+
+
+def _feature_densities(
+    num_features: int, profile: DensityProfile, rng: np.random.Generator
+) -> np.ndarray:
+    """Heavy-tailed per-feature spike densities with a silent fraction."""
+    raw = rng.lognormal(mean=0.0, sigma=profile.sigma, size=num_features)
+    raw /= raw.mean()
+    densities = raw * profile.mean_density
+    silent = rng.random(num_features) < profile.zero_feature_fraction
+    densities[silent] = 0.0
+    alive = ~silent
+    if alive.any():
+        # Renormalize survivors so the overall mean stays on target.
+        densities[alive] *= profile.mean_density / max(densities.mean(), 1e-12)
+    return np.clip(densities, 0.0, 0.95)
+
+
+def synthetic_spikes(
+    timesteps: int,
+    tokens: int,
+    num_features: int,
+    profile: DensityProfile,
+    spec: BundleSpec,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Binary ``(T, N, D)`` spikes with bundle-clustered structure.
+
+    Per feature: bundles activate with probability ``p_d / within_bundle``;
+    inside an active bundle, slots fire with probability ``within_bundle`` —
+    so the marginal spike density is ``p_d`` while the TTB density stays well
+    above it, reproducing the Fig.-6 relationship.
+    """
+    densities = _feature_densities(num_features, profile, rng)
+    n_bt, n_bn = spec.grid_shape(timesteps, tokens)
+    bundle_prob = np.minimum(1.0, densities / profile.within_bundle)
+    active = rng.random((n_bt, n_bn, num_features)) < bundle_prob
+    slots = rng.random(
+        (n_bt, spec.bs_t, n_bn, spec.bs_n, num_features)
+    ) < profile.within_bundle
+    spikes = (active[:, None, :, None, :] & slots).astype(np.float64)
+    spikes = spikes.reshape(n_bt * spec.bs_t, n_bn * spec.bs_n, num_features)
+    return spikes[:timesteps, :tokens]
+
+
+def _to_heads(full: np.ndarray, heads: int) -> np.ndarray:
+    """``(T, N, D)`` → ``(T, H, N, D/H)``."""
+    t, n, d = full.shape
+    return full.reshape(t, n, heads, d // heads).transpose(0, 2, 1, 3)
+
+
+def synthetic_trace(
+    config: SpikingTransformerConfig,
+    profile: DensityProfile,
+    spec: BundleSpec,
+    seed: int = 0,
+) -> ModelTrace:
+    """Fabricate the full per-layer workload of one inference of ``config``."""
+    rng = np.random.default_rng(seed)
+    t, n, d = config.timesteps, config.num_tokens, config.embed_dim
+    hidden = config.hidden_dim
+    records: list[LayerRecord] = []
+
+    def spikes(features: int) -> np.ndarray:
+        return synthetic_spikes(t, n, features, profile, spec, rng)
+
+    q_profile = profile.qk_profile()
+    k_profile = profile.qk_profile(scale=profile.k_scale)
+    for block in range(config.num_blocks):
+        block_input = spikes(d)
+        for kind in ("proj_q", "proj_k", "proj_v"):
+            records.append(
+                LayerRecord(block=block, kind=kind, input_spikes=block_input,
+                            weight_shape=(d, d))
+            )
+        q_full = synthetic_spikes(t, n, d, q_profile, spec, rng)
+        k_full = synthetic_spikes(t, n, d, k_profile, spec, rng)
+        v_full = spikes(d)
+        records.append(
+            LayerRecord(
+                block=block, kind="attention", input_spikes=None, weight_shape=None,
+                q=_to_heads(q_full, config.num_heads),
+                k=_to_heads(k_full, config.num_heads),
+                v=_to_heads(v_full, config.num_heads),
+            )
+        )
+        records.append(
+            LayerRecord(block=block, kind="proj_o", input_spikes=spikes(d),
+                        weight_shape=(d, d))
+        )
+        records.append(
+            LayerRecord(block=block, kind="mlp1", input_spikes=spikes(d),
+                        weight_shape=(d, hidden))
+        )
+        records.append(
+            LayerRecord(block=block, kind="mlp2", input_spikes=spikes(hidden),
+                        weight_shape=(hidden, d))
+        )
+    return ModelTrace(
+        model_name=config.name,
+        timesteps=t,
+        num_tokens=n,
+        embed_dim=d,
+        records=records,
+    )

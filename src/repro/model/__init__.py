@@ -1,0 +1,35 @@
+"""Spiking transformer models (systems S3-S4): the paper's workload."""
+
+from .attention import SpikingSelfAttention, merge_heads, split_heads
+from .config import MODEL_ZOO, SpikingTransformerConfig, model_config, tiny_config
+from .flops import FlopsProfile, flops_breakdown
+from .mlp import SpikingMLP
+from .serialize import load_model, save_model
+from .tokenizer import SpikingImageTokenizer, SpikingSequenceTokenizer, build_tokenizer
+from .trace import MATMUL_KINDS, PHASE_OF_KIND, LayerRecord, ModelTrace, TraceRecorder
+from .transformer import EncoderBlock, SpikingTransformer
+
+__all__ = [
+    "SpikingTransformerConfig",
+    "MODEL_ZOO",
+    "model_config",
+    "tiny_config",
+    "SpikingTransformer",
+    "EncoderBlock",
+    "SpikingSelfAttention",
+    "SpikingMLP",
+    "split_heads",
+    "merge_heads",
+    "SpikingImageTokenizer",
+    "SpikingSequenceTokenizer",
+    "build_tokenizer",
+    "FlopsProfile",
+    "flops_breakdown",
+    "ModelTrace",
+    "LayerRecord",
+    "TraceRecorder",
+    "MATMUL_KINDS",
+    "PHASE_OF_KIND",
+    "save_model",
+    "load_model",
+]

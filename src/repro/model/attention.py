@@ -1,0 +1,119 @@
+"""Multi-head Spiking Self-Attention (SSA) — paper Eq. 3-8.
+
+Per head ``i``::
+
+    Q = LIF(BN(X · W_Q));  K = LIF(BN(X · W_K));  V = LIF(BN(X · W_V))
+    O = (Q · K^T · s) · V                      # s a power-of-two scale
+    O_temp = LIF(BN(Concat{O_1..O_H}))         # LIF *before* the last linear
+    O_attn = O_temp · W_O
+
+Q, K, V are binary spike tensors, so ``Q·K^T`` is an integer count computed
+with AND-accumulate on the hardware, and ``(S·s)·V`` is select-accumulate —
+no multipliers and no softmax.  The repositioned final LIF (Eq. 7) keeps the
+``W_O`` input binary, which the paper highlights versus Spikformer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, Tensor, as_tensor
+from ..snn import LIF, TimeBatchNorm, TimeLinear
+from .config import SpikingTransformerConfig
+from .trace import TraceRecorder
+
+__all__ = ["SpikingSelfAttention", "split_heads", "merge_heads"]
+
+
+def split_heads(x: Tensor, num_heads: int) -> Tensor:
+    """``(T, B, N, D)`` → ``(T, B, H, N, D/H)``."""
+    t, b, n, d = x.shape
+    return x.reshape(t, b, n, num_heads, d // num_heads).transpose(0, 1, 3, 2, 4)
+
+
+def merge_heads(x: Tensor) -> Tensor:
+    """``(T, B, H, N, d)`` → ``(T, B, N, H·d)``."""
+    t, b, h, n, d = x.shape
+    return x.transpose(0, 1, 3, 2, 4).reshape(t, b, n, h * d)
+
+
+class SpikingSelfAttention(Module):
+    """One multi-head SSA block returning the synaptic current ``O_attn``.
+
+    The surrounding encoder block adds the residual and applies BN+LIF, so
+    every tensor this module feeds to a weight matrix is binary.
+
+    Attributes
+    ----------
+    ecp:
+        Optional :class:`repro.algo.ecp.ECPAttentionPruner`.  When set, Q and
+        K bundle rows below the error-constrained thresholds are zeroed
+        before the attention product — both at inference (matching the
+        accelerator) and during ECP-aware training (masks are constants, so
+        gradients flow only through surviving activations).
+    """
+
+    def __init__(self, config: SpikingTransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        d = config.embed_dim
+        self.q_proj = TimeLinear(d, d, rng, bias=False)
+        self.k_proj = TimeLinear(d, d, rng, bias=False)
+        self.v_proj = TimeLinear(d, d, rng, bias=False)
+        self.q_norm = TimeBatchNorm(d)
+        self.k_norm = TimeBatchNorm(d)
+        self.v_norm = TimeBatchNorm(d)
+        self.q_lif = LIF(config.v_threshold, config.v_leak, config.surrogate)
+        self.k_lif = LIF(config.v_threshold, config.v_leak, config.surrogate)
+        self.v_lif = LIF(config.v_threshold, config.v_leak, config.surrogate)
+        self.attn_norm = TimeBatchNorm(d)
+        self.attn_lif = LIF(config.v_threshold, config.v_leak, config.surrogate)
+        self.o_proj = TimeLinear(d, d, rng, bias=False)
+        self.ecp = None  # set by repro.algo.ecp.attach_ecp
+
+    def forward(
+        self,
+        x: Tensor,
+        recorder: TraceRecorder | None = None,
+        taps: list[tuple[str, Tensor]] | None = None,
+        block: int = 0,
+    ) -> Tensor:
+        config = self.config
+        q = self.q_lif(self.q_norm(self.q_proj(x)))
+        k = self.k_lif(self.k_norm(self.k_proj(x)))
+        v = self.v_lif(self.v_norm(self.v_proj(x)))
+
+        if taps is not None:
+            taps.append((f"block{block}.q", q))
+            taps.append((f"block{block}.k", k))
+
+        if self.ecp is not None:
+            mask_q, mask_k = self.ecp.token_masks(q.data, k.data)
+            # Masks are (T, B, N); broadcast over features.  They are data,
+            # not graph nodes: ECP-aware training backpropagates only through
+            # the surviving rows (straight-through pruning).
+            q = q * as_tensor(mask_q[..., None])
+            k = k * as_tensor(mask_k[..., None])
+
+        qh = split_heads(q, config.num_heads)
+        kh = split_heads(k, config.num_heads)
+        vh = split_heads(v, config.num_heads)
+
+        if recorder is not None:
+            recorder.add_matmul(block, "proj_q", x.data, (config.embed_dim, config.embed_dim))
+            recorder.add_matmul(block, "proj_k", x.data, (config.embed_dim, config.embed_dim))
+            recorder.add_matmul(block, "proj_v", x.data, (config.embed_dim, config.embed_dim))
+            recorder.add_attention(block, qh.data, kh.data, vh.data)
+
+        scores = (qh @ kh.swapaxes(-1, -2)) * config.attn_scale   # (T,B,H,N,N)
+        out = scores @ vh                                         # (T,B,H,N,d)
+        merged = merge_heads(out)
+        o_temp = self.attn_lif(self.attn_norm(merged))
+
+        if taps is not None:
+            taps.append((f"block{block}.otemp", o_temp))
+        if recorder is not None:
+            recorder.add_matmul(
+                block, "proj_o", o_temp.data, (config.embed_dim, config.embed_dim)
+            )
+        return self.o_proj(o_temp)

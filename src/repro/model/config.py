@@ -1,0 +1,161 @@
+"""Spiking transformer configurations, including the paper's Table-2 zoo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["SpikingTransformerConfig", "MODEL_ZOO", "model_config", "tiny_config"]
+
+
+@dataclass(frozen=True)
+class SpikingTransformerConfig:
+    """Architecture hyperparameters of one spiking transformer.
+
+    Mirrors Table 2: ``num_blocks`` (B), ``timesteps`` (T), ``num_tokens``
+    (N), ``embed_dim`` (D); the remaining fields fill in details the paper
+    inherits from Spikformer.
+    """
+
+    name: str
+    num_blocks: int
+    timesteps: int
+    num_tokens: int
+    embed_dim: int
+    num_heads: int = 8
+    mlp_ratio: float = 4.0
+    num_classes: int = 10
+    # --- input/tokenizer ---
+    input_kind: str = "image"          # "image" | "event" | "sequence"
+    in_channels: int = 3               # image channels or event polarities
+    image_size: int = 32               # H = W for image/event inputs
+    patch_size: int = 4
+    tokenizer_depth: int = 2           # conv stages before patch projection
+    sequence_features: int = 64        # per-token input features ("sequence")
+    # --- neuron / attention ---
+    v_threshold: float = 1.0
+    v_leak: float = 0.0
+    surrogate: str = "atan"
+    attn_scale_bits: int = 3           # s = 2**-attn_scale_bits (Eq. 6)
+
+    def __post_init__(self) -> None:
+        if self.embed_dim % self.num_heads:
+            raise ValueError(
+                f"embed_dim {self.embed_dim} not divisible by num_heads {self.num_heads}"
+            )
+        if self.input_kind not in ("image", "event", "sequence"):
+            raise ValueError(f"unknown input_kind {self.input_kind!r}")
+        if self.input_kind in ("image", "event"):
+            grid = self.image_size // self.patch_size
+            if grid * grid != self.num_tokens:
+                raise ValueError(
+                    f"(image_size/patch_size)^2 = {grid * grid} must equal "
+                    f"num_tokens = {self.num_tokens}"
+                )
+
+    @property
+    def head_dim(self) -> int:
+        return self.embed_dim // self.num_heads
+
+    @property
+    def hidden_dim(self) -> int:
+        """MLP hidden width."""
+        return int(self.embed_dim * self.mlp_ratio)
+
+    @property
+    def attn_scale(self) -> float:
+        """Power-of-two attention scale ``s`` of Eq. 6 (a bit shift in HW)."""
+        return 2.0 ** (-self.attn_scale_bits)
+
+    def with_overrides(self, **kwargs) -> "SpikingTransformerConfig":
+        return replace(self, **kwargs)
+
+
+def _table2() -> dict[str, SpikingTransformerConfig]:
+    """The five workload models of Table 2."""
+    return {
+        "model1": SpikingTransformerConfig(
+            name="model1-cifar10",
+            num_blocks=4, timesteps=10, num_tokens=64, embed_dim=384,
+            num_heads=8, num_classes=10,
+            input_kind="image", in_channels=3, image_size=32, patch_size=4,
+        ),
+        "model2": SpikingTransformerConfig(
+            name="model2-cifar100",
+            num_blocks=4, timesteps=8, num_tokens=64, embed_dim=384,
+            num_heads=8, num_classes=100,
+            input_kind="image", in_channels=3, image_size=32, patch_size=4,
+        ),
+        # The large-resolution models use a plain patch-embedding tokenizer
+        # (depth 1): the paper's tokenizer downsamples between conv stages,
+        # so full-resolution pre-convs would overstate its FLOPs share.
+        "model3": SpikingTransformerConfig(
+            name="model3-imagenet100",
+            num_blocks=8, timesteps=4, num_tokens=196, embed_dim=128,
+            num_heads=8, num_classes=100, tokenizer_depth=1,
+            input_kind="image", in_channels=3, image_size=224, patch_size=16,
+        ),
+        "model4": SpikingTransformerConfig(
+            name="model4-dvsgesture",
+            num_blocks=2, timesteps=20, num_tokens=64, embed_dim=128,
+            num_heads=8, num_classes=11, tokenizer_depth=1,
+            input_kind="event", in_channels=2, image_size=128, patch_size=16,
+        ),
+        "model5": SpikingTransformerConfig(
+            name="model5-googlesc",
+            num_blocks=4, timesteps=8, num_tokens=256, embed_dim=384,
+            num_heads=8, num_classes=35,
+            input_kind="sequence", sequence_features=64,
+        ),
+    }
+
+
+MODEL_ZOO: dict[str, SpikingTransformerConfig] = _table2()
+
+
+def model_config(name: str) -> SpikingTransformerConfig:
+    """Look up one of the Table-2 models by key (``model1`` .. ``model5``)."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; options: {sorted(MODEL_ZOO)}") from None
+
+
+def tiny_config(
+    input_kind: str = "image",
+    num_classes: int = 4,
+    timesteps: int = 4,
+    num_blocks: int = 2,
+    embed_dim: int = 32,
+    num_heads: int = 2,
+    image_size: int = 16,
+    patch_size: int = 4,
+    num_tokens: int | None = None,
+    tokenizer_depth: int = 1,
+    **overrides,
+) -> SpikingTransformerConfig:
+    """A laptop-scale configuration for tests and trained-accuracy figures.
+
+    Same topology as the Table-2 models, shrunk so that NumPy BPTT training
+    converges in seconds.
+    """
+    if input_kind in ("image", "event"):
+        tokens = (image_size // patch_size) ** 2
+    else:
+        tokens = num_tokens if num_tokens is not None else 16
+    return SpikingTransformerConfig(
+        name=f"tiny-{input_kind}",
+        num_blocks=num_blocks,
+        timesteps=timesteps,
+        num_tokens=tokens,
+        embed_dim=embed_dim,
+        num_heads=num_heads,
+        mlp_ratio=2.0,
+        num_classes=num_classes,
+        input_kind=input_kind,
+        in_channels=2 if input_kind == "event" else 3,
+        image_size=image_size,
+        patch_size=patch_size,
+        tokenizer_depth=tokenizer_depth,
+        sequence_features=overrides.pop("sequence_features", 16),
+        **overrides,
+    )

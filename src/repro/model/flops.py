@@ -1,0 +1,105 @@
+"""Complexity / workload profiling of spiking transformers (Sec. 2.2, Fig. 3).
+
+FLOP counts per component (one inference):
+
+* MLP + projection layers: ``O(T·N·D²)`` — 4 projections of ``D×D`` plus two
+  MLP matmuls of ``D×rD``.
+* Attention layers: ``O(T·N²·D)`` — ``S = Q·K^T`` and ``Y = S·V``.
+* LIF layers: ``O(T·N·D)`` (non-dominant).
+* Tokenizer: ``O(T·H·W·C²·K²)`` (handled by spiking-CNN accelerators; kept
+  for breakdown completeness).
+
+Fig. 3's observation — attention dominance grows with N, cumulative
+attention+MLP share between ~66% and ~91% — is reproduced by
+:func:`flops_breakdown` sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import SpikingTransformerConfig
+
+__all__ = ["FlopsProfile", "flops_breakdown"]
+
+
+@dataclass(frozen=True)
+class FlopsProfile:
+    """Per-component FLOPs of one inference (multiply-accumulate = 2 FLOPs)."""
+
+    tokenizer: float
+    projections: float   # Q, K, V, O linear layers (all blocks)
+    attention: float     # QK^T and SV (all blocks)
+    mlp: float           # both MLP matmuls (all blocks)
+    lif: float           # neuron updates
+    head: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.tokenizer + self.projections + self.attention + self.mlp
+            + self.lif + self.head
+        )
+
+    @property
+    def attention_fraction(self) -> float:
+        return self.attention / self.total
+
+    @property
+    def mlp_fraction(self) -> float:
+        return self.mlp / self.total
+
+    @property
+    def attention_plus_mlp_fraction(self) -> float:
+        """The Fig.-3 cumulative share (66.5%-91.0% in the paper's sweep)."""
+        return (self.attention + self.mlp) / self.total
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "tokenizer": self.tokenizer,
+            "projections": self.projections,
+            "attention": self.attention,
+            "mlp": self.mlp,
+            "lif": self.lif,
+            "head": self.head,
+        }
+
+
+def flops_breakdown(config: SpikingTransformerConfig) -> FlopsProfile:
+    """Analytic FLOPs profile of ``config`` (dense operation counts)."""
+    t, n, d = config.timesteps, config.num_tokens, config.embed_dim
+    blocks = config.num_blocks
+    hidden = config.hidden_dim
+
+    projections = blocks * 4 * (2.0 * t * n * d * d)
+    attention = blocks * 2 * (2.0 * t * n * n * d)
+    mlp = blocks * 2 * (2.0 * t * n * d * hidden)
+    # LIF updates: one add + one compare per neuron per step; six D-wide LIF
+    # layers (Q/K/V/otemp + two residual merges) and one hidden-wide per block.
+    lif = blocks * (6 * (2.0 * t * n * d) + (2.0 * t * n * hidden)) / 2
+
+    if config.input_kind in ("image", "event"):
+        h = w = config.image_size
+        c = config.in_channels
+        k = config.patch_size
+        # Pre-conv stages (3x3, stride 1) + patch conv (k x k, stride k).
+        hidden_ch = max(d // 4, 8)
+        pre = 0.0
+        ch_in = c
+        for _ in range(max(config.tokenizer_depth - 1, 0)):
+            pre += 2.0 * t * h * w * ch_in * hidden_ch * 9
+            ch_in = hidden_ch
+        patch = 2.0 * t * (h // k) * (w // k) * ch_in * d * k * k
+        tokenizer = pre + patch
+    else:
+        tokenizer = 2.0 * t * n * config.sequence_features * d
+
+    head = 2.0 * d * config.num_classes
+    return FlopsProfile(
+        tokenizer=tokenizer,
+        projections=projections,
+        attention=attention,
+        mlp=mlp,
+        lif=lif,
+        head=head,
+    )

@@ -1,0 +1,46 @@
+"""Spiking MLP block: two projections with BN+LIF between them.
+
+Complexity ``O(T·N·D·D_h)`` per matmul (Sec. 2.2); dominant when ``D ≫ N``
+(the CIFAR models), which is why the dense/sparse TTB cores target it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, Tensor
+from ..snn import LIF, TimeBatchNorm, TimeLinear
+from .config import SpikingTransformerConfig
+from .trace import TraceRecorder
+
+__all__ = ["SpikingMLP"]
+
+
+class SpikingMLP(Module):
+    """``current = W2 · LIF(BN(W1 · x))`` — returns a synaptic current."""
+
+    def __init__(self, config: SpikingTransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        d, hidden = config.embed_dim, config.hidden_dim
+        self.fc1 = TimeLinear(d, hidden, rng, bias=False)
+        self.norm1 = TimeBatchNorm(hidden)
+        self.lif1 = LIF(config.v_threshold, config.v_leak, config.surrogate)
+        self.fc2 = TimeLinear(hidden, d, rng, bias=False)
+
+    def forward(
+        self,
+        x: Tensor,
+        recorder: TraceRecorder | None = None,
+        taps: list[tuple[str, Tensor]] | None = None,
+        block: int = 0,
+    ) -> Tensor:
+        d, hidden = self.config.embed_dim, self.config.hidden_dim
+        if recorder is not None:
+            recorder.add_matmul(block, "mlp1", x.data, (d, hidden))
+        h = self.lif1(self.norm1(self.fc1(x)))
+        if taps is not None:
+            taps.append((f"block{block}.mlp_hidden", h))
+        if recorder is not None:
+            recorder.add_matmul(block, "mlp2", h.data, (hidden, d))
+        return self.fc2(h)

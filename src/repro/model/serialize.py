@@ -1,0 +1,76 @@
+"""Model checkpointing: save/load trained spiking transformers as ``.npz``.
+
+Stores the parameter state dict plus the architecture config, so a model can
+be rebuilt and reloaded without re-specifying anything.  BatchNorm running
+statistics are included (they matter at inference).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..snn import TimeBatchNorm
+from .config import SpikingTransformerConfig
+from .transformer import SpikingTransformer
+
+__all__ = ["save_model", "load_model"]
+
+_CONFIG_KEY = "__config_json__"
+_RUNNING_PREFIX = "__running__"
+
+
+def _batchnorm_modules(model: SpikingTransformer) -> list[tuple[str, TimeBatchNorm]]:
+    out = []
+
+    def visit(module, prefix: str) -> None:
+        for name, value in vars(module).items():
+            if isinstance(value, TimeBatchNorm):
+                out.append((f"{prefix}{name}", value))
+            if hasattr(value, "forward") and hasattr(value, "training"):
+                visit(value, f"{prefix}{name}.")
+
+    visit(model, "")
+    return out
+
+
+def save_model(model: SpikingTransformer, path: str | Path) -> Path:
+    """Serialize ``model`` (parameters + BN stats + config) to ``path``."""
+    path = Path(path)
+    payload: dict[str, np.ndarray] = dict(model.state_dict())
+    for name, norm in _batchnorm_modules(model):
+        payload[f"{_RUNNING_PREFIX}{name}.mean"] = norm.running_mean
+        payload[f"{_RUNNING_PREFIX}{name}.var"] = norm.running_var
+    config_json = json.dumps(dataclasses.asdict(model.config))
+    payload[_CONFIG_KEY] = np.frombuffer(config_json.encode(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model(path: str | Path, seed: int = 0) -> SpikingTransformer:
+    """Rebuild a model saved by :func:`save_model`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        config_bytes = archive[_CONFIG_KEY].tobytes()
+        config = SpikingTransformerConfig(**json.loads(config_bytes))
+        model = SpikingTransformer(config, seed=seed)
+        state = {
+            key: archive[key]
+            for key in archive.files
+            if key != _CONFIG_KEY and not key.startswith(_RUNNING_PREFIX)
+        }
+        model.load_state_dict(state)
+        norms = dict(_batchnorm_modules(model))
+        for key in archive.files:
+            if not key.startswith(_RUNNING_PREFIX):
+                continue
+            stripped = key[len(_RUNNING_PREFIX):]
+            module_name, stat = stripped.rsplit(".", 1)
+            norm = norms[module_name]
+            if stat == "mean":
+                norm.running_mean = archive[key].copy()
+            else:
+                norm.running_var = archive[key].copy()
+    return model

@@ -1,0 +1,117 @@
+"""Spiking tokenizers: raw input → binary token tensor ``(T, B, N, D)``.
+
+Fig. 2: the tokenizer transforms a static image or DVS stream
+``I ∈ R^{T×C×H×W}`` into ``I' ∈ R^{T×N×D}`` — N D-dimensional spiking tokens
+per time point.  Following Spikformer it is a stack of CONV+BN+LIF stages
+finishing with a patch-sized strided convolution; the sequence variant (used
+for Google Speech Commands-style inputs) replaces convolutions with a linear
+patch embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, ModuleList, Parameter, Tensor
+from ..snn import LIF, TimeBatchNorm, TimeConv2d, TimeLinear
+from .config import SpikingTransformerConfig
+
+__all__ = ["ChannelBatchNorm", "SpikingImageTokenizer", "SpikingSequenceTokenizer", "build_tokenizer"]
+
+
+class ChannelBatchNorm(Module):
+    """BatchNorm over the channel axis of a ``(T, B, C, H, W)`` tensor."""
+
+    def __init__(self, num_channels: int):
+        super().__init__()
+        self.norm = TimeBatchNorm(num_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        moved = x.transpose(0, 1, 3, 4, 2)      # (T, B, H, W, C)
+        self.norm.training = self.training
+        normed = self.norm(moved)
+        return normed.transpose(0, 1, 4, 2, 3)  # back to (T, B, C, H, W)
+
+
+class SpikingImageTokenizer(Module):
+    """CONV+BN+LIF stages ending in a patch projection (image/event inputs).
+
+    ``tokenizer_depth == 1`` uses only the strided patch convolution;
+    ``tokenizer_depth >= 2`` prepends 3×3 CONV+BN+LIF feature extractors, as
+    in Spikformer's Spiking Patch Splitting module.
+    """
+
+    def __init__(self, config: SpikingTransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        channels = config.in_channels
+        self.pre_convs = ModuleList()
+        self.pre_norms = ModuleList()
+        self.pre_lifs = ModuleList()
+        hidden = max(config.embed_dim // 4, 8)
+        for _ in range(max(config.tokenizer_depth - 1, 0)):
+            self.pre_convs.append(
+                TimeConv2d(channels, hidden, kernel_size=3, rng=rng, stride=1, padding=1)
+            )
+            self.pre_norms.append(ChannelBatchNorm(hidden))
+            self.pre_lifs.append(
+                LIF(config.v_threshold, config.v_leak, config.surrogate)
+            )
+            channels = hidden
+        self.patch_conv = TimeConv2d(
+            channels,
+            config.embed_dim,
+            kernel_size=config.patch_size,
+            rng=rng,
+            stride=config.patch_size,
+        )
+        self.patch_norm = ChannelBatchNorm(config.embed_dim)
+        # Learned positional current (Spikformer carries position through a
+        # conv-based RPE stage; an additive per-token current is the
+        # equivalent for this layout).  Without it, attention + global
+        # pooling are permutation-invariant and spatial classes collapse.
+        self.positional = Parameter(
+            rng.normal(0.0, 0.3, size=(1, 1, config.num_tokens, config.embed_dim))
+        )
+        self.patch_lif = LIF(config.v_threshold, config.v_leak, config.surrogate)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """``(T, B, C, H, W)`` analog or event input → ``(T, B, N, D)`` spikes."""
+        for conv, norm, lif in zip(self.pre_convs, self.pre_norms, self.pre_lifs):
+            x = lif(norm(conv(x)))
+        current = self.patch_norm(self.patch_conv(x))
+        t, b, d, h, w = current.shape
+        tokens = current.reshape(t, b, d, h * w).transpose(0, 1, 3, 2)
+        return self.patch_lif(tokens + self.positional)  # (T, B, N, D)
+
+
+class SpikingSequenceTokenizer(Module):
+    """Linear patch embedding + BN + LIF for pre-tokenized sequence inputs.
+
+    Input shape ``(T, B, N, F_in)`` (e.g. spectrogram frames as tokens);
+    output ``(T, B, N, D)`` binary spikes.
+    """
+
+    def __init__(self, config: SpikingTransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.embed = TimeLinear(config.sequence_features, config.embed_dim, rng)
+        self.norm = TimeBatchNorm(config.embed_dim)
+        self.positional = Parameter(
+            rng.normal(0.0, 0.3, size=(1, 1, config.num_tokens, config.embed_dim))
+        )
+        self.lif = LIF(config.v_threshold, config.v_leak, config.surrogate)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.config.sequence_features:
+            raise ValueError(
+                f"expected {self.config.sequence_features} input features, got {x.shape[-1]}"
+            )
+        return self.lif(self.norm(self.embed(x)) + self.positional)
+
+
+def build_tokenizer(config: SpikingTransformerConfig, rng: np.random.Generator) -> Module:
+    """Pick the tokenizer matching ``config.input_kind``."""
+    if config.input_kind in ("image", "event"):
+        return SpikingImageTokenizer(config, rng)
+    return SpikingSequenceTokenizer(config, rng)

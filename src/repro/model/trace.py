@@ -1,0 +1,138 @@
+"""Workload tracing: capture the spike tensors the accelerator will process.
+
+Running a trained model over an input with a :class:`TraceRecorder` attached
+yields, for every MLP / projection / attention layer, the *actual* binary
+activation tensors (for batch sample 0, matching the paper's single-image
+inference evaluation).  The Bishop and PTB simulators consume this
+:class:`ModelTrace` — latency and energy are therefore driven by real firing
+patterns, not synthetic densities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LayerRecord", "TraceRecorder", "ModelTrace", "MATMUL_KINDS", "PHASE_OF_KIND"]
+
+# Layer kinds that are plain spike × multi-bit-weight matmuls, mapped onto the
+# dense + sparse TTB cores.
+MATMUL_KINDS = ("proj_q", "proj_k", "proj_v", "proj_o", "mlp1", "mlp2")
+
+# Fig.-11 phase labels: P1 = Q/K/V projections, ATN = spiking self-attention,
+# P2 = output projection, MLP = the MLP block.
+PHASE_OF_KIND = {
+    "proj_q": "P1",
+    "proj_k": "P1",
+    "proj_v": "P1",
+    "attention": "ATN",
+    "proj_o": "P2",
+    "mlp1": "MLP",
+    "mlp2": "MLP",
+}
+
+
+@dataclass
+class LayerRecord:
+    """One layer's workload, extracted from a live forward pass."""
+
+    block: int                       # encoder block index; -1 for tokenizer/head
+    kind: str                        # proj_q/.../attention/mlp1/mlp2/tokenizer/head
+    input_spikes: np.ndarray | None  # (T, N, D_in) binary input to the matmul
+    weight_shape: tuple[int, int] | None  # (D_in, D_out)
+    # Attention-only payloads, all binary, shape (T, H, N, head_dim):
+    q: np.ndarray | None = None
+    k: np.ndarray | None = None
+    v: np.ndarray | None = None
+
+    @property
+    def phase(self) -> str:
+        return PHASE_OF_KIND.get(self.kind, self.kind)
+
+    @property
+    def is_matmul(self) -> bool:
+        return self.kind in MATMUL_KINDS
+
+    def macs(self) -> int:
+        """Multiply-accumulate count of this layer (dense equivalent)."""
+        if self.is_matmul:
+            t, n, d_in = self.input_spikes.shape
+            return t * n * d_in * self.weight_shape[1]
+        if self.kind == "attention":
+            t, h, n, d = self.q.shape
+            return 2 * t * h * n * n * d  # S = QK^T plus Y = SV
+        return 0
+
+
+class TraceRecorder:
+    """Collects :class:`LayerRecord` objects during a forward pass.
+
+    ``sample`` selects which batch element is traced.
+    """
+
+    def __init__(self, sample: int = 0):
+        self.sample = sample
+        self.records: list[LayerRecord] = []
+
+    def add_matmul(
+        self, block: int, kind: str, input_spikes: np.ndarray, weight_shape: tuple[int, int]
+    ) -> None:
+        self.records.append(
+            LayerRecord(
+                block=block,
+                kind=kind,
+                input_spikes=np.asarray(input_spikes[:, self.sample]),
+                weight_shape=tuple(weight_shape),
+            )
+        )
+
+    def add_attention(
+        self, block: int, q: np.ndarray, k: np.ndarray, v: np.ndarray
+    ) -> None:
+        self.records.append(
+            LayerRecord(
+                block=block,
+                kind="attention",
+                input_spikes=None,
+                weight_shape=None,
+                q=np.asarray(q[:, self.sample]),
+                k=np.asarray(k[:, self.sample]),
+                v=np.asarray(v[:, self.sample]),
+            )
+        )
+
+
+@dataclass
+class ModelTrace:
+    """The full per-layer workload of one inference."""
+
+    model_name: str
+    timesteps: int
+    num_tokens: int
+    embed_dim: int
+    records: list[LayerRecord] = field(default_factory=list)
+
+    def layers(self, kind: str | None = None, block: int | None = None) -> list[LayerRecord]:
+        out = self.records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        if block is not None:
+            out = [r for r in out if r.block == block]
+        return out
+
+    @property
+    def num_blocks(self) -> int:
+        return 1 + max((r.block for r in self.records), default=-1)
+
+    def total_macs(self) -> int:
+        return sum(record.macs() for record in self.records)
+
+    def average_spike_density(self) -> float:
+        """Mean firing density over all matmul-layer inputs."""
+        total, active = 0, 0.0
+        for record in self.records:
+            if record.input_spikes is not None:
+                total += record.input_spikes.size
+                active += float(record.input_spikes.sum())
+        return active / total if total else 0.0

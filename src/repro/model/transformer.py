@@ -1,0 +1,128 @@
+"""The end-to-end spiking transformer (Fig. 2).
+
+``L`` residual encoder blocks (SSA + spiking MLP) over tokenized spikes,
+followed by global average pooling across all tokens and time points and a
+linear classification head.
+
+Residual connections are realized in the *current* (membrane) domain:
+``x_next = LIF(BN(sub_block_current) + x)``, where the binary ``x`` acts as a
+unit synaptic current.  This keeps every tensor entering a weight matrix
+binary — the property Bishop's multiplier-less cores rely on — and matches
+the paper's repositioning of LIF layers ahead of linear projections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, ModuleList, Tensor, as_tensor, init_rng, no_grad
+from ..snn import LIF, TimeBatchNorm, TimeLinear
+from .attention import SpikingSelfAttention
+from .config import SpikingTransformerConfig
+from .mlp import SpikingMLP
+from .tokenizer import build_tokenizer
+from .trace import ModelTrace, TraceRecorder
+
+__all__ = ["EncoderBlock", "SpikingTransformer"]
+
+
+class EncoderBlock(Module):
+    """One residual encoder block: SSA sub-block then MLP sub-block."""
+
+    def __init__(self, config: SpikingTransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.ssa = SpikingSelfAttention(config, rng)
+        self.attn_out_norm = TimeBatchNorm(config.embed_dim)
+        self.attn_out_lif = LIF(config.v_threshold, config.v_leak, config.surrogate)
+        self.mlp = SpikingMLP(config, rng)
+        self.mlp_out_norm = TimeBatchNorm(config.embed_dim)
+        self.mlp_out_lif = LIF(config.v_threshold, config.v_leak, config.surrogate)
+
+    def forward(
+        self,
+        x: Tensor,
+        recorder: TraceRecorder | None = None,
+        taps: list[tuple[str, Tensor]] | None = None,
+        block: int = 0,
+    ) -> Tensor:
+        if taps is not None:
+            taps.append((f"block{block}.input", x))
+        attn_current = self.ssa(x, recorder=recorder, taps=taps, block=block)
+        x = self.attn_out_lif(self.attn_out_norm(attn_current) + x)
+        if taps is not None:
+            taps.append((f"block{block}.mlp_input", x))
+        mlp_current = self.mlp(x, recorder=recorder, taps=taps, block=block)
+        x = self.mlp_out_lif(self.mlp_out_norm(mlp_current) + x)
+        return x
+
+
+class SpikingTransformer(Module):
+    """Spiking vision/sequence transformer with multi-head SSA.
+
+    Parameters
+    ----------
+    config:
+        Architecture description (see :data:`repro.model.MODEL_ZOO`).
+    seed:
+        Parameter-initialization seed (reproducible runs).
+    """
+
+    def __init__(self, config: SpikingTransformerConfig, seed: int = 0):
+        super().__init__()
+        rng = init_rng(seed)
+        self.config = config
+        self.tokenizer = build_tokenizer(config, rng)
+        self.blocks = ModuleList(
+            [EncoderBlock(config, rng) for _ in range(config.num_blocks)]
+        )
+        self.head = TimeLinear(config.embed_dim, config.num_classes, rng)
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        x,
+        recorder: TraceRecorder | None = None,
+        taps: list[tuple[str, Tensor]] | None = None,
+    ) -> Tensor:
+        """``x``: ``(T, B, C, H, W)`` for image/event input, or
+        ``(T, B, N, F_in)`` for sequence input.  Returns ``(B, classes)``
+        logits."""
+        tokens = self.tokenizer(as_tensor(x))
+        expected = (self.config.num_tokens, self.config.embed_dim)
+        if tokens.shape[2:] != expected:
+            raise ValueError(
+                f"tokenizer produced {tokens.shape[2:]}, expected {expected}"
+            )
+        if taps is not None:
+            taps.append(("tokenizer.output", tokens))
+        for index, block in enumerate(self.blocks):
+            tokens = block(tokens, recorder=recorder, taps=taps, block=index)
+        pooled = tokens.mean(axis=(0, 2))  # average over time and tokens
+        return self.head(pooled)
+
+    # ------------------------------------------------------------------
+    def trace(self, x, sample: int = 0) -> ModelTrace:
+        """Run inference and capture the accelerator-facing workload.
+
+        Uses eval mode and no gradient recording; restores training mode.
+        """
+        recorder = TraceRecorder(sample=sample)
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                self.forward(x, recorder=recorder)
+        finally:
+            self.train(was_training)
+        return ModelTrace(
+            model_name=self.config.name,
+            timesteps=self.config.timesteps,
+            num_tokens=self.config.num_tokens,
+            embed_dim=self.config.embed_dim,
+            records=recorder.records,
+        )
+
+    def attention_modules(self) -> list[SpikingSelfAttention]:
+        """The SSA module of every encoder block (used to attach ECP)."""
+        return [block.ssa for block in self.blocks]

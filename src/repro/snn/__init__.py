@@ -1,0 +1,26 @@
+"""Spiking-neural-network substrate (system S2): LIF dynamics, surrogate
+gradients, spike encoders, and time-distributed layers."""
+
+from .encoding import direct_encode, events_to_frames, latency_encode, rate_encode
+from .lif import LIF, lif_forward
+from .layers import SpikingLinear, TimeBatchNorm, TimeConv2d, TimeLinear
+from .quant import QuantizationReport, quantize_model, quantize_tensor
+from .surrogate import SURROGATES, spike
+
+__all__ = [
+    "LIF",
+    "lif_forward",
+    "spike",
+    "SURROGATES",
+    "direct_encode",
+    "rate_encode",
+    "latency_encode",
+    "events_to_frames",
+    "TimeLinear",
+    "TimeConv2d",
+    "TimeBatchNorm",
+    "SpikingLinear",
+    "QuantizationReport",
+    "quantize_model",
+    "quantize_tensor",
+]

@@ -1,0 +1,75 @@
+"""Spike encoders: turn static or dynamic inputs into ``(T, ...)`` tensors.
+
+The paper's tokenizer consumes either static images replicated over ``T``
+time points (direct encoding, as in Spikformer) or native event streams from
+a dynamic vision sensor (DVS).  The encoders here produce both formats, plus
+rate coding for tests that need controllable firing densities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["direct_encode", "rate_encode", "latency_encode", "events_to_frames"]
+
+
+def direct_encode(images: np.ndarray, timesteps: int) -> np.ndarray:
+    """Replicate analog input over ``T`` time points (Spikformer-style).
+
+    ``images``: ``(B, C, H, W)`` → ``(T, B, C, H, W)``.  The first CONV+LIF
+    stage of the tokenizer converts the analog values into spikes.
+    """
+    if timesteps <= 0:
+        raise ValueError(f"timesteps must be positive, got {timesteps}")
+    return np.broadcast_to(images, (timesteps, *images.shape)).copy()
+
+
+def rate_encode(
+    images: np.ndarray, timesteps: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Bernoulli rate coding: pixel intensity in [0, 1] becomes firing rate."""
+    clipped = np.clip(images, 0.0, 1.0)
+    return (rng.random((timesteps, *images.shape)) < clipped).astype(np.float64)
+
+
+def latency_encode(images: np.ndarray, timesteps: int) -> np.ndarray:
+    """Time-to-first-spike coding: brighter pixels fire earlier, exactly once."""
+    clipped = np.clip(images, 0.0, 1.0)
+    # Intensity 1 fires at t=0; intensity ~0 fires at the final step.
+    fire_at = np.minimum(
+        ((1.0 - clipped) * timesteps).astype(np.int64), timesteps - 1
+    )
+    time_index = np.arange(timesteps).reshape((timesteps,) + (1,) * images.ndim)
+    return (time_index == fire_at[None]).astype(np.float64)
+
+
+def events_to_frames(
+    events: np.ndarray,
+    timesteps: int,
+    height: int,
+    width: int,
+    polarities: int = 2,
+    duration: float | None = None,
+) -> np.ndarray:
+    """Voxelize a DVS event stream into ``(T, P, H, W)`` binary frames.
+
+    ``events`` is a ``(n_events, 4)`` array of ``(t, x, y, polarity)`` rows,
+    matching the DVS-Gesture-128 representation.  Events are binned into
+    ``timesteps`` equal windows; a cell is 1 if at least one event of that
+    polarity landed in the window (spike frames are binary, like the dataset
+    loaders used by spiking-transformer training pipelines).
+    """
+    if events.ndim != 2 or events.shape[1] != 4:
+        raise ValueError(f"expected (n, 4) events, got shape {events.shape}")
+    frames = np.zeros((timesteps, polarities, height, width), dtype=np.float64)
+    if events.shape[0] == 0:
+        return frames
+    t = events[:, 0].astype(np.float64)
+    t_max = duration if duration is not None else (t.max() + 1e-9)
+    bins = np.minimum((t / t_max * timesteps).astype(np.int64), timesteps - 1)
+    x = events[:, 1].astype(np.int64)
+    y = events[:, 2].astype(np.int64)
+    p = events[:, 3].astype(np.int64)
+    valid = (x >= 0) & (x < width) & (y >= 0) & (y < height) & (p >= 0) & (p < polarities)
+    frames[bins[valid], p[valid], y[valid], x[valid]] = 1.0
+    return frames

@@ -1,0 +1,138 @@
+"""Spiking layer primitives: time-distributed linear / conv / batchnorm.
+
+The spiking transformer applies ordinary multi-bit-weight linear maps to
+binary spike tensors of shape ``(T, B, N, D)`` (time, batch, tokens,
+features), followed by batch normalization and an LIF layer.  These wrappers
+fold the time and batch axes so the autograd functional layers see plain 2-D
+problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, Parameter, Tensor, functional as F
+from .lif import LIF
+
+__all__ = ["TimeLinear", "TimeConv2d", "TimeBatchNorm", "SpikingLinear"]
+
+
+def _kaiming(rng: np.random.Generator, fan_in: int, shape: tuple[int, ...]) -> np.ndarray:
+    scale = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, scale, size=shape)
+
+
+class TimeLinear(Module):
+    """Linear layer applied to the last axis of a ``(T, B, N, D_in)`` tensor."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(_kaiming(rng, in_features, (out_features, in_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected last dim {self.in_features}, got {x.shape[-1]}"
+            )
+        return F.linear(x, self.weight, self.bias)
+
+
+class TimeConv2d(Module):
+    """Conv2d applied per time point to a ``(T, B, C, H, W)`` tensor."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            _kaiming(rng, fan_in, (out_channels, in_channels, kernel_size, kernel_size))
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        t, b = x.shape[0], x.shape[1]
+        folded = x.reshape(t * b, *x.shape[2:])
+        out = F.conv2d(
+            folded, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+        return out.reshape(t, b, *out.shape[1:])
+
+
+class TimeBatchNorm(Module):
+    """BatchNorm over all axes except the trailing feature axis."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.num_features:
+            raise ValueError(f"expected last dim {self.num_features}, got {x.shape[-1]}")
+        return F.batch_norm(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+
+class SpikingLinear(Module):
+    """The paper's canonical layer: ``LIF(BN(X · W))``.
+
+    This is the shape of every Q/K/V/O projection (Eq. 3-5) and of each MLP
+    stage; the accelerator maps its matmul onto the dense + sparse TTB cores
+    and its LIF onto the spike generator.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        v_threshold: float = 1.0,
+        v_leak: float = 0.0,
+        surrogate: str = "atan",
+        use_batchnorm: bool = True,
+    ):
+        super().__init__()
+        self.proj = TimeLinear(in_features, out_features, rng)
+        self.norm = TimeBatchNorm(out_features) if use_batchnorm else None
+        self.lif = LIF(v_threshold=v_threshold, v_leak=v_leak, surrogate=surrogate)
+
+    def forward(self, x: Tensor) -> Tensor:
+        current = self.proj(x)
+        if self.norm is not None:
+            current = self.norm(current)
+        return self.lif(current)

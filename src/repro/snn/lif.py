@@ -1,0 +1,106 @@
+"""Leaky integrate-and-fire neuron layer (paper Eq. 1-2).
+
+Discretized dynamics over time points ``t_k``::
+
+    V_m[t_k] = V_m[t_k-1] + I[t_k] - V_leak
+    S[t_k]   = 1 and V_m reset to 0   if V_m[t_k] > V_th
+             = 0 and V_m kept         otherwise
+
+The layer runs over the leading time axis of its input (shape ``(T, ...)``)
+and is differentiable through time (BPTT) via surrogate gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, Tensor
+from .surrogate import spike
+
+__all__ = ["LIF", "lif_forward"]
+
+
+def lif_forward(
+    current: Tensor,
+    v_threshold: float = 1.0,
+    v_leak: float = 0.0,
+    surrogate: str = "atan",
+) -> Tensor:
+    """Run LIF dynamics over the leading time axis of ``current``.
+
+    Parameters
+    ----------
+    current:
+        Synaptic input ``I`` with shape ``(T, ...)``.
+    v_threshold:
+        Firing threshold ``V_th`` (Eq. 2).
+    v_leak:
+        Constant leak subtracted each step (Eq. 1).
+    surrogate:
+        Surrogate-gradient family for the firing nonlinearity.
+
+    Returns
+    -------
+    Tensor
+        Binary spike train ``S`` with the same shape as ``current``.
+    """
+    if current.ndim < 1:
+        raise ValueError("LIF input must have a leading time axis")
+    timesteps = current.shape[0]
+    membrane: Tensor | None = None
+    spikes: list[Tensor] = []
+    for t in range(timesteps):
+        injected = current[t]
+        if membrane is None:
+            membrane = injected - v_leak
+        else:
+            membrane = membrane + injected - v_leak
+        fired = spike(membrane - v_threshold, surrogate=surrogate)
+        spikes.append(fired)
+        # Hard reset to zero on fire: V <- V * (1 - S).  For binary S this is
+        # exactly Eq. 2; the multiplicative form keeps the reset differentiable.
+        membrane = membrane * (1.0 - fired)
+    return Tensor.stack(spikes, axis=0)
+
+
+class LIF(Module):
+    """LIF neuron layer over a ``(T, ...)`` input.
+
+    This is the ``LIF(·)`` appearing in the paper's SSA equations (Eq. 3-5, 7)
+    and after every MLP / projection matmul.
+    """
+
+    def __init__(
+        self,
+        v_threshold: float = 1.0,
+        v_leak: float = 0.0,
+        surrogate: str = "atan",
+    ):
+        super().__init__()
+        if v_threshold <= 0:
+            raise ValueError(f"v_threshold must be positive, got {v_threshold}")
+        self.v_threshold = v_threshold
+        self.v_leak = v_leak
+        self.surrogate = surrogate
+
+    def forward(self, current: Tensor) -> Tensor:
+        return lif_forward(
+            current,
+            v_threshold=self.v_threshold,
+            v_leak=self.v_leak,
+            surrogate=self.surrogate,
+        )
+
+    @staticmethod
+    def reference_numpy(
+        current: np.ndarray, v_threshold: float = 1.0, v_leak: float = 0.0
+    ) -> np.ndarray:
+        """Pure-NumPy forward used as a test oracle for the autograd path."""
+        membrane = np.zeros(current.shape[1:], dtype=np.float64)
+        out = np.zeros_like(current, dtype=np.float64)
+        for t in range(current.shape[0]):
+            membrane = membrane + current[t] - v_leak
+            fired = membrane > v_threshold
+            out[t] = fired
+            membrane = np.where(fired, 0.0, membrane)
+        return out

@@ -1,0 +1,87 @@
+"""Post-training weight quantization.
+
+Bishop's datapath assumes multi-bit integer weights (8-bit in the evaluated
+configuration: SAC units select 8-bit weights into 24-bit accumulators).
+This module quantizes a trained model's floating-point weights to the
+accelerator's format — symmetric per-output-channel integer quantization —
+so that accuracy under the deployed number format can be measured, in the
+spirit of the MINT-style quantization the paper cites [56].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Module, Parameter
+
+__all__ = ["QuantizationReport", "quantize_tensor", "quantize_model"]
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Summary of one quantization pass."""
+
+    bits: int
+    num_parameters: int
+    num_quantized: int
+    max_abs_error: float
+    mean_abs_error: float
+
+
+def quantize_tensor(
+    values: np.ndarray, bits: int, per_channel_axis: int | None = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric integer quantization; returns (dequantized, scales).
+
+    ``per_channel_axis`` selects the axis that keeps its own scale (the
+    output-channel axis of weight matrices); ``None`` uses one tensor-wide
+    scale.
+    """
+    if bits < 2 or bits > 16:
+        raise ValueError(f"bits must be in [2, 16], got {bits}")
+    q_max = 2 ** (bits - 1) - 1
+    if per_channel_axis is None:
+        max_abs = np.abs(values).max()
+        scales = np.array(max_abs / q_max if max_abs > 0 else 1.0)
+        quantized = np.round(values / scales).clip(-q_max, q_max)
+        return quantized * scales, scales
+    moved = np.moveaxis(values, per_channel_axis, 0)
+    flat = moved.reshape(moved.shape[0], -1)
+    max_abs = np.abs(flat).max(axis=1)
+    scales = np.where(max_abs > 0, max_abs / q_max, 1.0)
+    quantized = np.round(flat / scales[:, None]).clip(-q_max, q_max)
+    restored = (quantized * scales[:, None]).reshape(moved.shape)
+    return np.moveaxis(restored, 0, per_channel_axis), scales
+
+
+def quantize_model(
+    model: Module, bits: int = 8, min_dims: int = 2
+) -> QuantizationReport:
+    """Quantize every weight parameter of ``model`` in place.
+
+    Only parameters with at least ``min_dims`` dimensions are quantized
+    (biases and batch-norm affine parameters stay in full precision and fold
+    into the spike generator's threshold logic on the hardware).
+    """
+    total, quantized_count = 0, 0
+    max_err, err_sum, err_count = 0.0, 0.0, 0
+    for _, parameter in model.named_parameters():
+        total += 1
+        if parameter.ndim < min_dims:
+            continue
+        original = parameter.data.copy()
+        parameter.data, _ = quantize_tensor(parameter.data, bits)
+        error = np.abs(parameter.data - original)
+        max_err = max(max_err, float(error.max()))
+        err_sum += float(error.sum())
+        err_count += error.size
+        quantized_count += 1
+    return QuantizationReport(
+        bits=bits,
+        num_parameters=total,
+        num_quantized=quantized_count,
+        max_abs_error=max_err,
+        mean_abs_error=err_sum / err_count if err_count else 0.0,
+    )

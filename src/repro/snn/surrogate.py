@@ -1,0 +1,57 @@
+"""Surrogate-gradient spike functions.
+
+The LIF firing rule (paper Eq. 2) is a Heaviside step of the membrane
+potential over threshold; its true derivative is zero almost everywhere, so
+direct training of spiking transformers uses a *surrogate* derivative on the
+backward pass.  We provide the three families commonly used for spiking
+transformers (Spikformer uses the arctangent surrogate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["spike", "SURROGATES", "atan_grad", "rectangular_grad", "sigmoid_grad"]
+
+
+def atan_grad(v: np.ndarray, alpha: float = 2.0) -> np.ndarray:
+    """Derivative of ``(1/π)·arctan(π·α·v/2) + 1/2`` — Spikformer's default."""
+    return alpha / 2.0 / (1.0 + (np.pi / 2.0 * alpha * v) ** 2)
+
+
+def rectangular_grad(v: np.ndarray, width: float = 1.0) -> np.ndarray:
+    """Boxcar window around the threshold (STBP-style)."""
+    return (np.abs(v) < width / 2.0).astype(np.float64) / width
+
+
+def sigmoid_grad(v: np.ndarray, alpha: float = 4.0) -> np.ndarray:
+    """Derivative of a steep sigmoid ``σ(α·v)``."""
+    s = 1.0 / (1.0 + np.exp(-alpha * v))
+    return alpha * s * (1.0 - s)
+
+
+SURROGATES = {
+    "atan": atan_grad,
+    "rectangular": rectangular_grad,
+    "sigmoid": sigmoid_grad,
+}
+
+
+def spike(v_minus_threshold: Tensor, surrogate: str = "atan") -> Tensor:
+    """Heaviside forward, surrogate-gradient backward.
+
+    ``v_minus_threshold`` is ``V_m - V_th``; the output is a binary spike
+    tensor with gradients given by ``SURROGATES[surrogate]``.
+    """
+    try:
+        grad_fn = SURROGATES[surrogate]
+    except KeyError:
+        raise ValueError(
+            f"unknown surrogate {surrogate!r}; options: {sorted(SURROGATES)}"
+        ) from None
+    return v_minus_threshold.apply(
+        lambda v: (v > 0).astype(np.float64),
+        lambda v, grad: grad * grad_fn(v),
+    )

@@ -1,0 +1,19 @@
+"""Training substrate (system S8): synthetic data, trainer, metrics."""
+
+from .data import Dataset, make_event_dataset, make_image_dataset, make_sequence_dataset
+from .loop import TrainConfig, Trainer, TrainHistory, encode_batch
+from .metrics import collect_taps, confusion_matrix, model_bundle_distributions
+
+__all__ = [
+    "Dataset",
+    "make_image_dataset",
+    "make_event_dataset",
+    "make_sequence_dataset",
+    "TrainConfig",
+    "Trainer",
+    "TrainHistory",
+    "encode_batch",
+    "confusion_matrix",
+    "collect_taps",
+    "model_bundle_distributions",
+]

@@ -1,0 +1,57 @@
+"""Evaluation metrics and bundle-statistics extraction from trained models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..bundles import ActiveBundleDistribution, BundleSpec, active_bundle_distribution
+from ..model import SpikingTransformer
+from .data import Dataset
+from .loop import encode_batch
+
+__all__ = ["confusion_matrix", "collect_taps", "model_bundle_distributions"]
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """``matrix[i, j]`` = count of true class ``i`` predicted as ``j``."""
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def collect_taps(
+    model: SpikingTransformer, dataset: Dataset, inputs: np.ndarray
+) -> list[tuple[str, np.ndarray]]:
+    """Run one eval forward pass and return named spike activations (NumPy)."""
+    encoded = encode_batch(inputs, dataset.kind, model.config.timesteps)
+    taps: list[tuple[str, Tensor]] = []
+    model.eval()
+    with no_grad():
+        model(encoded, taps=taps)
+    model.train()
+    return [(name, tensor.data) for name, tensor in taps]
+
+
+def model_bundle_distributions(
+    model: SpikingTransformer,
+    dataset: Dataset,
+    spec: BundleSpec,
+    inputs: np.ndarray | None = None,
+    sample: int = 0,
+) -> dict[str, ActiveBundleDistribution]:
+    """Fig.-5 statistics: active-bundle distribution of every tapped tensor.
+
+    Returns a mapping from tap name (e.g. ``block0.q``) to the per-feature
+    active-bundle distribution of batch element ``sample``.
+    """
+    if inputs is None:
+        inputs = dataset.x_test[: max(sample + 1, 4)]
+    taps = collect_taps(model, dataset, inputs)
+    out: dict[str, ActiveBundleDistribution] = {}
+    for name, data in taps:
+        spikes = data[:, sample]  # (T, N, D)
+        out[name] = active_bundle_distribution(spikes, spec)
+    return out

@@ -1,0 +1,120 @@
+"""BSA loss tests (Eq. 9-10) and its gradient behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.algo import TAG_MODES, BundleSparsityLoss, bundle_sums
+from repro.autograd import Tensor
+from repro.bundles import BundleSpec, TTBGrid
+
+
+def batched_spikes(rng, t=4, b=2, n=8, d=6, density=0.3):
+    return Tensor((rng.random((t, b, n, d)) < density).astype(np.float64))
+
+
+class TestBundleSums:
+    def test_matches_ttb_grid(self, rng, spec):
+        x = batched_spikes(rng)
+        sums = bundle_sums(x, spec)
+        for batch in range(x.shape[1]):
+            grid = TTBGrid(x.data[:, batch], spec)
+            np.testing.assert_array_equal(
+                sums.data[:, batch], grid.tags
+            )
+
+    def test_handles_padding(self, rng):
+        x = Tensor((rng.random((5, 1, 7, 3)) < 0.5).astype(np.float64))
+        sums = bundle_sums(x, BundleSpec(2, 4))
+        assert sums.shape == (3, 1, 2, 3)
+        assert sums.data.sum() == x.data.sum()
+
+    def test_differentiable(self, rng, spec):
+        x = Tensor((rng.random((4, 1, 8, 4)) < 0.4).astype(np.float64), requires_grad=True)
+        bundle_sums(x, spec).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones_like(x.data))
+
+
+class TestTagModes:
+    def test_l0_is_identity(self, rng, spec):
+        loss = BundleSparsityLoss(spec, tag="l0", normalize=False)
+        x = batched_spikes(rng, b=1)
+        value = loss([("a", x)]).item()
+        assert value == x.data.sum()
+
+    def test_saturating_bounded_by_one(self, rng, spec):
+        loss = BundleSparsityLoss(spec, tag="saturating")
+        sums = Tensor(np.array([0.0, 1.0, 8.0, 100.0]))
+        tags = loss.tag_values(sums).data
+        assert (tags >= 0).all() and (tags < 1.0).all()
+        assert tags[0] == 0.0
+
+    def test_saturating_gradient_focuses_on_sparse_bundles(self, spec):
+        loss = BundleSparsityLoss(spec, tag="saturating", alpha=0.5)
+        sums = Tensor(np.array([1.0, 8.0]), requires_grad=True)
+        loss.tag_values(sums).sum().backward()
+        # d/ds s/(s+α) = α/(s+α)²: near-empty bundles feel far more pressure.
+        assert sums.grad[0] > 10 * sums.grad[1]
+
+    def test_indicator_straight_through(self, spec):
+        loss = BundleSparsityLoss(spec, tag="indicator")
+        sums = Tensor(np.array([0.0, 0.5, 3.0]), requires_grad=True)
+        out = loss.tag_values(sums)
+        np.testing.assert_array_equal(out.data, [0.0, 0.5, 1.0])
+        out.sum().backward()
+        np.testing.assert_array_equal(sums.grad, [1.0, 1.0, 1.0])
+
+    def test_rejects_unknown_tag(self, spec):
+        with pytest.raises(ValueError):
+            BundleSparsityLoss(spec, tag="huh")
+
+    def test_rejects_bad_alpha(self, spec):
+        with pytest.raises(ValueError):
+            BundleSparsityLoss(spec, alpha=0.0)
+
+    def test_all_modes_registered(self):
+        assert set(TAG_MODES) == {"l0", "saturating", "indicator"}
+
+
+class TestLoss:
+    def test_zero_for_silent_network(self, spec):
+        loss = BundleSparsityLoss(spec)
+        x = Tensor(np.zeros((4, 2, 8, 4)))
+        assert loss([("a", x)]).item() == 0.0
+
+    def test_normalized_loss_scale_free(self, rng, spec):
+        # Same density, different widths: normalized values should be close.
+        loss = BundleSparsityLoss(spec, tag="l0", normalize=True)
+        x_small = batched_spikes(rng, d=4, density=0.3)
+        x_large = batched_spikes(rng, d=64, density=0.3)
+        v_small = loss([("a", x_small)]).item()
+        v_large = loss([("a", x_large)]).item()
+        assert abs(v_small - v_large) < 0.5
+
+    def test_multiple_taps_summed(self, rng, spec):
+        loss = BundleSparsityLoss(spec, tag="l0", normalize=False)
+        x = batched_spikes(rng, b=1)
+        y = batched_spikes(rng, b=1)
+        combined = loss([("a", x), ("b", y)]).item()
+        assert combined == pytest.approx(
+            loss([("a", x)]).item() + loss([("b", y)]).item()
+        )
+
+    def test_batch_averaged(self, rng, spec):
+        loss = BundleSparsityLoss(spec, tag="l0", normalize=False)
+        x1 = batched_spikes(rng, b=1)
+        x2 = Tensor(np.concatenate([x1.data, x1.data], axis=1))
+        np.testing.assert_allclose(
+            loss([("a", x1)]).item(), loss([("a", x2)]).item()
+        )
+
+    def test_rejects_empty_taps(self, spec):
+        with pytest.raises(ValueError):
+            BundleSparsityLoss(spec)([])
+
+    def test_gradient_reaches_activations(self, rng, spec):
+        x = Tensor((rng.random((4, 1, 8, 4)) < 0.4).astype(np.float64), requires_grad=True)
+        loss = BundleSparsityLoss(spec, tag="saturating")
+        loss([("a", x)]).backward()
+        assert x.grad is not None
+        assert (x.grad >= 0).all()       # pressure always pushes down
+        assert np.abs(x.grad).sum() > 0

@@ -1,0 +1,90 @@
+"""Analysis utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    BishopAccelerator,
+    BishopConfig,
+    boundedness_profile,
+    energy_decomposition,
+    speedup_table,
+    utilization_summary,
+)
+from repro.baselines import PTBAccelerator
+from repro.bundles import BundleSpec
+from repro.harness.synthetic import PROFILES, synthetic_trace
+from repro.model import model_config
+
+
+@pytest.fixture(scope="module")
+def reports():
+    spec = BundleSpec(2, 4)
+    trace = synthetic_trace(model_config("model4"), PROFILES["model4"], spec, seed=0)
+    bishop = BishopAccelerator(BishopConfig(bundle_spec=spec)).run_trace(trace)
+    ptb = PTBAccelerator().run_trace(trace)
+    return bishop, ptb
+
+
+class TestBoundedness:
+    def test_covers_all_layers(self, reports):
+        bishop, _ = reports
+        profile = boundedness_profile(bishop)
+        assert len(profile) == len(bishop.layers)
+
+    def test_bound_labels(self, reports):
+        bishop, _ = reports
+        for entry in boundedness_profile(bishop):
+            assert entry.bound in ("compute", "memory")
+            assert entry.imbalance >= 1.0
+
+
+class TestEnergyDecomposition:
+    def test_fractions_sum_to_one(self, reports):
+        bishop, _ = reports
+        decomposition = energy_decomposition(bishop)
+        total = (
+            decomposition.compute + decomposition.memory
+            + decomposition.spike_generation + decomposition.static
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_dominant_is_valid(self, reports):
+        bishop, _ = reports
+        assert energy_decomposition(bishop).dominant() in (
+            "compute", "memory", "spike_generation", "static"
+        )
+
+    def test_memory_by_kind_present(self, reports):
+        bishop, _ = reports
+        decomposition = energy_decomposition(bishop)
+        assert "weight" in decomposition.memory_by_kind
+
+    def test_rejects_empty_report(self):
+        from repro.arch import InferenceReport
+
+        with pytest.raises(ValueError):
+            energy_decomposition(InferenceReport("x", "y"))
+
+
+class TestSummaries:
+    def test_utilization_bounds(self, reports):
+        bishop, _ = reports
+        summary = utilization_summary(bishop)
+        assert 0.0 < summary["min"] <= summary["mean"] <= summary["max"] <= 1.0
+
+    def test_speedup_table(self, reports):
+        bishop, ptb = reports
+        table = speedup_table(ptb, bishop)
+        assert table["total_speedup"] > 1.0
+        assert table["total_energy_gain"] > 1.0
+        assert table["edp_gain"] == pytest.approx(
+            table["total_speedup"] * table["total_energy_gain"], rel=1e-6
+        )
+        for phase in ("P1", "ATN", "P2", "MLP"):
+            assert f"{phase}_speedup" in table
+
+    def test_speedup_table_identity(self, reports):
+        bishop, _ = reports
+        table = speedup_table(bishop, bishop)
+        assert table["total_speedup"] == pytest.approx(1.0)

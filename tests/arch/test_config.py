@@ -1,0 +1,73 @@
+"""Architecture configuration tests."""
+
+import pytest
+
+from repro.arch import BishopConfig, DRAMConfig, PTBConfig
+from repro.bundles import BundleSpec
+
+
+class TestBishopConfig:
+    def test_paper_defaults(self):
+        config = BishopConfig()
+        assert config.dense_pes == 512            # 16 × 32
+        assert config.attn_pes == 512
+        assert config.sparse_units == 128
+        assert config.total_pes == 1152
+        assert config.spikes_per_cycle == 10
+        assert config.spike_generator_lanes == 512
+        assert config.clock_hz == 500e6
+        assert config.weight_glb_bytes == 144 * 1024
+        assert config.spike_glb_bytes == 12 * 1024
+
+    def test_throughputs(self):
+        config = BishopConfig()
+        assert config.dense_throughput == 5120
+        assert config.sparse_throughput == 1280
+        assert config.attn_throughput == 5120
+
+    def test_with_overrides(self):
+        config = BishopConfig().with_overrides(sparse_units=64)
+        assert config.sparse_units == 64
+        assert config.dense_rows == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BishopConfig(dense_rows=0)
+        with pytest.raises(ValueError):
+            BishopConfig(spikes_per_cycle=0)
+        with pytest.raises(ValueError):
+            BishopConfig(clock_hz=0)
+
+    def test_bundle_spec_frozen_default(self):
+        a, b = BishopConfig(), BishopConfig()
+        assert a.bundle_spec == b.bundle_spec == BundleSpec(2, 4)
+
+
+class TestPTBConfig:
+    def test_equal_area_pe_count(self):
+        assert PTBConfig().pe_count == BishopConfig().total_pes
+
+    def test_window_semantics(self):
+        config = PTBConfig()
+        assert config.effective_time_lanes(4) == 4     # short-T underuse
+        assert config.effective_time_lanes(20) == 10   # window cap
+        assert config.effective_time_lanes(0) == 1     # floor
+
+    def test_attention_throughput_much_lower(self):
+        config = PTBConfig()
+        assert config.attention_throughput < 0.5 * config.throughput
+
+    def test_with_overrides(self):
+        config = PTBConfig().with_overrides(skip_efficiency=0.0)
+        assert config.skip_efficiency == 0.0
+
+
+class TestDRAMConfig:
+    def test_paper_bandwidth(self):
+        dram = DRAMConfig()
+        assert dram.bandwidth_bytes_per_s == 76.8e9
+        assert dram.power_w == pytest.approx(0.3239)
+
+    def test_transfer_time(self):
+        dram = DRAMConfig(bandwidth_bytes_per_s=1e9)
+        assert dram.transfer_time_s(2e9) == pytest.approx(2.0)

@@ -1,0 +1,86 @@
+"""Energy/area model tests — Fig. 17 anchors and per-op accounting."""
+
+import pytest
+
+from repro.arch import BISHOP_BREAKDOWN, PTB_BREAKDOWN, EnergyModel
+
+
+class TestFig17Anchors:
+    def test_bishop_totals_match_paper(self):
+        assert BISHOP_BREAKDOWN.total_area_mm2 == pytest.approx(2.96, abs=0.01)
+        assert BISHOP_BREAKDOWN.total_power_mw == pytest.approx(627.0, abs=0.5)
+
+    def test_ptb_totals_match_paper(self):
+        assert PTB_BREAKDOWN.total_area_mm2 == pytest.approx(2.80, abs=0.01)
+        assert PTB_BREAKDOWN.total_power_mw == pytest.approx(606.9, abs=0.5)
+
+    @pytest.mark.parametrize(
+        "component, area, power",
+        [
+            ("sparse_core", 0.38, 72.2),
+            ("dense_core", 0.92, 246.1),
+            ("attention_core", 1.06, 242.51),
+            ("spike_generator", 0.09, 18.1),
+            ("glb", 0.495, 48.3),
+        ],
+    )
+    def test_component_values(self, component, area, power):
+        got_area, got_power = BISHOP_BREAKDOWN.components[component]
+        assert got_area == area and got_power == power
+
+    def test_paper_percentages(self):
+        """Sec. 6.6: dense 39.2% power / 31.3% area, attention 38.7% / 36.0%."""
+        assert BISHOP_BREAKDOWN.power_fraction("dense_core") == pytest.approx(0.392, abs=0.01)
+        assert BISHOP_BREAKDOWN.area_fraction("dense_core") == pytest.approx(0.313, abs=0.01)
+        assert BISHOP_BREAKDOWN.power_fraction("attention_core") == pytest.approx(0.387, abs=0.01)
+        assert BISHOP_BREAKDOWN.area_fraction("attention_core") == pytest.approx(0.36, abs=0.01)
+
+    def test_cores_dominate(self):
+        """Sec. 6.6: ~90% of power and ~80% of area in the three cores."""
+        core_power = sum(
+            BISHOP_BREAKDOWN.power_fraction(c)
+            for c in ("sparse_core", "dense_core", "attention_core")
+        )
+        core_area = sum(
+            BISHOP_BREAKDOWN.area_fraction(c)
+            for c in ("sparse_core", "dense_core", "attention_core")
+        )
+        assert core_power > 0.85
+        assert core_area > 0.75
+
+
+class TestEnergyModel:
+    def test_compute_kinds(self):
+        model = EnergyModel()
+        assert model.compute_pj("sac", 100) == pytest.approx(100 * model.e_sac_pj)
+        assert model.compute_pj("aac", 1) == model.e_aac_pj
+        assert model.compute_pj("mac8", 1) == model.e_mac8_pj
+        assert model.compute_pj("lif", 2) == pytest.approx(2 * model.e_lif_update_pj)
+
+    def test_mac_much_more_expensive_than_sac(self):
+        """Bishop's multiplier-less premise: a MUX+acc beats an 8-bit MAC."""
+        model = EnergyModel()
+        assert model.e_mac8_pj > 5 * model.e_sac_pj
+
+    def test_memory_hierarchy_ordering(self):
+        model = EnergyModel()
+        assert model.e_spad_pj_per_byte < model.e_glb_pj_per_byte < model.e_dram_pj_per_byte
+
+    def test_unknown_kinds_raise(self):
+        model = EnergyModel()
+        with pytest.raises(ValueError):
+            model.compute_pj("fma", 1)
+        with pytest.raises(ValueError):
+            model.memory_pj("l2", 1)
+
+    def test_static_energy_scales_with_time(self):
+        model = EnergyModel()
+        assert model.static_pj(2e-3) == pytest.approx(2 * model.static_pj(1e-3))
+
+    def test_dense_core_power_consistent_with_anchor(self):
+        """A fully-busy dense core's dynamic power should be within 2× of the
+        synthesized 246 mW anchor (order-of-magnitude calibration check)."""
+        model = EnergyModel()
+        ops_per_second = 512 * 10 * 500e6          # PEs × lanes × clock
+        watts = model.e_sac_pj * ops_per_second * 1e-12
+        assert 0.05 < watts < 0.5

@@ -1,0 +1,93 @@
+"""Traffic ledger and memory accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    DRAMConfig,
+    EnergyModel,
+    TrafficLedger,
+    bundle_storage_bytes,
+    spike_payload_bytes,
+)
+
+
+class TestLedger:
+    def test_add_and_filter(self):
+        ledger = TrafficLedger()
+        ledger.add("glb", "weight", 100.0)
+        ledger.add("glb", "activation", 50.0)
+        ledger.add("dram", "weight", 10.0)
+        assert ledger.bytes() == 160.0
+        assert ledger.bytes(level="glb") == 150.0
+        assert ledger.bytes(kind="weight") == 110.0
+        assert ledger.bytes(level="dram", kind="weight") == 10.0
+
+    def test_accumulates(self):
+        ledger = TrafficLedger()
+        ledger.add("glb", "weight", 1.0)
+        ledger.add("glb", "weight", 2.0)
+        assert ledger.bytes() == 3.0
+
+    def test_rejects_bad_level_kind(self):
+        ledger = TrafficLedger()
+        with pytest.raises(ValueError):
+            ledger.add("l4", "weight", 1.0)
+        with pytest.raises(ValueError):
+            ledger.add("glb", "gradient", 1.0)
+        with pytest.raises(ValueError):
+            ledger.add("glb", "weight", -1.0)
+
+    def test_energy_uses_per_level_cost(self):
+        model = EnergyModel()
+        ledger = TrafficLedger()
+        ledger.add("dram", "weight", 10.0)
+        ledger.add("glb", "weight", 10.0)
+        expected = 10 * model.e_dram_pj_per_byte + 10 * model.e_glb_pj_per_byte
+        assert ledger.energy_pj(model) == pytest.approx(expected)
+
+    def test_energy_by_kind(self):
+        model = EnergyModel()
+        ledger = TrafficLedger()
+        ledger.add("glb", "weight", 4.0)
+        ledger.add("dram", "weight", 2.0)
+        ledger.add("glb", "score", 8.0)
+        by_kind = ledger.energy_by_kind_pj(model)
+        assert by_kind["weight"] == pytest.approx(
+            4 * model.e_glb_pj_per_byte + 2 * model.e_dram_pj_per_byte
+        )
+        assert set(by_kind) == {"weight", "score"}
+
+    def test_dram_time(self):
+        dram = DRAMConfig(bandwidth_bytes_per_s=100.0)
+        ledger = TrafficLedger()
+        ledger.add("dram", "activation", 250.0)
+        ledger.add("glb", "activation", 999.0)  # not DRAM: must not count
+        assert ledger.dram_time_s(dram) == pytest.approx(2.5)
+
+    def test_merge(self):
+        a, b = TrafficLedger(), TrafficLedger()
+        a.add("glb", "weight", 1.0)
+        b.add("glb", "weight", 2.0)
+        b.add("spad", "output", 3.0)
+        a.merge(b)
+        assert a.bytes() == 6.0
+
+
+class TestSizing:
+    def test_spike_payload_one_bit_per_value(self):
+        assert spike_payload_bytes(8, 16) == 16.0
+
+    def test_bundle_storage_payload_plus_tags(self):
+        # 10 active bundles × 8-bit payload + 100 tag bits = 80+100 bits.
+        assert bundle_storage_bytes(10, 8, 100) == pytest.approx(180 / 8)
+
+    def test_bundle_storage_empty(self):
+        assert bundle_storage_bytes(0, 8, 100) == pytest.approx(100 / 8)
+
+    def test_bundle_storage_less_than_dense_when_sparse(self):
+        """TTB compression wins once bundles are mostly inactive."""
+        total_bundles = 1000
+        dense = spike_payload_bytes(total_bundles * 8, 1)
+        compressed = bundle_storage_bytes(100, 8, total_bundles)
+        assert compressed < dense

@@ -1,0 +1,81 @@
+"""Inter-layer pipelining schedule tests."""
+
+import pytest
+
+from repro.arch import (
+    EnergyBreakdown,
+    InferenceReport,
+    LayerReport,
+    TrafficLedger,
+    pipeline_schedule,
+)
+
+
+def layer(compute: float, dram: float) -> LayerReport:
+    return LayerReport(
+        block=0, kind="mlp1", phase="MLP",
+        cycles=1.0, latency_s=max(compute, dram),
+        energy=EnergyBreakdown(), traffic=TrafficLedger(),
+        notes={"compute_time_s": compute, "dram_time_s": dram},
+    )
+
+
+def report(*layers) -> InferenceReport:
+    return InferenceReport("bishop", "m", layers=list(layers))
+
+
+class TestSchedule:
+    def test_serial_is_sum_of_maxima(self):
+        schedule = pipeline_schedule(report(layer(3.0, 1.0), layer(2.0, 4.0)))
+        assert schedule.serial_latency_s == pytest.approx(3.0 + 4.0)
+
+    def test_prefetch_overlaps_other_layer_dram(self):
+        # layer0: c=3, d=1; layer1: c=2, d=4.  Steady state: max(5, 5) = 5.
+        schedule = pipeline_schedule(report(layer(3.0, 1.0), layer(2.0, 4.0)))
+        assert schedule.pipelined_latency_s == pytest.approx(5.0)
+        assert schedule.serial_latency_s == pytest.approx(7.0)
+
+    def test_compute_bound_chain_hides_all_dram(self):
+        schedule = pipeline_schedule(
+            report(layer(5.0, 1.0), layer(5.0, 2.0), layer(5.0, 1.0))
+        )
+        assert schedule.pipelined_latency_s == pytest.approx(15.0)
+        assert schedule.savings_fraction == 0.0  # serial already compute-bound
+
+    def test_memory_bound_layers_benefit(self):
+        # Alternating compute/memory layers: serial pays both, pipeline hides.
+        schedule = pipeline_schedule(
+            report(layer(4.0, 0.0), layer(0.5, 4.0), layer(4.0, 0.0), layer(0.5, 4.0))
+        )
+        assert schedule.pipelined_latency_s < schedule.serial_latency_s
+        assert schedule.savings_fraction > 0.2
+
+    def test_never_beats_lower_bound(self):
+        schedule = pipeline_schedule(
+            report(layer(1.0, 3.0), layer(2.0, 1.0), layer(0.5, 2.5))
+        )
+        assert schedule.pipelined_latency_s >= schedule.lower_bound_s - 1e-12
+
+    def test_never_worse_than_serial(self):
+        schedule = pipeline_schedule(
+            report(layer(1.0, 3.0), layer(2.0, 1.0), layer(0.5, 2.5))
+        )
+        assert schedule.pipelined_latency_s <= schedule.serial_latency_s + 1e-12
+
+    def test_empty_report(self):
+        schedule = pipeline_schedule(report())
+        assert schedule.pipelined_latency_s == 0.0
+        assert schedule.savings_fraction == 0.0
+
+    def test_real_bishop_report(self):
+        from repro.arch import BishopAccelerator, BishopConfig
+        from repro.bundles import BundleSpec
+        from repro.harness.synthetic import PROFILES, synthetic_trace
+        from repro.model import model_config
+
+        spec = BundleSpec(2, 4)
+        trace = synthetic_trace(model_config("model4"), PROFILES["model4"], spec, seed=0)
+        run = BishopAccelerator(BishopConfig(bundle_spec=spec)).run_trace(trace)
+        schedule = pipeline_schedule(run)
+        assert 0.0 <= schedule.savings_fraction < 1.0
+        assert schedule.pipelined_latency_s <= run.total_latency_s + 1e-12

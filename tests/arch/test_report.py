@@ -1,0 +1,59 @@
+"""Report container tests."""
+
+import pytest
+
+from repro.arch import EnergyBreakdown, InferenceReport, LayerReport, TrafficLedger
+
+
+def layer(block=0, phase="P1", latency=1e-4, energy=100.0):
+    breakdown = EnergyBreakdown(compute_pj=energy)
+    return LayerReport(
+        block=block, kind=phase.lower(), phase=phase,
+        cycles=10.0, latency_s=latency, energy=breakdown,
+        traffic=TrafficLedger(),
+    )
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(compute_pj=1.0, memory_pj=2.0, spike_gen_pj=3.0, static_pj=4.0)
+        assert e.total_pj == 10.0
+        assert e.total_mj == pytest.approx(10e-9)
+
+    def test_add_merges_kinds(self):
+        a = EnergyBreakdown(compute_pj=1.0, memory_by_kind_pj={"weight": 5.0})
+        b = EnergyBreakdown(compute_pj=2.0, memory_by_kind_pj={"weight": 1.0, "score": 2.0})
+        a.add(b)
+        assert a.compute_pj == 3.0
+        assert a.memory_by_kind_pj == {"weight": 6.0, "score": 2.0}
+
+
+class TestInferenceReport:
+    def test_totals(self):
+        report = InferenceReport("bishop", "m", layers=[layer(), layer(latency=2e-4)])
+        assert report.total_latency_s == pytest.approx(3e-4)
+        assert report.total_energy_pj == 200.0
+        assert report.edp == pytest.approx(200.0 * 3e-4)
+
+    def test_phase_slicing(self):
+        report = InferenceReport(
+            "bishop", "m",
+            layers=[layer(phase="P1"), layer(phase="ATN", energy=50.0), layer(phase="ATN")],
+        )
+        assert report.phase_latency("ATN") == pytest.approx(2e-4)
+        assert report.attention_energy_pj() == 150.0
+        assert report.phase_energy_pj("P1") == 100.0
+
+    def test_by_phase_aggregates_same_cell(self):
+        report = InferenceReport(
+            "bishop", "m",
+            layers=[layer(block=1, phase="P1"), layer(block=1, phase="P1")],
+        )
+        cells = report.by_phase()
+        assert len(cells) == 1
+        assert cells[(1, "P1")].latency_s == pytest.approx(2e-4)
+        assert cells[(1, "P1")].energy.total_pj == 200.0
+
+    def test_layer_edp(self):
+        l = layer()
+        assert l.edp == pytest.approx(100.0 * 1e-4)

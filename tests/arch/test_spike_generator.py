@@ -1,0 +1,45 @@
+"""Spike generator model tests."""
+
+import pytest
+
+from repro.arch import BishopConfig, EnergyModel, simulate_spike_generator
+from repro.bundles import BundleSpec
+
+
+def config(**kwargs):
+    return BishopConfig(bundle_spec=BundleSpec(2, 4), **kwargs)
+
+
+class TestSpikeGenerator:
+    def test_updates_count(self):
+        result = simulate_spike_generator(4, 16, 32, config())
+        assert result.updates == 4 * 16 * 32
+
+    def test_cycles_time_serial_lane_parallel(self):
+        cfg = config(spike_generator_lanes=512)
+        result = simulate_spike_generator(4, 16, 64, cfg)
+        # 1024 neurons / 512 lanes = 2 cycles per step, ×4 steps.
+        assert result.cycles == 4 * 2
+
+    def test_single_lane_limit(self):
+        cfg = config(spike_generator_lanes=1)
+        result = simulate_spike_generator(2, 4, 4, cfg)
+        assert result.cycles == 2 * 16
+
+    def test_energy(self):
+        model = EnergyModel()
+        result = simulate_spike_generator(4, 16, 32, config())
+        assert result.compute_energy_pj(model) == pytest.approx(
+            result.updates * model.e_lif_update_pj
+        )
+
+    def test_spike_writeback_traffic(self):
+        result = simulate_spike_generator(4, 16, 32, config())
+        assert result.traffic.bytes(level="glb", kind="activation") == pytest.approx(
+            4 * 16 * 32 / 8
+        )
+
+    def test_time_s(self):
+        cfg = config()
+        result = simulate_spike_generator(4, 16, 32, cfg)
+        assert result.time_s(cfg) == pytest.approx(result.cycles / cfg.clock_hz)

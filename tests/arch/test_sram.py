@@ -1,0 +1,60 @@
+"""CACTI-like SRAM estimator tests."""
+
+import pytest
+
+from repro.arch import estimate_sram, glb_configuration_estimate
+from repro.arch.energy import EnergyModel
+
+
+class TestScalingLaws:
+    def test_energy_grows_sublinearly_with_capacity(self):
+        small = estimate_sram(16 * 1024)
+        large = estimate_sram(256 * 1024)
+        ratio = large.read_energy_pj / small.read_energy_pj
+        assert 1.0 < ratio < 16.0          # √16 = 4 expected
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_energy_scales_with_port_width(self):
+        narrow = estimate_sram(64 * 1024, port_bits=256)
+        wide = estimate_sram(64 * 1024, port_bits=512)
+        assert wide.read_energy_pj == pytest.approx(2 * narrow.read_energy_pj)
+
+    def test_write_costs_more_than_read(self):
+        macro = estimate_sram(64 * 1024)
+        assert macro.write_energy_pj > macro.read_energy_pj
+
+    def test_leakage_and_area_linear(self):
+        small = estimate_sram(32 * 1024)
+        large = estimate_sram(64 * 1024)
+        assert large.leakage_mw == pytest.approx(2 * small.leakage_mw)
+        assert large.area_mm2 < 2 * small.area_mm2  # periphery amortizes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_sram(0)
+        with pytest.raises(ValueError):
+            estimate_sram(1024, port_bits=100)
+
+
+class TestGLBConfiguration:
+    def test_matches_paper_shape(self):
+        """Fig. 17: GLBs are 0.495 mm² and 48.3 mW; our estimate must land
+        within 2× of both anchors."""
+        macros = glb_configuration_estimate()
+        area = sum(m.area_mm2 for m in macros.values())
+        leakage = sum(m.leakage_mw for m in macros.values())
+        assert 0.2 < area < 1.0
+        assert 10.0 < leakage + 30 < 100.0  # leakage + dynamic headroom
+
+    def test_per_byte_energy_near_energy_model(self):
+        """The EnergyModel's GLB constant should be consistent with the
+        estimator at the weight-GLB geometry (within ~3×)."""
+        macro = glb_configuration_estimate()["weight_glb"]
+        model = EnergyModel()
+        ratio = macro.energy_pj_per_byte / model.e_glb_pj_per_byte
+        assert 1 / 3 < ratio < 3.0
+
+    def test_keys(self):
+        assert set(glb_configuration_estimate()) == {
+            "weight_glb", "spike_glb0", "spike_glb1"
+        }

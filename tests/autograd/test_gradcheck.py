@@ -1,0 +1,47 @@
+"""Tests for the gradient-checking utility itself."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.gradcheck import gradcheck, numerical_gradient
+
+
+class TestNumericalGradient:
+    def test_matches_analytic_for_quadratic(self, rng):
+        x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        numeric = numerical_gradient(lambda ts: ts[0] * ts[0], [x], 0)
+        np.testing.assert_allclose(numeric, 2 * x.data, atol=1e-5)
+
+    def test_respects_index(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        numeric_b = numerical_gradient(lambda ts: ts[0] * ts[1], [a, b], 1)
+        np.testing.assert_allclose(numeric_b, a.data, atol=1e-5)
+
+
+class TestGradcheck:
+    def test_passes_on_correct_op(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        assert gradcheck(lambda ts: ts[0].tanh(), [x])
+
+    def test_catches_wrong_gradient(self, rng):
+        x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+
+        def buggy(ts):
+            # forward x², backward pretends derivative is 3x.
+            return ts[0].apply(lambda v: v**2, lambda v, g: g * 3 * v)
+
+        with pytest.raises(AssertionError, match="mismatch"):
+            gradcheck(buggy, [x])
+
+    def test_catches_missing_gradient(self, rng):
+        x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        y = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        with pytest.raises(AssertionError, match="no gradient"):
+            gradcheck(lambda ts: ts[0] * 1.0, [x, y])
+
+    def test_skips_non_grad_inputs(self, rng):
+        x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        const = Tensor(rng.normal(size=(4,)))
+        assert gradcheck(lambda ts: ts[0] * ts[1], [x, const])

@@ -1,0 +1,121 @@
+"""Module container tests: registration, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Module, ModuleList, Parameter, Tensor, init_rng
+
+
+class Leaf(Module):
+    def __init__(self, n=3):
+        super().__init__()
+        self.weight = Parameter(np.ones(n))
+        self.bias = Parameter(np.zeros(n))
+
+    def forward(self, x):
+        return x * self.weight + self.bias
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Leaf()
+        self.second = Leaf(2)
+        self.stack = ModuleList([Leaf(1), Leaf(1)])
+
+    def forward(self, x):
+        return self.first(x)
+
+
+class TestRegistration:
+    def test_named_parameters_recursive(self):
+        names = {name for name, _ in Nested().named_parameters()}
+        assert "first.weight" in names
+        assert "second.bias" in names
+        assert "stack.item_0.weight" in names
+        assert len(names) == 8
+
+    def test_parameters_count(self):
+        assert len(Nested().parameters()) == 8
+
+    def test_parameter_always_requires_grad(self):
+        from repro.autograd import no_grad
+
+        with no_grad():
+            p = Parameter(np.ones(2))
+        assert p.requires_grad
+
+    def test_modules_iteration(self):
+        mods = list(Nested().modules())
+        assert len(mods) == 6  # root + first + second + list + 2 leaves
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = Nested()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = Leaf()
+        out = model(Tensor(np.ones(3)))
+        out.sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        src, dst = Nested(), Nested()
+        for p in src.parameters():
+            p.data = p.data + 1.0
+        dst.load_state_dict(src.state_dict())
+        for (_, a), (_, b) in zip(src.named_parameters(), dst.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = Leaf()
+        state = model.state_dict()
+        state["weight"] += 99.0
+        assert model.weight.data[0] == 1.0
+
+    def test_load_rejects_missing_keys(self):
+        model = Nested()
+        state = model.state_dict()
+        state.pop("first.weight")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_bad_shape(self):
+        model = Leaf()
+        state = model.state_dict()
+        state["weight"] = np.ones(5)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestModuleList:
+    def test_indexing_and_len(self):
+        items = ModuleList([Leaf(), Leaf()])
+        assert len(items) == 2
+        assert isinstance(items[1], Leaf)
+
+    def test_append_registers(self):
+        items = ModuleList()
+        items.append(Leaf())
+        assert len(list(items)) == 1
+        assert len([p for p in items.parameters()]) == 2
+
+
+class TestInitRng:
+    def test_deterministic(self):
+        a = init_rng(42).normal(size=5)
+        b = init_rng(42).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()

@@ -1,0 +1,132 @@
+"""Optimizer tests: step math and convergence behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, CosineSchedule, Parameter, SGD, Tensor
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def quadratic_grad_step(param):
+    """Set grad of f(x) = x² manually."""
+    param.grad = 2.0 * param.data
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        quadratic_grad_step(p)
+        opt.step()
+        np.testing.assert_allclose(p.data, [5.0 - 0.1 * 10.0])
+
+    def test_momentum_accumulates(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()
+        first = p.data.copy()
+        p.grad = np.array([1.0])
+        opt.step()
+        # Second step moves further: velocity = 0.9·1 + 1 = 1.9.
+        np.testing.assert_allclose(first - p.data, [0.19])
+
+    def test_weight_decay(self):
+        p = quadratic_param(1.0)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.5])
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        opt.step()
+        np.testing.assert_allclose(p.data, [5.0])
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.2, momentum=0.5)
+        for _ in range(100):
+            quadratic_grad_step(p)
+            opt.step()
+        assert abs(p.data[0]) < 1e-4
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        # With bias correction the first step is ≈ lr regardless of grad scale.
+        p = quadratic_param()
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([1234.5])
+        opt.step()
+        np.testing.assert_allclose(5.0 - p.data, [0.01], rtol=1e-5)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            quadratic_grad_step(p)
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_weight_decay_applied(self):
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_zero_grad_helper(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([1.0])
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_converges_on_ill_conditioned_quadratic(self):
+        # f(x) = 0.5·(100·x₀² + x₁²): Adam's per-coordinate scaling handles
+        # the 100:1 conditioning that plain SGD struggles with.
+        x = Parameter(np.array([-1.0, 1.5]))
+        opt = Adam([x], lr=0.05)
+        for _ in range(800):
+            x.grad = np.array([100.0 * x.data[0], x.data[1]])
+            opt.step()
+        np.testing.assert_allclose(x.data, [0.0, 0.0], atol=1e-2)
+
+
+class TestCosineSchedule:
+    def test_decays_to_min(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = CosineSchedule(opt, total_steps=10, lr_min=0.1)
+        for _ in range(10):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 0.1)
+
+    def test_monotone_decay(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = CosineSchedule(opt, total_steps=20)
+        rates = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_past_total(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = CosineSchedule(opt, total_steps=5)
+        for _ in range(10):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 0.0, atol=1e-12)
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            CosineSchedule(SGD([quadratic_param()], lr=1.0), total_steps=0)

@@ -1,0 +1,325 @@
+"""Core autograd engine tests: forward semantics, gradients, graph handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, as_tensor, is_grad_enabled, no_grad
+from repro.autograd.gradcheck import gradcheck
+
+
+def t(data, grad=True):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=grad)
+
+
+# ----------------------------------------------------------------------
+# Construction and introspection
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_wraps_array(self):
+        x = Tensor([1.0, 2.0])
+        assert x.shape == (2,) and x.ndim == 1 and x.size == 2
+
+    def test_float32_upcast(self):
+        x = Tensor(np.ones(3, dtype=np.float32))
+        assert x.dtype == np.float64
+
+    def test_int_preserved_without_grad(self):
+        x = Tensor(np.array([1, 2, 3]))
+        assert x.dtype.kind == "i"
+
+    def test_int_upcast_with_grad(self):
+        x = Tensor(np.array([1, 2, 3]), requires_grad=True)
+        assert x.dtype == np.float64
+
+    def test_from_tensor(self):
+        x = Tensor([1.0, 2.0])
+        y = Tensor(x)
+        assert np.array_equal(x.data, y.data)
+
+    def test_as_tensor_passthrough(self):
+        x = Tensor([1.0])
+        assert as_tensor(x) is x
+
+    def test_item_and_len(self):
+        assert Tensor(3.5).item() == 3.5
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(t([1.0]))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_detach_cuts_graph(self):
+        x = t([1.0, 2.0])
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+
+# ----------------------------------------------------------------------
+# Arithmetic forward == NumPy
+# ----------------------------------------------------------------------
+class TestForward:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda a, b: a + b,
+            lambda a, b: a - b,
+            lambda a, b: a * b,
+            lambda a, b: a / b,
+            lambda a, b: a @ b.T if hasattr(b, "T") else a @ b.T,
+        ],
+    )
+    def test_binary_matches_numpy(self, op, rng):
+        a_np = rng.normal(size=(3, 4))
+        b_np = rng.normal(size=(3, 4)) + 2.0
+        got = op(Tensor(a_np), Tensor(b_np)).data
+        want = op(a_np, b_np)
+        np.testing.assert_allclose(got, want)
+
+    def test_scalar_ops(self):
+        x = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((x + 1).data, [2.0, 3.0])
+        np.testing.assert_allclose((1 + x).data, [2.0, 3.0])
+        np.testing.assert_allclose((x * 3).data, [3.0, 6.0])
+        np.testing.assert_allclose((1 - x).data, [0.0, -1.0])
+        np.testing.assert_allclose((2 / x).data, [2.0, 1.0])
+        np.testing.assert_allclose((x**2).data, [1.0, 4.0])
+
+    def test_unary_ops_match_numpy(self, rng):
+        x_np = rng.uniform(0.5, 2.0, size=(4, 5))
+        x = Tensor(x_np)
+        np.testing.assert_allclose(x.exp().data, np.exp(x_np))
+        np.testing.assert_allclose(x.log().data, np.log(x_np))
+        np.testing.assert_allclose(x.tanh().data, np.tanh(x_np))
+        np.testing.assert_allclose(x.sqrt().data, np.sqrt(x_np))
+        np.testing.assert_allclose(x.abs().data, np.abs(x_np))
+        np.testing.assert_allclose((-x).data, -x_np)
+
+    def test_reductions_match_numpy(self, rng):
+        x_np = rng.normal(size=(3, 4, 5))
+        x = Tensor(x_np)
+        np.testing.assert_allclose(x.sum().data, x_np.sum())
+        np.testing.assert_allclose(x.sum(axis=1).data, x_np.sum(axis=1))
+        np.testing.assert_allclose(
+            x.sum(axis=(0, 2), keepdims=True).data, x_np.sum(axis=(0, 2), keepdims=True)
+        )
+        np.testing.assert_allclose(x.mean(axis=2).data, x_np.mean(axis=2))
+        np.testing.assert_allclose(x.max(axis=0).data, x_np.max(axis=0))
+
+    def test_shape_ops(self, rng):
+        x_np = rng.normal(size=(2, 3, 4))
+        x = Tensor(x_np)
+        assert x.reshape(6, 4).shape == (6, 4)
+        assert x.reshape((4, 6)).shape == (4, 6)
+        assert x.transpose().shape == (4, 3, 2)
+        assert x.transpose(1, 0, 2).shape == (3, 2, 4)
+        assert x.swapaxes(0, 2).shape == (4, 3, 2)
+        np.testing.assert_allclose(x[1].data, x_np[1])
+        np.testing.assert_allclose(x[:, 1:3].data, x_np[:, 1:3])
+
+    def test_concat_and_stack(self, rng):
+        parts = [Tensor(rng.normal(size=(2, 3))) for _ in range(3)]
+        cat = Tensor.concatenate(parts, axis=0)
+        assert cat.shape == (6, 3)
+        stk = Tensor.stack(parts, axis=1)
+        assert stk.shape == (2, 3, 3)
+
+    def test_clip(self):
+        x = Tensor([-2.0, 0.5, 3.0])
+        np.testing.assert_allclose(x.clip(0.0, 1.0).data, [0.0, 0.5, 1.0])
+
+
+# ----------------------------------------------------------------------
+# Gradients: numerical checks
+# ----------------------------------------------------------------------
+class TestGradients:
+    def test_add_mul_chain(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        b = t(rng.normal(size=(3, 4)))
+        gradcheck(lambda ts: (ts[0] * ts[1] + ts[0]) * 2.0, [a, b])
+
+    def test_division(self, rng):
+        a = t(rng.normal(size=(3,)))
+        b = t(rng.uniform(1.0, 2.0, size=(3,)))
+        gradcheck(lambda ts: ts[0] / ts[1], [a, b])
+
+    def test_matmul_2d(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        b = t(rng.normal(size=(4, 5)))
+        gradcheck(lambda ts: ts[0] @ ts[1], [a, b])
+
+    def test_matmul_batched(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        b = t(rng.normal(size=(2, 4, 5)))
+        gradcheck(lambda ts: ts[0] @ ts[1], [a, b])
+
+    def test_matmul_broadcast(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        b = t(rng.normal(size=(4, 5)))          # broadcast over batch
+        gradcheck(lambda ts: ts[0] @ ts[1], [a, b])
+
+    def test_matmul_vector_cases(self, rng):
+        a = t(rng.normal(size=(4,)))
+        b = t(rng.normal(size=(4,)))
+        gradcheck(lambda ts: ts[0] @ ts[1], [a, b])
+        m = t(rng.normal(size=(3, 4)))
+        v = t(rng.normal(size=(4,)))
+        gradcheck(lambda ts: ts[0] @ ts[1], [m, v])
+        gradcheck(lambda ts: ts[1] @ ts[0], [m, t(rng.normal(size=(3,)))])
+
+    def test_broadcast_add(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        b = t(rng.normal(size=(4,)))
+        gradcheck(lambda ts: ts[0] + ts[1], [a, b])
+
+    def test_broadcast_mul_keepdim(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        b = t(rng.normal(size=(3, 1)))
+        gradcheck(lambda ts: ts[0] * ts[1], [a, b])
+
+    def test_reductions(self, rng):
+        a = t(rng.normal(size=(3, 4, 2)))
+        gradcheck(lambda ts: ts[0].sum(axis=1), [a])
+        gradcheck(lambda ts: ts[0].mean(axis=(0, 2)), [a])
+        gradcheck(lambda ts: ts[0].sum(axis=0, keepdims=True), [a])
+
+    def test_unary(self, rng):
+        a = t(rng.uniform(0.5, 1.5, size=(4,)))
+        gradcheck(lambda ts: ts[0].exp(), [a])
+        gradcheck(lambda ts: ts[0].log(), [a])
+        gradcheck(lambda ts: ts[0].tanh(), [a])
+        gradcheck(lambda ts: ts[0].sigmoid(), [a])
+        gradcheck(lambda ts: ts[0] ** 3, [a])
+
+    def test_getitem(self, rng):
+        a = t(rng.normal(size=(4, 5)))
+        gradcheck(lambda ts: ts[0][1:3, ::2], [a])
+
+    def test_concat_gradient(self, rng):
+        a = t(rng.normal(size=(2, 3)))
+        b = t(rng.normal(size=(3, 3)))
+        gradcheck(lambda ts: Tensor.concatenate([ts[0], ts[1]], axis=0) * 2.0, [a, b])
+
+    def test_stack_gradient(self, rng):
+        a = t(rng.normal(size=(2, 3)))
+        b = t(rng.normal(size=(2, 3)))
+        gradcheck(lambda ts: Tensor.stack([ts[0], ts[1]], axis=1), [a, b])
+
+    def test_transpose_reshape_chain(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        gradcheck(lambda ts: ts[0].transpose(2, 0, 1).reshape(4, 6) @ t(np.eye(6), grad=False), [a])
+
+    def test_diamond_graph_accumulates(self):
+        # x feeds two paths that re-join: grad must be the sum of both paths.
+        x = t([2.0])
+        y = x * 3.0
+        z = x * 4.0
+        (y + z).backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_reused_tensor_in_one_op(self):
+        x = t([3.0])
+        (x * x).backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        x = t([1.0])
+        (x * 2).backward()
+        (x * 3).backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_zero_grad(self):
+        x = t([1.0])
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        # BPTT through hundreds of steps must not hit the recursion limit.
+        x = t([1.0])
+        y = x
+        for _ in range(500):
+            y = y * 1.001
+        y.backward()
+        assert x.grad is not None and x.grad[0] > 1.0
+
+    def test_seed_gradient_shape_checked(self):
+        x = t([1.0, 2.0])
+        y = x * 2
+        with pytest.raises(ValueError):
+            y.backward(np.ones(3))
+
+    def test_backward_requires_grad(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_custom_apply(self, rng):
+        x = t(rng.normal(size=(5,)))
+        y = x.apply(lambda v: v**2, lambda v, g: g * 2 * v)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data)
+
+
+# ----------------------------------------------------------------------
+# no_grad
+# ----------------------------------------------------------------------
+class TestNoGrad:
+    def test_disables_graph(self):
+        x = t([1.0])
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+
+
+# ----------------------------------------------------------------------
+# Property-based: broadcasting gradients are consistent
+# ----------------------------------------------------------------------
+@st.composite
+def broadcastable_shapes(draw):
+    base = draw(st.lists(st.integers(1, 4), min_size=1, max_size=3))
+    other = [draw(st.sampled_from([dim, 1])) for dim in base]
+    drop = draw(st.integers(0, len(other) - 1))
+    return tuple(base), tuple(other[drop:])
+
+
+@settings(max_examples=30, deadline=None)
+@given(shapes=broadcastable_shapes(), data=st.integers(0, 2**31 - 1))
+def test_property_broadcast_grad_matches_numeric(shapes, data):
+    shape_a, shape_b = shapes
+    gen = np.random.default_rng(data)
+    a = Tensor(gen.normal(size=shape_a), requires_grad=True)
+    b = Tensor(gen.normal(size=shape_b), requires_grad=True)
+    gradcheck(lambda ts: ts[0] * ts[1] + ts[1], [a, b])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    inner=st.integers(1, 5),
+    cols=st.integers(1, 5),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_matmul_grad(rows, inner, cols, seed):
+    gen = np.random.default_rng(seed)
+    a = Tensor(gen.normal(size=(rows, inner)), requires_grad=True)
+    b = Tensor(gen.normal(size=(inner, cols)), requires_grad=True)
+    gradcheck(lambda ts: ts[0] @ ts[1], [a, b])

@@ -1,0 +1,71 @@
+"""Edge-GPU roofline model tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EdgeGPU, GPUConfig
+from repro.model import LayerRecord, ModelTrace
+
+
+def matmul_record(rng, t=4, n=16, d_in=32, d_out=64):
+    spikes = (rng.random((t, n, d_in)) < 0.2).astype(np.float64)
+    return LayerRecord(block=0, kind="mlp1", input_spikes=spikes, weight_shape=(d_in, d_out))
+
+
+def attention_record(rng, t=4, h=2, n=16, d=8):
+    q = (rng.random((t, h, n, d)) < 0.2).astype(np.float64)
+    return LayerRecord(block=0, kind="attention", input_spikes=None, weight_shape=None,
+                       q=q, k=q.copy(), v=q.copy())
+
+
+class TestRoofline:
+    def test_flops_counted_dense(self, rng):
+        report = EdgeGPU().run_matmul_layer(matmul_record(rng))
+        assert report.notes["flops"] == 2.0 * 4 * 16 * 32 * 64
+
+    def test_density_irrelevant(self, rng):
+        gpu = EdgeGPU()
+        rec = matmul_record(rng)
+        sparse = rec
+        dense = LayerRecord(
+            block=0, kind="mlp1",
+            input_spikes=np.ones_like(rec.input_spikes),
+            weight_shape=rec.weight_shape,
+        )
+        assert gpu.run_matmul_layer(sparse).latency_s == pytest.approx(
+            gpu.run_matmul_layer(dense).latency_s
+        )
+
+    def test_kernel_overhead_per_timestep(self, rng):
+        config = GPUConfig(kernel_overhead_s=1e-3)       # exaggerate
+        gpu = EdgeGPU(config)
+        t4 = gpu.run_matmul_layer(matmul_record(rng, t=4))
+        t8 = gpu.run_matmul_layer(matmul_record(rng, t=8))
+        assert t8.latency_s - t4.latency_s == pytest.approx(4e-3, rel=0.05)
+
+    def test_single_kernel_mode(self, rng):
+        config = GPUConfig(kernel_overhead_s=1e-3, kernels_per_timestep=False)
+        gpu = EdgeGPU(config)
+        t4 = gpu.run_matmul_layer(matmul_record(rng, t=4))
+        t8 = gpu.run_matmul_layer(matmul_record(rng, t=8))
+        # overhead identical; only compute/memory grows
+        assert (t8.latency_s - t4.latency_s) < 1e-3
+
+    def test_memory_bound_small_compute(self, rng):
+        config = GPUConfig(memory_bandwidth=1e6, kernel_overhead_s=0.0)
+        report = EdgeGPU(config).run_matmul_layer(matmul_record(rng))
+        assert report.latency_s == pytest.approx(report.notes["memory_time_s"])
+
+    def test_energy_is_power_times_time(self, rng):
+        report = EdgeGPU().run_matmul_layer(matmul_record(rng))
+        assert report.energy_pj == pytest.approx(10.0 * report.latency_s * 1e12)
+
+    def test_attention_layer(self, rng):
+        report = EdgeGPU().run_attention_layer(attention_record(rng))
+        assert report.notes["flops"] == 2.0 * 2.0 * 4 * 2 * 16 * 16 * 8
+
+    def test_run_trace(self, rng):
+        trace = ModelTrace("m", 4, 16, 32, records=[matmul_record(rng), attention_record(rng)])
+        report = EdgeGPU().run_trace(trace)
+        assert report.accelerator == "gpu"
+        assert len(report.layers) == 2

@@ -1,0 +1,118 @@
+"""PTB baseline simulator tests — the structural weaknesses Bishop targets."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import PTBConfig
+from repro.baselines import PTBAccelerator
+from repro.baselines.ptb import _window_activity
+from repro.model import LayerRecord
+
+
+def matmul_record(rng, t=8, n=16, d_in=32, d_out=64, density=0.2, block=0):
+    spikes = (rng.random((t, n, d_in)) < density).astype(np.float64)
+    return LayerRecord(block=block, kind="mlp1", input_spikes=spikes, weight_shape=(d_in, d_out))
+
+
+def attention_record(rng, t=4, h=2, n=16, d=8, density=0.2):
+    def draw():
+        return (rng.random((t, h, n, d)) < density).astype(np.float64)
+
+    return LayerRecord(
+        block=0, kind="attention", input_spikes=None, weight_shape=None,
+        q=draw(), k=draw(), v=draw(),
+    )
+
+
+class TestWindowActivity:
+    def test_counts(self):
+        spikes = np.zeros((4, 2, 3))
+        spikes[0, 0, 0] = 1.0
+        spikes[3, 0, 0] = 1.0
+        active, total = _window_activity(spikes, window=2)
+        assert total == 2 * 2 * 3     # 2 windows × 2 tokens × 3 features
+        assert active == 2            # the two windows of (token 0, feature 0)
+
+    def test_padding_does_not_activate(self):
+        spikes = np.zeros((3, 1, 1))
+        spikes[2, 0, 0] = 1.0
+        active, total = _window_activity(spikes, window=2)
+        assert (active, total) == (1, 2)
+
+
+class TestMatmul:
+    def test_time_window_amortizes_weights(self, rng):
+        """Weight GLB traffic scales with ⌈T/W⌉, the PTB selling point."""
+        ptb = PTBAccelerator()
+        short = ptb.run_matmul_layer(matmul_record(rng, t=4, density=1.0))
+        long = ptb.run_matmul_layer(matmul_record(rng, t=20, density=1.0))
+        short_traffic = short.traffic.bytes(level="glb", kind="weight")
+        long_traffic = long.traffic.bytes(level="glb", kind="weight")
+        # t=4: one window per token; t=20: two windows -> only 2× the traffic
+        # despite 5× the timesteps.
+        assert long_traffic == pytest.approx(2 * short_traffic)
+
+    def test_weight_traffic_scales_with_tokens(self, rng):
+        """No token bundling: every token re-streams the weights."""
+        ptb = PTBAccelerator()
+        few = ptb.run_matmul_layer(matmul_record(rng, n=8))
+        many = ptb.run_matmul_layer(matmul_record(rng, n=32))
+        assert many.traffic.bytes(level="glb", kind="weight") == pytest.approx(
+            4 * few.traffic.bytes(level="glb", kind="weight")
+        )
+
+    def test_skipping_partial(self, rng):
+        ptb = PTBAccelerator()
+        sparse = ptb.run_matmul_layer(matmul_record(rng, density=0.01))
+        dense = ptb.run_matmul_layer(matmul_record(rng, density=0.9))
+        assert sparse.cycles < dense.cycles
+        # But skipping is capped by skip_efficiency: even an almost-empty
+        # workload keeps >= (1 - skip_efficiency) of the dense cycles.
+        cfg = PTBConfig()
+        assert sparse.cycles > (1 - cfg.skip_efficiency) * 0.9 * dense.cycles
+
+    def test_latency_max_of_compute_dram(self, rng):
+        report = PTBAccelerator().run_matmul_layer(matmul_record(rng))
+        assert report.latency_s == pytest.approx(
+            max(report.notes["compute_time_s"], report.notes["dram_time_s"])
+        )
+
+
+class TestAttention:
+    def test_no_sparsity_benefit(self, rng):
+        ptb = PTBAccelerator()
+        sparse = ptb.run_attention_layer(attention_record(rng, density=0.01))
+        dense = ptb.run_attention_layer(attention_record(rng, density=0.9))
+        assert sparse.cycles == pytest.approx(dense.cycles)
+
+    def test_scores_round_trip_glb(self, rng):
+        report = PTBAccelerator().run_attention_layer(attention_record(rng))
+        t, n = 4, 16
+        s_bytes = t * n * n * 1.0   # score_bits=8 -> 1 byte
+        assert report.traffic.bytes(level="glb", kind="score") == pytest.approx(2 * s_bytes)
+
+    def test_large_n_spills_scores_to_dram(self, rng):
+        ptb = PTBAccelerator()
+        small = ptb.run_attention_layer(attention_record(rng, n=16))
+        big = ptb.run_attention_layer(attention_record(rng, t=4, n=128))
+        assert small.traffic.bytes(level="dram", kind="score") == 0.0
+        assert big.traffic.bytes(level="dram", kind="score") > 0.0
+
+    def test_attention_throughput_derated(self):
+        cfg = PTBConfig()
+        assert cfg.attention_throughput < cfg.throughput
+
+
+class TestRunTrace:
+    def test_full_trace(self, rng):
+        from repro.model import ModelTrace
+
+        records = [
+            matmul_record(rng, block=0),
+            attention_record(rng),
+            matmul_record(rng, block=1),
+        ]
+        trace = ModelTrace("m", 8, 16, 32, records=records)
+        report = PTBAccelerator().run_trace(trace)
+        assert report.accelerator == "ptb"
+        assert len(report.layers) == 3

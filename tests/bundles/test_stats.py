@@ -1,0 +1,66 @@
+"""Bundle statistics tests (Figs. 5-6 machinery)."""
+
+import numpy as np
+
+from repro.bundles import (
+    BundleSpec,
+    active_bundle_distribution,
+    density_report,
+)
+
+
+class TestActiveBundleDistribution:
+    def test_counts_per_feature(self, spec):
+        spikes = np.zeros((4, 8, 3))
+        spikes[:, :, 0] = 1.0           # feature 0: all 4 bundles active
+        spikes[0, 0, 1] = 1.0           # feature 1: one bundle
+        dist = active_bundle_distribution(spikes, spec)
+        np.testing.assert_array_equal(dist.counts, [4, 1, 0])
+
+    def test_histogram_sums_to_features(self, small_spikes, spec):
+        dist = active_bundle_distribution(small_spikes, spec)
+        assert dist.histogram.sum() == small_spikes.shape[2]
+
+    def test_zero_fraction(self, spec):
+        spikes = np.zeros((4, 8, 4))
+        spikes[0, 0, 0] = 1.0
+        dist = active_bundle_distribution(spikes, spec)
+        assert dist.zero_fraction == 0.75
+
+    def test_quantile(self, spec):
+        spikes = np.zeros((4, 8, 2))
+        spikes[:, :, 1] = 1.0
+        dist = active_bundle_distribution(spikes, spec)
+        assert dist.quantile(1.0) == 4.0
+
+    def test_mean_active(self, spec):
+        spikes = np.zeros((2, 4, 2))
+        spikes[0, 0, 0] = 1.0
+        dist = active_bundle_distribution(spikes, spec)
+        assert dist.mean_active == 0.5
+
+
+class TestDensityReport:
+    def test_full_tensor(self, small_spikes, spec):
+        report = density_report(small_spikes, spec)
+        assert report.spike_density == small_spikes.mean()
+        assert report.num_features == small_spikes.shape[2]
+
+    def test_feature_subset(self, small_spikes, spec):
+        subset = np.array([0, 1])
+        report = density_report(small_spikes, spec, subset)
+        assert report.num_features == 2
+        assert report.spike_density == small_spikes[:, :, :2].mean()
+
+    def test_empty_subset(self, small_spikes, spec):
+        report = density_report(small_spikes, spec, np.array([], dtype=np.int64))
+        assert report.num_features == 0
+        assert report.spike_density == 0.0
+
+    def test_str_is_figure_like(self, small_spikes, spec):
+        text = str(density_report(small_spikes, spec))
+        assert "% density" in text and "% TTB density" in text
+
+    def test_bundle_density_at_least_spike_density(self, small_spikes, spec):
+        report = density_report(small_spikes, spec)
+        assert report.bundle_density >= report.spike_density

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bundles import BundleSpec
+from repro.model import SpikingTransformer, tiny_config
+from repro.snn import direct_encode
+from repro.train import TrainConfig, Trainer, make_image_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def spec() -> BundleSpec:
+    return BundleSpec(2, 4)
+
+
+@pytest.fixture
+def small_spikes(rng) -> np.ndarray:
+    """Binary (T=6, N=8, D=16) spike tensor at ~20% density."""
+    return (rng.random((6, 8, 16)) < 0.2).astype(np.float64)
+
+
+@pytest.fixture(scope="session")
+def tiny_model() -> SpikingTransformer:
+    """An untrained tiny spiking transformer (shared, read-only)."""
+    return SpikingTransformer(tiny_config(num_classes=4), seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_batch() -> np.ndarray:
+    """Encoded input batch matching ``tiny_model``: (T, B=2, C, H, W)."""
+    gen = np.random.default_rng(0)
+    images = gen.random((2, 3, 16, 16))
+    return direct_encode(images, tiny_config(num_classes=4).timesteps)
+
+
+@pytest.fixture(scope="session")
+def trained_tiny():
+    """A briefly-trained tiny model + dataset + trainer (session-cached)."""
+    dataset = make_image_dataset(
+        num_classes=4, samples_per_class=24, image_size=16, seed=3
+    )
+    model = SpikingTransformer(tiny_config(num_classes=4), seed=1)
+    trainer = Trainer(
+        model, dataset, TrainConfig(epochs=6, batch_size=24, lr=3e-3, seed=0)
+    )
+    trainer.fit()
+    return model, dataset, trainer

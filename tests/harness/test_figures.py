@@ -1,0 +1,144 @@
+"""Harness figure-module tests (run on model4, the smallest Table-2 model)."""
+
+import numpy as np
+import pytest
+
+from repro.harness import endtoend, fig11, fig14, fig15, fig16, hetero
+
+MODEL = "model4"
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return endtoend.run_model_comparison(MODEL)
+
+    def test_all_systems_present(self, comparison):
+        assert set(comparison.results) == {
+            "gpu", "ptb", "bishop", "bishop_bsa", "bishop_bsa_ecp"
+        }
+
+    def test_ordering_gpu_worst_full_stack_best(self, comparison):
+        r = comparison.results
+        assert r["gpu"].latency_s > r["ptb"].latency_s > r["bishop"].latency_s
+        assert r["bishop"].latency_s >= r["bishop_bsa"].latency_s
+        assert r["bishop_bsa"].latency_s >= r["bishop_bsa_ecp"].latency_s * 0.999
+
+    def test_energy_ordering(self, comparison):
+        r = comparison.results
+        assert r["gpu"].energy_mj > r["ptb"].energy_mj > r["bishop"].energy_mj
+
+    def test_speedup_bands(self, comparison):
+        """Paper model4: 3.30× arch-only, 4.06× full stack, 221-272× vs GPU."""
+        assert 2.0 < comparison.speedup_vs("bishop") < 7.0
+        assert 2.5 < comparison.speedup_vs("bishop_bsa_ecp") < 9.0
+        assert 100 < comparison.speedup_vs("bishop", baseline="gpu") < 700
+
+    def test_normalized_latency_reference_is_one(self, comparison):
+        normalized = comparison.normalized_latency()
+        assert normalized["bishop_bsa_ecp"] == pytest.approx(1.0)
+        assert all(v >= 0.999 for v in normalized.values())
+
+    def test_headline_summary_keys(self):
+        grid = {MODEL: endtoend.run_model_comparison(MODEL)}
+        summary = endtoend.headline_summary(grid)
+        assert summary["mean_speedup_vs_ptb"] > 1.0
+        assert summary["min_speedup_vs_ptb"] <= summary["max_speedup_vs_ptb"]
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return fig11.layerwise_comparison(MODEL)
+
+    def test_cell_grid_complete(self, comparison):
+        from repro.model import model_config
+
+        blocks = model_config(MODEL).num_blocks
+        assert len(comparison.cells) == blocks * 4
+        assert {c.phase for c in comparison.cells} == {"P1", "ATN", "P2", "MLP"}
+
+    def test_reference_cell_is_unity(self, comparison):
+        cell0 = next(c for c in comparison.cells if c.block == 0 and c.phase == "P1")
+        assert cell0.bishop_latency == pytest.approx(1.0)
+        assert cell0.bishop_energy == pytest.approx(1.0)
+
+    def test_bishop_wins_every_phase(self, comparison):
+        for phase in ("P1", "ATN", "P2", "MLP"):
+            assert comparison.mean_latency_ratio(phase) > 1.0, phase
+
+    def test_attention_has_largest_gap(self, comparison):
+        atn = comparison.mean_latency_ratio("ATN")
+        others = [comparison.mean_latency_ratio(p) for p in ("P1", "P2", "MLP")]
+        assert atn > max(others)
+
+
+class TestFig14:
+    def test_hardware_sweep_shape(self):
+        points = fig14.ecp_hardware_sweep(MODEL, thetas=(0, 4, 8, 12))
+        assert [p.theta for p in points] == [0, 4, 8, 12]
+        keeps = [p.q_keep_fraction for p in points]
+        assert all(a >= b - 1e-12 for a, b in zip(keeps, keeps[1:]))
+        speedups = [p.speedup for p in points]
+        assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+        assert points[0].speedup == pytest.approx(1.0)
+
+    def test_energy_efficiency_grows(self):
+        points = fig14.ecp_hardware_sweep(MODEL, thetas=(0, 8, 16))
+        assert points[-1].energy_efficiency > points[0].energy_efficiency
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return fig15.stratification_sweep(
+            MODEL, fractions=(0.05, 0.3, 0.5, 0.7, 0.95)
+        )
+
+    def test_point_inventory(self, sweep):
+        assert len(sweep.points) == 5
+        assert all(p.latency_s > 0 and p.energy_mj > 0 for p in sweep.points)
+
+    def test_balanced_policy_near_best(self, sweep):
+        """The auto-balance θ_s should be within 25% of the best swept EDP."""
+        assert sweep.balanced.edp <= sweep.best_point().edp * 1.25
+
+    def test_edp_gain_vs_ptb_positive(self, sweep):
+        assert sweep.edp_gain_vs_ptb > 1.0
+
+    def test_imbalance_penalty(self, sweep):
+        """Extreme splits must be measurably worse (paper: up to 1.65×)."""
+        assert sweep.worst_imbalance_penalty > 1.1
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig16.bundle_volume_sweep(
+            MODEL, volumes=((1, 2), (2, 4), (2, 14)), use_ecp=False
+        )
+
+    def test_point_inventory(self, points):
+        assert [(p.bs_t, p.bs_n) for p in points] == [(1, 2), (2, 4), (2, 14)]
+
+    def test_moderate_volume_best_latency(self, points):
+        tiny, moderate, huge = points
+        assert moderate.total_latency_s <= tiny.total_latency_s
+        assert moderate.total_latency_s <= huge.total_latency_s * 1.3
+
+    def test_activation_share_grows_with_volume(self, points):
+        assert points[-1].activation_memory_share >= points[0].activation_memory_share
+
+
+class TestSec64:
+    def test_heterogeneity_helps(self):
+        result = hetero.heterogeneity_ablation(MODEL)
+        assert result.speedup > 1.0
+        assert result.energy_gain > 1.0
+        assert 0.0 < result.mean_dense_fraction < 1.0
+
+    def test_attention_core_band(self):
+        """Paper: 10.7-23.3× latency, 1.39-1.96× energy (arch only)."""
+        result = hetero.attention_core_comparison(MODEL)
+        assert 5.0 < result.latency_gain < 40.0
+        assert 1.1 < result.energy_gain < 15.0

@@ -1,0 +1,66 @@
+"""Reference-model tests for the Table-1 harness."""
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.harness.table1 import ANNMLP, SpikingConvNet, SpikingMLPNet
+from repro.snn import direct_encode
+
+
+class TestANNMLP:
+    def test_forward_shape(self, rng):
+        model = ANNMLP(in_features=3 * 8 * 8, hidden=16, num_classes=5)
+        logits = model(Tensor(rng.random((4, 3, 8, 8))))
+        assert logits.shape == (4, 5)
+
+    def test_trainable(self, rng):
+        from repro.autograd import Adam, functional as F
+
+        model = ANNMLP(in_features=12, hidden=8, num_classes=2)
+        x = Tensor(rng.random((8, 3, 2, 2)))
+        labels = np.array([0, 1] * 4)
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        first = None
+        for _ in range(30):
+            loss = F.cross_entropy(model(x), labels)
+            first = first if first is not None else loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first
+
+
+class TestSpikingMLPNet:
+    def test_forward_shape(self, rng):
+        model = SpikingMLPNet(in_features=3 * 8 * 8, hidden=16, num_classes=3, timesteps=4)
+        x = Tensor(direct_encode(rng.random((2, 3, 8, 8)), 4))
+        with no_grad():
+            logits = model(x)
+        assert logits.shape == (2, 3)
+
+    def test_internal_binarity(self, rng):
+        model = SpikingMLPNet(in_features=12, hidden=8, num_classes=2, timesteps=3)
+        x = Tensor(direct_encode(rng.random((2, 3, 2, 2)), 3))
+        with no_grad():
+            spikes = model.layer1(x.reshape(3, 2, 1, -1))
+        assert set(np.unique(spikes.data)) <= {0.0, 1.0}
+
+
+class TestSpikingConvNet:
+    def test_forward_shape(self, rng):
+        model = SpikingConvNet(
+            in_channels=3, image_size=16, num_classes=4, timesteps=4, channels=8
+        )
+        x = Tensor(direct_encode(rng.random((2, 3, 16, 16)), 4))
+        with no_grad():
+            logits = model(x)
+        assert logits.shape == (2, 4)
+
+    def test_gradients_reach_first_conv(self, rng):
+        model = SpikingConvNet(
+            in_channels=3, image_size=16, num_classes=4, timesteps=4, channels=8
+        )
+        x = Tensor(direct_encode(rng.random((2, 3, 16, 16)), 4))
+        model(x).sum().backward()
+        assert model.conv1.weight.grad is not None
+        assert np.abs(model.conv1.weight.grad).sum() > 0

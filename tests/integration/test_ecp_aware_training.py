@@ -1,0 +1,55 @@
+"""ECP-aware training (Sec. 5.1): the pruner stays attached while training.
+
+"ECP is also integrated into the training pipeline, leading to ECP-aware
+training to maintain high accuracy" — the network learns around the pruned
+attention rows because the masks gate the forward pass (straight-through:
+gradients flow only through survivors).
+"""
+
+import pytest
+
+from repro.algo import ECPConfig, attach_ecp, detach_ecp
+from repro.bundles import BundleSpec
+from repro.model import SpikingTransformer, tiny_config
+from repro.train import TrainConfig, Trainer, make_image_dataset
+
+SPEC = BundleSpec(2, 2)
+
+
+@pytest.fixture(scope="module")
+def ecp_aware_trained():
+    dataset = make_image_dataset(
+        num_classes=4, samples_per_class=24, image_size=16, seed=3
+    )
+    model = SpikingTransformer(tiny_config(num_classes=4), seed=1)
+    attach_ecp(model, ECPConfig(theta_q=1, theta_k=1, spec=SPEC))
+    trainer = Trainer(
+        model, dataset, TrainConfig(epochs=8, batch_size=24, lr=3e-3, seed=0)
+    )
+    trainer.fit()
+    return model, dataset, trainer
+
+
+class TestECPAwareTraining:
+    def test_trains_through_the_pruner(self, ecp_aware_trained):
+        model, dataset, trainer = ecp_aware_trained
+        assert trainer.history.loss[-1] < trainer.history.loss[0]
+        # Accuracy with the pruner still attached at eval time.
+        assert trainer.evaluate(dataset.x_test, dataset.y_test) > 0.45
+
+    def test_pruner_was_active_during_training(self, ecp_aware_trained):
+        model, dataset, trainer = ecp_aware_trained
+        trainer.evaluate(dataset.x_test[:8], dataset.y_test[:8])
+        pruners = [ssa.ecp for ssa in model.attention_modules()]
+        assert all(p is not None for p in pruners)
+        assert all(p.last_reports for p in pruners)
+
+    def test_matches_inference_time_pruning(self, ecp_aware_trained):
+        """Evaluating with the same θ it was trained under must not change
+        anything (the deployment contract of ECP-aware training)."""
+        model, dataset, trainer = ecp_aware_trained
+        with_pruner = trainer.evaluate(dataset.x_test, dataset.y_test)
+        # Detach and re-attach the identical config: same result.
+        detach_ecp(model)
+        attach_ecp(model, ECPConfig(theta_q=1, theta_k=1, spec=SPEC))
+        assert trainer.evaluate(dataset.x_test, dataset.y_test) == with_pruner

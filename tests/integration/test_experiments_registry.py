@@ -1,0 +1,65 @@
+"""Experiment registry integration tests (cheap experiments only; the
+expensive ones are exercised by their dedicated benches)."""
+
+import json
+
+import pytest
+
+from repro.harness import EXPERIMENTS, run_experiment
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "table1", "table2", "fig3", "fig5", "fig6", "fig8",
+            "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+            "sec6.2-summary", "sec6.4-hetero", "sec6.4-attn",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+
+class TestCheapExperiments:
+    def test_table2_matches_zoo(self):
+        out = run_experiment("table2")
+        assert out["model3"]["tokens"] == 196
+
+    def test_fig3_shares_in_band(self):
+        out = run_experiment("fig3")
+        for key, entry in out.items():
+            assert 0.4 < entry["attention_plus_mlp_fraction"] < 0.95, key
+
+    def test_fig3_attention_grows_with_n(self):
+        out = run_experiment("fig3")
+        assert (
+            out["N196_D128_L8"]["attention_fraction"]
+            > out["N64_D384_L8"]["attention_fraction"]
+        )
+
+    def test_fig17_serializable_and_anchored(self):
+        out = run_experiment("fig17")
+        json.dumps(out)
+        assert out["bishop_totals"]["area_mm2"] == pytest.approx(2.96, abs=0.01)
+
+    def test_fig6_stratified_densities(self):
+        out = run_experiment("fig6")
+        for variant in ("without_bsa", "with_bsa"):
+            entry = out[variant]
+            assert (
+                entry["stratified_down_dense"]["spike_density"]
+                > entry["overall"]["spike_density"]
+                > entry["stratified_up_sparse"]["spike_density"]
+            )
+        assert (
+            out["with_bsa"]["overall"]["bundle_density"]
+            < out["without_bsa"]["overall"]["bundle_density"]
+        )
+
+    def test_fig8_ecp_concentrates_attention(self):
+        out = run_experiment("fig8")
+        assert out["nonzero_score_fraction_after"] <= out["nonzero_score_fraction_before"]
+        assert out["max_score_error"] < out["certified_bound"]
+        assert 0.0 <= out["retained_mass_fraction"] <= 1.0

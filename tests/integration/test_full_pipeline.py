@@ -1,0 +1,142 @@
+"""End-to-end integration: train → trace → accelerate → compare.
+
+This exercises the paper's whole co-design loop on laptop-scale models:
+BSA training raises structured TTB sparsity, ECP prunes attention with a
+certified bound, and the traced workload runs faster on Bishop than on PTB.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algo import BundleSparsityLoss, ECPConfig, attach_ecp, detach_ecp
+from repro.arch import BishopAccelerator, BishopConfig
+from repro.baselines import EdgeGPU, PTBAccelerator
+from repro.bundles import BundleSpec
+from repro.model import SpikingTransformer, tiny_config
+from repro.train import (
+    TrainConfig,
+    Trainer,
+    encode_batch,
+    make_image_dataset,
+    model_bundle_distributions,
+)
+
+SPEC = BundleSpec(2, 2)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_image_dataset(num_classes=4, samples_per_class=24, image_size=16, seed=3)
+
+
+@pytest.fixture(scope="module")
+def baseline_trained(dataset):
+    model = SpikingTransformer(tiny_config(num_classes=4), seed=1)
+    trainer = Trainer(model, dataset, TrainConfig(epochs=8, batch_size=24, lr=3e-3, seed=0))
+    trainer.fit()
+    return model, trainer
+
+
+@pytest.fixture(scope="module")
+def bsa_trained(dataset):
+    # λ is large relative to the paper's 0.3-1.0 because (a) our L_bsp is
+    # normalized per-bundle and (b) we train ~12 epochs, not 300.
+    model = SpikingTransformer(tiny_config(num_classes=4), seed=1)
+    trainer = Trainer(
+        model, dataset,
+        TrainConfig(epochs=12, batch_size=24, lr=3e-3, lambda_bsp=10.0, seed=0),
+        bsa_loss=BundleSparsityLoss(SPEC),
+    )
+    trainer.fit()
+    return model, trainer
+
+
+class TestLearning:
+    def test_baseline_learns(self, baseline_trained, dataset):
+        _, trainer = baseline_trained
+        assert trainer.evaluate(dataset.x_test, dataset.y_test) > 0.45
+
+    def test_bsa_keeps_usable_accuracy(self, bsa_trained, dataset):
+        _, trainer = bsa_trained
+        assert trainer.evaluate(dataset.x_test, dataset.y_test) > 0.40
+
+
+class TestBSASparsification:
+    def test_bsa_reduces_firing(self, baseline_trained, bsa_trained, dataset):
+        """BSA must lower bundle-level activity across the tapped tensors."""
+        base_model, _ = baseline_trained
+        bsa_model, _ = bsa_trained
+        base = model_bundle_distributions(base_model, dataset, SPEC)
+        bsa = model_bundle_distributions(bsa_model, dataset, SPEC)
+        base_active = np.mean([d.mean_active for d in base.values()])
+        bsa_active = np.mean([d.mean_active for d in bsa.values()])
+        assert bsa_active < base_active * 0.97
+        qk_names = [n for n in base if n.endswith((".q", ".k"))]
+        base_qk = np.mean([base[n].mean_active for n in qk_names])
+        bsa_qk = np.mean([bsa[n].mean_active for n in qk_names])
+        assert bsa_qk < base_qk
+
+    def test_bsa_loss_decreased_during_training(self, bsa_trained):
+        _, trainer = bsa_trained
+        assert trainer.history.bsp_loss[-1] < trainer.history.bsp_loss[0]
+
+
+class TestECPOnTrainedModel:
+    def test_mild_ecp_accuracy_within_band(self, bsa_trained, dataset):
+        """Fig. 14 plateau: a small θ changes accuracy only slightly."""
+        model, trainer = bsa_trained
+        base_acc = trainer.evaluate(dataset.x_test, dataset.y_test)
+        attach_ecp(model, ECPConfig(theta_q=1, theta_k=1, spec=SPEC))
+        try:
+            pruned_acc = trainer.evaluate(dataset.x_test, dataset.y_test)
+        finally:
+            detach_ecp(model)
+        assert abs(pruned_acc - base_acc) < 0.25
+
+    def test_extreme_ecp_destroys_attention(self, bsa_trained, dataset):
+        model, trainer = bsa_trained
+        attach_ecp(model, ECPConfig(theta_q=10_000, theta_k=10_000, spec=SPEC))
+        try:
+            pruners = [ssa.ecp for ssa in model.attention_modules()]
+            trainer.evaluate(dataset.x_test[:8], dataset.y_test[:8])
+            for pruner in pruners:
+                for report in pruner.last_reports:
+                    assert report.q_token_keep_fraction == 0.0
+        finally:
+            detach_ecp(model)
+
+
+class TestAcceleratedInference:
+    @pytest.fixture(scope="class")
+    def traces(self, baseline_trained, bsa_trained, dataset):
+        base_model, _ = baseline_trained
+        bsa_model, _ = bsa_trained
+        x = encode_batch(dataset.x_test[:2], "image", base_model.config.timesteps)
+        return base_model.trace(x), bsa_model.trace(x)
+
+    def test_bishop_beats_ptb_on_real_trace(self, traces):
+        base_trace, _ = traces
+        bishop = BishopAccelerator(BishopConfig(bundle_spec=SPEC)).run_trace(base_trace)
+        ptb = PTBAccelerator().run_trace(base_trace)
+        assert ptb.total_latency_s > bishop.total_latency_s
+        assert ptb.total_energy_pj > bishop.total_energy_pj
+
+    def test_gpu_much_slower(self, traces):
+        base_trace, _ = traces
+        bishop = BishopAccelerator(BishopConfig(bundle_spec=SPEC)).run_trace(base_trace)
+        gpu = EdgeGPU().run_trace(base_trace)
+        assert gpu.total_latency_s > 10 * bishop.total_latency_s
+
+    def test_bsa_trace_cheaper_on_bishop(self, traces):
+        base_trace, bsa_trace = traces
+        accel = BishopAccelerator(BishopConfig(bundle_spec=SPEC))
+        base = accel.run_trace(base_trace)
+        bsa = accel.run_trace(bsa_trace)
+        assert bsa.total_energy_pj <= base.total_energy_pj * 1.05
+
+    def test_ecp_reduces_attention_work(self, traces):
+        _, bsa_trace = traces
+        accel = BishopAccelerator(BishopConfig(bundle_spec=SPEC))
+        base = accel.run_trace(bsa_trace)
+        pruned = accel.run_trace(bsa_trace, ecp=ECPConfig(2, 2, SPEC))
+        assert pruned.attention_latency_s() <= base.attention_latency_s()

@@ -1,0 +1,100 @@
+"""Model configuration tests — Table 2 fidelity and validation."""
+
+import pytest
+
+from repro.model import MODEL_ZOO, SpikingTransformerConfig, model_config, tiny_config
+
+
+class TestTable2:
+    """The zoo must match Table 2 exactly."""
+
+    @pytest.mark.parametrize(
+        "name, blocks, timesteps, tokens, features",
+        [
+            ("model1", 4, 10, 64, 384),
+            ("model2", 4, 8, 64, 384),
+            ("model3", 8, 4, 196, 128),
+            ("model4", 2, 20, 64, 128),
+            ("model5", 4, 8, 256, 384),
+        ],
+    )
+    def test_zoo_matches_paper(self, name, blocks, timesteps, tokens, features):
+        config = model_config(name)
+        assert config.num_blocks == blocks
+        assert config.timesteps == timesteps
+        assert config.num_tokens == tokens
+        assert config.embed_dim == features
+
+    def test_input_kinds(self):
+        assert model_config("model1").input_kind == "image"
+        assert model_config("model4").input_kind == "event"
+        assert model_config("model5").input_kind == "sequence"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            model_config("model99")
+
+    def test_zoo_size(self):
+        assert len(MODEL_ZOO) == 5
+
+
+class TestValidation:
+    def test_heads_must_divide(self):
+        with pytest.raises(ValueError, match="divisible"):
+            SpikingTransformerConfig(
+                name="bad", num_blocks=1, timesteps=2, num_tokens=4,
+                embed_dim=30, num_heads=4, image_size=8, patch_size=4,
+            )
+
+    def test_token_grid_must_match(self):
+        with pytest.raises(ValueError, match="num_tokens"):
+            SpikingTransformerConfig(
+                name="bad", num_blocks=1, timesteps=2, num_tokens=10,
+                embed_dim=32, num_heads=2, image_size=8, patch_size=4,
+            )
+
+    def test_unknown_input_kind(self):
+        with pytest.raises(ValueError, match="input_kind"):
+            SpikingTransformerConfig(
+                name="bad", num_blocks=1, timesteps=2, num_tokens=4,
+                embed_dim=32, num_heads=2, image_size=8, patch_size=4,
+                input_kind="audio",
+            )
+
+    def test_sequence_skips_grid_check(self):
+        config = SpikingTransformerConfig(
+            name="seq", num_blocks=1, timesteps=2, num_tokens=10,
+            embed_dim=32, num_heads=2, input_kind="sequence",
+        )
+        assert config.num_tokens == 10
+
+
+class TestDerived:
+    def test_head_dim(self):
+        assert model_config("model1").head_dim == 48
+
+    def test_hidden_dim(self):
+        assert model_config("model1").hidden_dim == 1536
+
+    def test_attn_scale_power_of_two(self):
+        config = model_config("model1")
+        scale = config.attn_scale
+        assert scale == 0.125
+        assert (2.0 ** round(__import__("math").log2(scale))) == scale
+
+    def test_with_overrides(self):
+        config = model_config("model1").with_overrides(timesteps=4)
+        assert config.timesteps == 4
+        assert config.embed_dim == 384
+
+
+class TestTinyConfig:
+    def test_image_tokens_derived(self):
+        config = tiny_config(image_size=16, patch_size=4)
+        assert config.num_tokens == 16
+
+    def test_event_channels(self):
+        assert tiny_config(input_kind="event").in_channels == 2
+
+    def test_sequence_tokens(self):
+        assert tiny_config(input_kind="sequence", num_tokens=20).num_tokens == 20

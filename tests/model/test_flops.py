@@ -1,0 +1,64 @@
+"""Complexity profiler tests — the Fig.-3 claims."""
+
+import pytest
+
+from repro.model import flops_breakdown, model_config, tiny_config
+
+
+class TestBreakdown:
+    def test_components_positive(self):
+        profile = flops_breakdown(model_config("model1"))
+        for name, value in profile.as_dict().items():
+            assert value > 0, name
+
+    def test_projection_formula(self):
+        config = model_config("model1")
+        profile = flops_breakdown(config)
+        expected = config.num_blocks * 4 * 2 * (
+            config.timesteps * config.num_tokens * config.embed_dim**2
+        )
+        assert profile.projections == expected
+
+    def test_attention_formula(self):
+        config = model_config("model3")
+        profile = flops_breakdown(config)
+        expected = config.num_blocks * 2 * 2 * (
+            config.timesteps * config.num_tokens**2 * config.embed_dim
+        )
+        assert profile.attention == expected
+
+    def test_attention_dominates_when_n_much_larger(self):
+        """Sec. 2.2: with N ≫ D attention dominates; with D ≫ N, MLP does."""
+        wide = tiny_config(input_kind="sequence", num_tokens=512, embed_dim=32)
+        narrow = tiny_config(input_kind="sequence", num_tokens=8, embed_dim=256)
+        assert flops_breakdown(wide).attention_fraction > 0.5
+        assert flops_breakdown(narrow).mlp_fraction > flops_breakdown(narrow).attention_fraction
+
+    def test_fig3_band(self):
+        """Attention+MLP share for the paper's sweep sits in the 50-95% band."""
+        for name in ("model1", "model2", "model3", "model4", "model5"):
+            share = flops_breakdown(model_config(name)).attention_plus_mlp_fraction
+            assert 0.5 < share < 0.95, name
+
+    def test_attention_fraction_grows_with_tokens(self):
+        """Fig. 3: attention dominance intensifies as N increases."""
+        shares = []
+        for n_tokens in (32, 64, 128, 256):
+            config = tiny_config(
+                input_kind="sequence", num_tokens=n_tokens, embed_dim=64
+            )
+            shares.append(flops_breakdown(config).attention_fraction)
+        assert all(a < b for a, b in zip(shares, shares[1:]))
+
+    def test_lif_non_dominant(self):
+        for name in ("model1", "model3"):
+            profile = flops_breakdown(model_config(name))
+            assert profile.lif / profile.total < 0.05
+
+    def test_event_tokenizer_counted(self):
+        profile = flops_breakdown(model_config("model4"))
+        assert profile.tokenizer > 0
+
+    def test_total_is_sum(self):
+        profile = flops_breakdown(model_config("model2"))
+        assert profile.total == pytest.approx(sum(profile.as_dict().values()))

@@ -1,0 +1,61 @@
+"""Model checkpoint round-trip tests."""
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.model import SpikingTransformer, load_model, save_model, tiny_config
+from repro.snn import direct_encode
+
+
+class TestSaveLoad:
+    def test_round_trip_identical_outputs(self, tmp_path, rng):
+        config = tiny_config(num_classes=4)
+        model = SpikingTransformer(config, seed=3)
+        # Touch the BN running stats so they are non-trivial.
+        x = direct_encode(rng.random((2, 3, 16, 16)), config.timesteps)
+        model.train()
+        model(x)
+        model.eval()
+        with no_grad():
+            want = model(x).data
+
+        path = tmp_path / "checkpoint.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        restored.eval()
+        with no_grad():
+            got = restored(x).data
+        np.testing.assert_array_equal(got, want)
+
+    def test_config_restored(self, tmp_path):
+        config = tiny_config(num_classes=7, timesteps=6)
+        model = SpikingTransformer(config, seed=0)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.config == config
+
+    def test_parameters_equal(self, tmp_path):
+        model = SpikingTransformer(tiny_config(num_classes=4), seed=9)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        for (name_a, a), (name_b, b) in zip(
+            model.named_parameters(), restored.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_running_stats_restored(self, tmp_path, rng):
+        config = tiny_config(num_classes=4)
+        model = SpikingTransformer(config, seed=0)
+        x = direct_encode(rng.random((2, 3, 16, 16)), config.timesteps)
+        model.train()
+        model(x)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        np.testing.assert_array_equal(
+            restored.blocks[0].ssa.q_norm.running_mean,
+            model.blocks[0].ssa.q_norm.running_mean,
+        )

@@ -1,0 +1,72 @@
+"""Tokenizer tests: image/event conv stacks and the sequence embedder."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, init_rng, no_grad
+from repro.model import (
+    SpikingImageTokenizer,
+    SpikingSequenceTokenizer,
+    build_tokenizer,
+    tiny_config,
+)
+
+
+class TestImageTokenizer:
+    def test_output_shape_and_binarity(self, rng):
+        config = tiny_config(num_classes=4)
+        tokenizer = SpikingImageTokenizer(config, init_rng(0))
+        x = Tensor(rng.random((config.timesteps, 2, 3, 16, 16)))
+        with no_grad():
+            tokens = tokenizer(x)
+        assert tokens.shape == (config.timesteps, 2, config.num_tokens, config.embed_dim)
+        assert set(np.unique(tokens.data)) <= {0.0, 1.0}
+
+    def test_depth_one_has_no_preconvs(self):
+        config = tiny_config(num_classes=4, tokenizer_depth=1)
+        tokenizer = SpikingImageTokenizer(config, init_rng(0))
+        assert len(tokenizer.pre_convs) == 0
+
+    def test_depth_two_has_one_preconv(self):
+        config = tiny_config(num_classes=4, tokenizer_depth=2)
+        tokenizer = SpikingImageTokenizer(config, init_rng(0))
+        assert len(tokenizer.pre_convs) == 1
+
+    def test_gradients_reach_patch_conv(self, rng):
+        config = tiny_config(num_classes=4)
+        tokenizer = SpikingImageTokenizer(config, init_rng(0))
+        x = Tensor(rng.random((config.timesteps, 1, 3, 16, 16)))
+        tokenizer(x).sum().backward()
+        assert tokenizer.patch_conv.weight.grad is not None
+
+
+class TestSequenceTokenizer:
+    def test_output_shape(self, rng):
+        config = tiny_config(input_kind="sequence", num_classes=4, num_tokens=10)
+        tokenizer = SpikingSequenceTokenizer(config, init_rng(0))
+        x = Tensor(rng.random((config.timesteps, 2, 10, config.sequence_features)))
+        with no_grad():
+            tokens = tokenizer(x)
+        assert tokens.shape == (config.timesteps, 2, 10, config.embed_dim)
+        assert set(np.unique(tokens.data)) <= {0.0, 1.0}
+
+    def test_rejects_wrong_feature_width(self, rng):
+        config = tiny_config(input_kind="sequence", num_classes=4)
+        tokenizer = SpikingSequenceTokenizer(config, init_rng(0))
+        with pytest.raises(ValueError):
+            tokenizer(Tensor(rng.random((2, 1, 10, config.sequence_features + 1))))
+
+
+class TestBuildTokenizer:
+    def test_dispatch(self):
+        rng = init_rng(0)
+        assert isinstance(
+            build_tokenizer(tiny_config(), rng), SpikingImageTokenizer
+        )
+        assert isinstance(
+            build_tokenizer(tiny_config(input_kind="event"), rng), SpikingImageTokenizer
+        )
+        assert isinstance(
+            build_tokenizer(tiny_config(input_kind="sequence"), rng),
+            SpikingSequenceTokenizer,
+        )

@@ -1,0 +1,127 @@
+"""End-to-end spiking transformer tests: tokenizers, blocks, trace, training hooks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F, no_grad
+from repro.model import (
+    MATMUL_KINDS,
+    SpikingTransformer,
+    tiny_config,
+)
+from repro.snn import direct_encode
+
+
+class TestForward:
+    def test_image_logits_shape(self, tiny_model, tiny_batch):
+        with no_grad():
+            logits = tiny_model(tiny_batch)
+        assert logits.shape == (2, 4)
+
+    def test_event_input(self, rng):
+        config = tiny_config(input_kind="event", num_classes=3, timesteps=4)
+        model = SpikingTransformer(config, seed=0)
+        clips = (rng.random((4, 2, 2, 16, 16)) < 0.1).astype(np.float64)
+        with no_grad():
+            logits = model(clips)
+        assert logits.shape == (2, 3)
+
+    def test_sequence_input(self, rng):
+        config = tiny_config(input_kind="sequence", num_classes=3, num_tokens=12)
+        model = SpikingTransformer(config, seed=0)
+        x = direct_encode(rng.random((2, 12, config.sequence_features)), config.timesteps)
+        with no_grad():
+            logits = model(x)
+        assert logits.shape == (2, 3)
+
+    def test_block_states_binary(self, tiny_model, tiny_batch):
+        taps = []
+        with no_grad():
+            tiny_model(tiny_batch, taps=taps)
+        for name, tensor in taps:
+            assert set(np.unique(tensor.data)) <= {0.0, 1.0}, name
+
+    def test_deterministic_given_seed(self, tiny_batch):
+        config = tiny_config(num_classes=4)
+        with no_grad():
+            a = SpikingTransformer(config, seed=5).eval()(tiny_batch).data
+            b = SpikingTransformer(config, seed=5).eval()(tiny_batch).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, tiny_batch):
+        config = tiny_config(num_classes=4)
+        with no_grad():
+            a = SpikingTransformer(config, seed=1).eval()(tiny_batch).data
+            b = SpikingTransformer(config, seed=2).eval()(tiny_batch).data
+        assert not np.array_equal(a, b)
+
+
+class TestTrace:
+    def test_record_inventory(self, tiny_model, tiny_batch):
+        trace = tiny_model.trace(tiny_batch)
+        per_block = 7  # 3 QKV proj + attention + proj_o + 2 MLP
+        assert len(trace.records) == tiny_model.config.num_blocks * per_block
+        assert trace.num_blocks == tiny_model.config.num_blocks
+
+    def test_matmul_records_binary_inputs(self, tiny_model, tiny_batch):
+        trace = tiny_model.trace(tiny_batch)
+        for record in trace.records:
+            if record.is_matmul:
+                assert set(np.unique(record.input_spikes)) <= {0.0, 1.0}
+                assert record.kind in MATMUL_KINDS
+
+    def test_attention_records(self, tiny_model, tiny_batch):
+        trace = tiny_model.trace(tiny_batch)
+        config = tiny_model.config
+        for record in trace.layers(kind="attention"):
+            assert record.q.shape == (
+                config.timesteps, config.num_heads,
+                config.num_tokens, config.head_dim,
+            )
+
+    def test_trace_respects_sample_index(self, tiny_model, tiny_batch):
+        t0 = tiny_model.trace(tiny_batch, sample=0)
+        t1 = tiny_model.trace(tiny_batch, sample=1)
+        a = t0.layers(kind="proj_q")[0].input_spikes
+        b = t1.layers(kind="proj_q")[0].input_spikes
+        assert not np.array_equal(a, b)
+
+    def test_trace_restores_training_mode(self, tiny_model, tiny_batch):
+        tiny_model.train()
+        tiny_model.trace(tiny_batch)
+        assert tiny_model.training
+        tiny_model.eval()
+        tiny_model.trace(tiny_batch)
+        assert not tiny_model.training
+        tiny_model.train()
+
+    def test_macs_positive(self, tiny_model, tiny_batch):
+        trace = tiny_model.trace(tiny_batch)
+        assert trace.total_macs() > 0
+        assert 0.0 < trace.average_spike_density() < 1.0
+
+    def test_phase_mapping(self, tiny_model, tiny_batch):
+        trace = tiny_model.trace(tiny_batch)
+        phases = {r.phase for r in trace.records}
+        assert phases == {"P1", "ATN", "P2", "MLP"}
+
+
+class TestTraining:
+    def test_loss_backward_touches_all_parameters(self, tiny_batch):
+        model = SpikingTransformer(tiny_config(num_classes=4), seed=0)
+        logits = model(tiny_batch)
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        loss.backward()
+        touched = sum(
+            1 for p in model.parameters() if p.grad is not None and np.abs(p.grad).sum() > 0
+        )
+        # Surrogate gradients should reach the vast majority of parameters
+        # (a dead LIF layer can block a few on a tiny random model).
+        assert touched / len(model.parameters()) > 0.8
+
+    def test_tokenizer_mismatch_raises(self, rng):
+        config = tiny_config(num_classes=4)
+        model = SpikingTransformer(config, seed=0)
+        bad = direct_encode(rng.random((2, 3, 12, 12)), config.timesteps)
+        with pytest.raises(ValueError):
+            model(bad)

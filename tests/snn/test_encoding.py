@@ -1,0 +1,91 @@
+"""Spike encoder tests."""
+
+import numpy as np
+import pytest
+
+from repro.snn import direct_encode, events_to_frames, latency_encode, rate_encode
+
+
+class TestDirectEncode:
+    def test_replicates_over_time(self, rng):
+        images = rng.random((2, 3, 4, 4))
+        out = direct_encode(images, 5)
+        assert out.shape == (5, 2, 3, 4, 4)
+        for t in range(5):
+            np.testing.assert_array_equal(out[t], images)
+
+    def test_writable_copy(self, rng):
+        out = direct_encode(rng.random((1, 1, 2, 2)), 3)
+        out[0, 0, 0, 0, 0] = 99.0  # must not raise (broadcast views are read-only)
+
+    def test_rejects_bad_timesteps(self, rng):
+        with pytest.raises(ValueError):
+            direct_encode(rng.random((1, 1, 2, 2)), 0)
+
+
+class TestRateEncode:
+    def test_rate_matches_intensity(self, rng):
+        images = np.full((1, 1, 10, 10), 0.3)
+        out = rate_encode(images, 2000, rng)
+        np.testing.assert_allclose(out.mean(), 0.3, atol=0.02)
+
+    def test_binary_output(self, rng):
+        out = rate_encode(rng.random((2, 1, 3, 3)), 7, rng)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_extremes(self, rng):
+        zeros = rate_encode(np.zeros((1, 1, 2, 2)), 10, rng)
+        ones = rate_encode(np.ones((1, 1, 2, 2)), 10, rng)
+        assert zeros.sum() == 0
+        assert ones.mean() == 1.0
+
+
+class TestLatencyEncode:
+    def test_single_spike_per_pixel(self, rng):
+        out = latency_encode(rng.random((2, 1, 4, 4)), 8)
+        np.testing.assert_array_equal(out.sum(axis=0), 1.0)
+
+    def test_bright_fires_first(self):
+        images = np.array([[[[1.0, 0.0]]]])
+        out = latency_encode(images, 4)
+        assert out[0, 0, 0, 0, 0] == 1.0       # intensity 1 at t=0
+        assert out[3, 0, 0, 0, 1] == 1.0       # intensity 0 at final step
+
+
+class TestEventsToFrames:
+    def test_basic_binning(self):
+        events = np.array([
+            [0.1, 2, 3, 0],
+            [0.9, 2, 3, 1],
+            [1.9, 0, 0, 0],
+        ])
+        frames = events_to_frames(events, timesteps=2, height=4, width=4, duration=2.0)
+        assert frames.shape == (2, 2, 4, 4)
+        assert frames[0, 0, 3, 2] == 1.0       # (y=3, x=2) polarity 0, bin 0
+        assert frames[0, 1, 3, 2] == 1.0
+        assert frames[1, 0, 0, 0] == 1.0
+
+    def test_binary_even_with_duplicates(self):
+        events = np.array([[0.0, 1, 1, 0]] * 10)
+        frames = events_to_frames(events, 4, 4, 4, duration=1.0)
+        assert frames.max() == 1.0
+        assert frames.sum() == 1.0
+
+    def test_out_of_bounds_dropped(self):
+        events = np.array([[0.0, 99, 1, 0], [0.0, 1, -1, 1], [0.0, 1, 1, 5]])
+        frames = events_to_frames(events, 2, 4, 4, duration=1.0)
+        assert frames.sum() == 0
+
+    def test_empty_stream(self):
+        frames = events_to_frames(np.zeros((0, 4)), 3, 4, 4)
+        assert frames.shape == (3, 2, 4, 4)
+        assert frames.sum() == 0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            events_to_frames(np.zeros((5, 3)), 2, 4, 4)
+
+    def test_last_bin_clamps(self):
+        events = np.array([[10.0, 0, 0, 0]])
+        frames = events_to_frames(events, 4, 2, 2, duration=10.0)
+        assert frames[3, 0, 0, 0] == 1.0

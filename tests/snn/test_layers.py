@@ -1,0 +1,87 @@
+"""Time-distributed spiking layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, init_rng
+from repro.snn import SpikingLinear, TimeBatchNorm, TimeConv2d, TimeLinear
+
+
+class TestTimeLinear:
+    def test_shape_and_semantics(self, rng):
+        layer = TimeLinear(8, 5, init_rng(0))
+        x = Tensor(rng.normal(size=(3, 2, 4, 8)))
+        out = layer(x)
+        assert out.shape == (3, 2, 4, 5)
+        manual = x.data @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out.data, manual)
+
+    def test_no_bias(self, rng):
+        layer = TimeLinear(4, 4, init_rng(0), bias=False)
+        assert layer.bias is None
+
+    def test_rejects_wrong_features(self, rng):
+        layer = TimeLinear(8, 5, init_rng(0))
+        with pytest.raises(ValueError):
+            layer(Tensor(rng.normal(size=(3, 2, 7))))
+
+    def test_kaiming_scale(self):
+        layer = TimeLinear(1000, 100, init_rng(0))
+        std = layer.weight.data.std()
+        np.testing.assert_allclose(std, np.sqrt(2.0 / 1000), rtol=0.1)
+
+
+class TestTimeConv2d:
+    def test_folds_time_batch(self, rng):
+        layer = TimeConv2d(3, 6, kernel_size=3, rng=init_rng(0), padding=1)
+        x = Tensor(rng.normal(size=(4, 2, 3, 8, 8)))
+        out = layer(x)
+        assert out.shape == (4, 2, 6, 8, 8)
+
+    def test_time_points_independent(self, rng):
+        layer = TimeConv2d(1, 2, kernel_size=3, rng=init_rng(0), padding=1)
+        x_np = rng.normal(size=(2, 1, 1, 5, 5))
+        full = layer(Tensor(x_np)).data
+        single = layer(Tensor(x_np[:1])).data
+        np.testing.assert_allclose(full[:1], single)
+
+
+class TestTimeBatchNorm:
+    def test_normalizes_last_axis(self, rng):
+        layer = TimeBatchNorm(6)
+        x = Tensor(rng.normal(3.0, 2.0, size=(4, 8, 5, 6)))
+        out = layer(x)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 1, 2)), 0.0, atol=1e-9)
+
+    def test_eval_mode_uses_running_stats(self, rng):
+        layer = TimeBatchNorm(3)
+        for _ in range(20):
+            layer(Tensor(rng.normal(2.0, 1.0, size=(4, 16, 3))))
+        layer.eval()
+        out = layer(Tensor(np.full((1, 4, 3), 2.0)))
+        np.testing.assert_allclose(out.data, 0.0, atol=0.5)
+
+    def test_rejects_wrong_features(self, rng):
+        with pytest.raises(ValueError):
+            TimeBatchNorm(4)(Tensor(rng.normal(size=(2, 3, 5))))
+
+
+class TestSpikingLinear:
+    def test_binary_output(self, rng):
+        layer = SpikingLinear(8, 6, init_rng(0))
+        out = layer(Tensor((rng.random((4, 2, 3, 8)) < 0.3).astype(np.float64)))
+        assert out.shape == (4, 2, 3, 6)
+        assert set(np.unique(out.data)) <= {0.0, 1.0}
+
+    def test_without_batchnorm(self, rng):
+        layer = SpikingLinear(8, 6, init_rng(0), use_batchnorm=False)
+        assert layer.norm is None
+        out = layer(Tensor(rng.random((2, 1, 2, 8))))
+        assert out.shape == (2, 1, 2, 6)
+
+    def test_gradients_reach_weights(self, rng):
+        layer = SpikingLinear(8, 6, init_rng(0))
+        out = layer(Tensor(rng.random((3, 2, 2, 8))))
+        out.sum().backward()
+        assert layer.proj.weight.grad is not None
+        assert np.abs(layer.proj.weight.grad).sum() > 0

@@ -1,0 +1,134 @@
+"""LIF dynamics tests against Eq. 1-2 of the paper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.snn import LIF, lif_forward
+
+
+class TestDynamics:
+    def test_matches_reference(self, rng):
+        current = rng.normal(0.4, 0.5, size=(8, 3, 5))
+        out = lif_forward(Tensor(current))
+        np.testing.assert_array_equal(out.data, LIF.reference_numpy(current))
+
+    def test_output_is_binary(self, rng):
+        out = lif_forward(Tensor(rng.normal(size=(6, 4))))
+        assert set(np.unique(out.data)) <= {0.0, 1.0}
+
+    def test_subthreshold_never_fires(self):
+        # Constant 0.2 current with threshold 1.0 and full reset-free decay:
+        # membrane grows 0.2/step and crosses 1.0 strictly after step 5.
+        current = np.full((4, 1), 0.2)
+        out = lif_forward(Tensor(current), v_threshold=1.0)
+        assert out.data.sum() == 0
+
+    def test_integrate_then_fire(self):
+        current = np.full((6, 1), 0.4)
+        out = lif_forward(Tensor(current), v_threshold=1.0)
+        # V: .4 .8 1.2(fire) .4 .8 1.2(fire)
+        np.testing.assert_array_equal(out.data[:, 0], [0, 0, 1, 0, 0, 1])
+
+    def test_reset_to_zero_on_fire(self):
+        current = np.array([[2.0], [0.5], [0.6]])
+        out = lif_forward(Tensor(current), v_threshold=1.0)
+        # fires at t0, resets; 0.5 then 1.1 -> fires at t2
+        np.testing.assert_array_equal(out.data[:, 0], [1, 0, 1])
+
+    def test_leak_subtracts(self):
+        current = np.full((4, 1), 0.5)
+        no_leak = lif_forward(Tensor(current), v_leak=0.0)
+        leak = lif_forward(Tensor(current), v_leak=0.25)
+        assert leak.data.sum() < no_leak.data.sum()
+
+    def test_threshold_strictly_greater(self):
+        # Eq. 2 fires only if V > V_th, not >=.
+        current = np.array([[1.0], [0.000001]])
+        out = lif_forward(Tensor(current), v_threshold=1.0)
+        np.testing.assert_array_equal(out.data[:, 0], [0, 1])
+
+    def test_membrane_carries_across_steps(self):
+        current = np.array([[0.7], [0.7]])
+        out = lif_forward(Tensor(current))
+        np.testing.assert_array_equal(out.data[:, 0], [0, 1])
+
+    def test_requires_time_axis(self):
+        with pytest.raises(ValueError):
+            lif_forward(Tensor(np.float64(1.0)))
+
+
+class TestModule:
+    def test_layer_forward(self, rng):
+        layer = LIF(v_threshold=1.0)
+        out = layer(Tensor(rng.normal(size=(5, 2, 3))))
+        assert out.shape == (5, 2, 3)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            LIF(v_threshold=0.0)
+
+    def test_gradients_flow_through_time(self, rng):
+        current = Tensor(rng.normal(0.3, 0.4, size=(6, 4)), requires_grad=True)
+        out = lif_forward(current)
+        out.sum().backward()
+        assert current.grad is not None
+        # Early time steps influence later spikes via the membrane: their
+        # gradient entries must not all be zero.
+        assert np.abs(current.grad[0]).sum() > 0
+
+    def test_surrogate_choice_changes_grad_not_forward(self, rng):
+        data = rng.normal(0.3, 0.4, size=(5, 3))
+        outs, grads = [], []
+        for surrogate in ("atan", "rectangular", "sigmoid"):
+            current = Tensor(data.copy(), requires_grad=True)
+            out = lif_forward(current, surrogate=surrogate)
+            out.sum().backward()
+            outs.append(out.data.copy())
+            grads.append(current.grad.copy())
+        np.testing.assert_array_equal(outs[0], outs[1])
+        np.testing.assert_array_equal(outs[0], outs[2])
+        assert not np.allclose(grads[0], grads[1])
+
+
+# ----------------------------------------------------------------------
+# Property tests on the dynamics
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    timesteps=st.integers(1, 12),
+    threshold=st.floats(0.5, 2.0),
+    leak=st.floats(0.0, 0.3),
+)
+def test_property_autograd_path_matches_reference(seed, timesteps, threshold, leak):
+    gen = np.random.default_rng(seed)
+    current = gen.normal(0.3, 0.6, size=(timesteps, 4))
+    out = lif_forward(Tensor(current), v_threshold=threshold, v_leak=leak)
+    ref = LIF.reference_numpy(current, v_threshold=threshold, v_leak=leak)
+    np.testing.assert_array_equal(out.data, ref)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), timesteps=st.integers(1, 10))
+def test_property_spike_implies_supra_threshold_accumulation(seed, timesteps):
+    """A neuron can emit at most ⌊total positive input / V_th⌋ spikes."""
+    gen = np.random.default_rng(seed)
+    current = gen.uniform(0.0, 1.0, size=(timesteps, 3))
+    out = LIF.reference_numpy(current, v_threshold=1.0)
+    spikes_per_neuron = out.sum(axis=0)
+    bound = np.floor(current.sum(axis=0))
+    assert (spikes_per_neuron <= bound).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_property_monotone_in_input(seed):
+    """Pointwise-larger input currents never produce fewer total spikes."""
+    gen = np.random.default_rng(seed)
+    current = gen.uniform(0.0, 0.8, size=(8, 5))
+    bigger = current + gen.uniform(0.0, 0.3, size=current.shape)
+    assert (
+        LIF.reference_numpy(bigger).sum() >= LIF.reference_numpy(current).sum()
+    )

@@ -1,0 +1,72 @@
+"""Post-training quantization tests."""
+
+import numpy as np
+import pytest
+
+from repro.snn import quantize_model, quantize_tensor
+from repro.model import SpikingTransformer, tiny_config
+
+
+class TestQuantizeTensor:
+    def test_levels_bounded(self, rng):
+        values = rng.normal(size=(8, 16))
+        restored, scales = quantize_tensor(values, bits=4, per_channel_axis=0)
+        for row, scale in zip(restored, scales):
+            levels = np.unique(np.round(row / scale))
+            assert levels.min() >= -7 and levels.max() <= 7
+
+    def test_error_bounded_by_half_step(self, rng):
+        values = rng.normal(size=(8, 16))
+        restored, scales = quantize_tensor(values, bits=8, per_channel_axis=0)
+        error = np.abs(restored - values)
+        assert (error <= scales[:, None] / 2 + 1e-12).all()
+
+    def test_more_bits_less_error(self, rng):
+        values = rng.normal(size=(4, 32))
+        err4 = np.abs(quantize_tensor(values, 4)[0] - values).mean()
+        err8 = np.abs(quantize_tensor(values, 8)[0] - values).mean()
+        assert err8 < err4
+
+    def test_tensor_wide_scale(self, rng):
+        values = rng.normal(size=(4, 4))
+        restored, scales = quantize_tensor(values, 8, per_channel_axis=None)
+        assert scales.ndim == 0
+        assert np.abs(restored - values).max() <= float(scales) / 2 + 1e-12
+
+    def test_zero_tensor_stable(self):
+        restored, _ = quantize_tensor(np.zeros((3, 3)), 8)
+        assert (restored == 0).all()
+
+    def test_rejects_silly_bits(self, rng):
+        with pytest.raises(ValueError):
+            quantize_tensor(rng.normal(size=(2, 2)), bits=1)
+
+
+class TestQuantizeModel:
+    def test_quantizes_weights_not_biases(self):
+        model = SpikingTransformer(tiny_config(num_classes=4), seed=0)
+        report = quantize_model(model, bits=8)
+        assert report.num_quantized > 0
+        assert report.num_quantized < report.num_parameters  # biases skipped
+        assert report.max_abs_error > 0
+
+    def test_accuracy_survives_8bit(self, trained_tiny):
+        """The accelerator's 8-bit weights must not break a trained model."""
+        import copy
+
+        model, dataset, trainer = trained_tiny
+        state = model.state_dict()
+        base = trainer.evaluate(dataset.x_test, dataset.y_test)
+        try:
+            quantize_model(model, bits=8)
+            quantized = trainer.evaluate(dataset.x_test, dataset.y_test)
+        finally:
+            model.load_state_dict(state)
+        assert quantized >= base - 0.15
+
+    def test_low_bit_errors_grow(self):
+        model8 = SpikingTransformer(tiny_config(num_classes=4), seed=0)
+        model3 = SpikingTransformer(tiny_config(num_classes=4), seed=0)
+        report8 = quantize_model(model8, bits=8)
+        report3 = quantize_model(model3, bits=3)
+        assert report3.mean_abs_error > report8.mean_abs_error

@@ -1,0 +1,54 @@
+"""Surrogate-gradient spike function tests."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.snn import SURROGATES, spike
+from repro.snn.surrogate import atan_grad, rectangular_grad, sigmoid_grad
+
+
+class TestForward:
+    def test_heaviside(self):
+        x = Tensor(np.array([-1.0, -1e-9, 0.0, 1e-9, 2.0]))
+        out = spike(x)
+        np.testing.assert_array_equal(out.data, [0, 0, 0, 1, 1])
+
+    def test_unknown_surrogate_raises(self):
+        with pytest.raises(ValueError, match="unknown surrogate"):
+            spike(Tensor(np.zeros(2)), surrogate="nope")
+
+    def test_all_registered_surrogates_run(self, rng):
+        x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        for name in SURROGATES:
+            out = spike(x, surrogate=name)
+            assert set(np.unique(out.data)) <= {0.0, 1.0}
+
+
+class TestBackward:
+    def test_gradient_is_surrogate_times_upstream(self, rng):
+        v = rng.normal(size=(6,))
+        x = Tensor(v, requires_grad=True)
+        out = spike(x, surrogate="atan")
+        upstream = rng.normal(size=(6,))
+        out.backward(upstream)
+        np.testing.assert_allclose(x.grad, upstream * atan_grad(v))
+
+    def test_peak_at_threshold(self):
+        for fn in (atan_grad, rectangular_grad, sigmoid_grad):
+            assert fn(np.array([0.0]))[0] >= fn(np.array([1.0]))[0]
+            assert fn(np.array([0.0]))[0] >= fn(np.array([-1.0]))[0]
+
+    def test_atan_integrates_to_one(self):
+        # ∫ surrogate dv ≈ 1 (it approximates a delta at the threshold).
+        v = np.linspace(-50, 50, 400001)
+        area = np.trapezoid(atan_grad(v), v)
+        np.testing.assert_allclose(area, 1.0, atol=1e-2)
+
+    def test_rectangular_window(self):
+        grad = rectangular_grad(np.array([-0.6, -0.4, 0.0, 0.4, 0.6]), width=1.0)
+        np.testing.assert_array_equal(grad, [0, 1, 1, 1, 0])
+
+    def test_sigmoid_symmetric(self):
+        v = np.array([0.3])
+        np.testing.assert_allclose(sigmoid_grad(v), sigmoid_grad(-v))

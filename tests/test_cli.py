@@ -1,0 +1,44 @@
+"""CLI tests (``python -m repro``)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "table1" in out
+
+    def test_zoo(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "model3" in out and "N=196" in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "table2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model1"]["timesteps"] == 10
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_with_output_file(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        assert main(["run", "fig17", "--output", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["bishop_totals"]["area_mm2"] == pytest.approx(2.96, abs=0.01)

@@ -1,0 +1,77 @@
+"""Synthetic dataset tests."""
+
+import numpy as np
+
+from repro.train import make_event_dataset, make_image_dataset, make_sequence_dataset
+
+
+class TestImageDataset:
+    def test_shapes_and_ranges(self):
+        ds = make_image_dataset(num_classes=3, samples_per_class=10, image_size=8)
+        assert ds.kind == "image"
+        assert ds.x_train.shape[1:] == (3, 8, 8)
+        assert ds.x_train.min() >= 0.0 and ds.x_train.max() <= 1.0
+        assert set(np.unique(ds.y_train)) <= {0, 1, 2}
+
+    def test_split_sizes(self):
+        ds = make_image_dataset(num_classes=2, samples_per_class=20, test_fraction=0.25)
+        total = len(ds.x_train) + len(ds.x_test)
+        assert total == 40
+        assert len(ds.x_test) == 10
+
+    def test_deterministic(self):
+        a = make_image_dataset(seed=7)
+        b = make_image_dataset(seed=7)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+
+    def test_classes_are_distinguishable(self):
+        """Class means must differ — a linear probe can separate gratings."""
+        ds = make_image_dataset(num_classes=2, samples_per_class=30, noise=0.05)
+        mean0 = ds.x_train[ds.y_train == 0].mean(axis=0)
+        mean1 = ds.x_train[ds.y_train == 1].mean(axis=0)
+        assert np.abs(mean0 - mean1).mean() > 0.05
+
+    def test_batches_cover_everything(self, rng):
+        ds = make_image_dataset(num_classes=2, samples_per_class=10)
+        seen = 0
+        for x, y in ds.batches(7, rng):
+            assert len(x) == len(y)
+            seen += len(x)
+        assert seen == len(ds.x_train)
+
+
+class TestEventDataset:
+    def test_shapes(self):
+        ds = make_event_dataset(num_classes=2, samples_per_class=5, image_size=8, timesteps=6)
+        assert ds.kind == "event"
+        assert ds.x_train.shape[1:] == (6, 2, 8, 8)
+
+    def test_binary_frames(self):
+        ds = make_event_dataset(num_classes=2, samples_per_class=5)
+        assert set(np.unique(ds.x_train)) <= {0.0, 1.0}
+
+    def test_sparse(self):
+        ds = make_event_dataset(num_classes=2, samples_per_class=5, image_size=16)
+        assert ds.x_train.mean() < 0.2
+
+
+class TestSequenceDataset:
+    def test_shapes(self):
+        ds = make_sequence_dataset(num_classes=3, samples_per_class=5, num_tokens=10, num_features=12)
+        assert ds.kind == "sequence"
+        assert ds.x_train.shape[1:] == (10, 12)
+
+    def test_range(self):
+        ds = make_sequence_dataset(num_classes=2, samples_per_class=5)
+        assert ds.x_train.min() >= 0.0 and ds.x_train.max() <= 1.0
+
+    def test_contour_slopes_differ_by_class(self):
+        ds = make_sequence_dataset(num_classes=2, samples_per_class=40, noise=0.0)
+        feat = np.arange(ds.x_train.shape[2])
+
+        def mean_slope(cls):
+            seqs = ds.x_train[ds.y_train == cls]
+            centroids = (seqs * feat).sum(axis=2) / seqs.sum(axis=2)
+            return np.polyfit(np.arange(centroids.shape[1]), centroids.mean(axis=0), 1)[0]
+
+        assert mean_slope(0) < mean_slope(1)

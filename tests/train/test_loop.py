@@ -1,0 +1,102 @@
+"""Trainer tests: optimization wiring, BSA integration, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.algo import BundleSparsityLoss
+from repro.bundles import BundleSpec
+from repro.model import SpikingTransformer, tiny_config
+from repro.train import TrainConfig, Trainer, encode_batch, make_image_dataset
+
+
+class TestEncodeBatch:
+    def test_image_layout(self, rng):
+        out = encode_batch(rng.random((2, 3, 8, 8)), "image", 5)
+        assert out.shape == (5, 2, 3, 8, 8)
+
+    def test_event_layout(self, rng):
+        clips = rng.random((2, 6, 2, 8, 8))
+        out = encode_batch(clips, "event", 6)
+        assert out.shape == (6, 2, 2, 8, 8)
+        np.testing.assert_array_equal(out[0], clips[:, 0])
+
+    def test_event_timestep_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            encode_batch(rng.random((2, 6, 2, 8, 8)), "event", 4)
+
+    def test_sequence_layout(self, rng):
+        out = encode_batch(rng.random((2, 10, 12)), "sequence", 3)
+        assert out.shape == (3, 2, 10, 12)
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(ValueError):
+            encode_batch(rng.random((2, 3)), "video", 3)
+
+
+class TestTrainerConstruction:
+    def test_rejects_kind_mismatch(self):
+        ds = make_image_dataset(num_classes=2, samples_per_class=4)
+        model = SpikingTransformer(
+            tiny_config(input_kind="sequence", num_classes=2), seed=0
+        )
+        with pytest.raises(ValueError, match="kind"):
+            Trainer(model, ds, TrainConfig(epochs=1))
+
+    def test_bsa_requires_loss(self):
+        ds = make_image_dataset(num_classes=2, samples_per_class=4)
+        model = SpikingTransformer(tiny_config(num_classes=2), seed=0)
+        with pytest.raises(ValueError, match="BundleSparsityLoss"):
+            Trainer(model, ds, TrainConfig(epochs=1, lambda_bsp=0.5))
+
+    def test_unknown_optimizer(self):
+        ds = make_image_dataset(num_classes=2, samples_per_class=4)
+        model = SpikingTransformer(tiny_config(num_classes=2), seed=0)
+        with pytest.raises(ValueError, match="optimizer"):
+            Trainer(model, ds, TrainConfig(epochs=1, optimizer="lion"))
+
+
+class TestTraining:
+    def test_history_and_improvement(self, trained_tiny):
+        _, _, trainer = trained_tiny
+        history = trainer.history
+        assert len(history.loss) == trainer.config.epochs
+        # Training must beat 4-class chance comfortably.
+        assert history.train_accuracy[-1] > 0.5
+        assert history.loss[-1] < history.loss[0]
+
+    def test_step_returns_metrics(self):
+        ds = make_image_dataset(num_classes=2, samples_per_class=6)
+        model = SpikingTransformer(tiny_config(num_classes=2), seed=0)
+        trainer = Trainer(model, ds, TrainConfig(epochs=1, batch_size=4, seed=0))
+        stats = trainer.train_step(ds.x_train[:4], ds.y_train[:4])
+        assert set(stats) == {"loss", "ce", "bsp", "accuracy"}
+        assert stats["bsp"] == 0.0
+
+    def test_bsa_training_reports_bsp(self):
+        ds = make_image_dataset(num_classes=2, samples_per_class=6)
+        model = SpikingTransformer(tiny_config(num_classes=2), seed=0)
+        trainer = Trainer(
+            model, ds,
+            TrainConfig(epochs=1, batch_size=4, lambda_bsp=0.2, seed=0),
+            bsa_loss=BundleSparsityLoss(BundleSpec(2, 2)),
+        )
+        stats = trainer.train_step(ds.x_train[:4], ds.y_train[:4])
+        assert stats["bsp"] > 0.0
+        assert stats["loss"] > stats["ce"]
+
+    def test_sgd_path(self):
+        ds = make_image_dataset(num_classes=2, samples_per_class=6)
+        model = SpikingTransformer(tiny_config(num_classes=2), seed=0)
+        trainer = Trainer(
+            model, ds,
+            TrainConfig(epochs=1, batch_size=6, optimizer="sgd", cosine_lr=False, seed=0),
+        )
+        before = model.head.weight.data.copy()
+        trainer.fit()
+        assert not np.array_equal(before, model.head.weight.data)
+
+    def test_evaluate_range(self, trained_tiny):
+        model, ds, trainer = trained_tiny
+        acc = trainer.evaluate(ds.x_test, ds.y_test)
+        assert 0.0 <= acc <= 1.0
+        assert model.training  # evaluate restores training mode

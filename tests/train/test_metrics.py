@@ -1,0 +1,46 @@
+"""Metric and tap-extraction tests."""
+
+import numpy as np
+
+from repro.bundles import BundleSpec
+from repro.train import (
+    collect_taps,
+    confusion_matrix,
+    model_bundle_distributions,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect_predictions_diagonal(self):
+        labels = np.array([0, 1, 2, 1])
+        matrix = confusion_matrix(labels, labels, 3)
+        np.testing.assert_array_equal(matrix, np.diag([1, 2, 1]))
+
+    def test_off_diagonal(self):
+        matrix = confusion_matrix(np.array([1, 0]), np.array([0, 0]), 2)
+        assert matrix[0, 1] == 1 and matrix[0, 0] == 1
+
+    def test_total_count(self, rng):
+        preds = rng.integers(0, 4, size=50)
+        labels = rng.integers(0, 4, size=50)
+        assert confusion_matrix(preds, labels, 4).sum() == 50
+
+
+class TestTaps:
+    def test_collect_taps_names_and_binary(self, trained_tiny):
+        model, dataset, _ = trained_tiny
+        taps = collect_taps(model, dataset, dataset.x_test[:2])
+        names = [name for name, _ in taps]
+        assert "tokenizer.output" in names
+        assert any(name.endswith(".q") for name in names)
+        for name, data in taps:
+            assert set(np.unique(data)) <= {0.0, 1.0}, name
+
+    def test_bundle_distributions(self, trained_tiny):
+        model, dataset, _ = trained_tiny
+        spec = BundleSpec(2, 2)
+        dists = model_bundle_distributions(model, dataset, spec)
+        assert len(dists) > 0
+        for name, dist in dists.items():
+            assert 0.0 <= dist.zero_fraction <= 1.0
+            assert dist.counts.shape[0] > 0
