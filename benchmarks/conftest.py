@@ -8,27 +8,27 @@ round — the underlying simulations are deterministic), asserts the paper's
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import pytest
+
+from repro.runtime import ArtifactStore
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
-def results_dir() -> Path:
+def results_store() -> ArtifactStore:
     RESULTS_DIR.mkdir(exist_ok=True)
-    return RESULTS_DIR
+    return ArtifactStore(RESULTS_DIR)
 
 
 @pytest.fixture
-def record_result(results_dir):
+def record_result(results_store):
     """Write one experiment's paper-vs-measured artifact."""
 
     def _write(experiment_id: str, payload: dict) -> None:
-        path = results_dir / f"{experiment_id}.json"
-        path.write_text(json.dumps(payload, indent=2, default=float, sort_keys=True))
+        results_store.write(experiment_id, payload)
 
     return _write
 

@@ -1,52 +1,73 @@
 """Full evaluation grid — paper Figs. 12-13 and the Sec.-6.2 headline.
 
 Runs all five Table-2 workloads through the five systems (edge GPU, PTB,
-Bishop, Bishop+BSA, Bishop+BSA+ECP) and prints latency/energy tables plus
-the headline averages.
+Bishop, Bishop+BSA, Bishop+BSA+ECP) via the parallel cached runtime and
+prints latency/energy tables plus the headline averages.  The first run
+takes ~1-2 minutes; re-runs replay from the on-disk cache in seconds.
 
-Run:  python examples/accelerator_comparison.py    (takes ~1-2 minutes)
+Run:  python examples/accelerator_comparison.py [--jobs N] [--force]
 """
 
-from repro.harness.endtoend import headline_summary, run_grid
+import argparse
+
+from repro.runtime import ExperimentRunner
 
 SYSTEMS = ("gpu", "ptb", "bishop", "bishop_bsa", "bishop_bsa_ecp")
 
 
 def main() -> None:
-    grid = run_grid()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=3)
+    parser.add_argument("--force", action="store_true")
+    parser.add_argument("--artifacts", default="artifacts")
+    args = parser.parse_args()
 
-    print("latency (ms):")
+    runner = ExperimentRunner(
+        artifacts_root=args.artifacts, jobs=args.jobs, force=args.force
+    )
+    summary = runner.run_many(
+        [("fig12", {}), ("fig13", {}), ("sec6.2-summary", {})]
+    )
+    for outcome in summary.outcomes:
+        if not outcome.ok:
+            raise SystemExit(outcome.error)
+    fig12, fig13, headline = (o.result for o in summary.outcomes)
+    print(
+        f"cache: {summary.hits} hits / {summary.misses} runs"
+        f" in {summary.wall_time_s:.1f}s with {summary.jobs} job(s)\n"
+    )
+
     header = "            " + "".join(f"{s:>16}" for s in SYSTEMS)
+    print("latency (ms):")
     print(header)
-    for model, comparison in grid.items():
-        row = "".join(
-            f"{comparison.results[s].latency_s * 1e3:16.3f}" for s in SYSTEMS
-        )
+    for model, entry in fig12.items():
+        row = "".join(f"{entry['latency_ms'][s]:16.3f}" for s in SYSTEMS)
         print(f"{model:<12}{row}")
 
     print("\nenergy (mJ):")
     print(header)
-    for model, comparison in grid.items():
-        row = "".join(
-            f"{comparison.results[s].energy_mj:16.4f}" for s in SYSTEMS
-        )
+    for model, entry in fig13.items():
+        row = "".join(f"{entry['energy_mj'][s]:16.4f}" for s in SYSTEMS)
         print(f"{model:<12}{row}")
 
     print("\nspeedup over PTB:")
-    for model, comparison in grid.items():
+    for model, entry in fig12.items():
+        speedup = entry["speedup_vs_ptb"]
+        gpu_speedup = (
+            entry["latency_ms"]["gpu"] / entry["latency_ms"]["bishop_bsa_ecp"]
+        )
         print(
-            f"  {model}: bishop {comparison.speedup_vs('bishop'):5.2f}x"
-            f"  +BSA {comparison.speedup_vs('bishop_bsa'):5.2f}x"
-            f"  +BSA+ECP {comparison.speedup_vs('bishop_bsa_ecp'):5.2f}x"
-            f"   (vs GPU {comparison.speedup_vs('bishop_bsa_ecp', baseline='gpu'):6.1f}x)"
+            f"  {model}: bishop {speedup['bishop']:5.2f}x"
+            f"  +BSA {speedup['bishop_bsa']:5.2f}x"
+            f"  +BSA+ECP {speedup['bishop_bsa_ecp']:5.2f}x"
+            f"   (vs GPU {gpu_speedup:6.1f}x)"
         )
 
-    summary = headline_summary(grid)
     print(
         f"\nheadline (paper: 5.91x speedup, 6.11x energy, ~299x vs GPU):"
-        f"\n  mean speedup vs PTB: {summary['mean_speedup_vs_ptb']:.2f}x"
-        f"\n  mean energy gain vs PTB: {summary['mean_energy_gain_vs_ptb']:.2f}x"
-        f"\n  mean speedup vs GPU: {summary['mean_speedup_vs_gpu']:.0f}x"
+        f"\n  mean speedup vs PTB: {headline['mean_speedup_vs_ptb']:.2f}x"
+        f"\n  mean energy gain vs PTB: {headline['mean_energy_gain_vs_ptb']:.2f}x"
+        f"\n  mean speedup vs GPU: {headline['mean_speedup_vs_gpu']:.0f}x"
     )
 
 

@@ -1,48 +1,92 @@
 """Design-space exploration — paper Sec. 6.5 (Figs. 15-16).
 
-Sweeps the two architectural hyperparameters the paper calls out on the
-ImageNet-100 workload (Model 3):
+Sweeps the two architectural hyperparameters the paper calls out, through
+the parallel cached runtime (``repro.runtime``) so each (experiment,
+model) point is computed once and replayed from cache on re-runs:
 
 * the stratification threshold θ_s, via targeted dense-fraction splits
   (latency is minimized near balance; EDP traces a U-shape);
 * the TTB bundle volume (BS_t × BS_n) (near-optimal at volume 4-8; large
   volumes shift memory energy from weights to spike activations).
 
-Run:  python examples/design_space_exploration.py
+Run:  python examples/design_space_exploration.py [--models m1,m2] [--jobs N]
+
+Equivalent CLI:  python -m repro sweep fig15 --param model=model3,model4
 """
 
-from repro.harness.fig15 import stratification_sweep
-from repro.harness.fig16 import bundle_volume_sweep
+import argparse
+
+from repro.runtime import ExperimentRunner
 
 
 def main() -> None:
-    print("== Fig. 15: stratification threshold sweep (Model 3) ==")
-    sweep = stratification_sweep("model3")
-    print(" dense-frac   latency(ms)   energy(mJ)        EDP")
-    for point in sweep.points:
-        print(
-            f"  {point.dense_fraction_target:9.2f}  {point.latency_s * 1e3:11.3f}"
-            f"  {point.energy_mj:11.4f}  {point.edp:10.3e}"
-        )
-    print(
-        f"  balanced θ  {sweep.balanced.latency_s * 1e3:11.3f}"
-        f"  {sweep.balanced.energy_mj:11.4f}  {sweep.balanced.edp:10.3e}"
-    )
-    print(f"EDP gain vs PTB at balance: {sweep.edp_gain_vs_ptb:.2f}x (paper ~2.49x)")
-    print(f"worst imbalance penalty:    {sweep.worst_imbalance_penalty:.2f}x (paper up to 1.65x)")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--models", default="model3")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--force", action="store_true")
+    parser.add_argument("--artifacts", default="artifacts")
+    args = parser.parse_args()
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
 
-    print("\n== Fig. 16: TTB bundle-volume sweep (Model 3) ==")
-    points = bundle_volume_sweep("model3")
-    print(" (BSt,BSn)  vol  latency(ms)  energy(mJ)  weight-mem%  act-mem%")
-    for p in sorted(points, key=lambda p: p.volume):
+    runner = ExperimentRunner(
+        artifacts_root=args.artifacts, jobs=args.jobs, force=args.force
+    )
+    fig15 = runner.sweep("fig15", {"model": models})
+    fig16 = runner.sweep("fig16", {"model": models})
+
+    for outcome in fig15.outcomes:
+        if not outcome.ok:
+            raise SystemExit(outcome.error)
+        sweep = outcome.result
+        model = outcome.params["model"]
+        print(f"== Fig. 15: stratification threshold sweep ({model}) ==")
+        print(" dense-frac   latency(ms)   energy(mJ)        EDP")
+        for point in sweep["points"]:
+            print(
+                f"  {point['dense_fraction_target']:9.2f}"
+                f"  {point['latency_s'] * 1e3:11.3f}"
+                f"  {point['energy_mj']:11.4f}  {point['edp']:10.3e}"
+            )
+        balanced = sweep["balanced"]
         print(
-            f"   ({p.bs_t},{p.bs_n:2d})  {p.volume:3d}  {p.total_latency_s * 1e3:10.3f}"
-            f"  {p.total_energy_mj:10.4f}  {p.weight_memory_share:10.1%}"
-            f"  {p.activation_memory_share:8.1%}"
+            f"  balanced θ  {balanced['latency_s'] * 1e3:11.3f}"
+            f"  {balanced['energy_mj']:11.4f}  {balanced['edp']:10.3e}"
         )
-    best = min(points, key=lambda p: p.total_latency_s)
-    print(f"\nbest volume: {best.bs_t}x{best.bs_n} = {best.volume} "
-          "(paper: near-optimal at 4-8)")
+        print(
+            f"EDP gain vs PTB at balance: {sweep['edp_gain_vs_ptb']:.2f}x"
+            " (paper ~2.49x)"
+        )
+        print(
+            f"worst imbalance penalty:    {sweep['worst_imbalance_penalty']:.2f}x"
+            " (paper up to 1.65x)\n"
+        )
+
+    for outcome in fig16.outcomes:
+        if not outcome.ok:
+            raise SystemExit(outcome.error)
+        sweep = outcome.result
+        model = outcome.params["model"]
+        print(f"== Fig. 16: TTB bundle-volume sweep ({model}) ==")
+        print(" (BSt,BSn)  vol  latency(ms)  energy(mJ)  weight-mem%  act-mem%")
+        for p in sorted(sweep["points"], key=lambda p: p["bs_t"] * p["bs_n"]):
+            print(
+                f"   ({p['bs_t']},{p['bs_n']:2.0f})  {p['bs_t'] * p['bs_n']:3.0f}"
+                f"  {p['total_latency_s'] * 1e3:10.3f}"
+                f"  {p['total_energy_mj']:10.4f}"
+                f"  {p['weight_memory_share']:10.1%}"
+                f"  {p['activation_memory_share']:8.1%}"
+            )
+        best = sweep["best_volume"]
+        print(
+            f"\nbest volume: {best['bs_t']:.0f}x{best['bs_n']:.0f}"
+            f" = {best['volume']:.0f} (paper: near-optimal at 4-8)\n"
+        )
+
+    print(
+        f"runtime: fig15 {fig15.hits}+{fig15.misses} hit+run,"
+        f" fig16 {fig16.hits}+{fig16.misses} hit+run"
+        f" (artifacts under {args.artifacts}/)"
+    )
 
 
 if __name__ == "__main__":

@@ -22,6 +22,9 @@ baselines
     PTB systolic accelerator and edge-GPU roofline comparators.
 harness
     Experiment registry regenerating every table and figure of the paper.
+runtime
+    Parallel experiment executor with content-addressed result caching
+    and the JSON artifact store behind ``repro run-all`` / ``repro sweep``.
 """
 
 __version__ = "1.0.0"

@@ -3,9 +3,16 @@
 Commands
 --------
 list
-    Show every registered experiment (paper table/figure) id.
-run <experiment-id> [--output FILE]
+    Show every registered experiment with its paper artifact, cost tier,
+    and parameter schema.
+run <experiment-id> [--param k=v ...] [--output FILE]
     Run one experiment and print (or write) its JSON result.
+run-all [--jobs N] [--force] [--only a,b,...] [--smoke] [--artifacts DIR]
+    Run every experiment through the parallel runtime: process-pool
+    execution, content-addressed result cache, ``artifacts/<id>.json``
+    plus a ``manifest.json`` with timings and cache hits.
+sweep <experiment-id> --param k=v1,v2,... [--jobs N] [--output FILE]
+    Cartesian-product parameter sweep of one experiment.
 zoo
     Print the Table-2 model zoo.
 """
@@ -17,8 +24,9 @@ import json
 import sys
 from pathlib import Path
 
-from .harness import EXPERIMENTS, run_experiment
+from .harness import EXPERIMENTS, get_experiment
 from .model import MODEL_ZOO
+from .runtime import ExperimentRunner, RunSummary, canonical_json, parse_param_specs
 
 __all__ = ["main", "build_parser"]
 
@@ -35,19 +43,94 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", help="experiment id (see `repro list`)")
     run.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        help="override one experiment parameter (repeatable)",
+    )
+    run.add_argument(
         "--output", type=Path, default=None, help="write JSON here instead of stdout"
+    )
+
+    run_all = sub.add_parser(
+        "run-all", help="run every experiment via the parallel cached runtime"
+    )
+    run_all.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for cache misses (default: 1)",
+    )
+    run_all.add_argument(
+        "--force", action="store_true", help="ignore and overwrite cached results"
+    )
+    run_all.add_argument(
+        "--only", default=None, metavar="ID,ID,...",
+        help="comma-separated subset of experiment ids",
+    )
+    run_all.add_argument(
+        "--smoke", action="store_true",
+        help="run each experiment under its cheap smoke params (CI)",
+    )
+    run_all.add_argument(
+        "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR",
+        help="artifact/cache root (default: ./artifacts)",
+    )
+
+    sweep = sub.add_parser("sweep", help="parameter sweep of one experiment")
+    sweep.add_argument("experiment", help="experiment id (see `repro list`)")
+    sweep.add_argument(
+        "--param", action="append", default=[], metavar="K=V1,V2,...",
+        help="sweep axis: parameter name and comma-separated values (repeatable)",
+    )
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N")
+    sweep.add_argument("--force", action="store_true")
+    sweep.add_argument(
+        "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR"
+    )
+    sweep.add_argument(
+        "--output", type=Path, default=None,
+        help="also write the sweep payload JSON here",
     )
 
     sub.add_parser("zoo", help="print the Table-2 model zoo")
     return parser
 
 
+def _parse_single_params(name: str, specs: list[str]) -> dict:
+    grid = parse_param_specs(get_experiment(name), specs)
+    multi = [k for k, values in grid.items() if len(values) > 1]
+    if multi:
+        raise ValueError(
+            f"`run` takes single values; {multi} have several (use `sweep`)"
+        )
+    return {k: values[0] for k, values in grid.items()}
+
+
+def _print_summary(summary: RunSummary) -> None:
+    for outcome in summary.outcomes:
+        source = "hit " if outcome.cache_hit else ("FAIL" if not outcome.ok else "run ")
+        print(f"  {outcome.experiment:<16} {source}  {outcome.duration_s:7.2f}s")
+        if not outcome.ok:
+            print(outcome.error, file=sys.stderr)
+    print(
+        f"{len(summary.outcomes)} experiments: {summary.hits} cache hits,"
+        f" {summary.misses} runs, {summary.errors} errors"
+        f" (hit rate {summary.hit_rate:.0%}) in {summary.wall_time_s:.1f}s"
+        f" with {summary.jobs} job(s)"
+    )
+    if summary.manifest_path:
+        print(f"manifest: {summary.manifest_path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
         for name in sorted(EXPERIMENTS):
-            print(name)
+            experiment = EXPERIMENTS[name]
+            params = ",".join(sorted(experiment.params)) or "-"
+            print(
+                f"{name:<{width}}  {experiment.artifact:<9} {experiment.cost:<7}"
+                f" params:{params:<24} {experiment.description}"
+            )
         return 0
 
     if args.command == "zoo":
@@ -61,17 +144,63 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         try:
-            result = run_experiment(args.experiment)
+            params = _parse_single_params(args.experiment, args.param)
         except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        except ValueError as error:
             print(error, file=sys.stderr)
             return 2
-        text = json.dumps(result, indent=2, default=float, sort_keys=True)
+        outcome = ExperimentRunner(artifacts_root=None).run(args.experiment, params)
+        if not outcome.ok:
+            print(outcome.error, file=sys.stderr)
+            return 1
+        text = json.dumps(outcome.result, indent=2, default=float, sort_keys=True)
         if args.output is not None:
             args.output.write_text(text)
             print(f"wrote {args.output}")
         else:
             print(text)
         return 0
+
+    if args.command == "run-all":
+        only = None
+        if args.only is not None:
+            only = [name.strip() for name in args.only.split(",") if name.strip()]
+        runner = ExperimentRunner(
+            artifacts_root=args.artifacts, jobs=args.jobs, force=args.force
+        )
+        try:
+            summary = runner.run_all(only=only, smoke=args.smoke)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        _print_summary(summary)
+        return 0 if summary.ok else 1
+
+    if args.command == "sweep":
+        runner = ExperimentRunner(
+            artifacts_root=args.artifacts, jobs=args.jobs, force=args.force
+        )
+        try:
+            grid = parse_param_specs(get_experiment(args.experiment), args.param)
+            summary = runner.sweep(args.experiment, grid)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        _print_summary(summary)
+        if runner.store is not None:
+            sweep_path = runner.store.sweep_path(args.experiment)
+            print(f"sweep: {sweep_path}")
+            if args.output is not None:
+                args.output.write_text(sweep_path.read_text())
+                print(f"wrote {args.output}")
+        elif args.output is not None:  # pragma: no cover - store always set here
+            args.output.write_text(canonical_json([vars(o) for o in summary.outcomes]))
+        return 0 if summary.ok else 1
 
     return 1  # pragma: no cover - argparse enforces the command set
 

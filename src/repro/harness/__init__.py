@@ -1,10 +1,21 @@
 """Experiment harness (system S19): regenerates every table and figure."""
 
 from . import ablation, endtoend, fig11, fig14, fig15, fig16, hetero, synthetic, table1
-from .experiments import EXPERIMENTS, run_experiment
+from .experiments import (
+    EXPERIMENTS,
+    Experiment,
+    ParamSpec,
+    get_experiment,
+    registry_code_hash,
+    run_experiment,
+)
 
 __all__ = [
     "EXPERIMENTS",
+    "Experiment",
+    "ParamSpec",
+    "get_experiment",
+    "registry_code_hash",
     "run_experiment",
     "ablation",
     "endtoend",

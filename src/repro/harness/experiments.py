@@ -1,13 +1,23 @@
-"""Experiment registry: one callable per paper table/figure.
+"""Experiment registry: one :class:`Experiment` per paper table/figure.
 
-Each experiment returns a JSON-serializable dict so benches, examples, and
-EXPERIMENTS.md generation all consume the same artifacts.  See DESIGN.md's
-per-experiment index for the mapping to paper artifacts.
+Each registry entry carries metadata — the paper artifact it reproduces, a
+cost tier, and a typed parameter schema — plus the callable that computes a
+JSON-serializable dict.  Benches, examples, EXPERIMENTS.md generation, and
+the parallel runtime (``repro.runtime``) all consume the same artifacts.
+See DESIGN.md's per-experiment index for the mapping to paper artifacts.
+
+``smoke_params`` give a cheap-but-representative configuration for each
+experiment; the contract tests and CI smoke runs use them so the full
+registry can be exercised in seconds instead of minutes.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -32,12 +42,115 @@ from ..train import (
 from . import endtoend, fig11, fig14, fig15, fig16, hetero, table1
 from .synthetic import PROFILES, synthetic_trace
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ParamSpec",
+    "run_experiment",
+    "registry_code_hash",
+]
+
+ALL_MODELS = ("model1", "model2", "model3", "model4", "model5")
+COST_TIERS = ("cheap", "medium", "heavy")
+
+
+def _models(models: str) -> tuple[str, ...]:
+    """Parse a model list, validating against the zoo.
+
+    Accepts ``,`` or ``+`` as separators: on the CLI, ``,`` already
+    delimits sweep-axis values, so a multi-model value in one grid point
+    is written ``--param models=model1+model3``.
+    """
+    names = tuple(m.strip() for m in re.split(r"[+,]", models) if m.strip())
+    unknown = [m for m in names if m not in MODEL_ZOO]
+    if not names or unknown:
+        raise ValueError(
+            f"bad model list {models!r}; choose from {sorted(MODEL_ZOO)}"
+        )
+    return names
 
 
 # ----------------------------------------------------------------------
-# Small experiments implemented inline
+# Registry schema
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParamSpec:
+    """One overridable experiment parameter: its type, default, and docs."""
+
+    kind: type
+    default: int | float | str
+    help: str = ""
+
+    def cast(self, value: object) -> int | float | str:
+        if isinstance(value, self.kind) and not (
+            self.kind is int and isinstance(value, bool)
+        ):
+            return value
+        try:
+            return self.kind(value)  # type: ignore[call-arg]
+        except (TypeError, ValueError) as error:
+            raise ValueError(
+                f"expected {self.kind.__name__}, got {value!r}"
+            ) from error
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered paper artifact: callable plus run metadata."""
+
+    id: str
+    artifact: str
+    fn: Callable[..., dict]
+    cost: str = "cheap"
+    params: Mapping[str, ParamSpec] = field(default_factory=dict)
+    smoke_params: Mapping[str, int | float | str] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cost not in COST_TIERS:
+            raise ValueError(f"{self.id}: bad cost tier {self.cost!r}")
+        unknown = set(self.smoke_params) - set(self.params)
+        if unknown:
+            raise ValueError(f"{self.id}: smoke params not in schema: {unknown}")
+
+    def resolve_params(self, overrides: Mapping[str, object] | None = None) -> dict:
+        """Defaults merged with ``overrides``, validated against the schema."""
+        overrides = dict(overrides or {})
+        unknown = set(overrides) - set(self.params)
+        if unknown:
+            raise ValueError(
+                f"experiment {self.id!r} has no parameter(s) {sorted(unknown)};"
+                f" schema: {sorted(self.params)}"
+            )
+        resolved = {name: spec.default for name, spec in self.params.items()}
+        for name, value in overrides.items():
+            resolved[name] = self.params[name].cast(value)
+        return resolved
+
+    def run(self, **overrides: object) -> dict:
+        return self.fn(**self.resolve_params(overrides))
+
+
+_SEED = ParamSpec(int, 0, "base RNG seed")
+_BS_T = ParamSpec(int, 2, "bundle timestep extent BS_t")
+_BS_N = ParamSpec(int, 4, "bundle token extent BS_n")
+_MODEL = ParamSpec(str, "model3", "Table-2 model id")
+_MODELS = ParamSpec(
+    str, ",".join(ALL_MODELS[:4]), "model ids, ','- or '+'-separated"
+)
+
+
+# ----------------------------------------------------------------------
+# Experiment callables
+# ----------------------------------------------------------------------
+def experiment_table1(seed: int = 0, epochs: int = 12) -> dict:
+    """Table 1 — trained-accuracy grid across network families."""
+    return {
+        row.network: {"family": row.family, "accuracy": row.accuracy}
+        for row in table1.run_table1(seed=seed, epochs=epochs)
+    }
+
+
 def experiment_table2() -> dict:
     """Table 2 — the model zoo."""
     return {
@@ -157,6 +270,90 @@ def experiment_fig8(seed: int = 0) -> dict:
     }
 
 
+def experiment_fig11(models: str = _MODELS.default) -> dict:
+    """Fig. 11 — layerwise Bishop-vs-PTB latency/energy ratios."""
+    return {
+        model: {
+            "mean_latency_ratio": fig11.layerwise_comparison(model).mean_latency_ratio(),
+            "mean_energy_ratio": fig11.layerwise_comparison(model).mean_energy_ratio(),
+        }
+        for model in _models(models)
+    }
+
+
+def experiment_fig12(
+    models: str = ",".join(ALL_MODELS), seed: int = 0, bs_t: int = 2, bs_n: int = 4
+) -> dict:
+    """Fig. 12 — end-to-end latency across the five systems."""
+    grid = endtoend.run_grid(_models(models), bs_t=bs_t, bs_n=bs_n, seed=seed)
+    return {
+        model: {
+            "normalized_latency": comparison.normalized_latency(),
+            "latency_ms": {
+                system: result.latency_s * 1e3
+                for system, result in comparison.results.items()
+            },
+            "speedup_vs_ptb": {
+                system: comparison.speedup_vs(system)
+                for system in ("bishop", "bishop_bsa", "bishop_bsa_ecp")
+            },
+        }
+        for model, comparison in grid.items()
+    }
+
+
+def experiment_fig13(
+    models: str = ",".join(ALL_MODELS), seed: int = 0, bs_t: int = 2, bs_n: int = 4
+) -> dict:
+    """Fig. 13 — end-to-end energy across the five systems."""
+    grid = endtoend.run_grid(_models(models), bs_t=bs_t, bs_n=bs_n, seed=seed)
+    return {
+        model: {
+            "normalized_energy": comparison.normalized_energy(),
+            "energy_mj": {
+                system: result.energy_mj
+                for system, result in comparison.results.items()
+            },
+            "energy_gain_vs_ptb": {
+                system: comparison.energy_gain_vs(system)
+                for system in ("bishop", "bishop_bsa", "bishop_bsa_ecp")
+            },
+        }
+        for model, comparison in grid.items()
+    }
+
+
+def experiment_fig14(models: str = _MODELS.default) -> dict:
+    """Fig. 14 — ECP threshold sweep over the SSA layers."""
+    return {
+        model: [vars(p) for p in fig14.ecp_hardware_sweep(model)]
+        for model in _models(models)
+    }
+
+
+def experiment_fig15(model: str = "model3") -> dict:
+    """Fig. 15 — stratification-threshold sweep."""
+    sweep = fig15.stratification_sweep(model)
+    return {
+        "model": model,
+        "points": [{**vars(p), "edp": p.edp} for p in sweep.points],
+        "balanced": {**vars(sweep.balanced), "edp": sweep.balanced.edp},
+        "edp_gain_vs_ptb": sweep.edp_gain_vs_ptb,
+        "worst_imbalance_penalty": sweep.worst_imbalance_penalty,
+    }
+
+
+def experiment_fig16(model: str = "model3") -> dict:
+    """Fig. 16 — TTB bundle-volume sweep."""
+    points = fig16.bundle_volume_sweep(model)
+    best = min(points, key=lambda p: p.total_latency_s)
+    return {
+        "model": model,
+        "points": [{**vars(p), "volume": p.volume} for p in points],
+        "best_volume": {"bs_t": best.bs_t, "bs_n": best.bs_n, "volume": best.volume},
+    }
+
+
 def experiment_fig17() -> dict:
     """Fig. 17 — synthesized power/area breakdown (anchor table)."""
     return {
@@ -175,9 +372,11 @@ def experiment_fig17() -> dict:
     }
 
 
-def experiment_sec62() -> dict:
+def experiment_sec62(
+    models: str = ",".join(ALL_MODELS), seed: int = 0, bs_t: int = 2, bs_n: int = 4
+) -> dict:
     """Sec. 6.2 — headline averages across the model zoo."""
-    grid = endtoend.run_grid()
+    grid = endtoend.run_grid(_models(models), bs_t=bs_t, bs_n=bs_n, seed=seed)
     summary = endtoend.headline_summary(grid)
     summary["per_model_speedup_vs_ptb"] = {
         m: c.speedup_vs("bishop_bsa_ecp") for m, c in grid.items()
@@ -185,63 +384,164 @@ def experiment_sec62() -> dict:
     return summary
 
 
-# ----------------------------------------------------------------------
-# Registry
-# ----------------------------------------------------------------------
-EXPERIMENTS: dict[str, Callable[[], dict]] = {
-    "table1": lambda: {
-        row.network: {"family": row.family, "accuracy": row.accuracy}
-        for row in table1.run_table1()
-    },
-    "table2": experiment_table2,
-    "fig3": experiment_fig3,
-    "fig5": experiment_fig5,
-    "fig6": experiment_fig6,
-    "fig8": experiment_fig8,
-    "fig11": lambda: {
-        model: {
-            "mean_latency_ratio": fig11.layerwise_comparison(model).mean_latency_ratio(),
-            "mean_energy_ratio": fig11.layerwise_comparison(model).mean_energy_ratio(),
-        }
-        for model in ("model1", "model2", "model3", "model4")
-    },
-    "fig12": lambda: {
-        model: comparison.normalized_latency()
-        for model, comparison in endtoend.run_grid().items()
-    },
-    "fig13": lambda: {
-        model: comparison.normalized_energy()
-        for model, comparison in endtoend.run_grid().items()
-    },
-    "fig14": lambda: {
-        model: [vars(p) for p in fig14.ecp_hardware_sweep(model)]
-        for model in ("model1", "model2", "model3", "model4")
-    },
-    "fig15": lambda: {
-        "points": [vars(p) for p in fig15.stratification_sweep().points],
-        "edp_gain_vs_ptb": fig15.stratification_sweep().edp_gain_vs_ptb,
-        "worst_imbalance_penalty": fig15.stratification_sweep().worst_imbalance_penalty,
-    },
-    "fig16": lambda: [vars(p) for p in fig16.bundle_volume_sweep()],
-    "fig17": experiment_fig17,
-    "sec6.2-summary": experiment_sec62,
-    "sec6.4-hetero": lambda: vars(hetero.heterogeneity_ablation()),
-    "sec6.4-attn": lambda: {
+def experiment_sec64_hetero(
+    model: str = "model3", bs_t: int = 2, bs_n: int = 4, seed: int = 0
+) -> dict:
+    """Sec. 6.4 — heterogeneous cores vs dense-only ablation."""
+    return vars(hetero.heterogeneity_ablation(model, bs_t=bs_t, bs_n=bs_n, seed=seed))
+
+
+def experiment_sec64_attn(models: str = _MODELS.default) -> dict:
+    """Sec. 6.4 — attention-core comparison vs PTB."""
+    return {
         model: {
             "latency_gain": hetero.attention_core_comparison(model).latency_gain,
             "energy_gain": hetero.attention_core_comparison(model).energy_gain,
         }
-        for model in ("model1", "model2", "model3", "model4")
-    },
-}
+        for model in _models(models)
+    }
 
 
-def run_experiment(name: str) -> dict:
-    """Run one registered experiment by id."""
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def _register(experiments: tuple[Experiment, ...]) -> dict[str, Experiment]:
+    registry = {}
+    for experiment in experiments:
+        if experiment.id in registry:
+            raise ValueError(f"duplicate experiment id {experiment.id!r}")
+        registry[experiment.id] = experiment
+    return registry
+
+
+EXPERIMENTS: dict[str, Experiment] = _register((
+    Experiment(
+        "table1", "Table 1", experiment_table1, cost="heavy",
+        params={"seed": _SEED, "epochs": ParamSpec(int, 12, "training epochs")},
+        smoke_params={"epochs": 2},
+        description="trained accuracy across network families",
+    ),
+    Experiment(
+        "table2", "Table 2", experiment_table2,
+        description="the Table-2 model zoo",
+    ),
+    Experiment(
+        "fig3", "Fig. 3", experiment_fig3,
+        description="FLOPs breakdown vs (N, D) and depth",
+    ),
+    Experiment(
+        "fig5", "Fig. 5", experiment_fig5, cost="heavy",
+        params={"seed": _SEED, "epochs": ParamSpec(int, 12, "training epochs")},
+        smoke_params={"epochs": 2},
+        description="active-bundle distribution without vs with BSA",
+    ),
+    Experiment(
+        "fig6", "Fig. 6", experiment_fig6,
+        params={"seed": _SEED},
+        description="raw vs stratified workload density",
+    ),
+    Experiment(
+        "fig8", "Fig. 8", experiment_fig8,
+        params={"seed": _SEED},
+        description="ECP attention-score concentration",
+    ),
+    Experiment(
+        "fig11", "Fig. 11", experiment_fig11, cost="medium",
+        params={"models": _MODELS},
+        smoke_params={"models": "model4"},
+        description="layerwise latency/energy ratios vs PTB",
+    ),
+    Experiment(
+        "fig12", "Fig. 12", experiment_fig12, cost="heavy",
+        params={
+            "models": ParamSpec(str, ",".join(ALL_MODELS), _MODELS.help),
+            "seed": _SEED, "bs_t": _BS_T, "bs_n": _BS_N,
+        },
+        smoke_params={"models": "model4"},
+        description="end-to-end latency across five systems",
+    ),
+    Experiment(
+        "fig13", "Fig. 13", experiment_fig13, cost="heavy",
+        params={
+            "models": ParamSpec(str, ",".join(ALL_MODELS), _MODELS.help),
+            "seed": _SEED, "bs_t": _BS_T, "bs_n": _BS_N,
+        },
+        smoke_params={"models": "model4"},
+        description="end-to-end energy across five systems",
+    ),
+    Experiment(
+        "fig14", "Fig. 14", experiment_fig14,
+        params={"models": _MODELS},
+        smoke_params={"models": "model4"},
+        description="ECP threshold hardware sweep",
+    ),
+    Experiment(
+        "fig15", "Fig. 15", experiment_fig15, cost="medium",
+        params={"model": _MODEL},
+        smoke_params={"model": "model4"},
+        description="stratification-threshold sweep",
+    ),
+    Experiment(
+        "fig16", "Fig. 16", experiment_fig16, cost="heavy",
+        params={"model": _MODEL},
+        smoke_params={"model": "model4"},
+        description="TTB bundle-volume sweep",
+    ),
+    Experiment(
+        "fig17", "Fig. 17", experiment_fig17,
+        description="synthesized power/area breakdown",
+    ),
+    Experiment(
+        "sec6.2-summary", "Sec. 6.2", experiment_sec62, cost="heavy",
+        params={
+            "models": ParamSpec(str, ",".join(ALL_MODELS), _MODELS.help),
+            "seed": _SEED, "bs_t": _BS_T, "bs_n": _BS_N,
+        },
+        smoke_params={"models": "model4"},
+        description="headline speedup/energy averages",
+    ),
+    Experiment(
+        "sec6.4-hetero", "Sec. 6.4", experiment_sec64_hetero, cost="medium",
+        params={"model": _MODEL, "bs_t": _BS_T, "bs_n": _BS_N, "seed": _SEED},
+        smoke_params={"model": "model4"},
+        description="heterogeneous cores vs dense-only ablation",
+    ),
+    Experiment(
+        "sec6.4-attn", "Sec. 6.4", experiment_sec64_attn, cost="medium",
+        params={"models": _MODELS},
+        smoke_params={"models": "model4"},
+        description="attention-core comparison vs PTB",
+    ),
+))
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up one registered experiment by id."""
     try:
-        runner = EXPERIMENTS[name]
+        return EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; options: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner()
+
+
+def run_experiment(name: str, **params: object) -> dict:
+    """Run one registered experiment by id, with optional param overrides."""
+    return get_experiment(name).run(**params)
+
+
+def registry_code_hash() -> str:
+    """SHA-256 over every ``repro`` source file.
+
+    Used by the runtime's result cache.  Experiments compute through the
+    whole package (models, simulator cores, baselines, training), so any
+    source edit — not just to the harness layer — must invalidate
+    previously cached results.
+    """
+    digest = hashlib.sha256()
+    package_root = Path(__file__).resolve().parents[1]
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()

@@ -1,0 +1,104 @@
+"""Content-addressed on-disk result cache for experiment runs.
+
+A cache entry is keyed by ``(experiment id, registry code hash, config
+hash)`` — the config hash covers the fully-resolved parameter dict, the
+code hash covers every ``repro.harness`` source file — so a re-run of an
+unchanged experiment is a near-free disk read, while any code or parameter
+change misses cleanly.
+
+Entries live at ``<root>/<key[:2]>/<key>.json``.  A corrupted or
+truncated entry (interrupted write, disk fault) is treated as a miss and
+deleted, so the next run repairs the cache automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .artifacts import canonical_json
+
+__all__ = ["ResultCache", "CacheEntry", "cache_key", "config_hash"]
+
+
+def config_hash(params: dict) -> str:
+    """SHA-256 of the canonical JSON encoding of a resolved param dict."""
+    text = json.dumps(params, sort_keys=True, default=float)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def cache_key(experiment_id: str, code_hash: str, cfg_hash: str) -> str:
+    digest = hashlib.sha256()
+    for part in (experiment_id, code_hash, cfg_hash):
+        digest.update(part.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    experiment: str
+    params: dict
+    code_hash: str
+    config_hash: str
+    result: object
+
+    def payload(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "params": self.params,
+            "code_hash": self.code_hash,
+            "config_hash": self.config_hash,
+            "result": self.result,
+        }
+
+
+class ResultCache:
+    """Directory of content-addressed experiment results."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str, experiment_id: str | None = None) -> CacheEntry | None:
+        """Load an entry, or ``None`` on miss *or* corruption (self-healing)."""
+        path = self.path_for(key)
+        try:
+            raw = json.loads(path.read_text())
+            entry = CacheEntry(
+                experiment=raw["experiment"],
+                params=raw["params"],
+                code_hash=raw["code_hash"],
+                config_hash=raw["config_hash"],
+                result=raw["result"],
+            )
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
+            # Corrupted entry: drop it so the re-run rewrites a good one.
+            path.unlink(missing_ok=True)
+            return None
+        if experiment_id is not None and entry.experiment != experiment_id:
+            path.unlink(missing_ok=True)
+            return None
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(canonical_json(entry.payload()))
+        tmp.replace(path)  # atomic: a crashed write never corrupts an entry
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def entry_count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,349 @@
+"""Parallel experiment executor with content-addressed result caching.
+
+The :class:`ExperimentRunner` fans experiment requests out over a
+``concurrent.futures`` process pool.  Cache probes happen in the parent
+(cheap disk reads); only misses are submitted to workers.  Workers run an
+experiment *by id* — they re-import the registry rather than pickling
+callables — so every registered experiment, lambdas included, is
+dispatchable.
+
+Results are canonicalized (JSON round-trip) before caching and before
+being written as artifacts, so a cached replay is byte-identical to a
+fresh run.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from ..harness import EXPERIMENTS, get_experiment, registry_code_hash
+from .artifacts import ArtifactStore, canonical_payload
+from .cache import CacheEntry, ResultCache, cache_key, config_hash
+from .sweep import expand_grid
+
+__all__ = ["ExperimentRunner", "RunOutcome", "RunSummary"]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One experiment execution: where the result came from and how long."""
+
+    experiment: str
+    params: dict
+    status: str  # "ok" | "error"
+    cache_hit: bool
+    duration_s: float
+    result: object | None
+    error: str | None = None
+    cache_key: str | None = None
+    artifact_path: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregate view of a batch run, as recorded in the manifest."""
+
+    outcomes: tuple[RunOutcome, ...]
+    jobs: int
+    code_hash: str
+    wall_time_s: float
+    manifest_path: str | None = None
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cache_hit)
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cache_hit and o.ok)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / len(self.outcomes) if self.outcomes else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.errors == 0
+
+    def manifest(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "code_hash": self.code_hash,
+            "wall_time_s": self.wall_time_s,
+            "cache": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+            },
+            "runs": [
+                {
+                    "experiment": o.experiment,
+                    "params": o.params,
+                    "status": o.status,
+                    "cache_hit": o.cache_hit,
+                    "duration_s": o.duration_s,
+                    "cache_key": o.cache_key,
+                    "artifact": o.artifact_path,
+                    "error": o.error,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+def _execute(name: str, params: dict) -> tuple[str, object, float]:
+    """Worker entry point: run one experiment by registry id.
+
+    Returns a ``(status, payload, duration)`` triple instead of raising so
+    a failing experiment surfaces as a clean per-run outcome rather than a
+    pickled traceback from the pool.
+    """
+    start = time.perf_counter()
+    try:
+        experiment = get_experiment(name)
+        result = canonical_payload(experiment.run(**params))
+        return "ok", result, time.perf_counter() - start
+    except Exception:
+        return "error", traceback.format_exc(), time.perf_counter() - start
+
+
+@dataclass
+class _Request:
+    index: int
+    experiment: str
+    params: dict
+    config_hash: str
+    key: str
+
+
+class ExperimentRunner:
+    """Run registry experiments in parallel with on-disk result caching.
+
+    Parameters
+    ----------
+    artifacts_root:
+        Directory for ``<id>.json`` artifacts, ``manifest.json``, and the
+        result cache (``<root>/cache``).  ``None`` disables both artifact
+        and cache persistence (results are still returned).
+    jobs:
+        Worker processes for cache misses.  ``1`` runs inline in the
+        calling process (deterministic, easy to debug); results are
+        identical either way because every experiment seeds its own RNG.
+    force:
+        Ignore (and overwrite) existing cache entries.
+    """
+
+    def __init__(
+        self,
+        artifacts_root: Path | str | None = "artifacts",
+        jobs: int = 1,
+        force: bool = False,
+        cache: ResultCache | None = None,
+    ):
+        self.store = ArtifactStore(artifacts_root) if artifacts_root else None
+        if cache is None and self.store is not None:
+            cache = ResultCache(self.store.root / "cache")
+        self.cache = cache
+        self.jobs = max(1, int(jobs))
+        self.force = force
+        self._code_hash = registry_code_hash()
+
+    # -- single-run convenience -------------------------------------------
+    def run(self, name: str, params: Mapping[str, object] | None = None) -> RunOutcome:
+        return self.run_many([(name, dict(params or {}))]).outcomes[0]
+
+    # -- batch ------------------------------------------------------------
+    def run_many(
+        self,
+        requests: Sequence[tuple[str, Mapping[str, object]]],
+        write_artifacts: bool = True,
+        store: ArtifactStore | None = None,
+    ) -> RunSummary:
+        """Run ``(experiment id, param overrides)`` pairs, cache-aware.
+
+        Invalid ids or params raise immediately (before any work runs);
+        runtime failures inside an experiment become ``status="error"``
+        outcomes instead.
+        """
+        started = time.perf_counter()
+        store = store or self.store
+        resolved: list[_Request] = []
+        for index, (name, overrides) in enumerate(requests):
+            experiment = get_experiment(name)
+            params = experiment.resolve_params(overrides)
+            cfg_hash = config_hash(params)
+            key = cache_key(name, self._code_hash, cfg_hash)
+            resolved.append(_Request(index, name, params, cfg_hash, key))
+
+        outcomes: dict[int, RunOutcome] = {}
+        misses: list[_Request] = []
+        for request in resolved:
+            entry = None
+            if self.cache is not None and not self.force:
+                entry = self.cache.get(request.key, experiment_id=request.experiment)
+            if entry is not None:
+                outcomes[request.index] = self._finalize(
+                    request, "ok", entry.result, 0.0, cache_hit=True,
+                    store=store if write_artifacts else None,
+                )
+            else:
+                misses.append(request)
+
+        for request, (status, payload, duration) in zip(
+            misses, self._execute_all(misses)
+        ):
+            outcomes[request.index] = self._finalize(
+                request, status, payload, duration, cache_hit=False,
+                store=store if write_artifacts else None,
+            )
+
+        ordered = tuple(outcomes[i] for i in range(len(resolved)))
+        return RunSummary(
+            outcomes=ordered,
+            jobs=self.jobs,
+            code_hash=self._code_hash,
+            wall_time_s=time.perf_counter() - started,
+        )
+
+    def run_all(
+        self,
+        only: Iterable[str] | None = None,
+        smoke: bool = False,
+        write_manifest: bool = True,
+    ) -> RunSummary:
+        """Run every registered experiment (or the ``only`` subset).
+
+        With ``smoke=True`` each experiment runs under its cheap
+        ``smoke_params`` configuration instead of the paper-faithful
+        defaults (used by CI); smoke artifacts and manifest land under
+        ``<root>/smoke/`` so they never overwrite the paper results.
+        """
+        names = sorted(EXPERIMENTS) if only is None else list(only)
+        requests = [
+            (name, dict(get_experiment(name).smoke_params) if smoke else {})
+            for name in names
+        ]
+        store = self.store
+        if smoke and store is not None:
+            store = ArtifactStore(store.root / "smoke")
+        summary = self.run_many(requests, store=store)
+        if write_manifest and store is not None:
+            path = store.write_manifest(summary.manifest())
+            summary = RunSummary(
+                outcomes=summary.outcomes,
+                jobs=summary.jobs,
+                code_hash=summary.code_hash,
+                wall_time_s=summary.wall_time_s,
+                manifest_path=str(path),
+            )
+        return summary
+
+    def sweep(
+        self, name: str, grid: Mapping[str, Sequence[object]]
+    ) -> RunSummary:
+        """Cartesian-product parameter sweep of one experiment.
+
+        Writes ``sweeps/<id>.json`` with one ``{params, result}`` record
+        per grid point (errors keep their slot, carrying the traceback).
+        """
+        combos = expand_grid(get_experiment(name), grid)
+        summary = self.run_many(
+            [(name, combo) for combo in combos], write_artifacts=False
+        )
+        if self.store is not None:
+            self.store.write_sweep(
+                name,
+                {
+                    "experiment": name,
+                    "grid": {k: list(v) for k, v in grid.items()},
+                    "points": [
+                        {
+                            "params": o.params,
+                            "status": o.status,
+                            "result": o.result if o.ok else None,
+                            "error": o.error,
+                        }
+                        for o in summary.outcomes
+                    ],
+                },
+            )
+        return summary
+
+    # -- internals --------------------------------------------------------
+    def _execute_all(
+        self, misses: Sequence[_Request]
+    ) -> list[tuple[str, object, float]]:
+        if not misses:
+            return []
+        if self.jobs == 1 or len(misses) == 1:
+            return [_execute(r.experiment, r.params) for r in misses]
+        results: dict[int, tuple[str, object, float]] = {}
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(misses))) as pool:
+            futures = {
+                pool.submit(_execute, r.experiment, r.params): i
+                for i, r in enumerate(misses)
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    results[futures[future]] = future.result()
+        return [results[i] for i in range(len(misses))]
+
+    def _finalize(
+        self,
+        request: _Request,
+        status: str,
+        payload: object,
+        duration: float,
+        cache_hit: bool,
+        store: ArtifactStore | None,
+    ) -> RunOutcome:
+        if status != "ok":
+            return RunOutcome(
+                experiment=request.experiment,
+                params=request.params,
+                status="error",
+                cache_hit=False,
+                duration_s=duration,
+                result=None,
+                error=str(payload),
+                cache_key=request.key,
+            )
+        artifact_path = None
+        if not cache_hit and self.cache is not None:
+            self.cache.put(
+                request.key,
+                CacheEntry(
+                    experiment=request.experiment,
+                    params=request.params,
+                    code_hash=self._code_hash,
+                    config_hash=request.config_hash,
+                    result=payload,
+                ),
+            )
+        if store is not None:
+            artifact_path = str(store.write(request.experiment, payload))
+        return RunOutcome(
+            experiment=request.experiment,
+            params=request.params,
+            status="ok",
+            cache_hit=cache_hit,
+            duration_s=duration,
+            result=payload,
+            cache_key=request.key,
+            artifact_path=artifact_path,
+        )

@@ -1,0 +1,63 @@
+"""Sweep-grid parsing tests (``--param k=v1,v2`` → typed grids)."""
+
+import pytest
+
+from repro.harness import EXPERIMENTS, run_experiment
+from repro.runtime import expand_grid, parse_param_specs
+
+
+class TestParseParamSpecs:
+    def test_casts_through_schema(self):
+        grid = parse_param_specs(EXPERIMENTS["fig6"], ["seed=0,1,2"])
+        assert grid == {"seed": [0, 1, 2]}
+
+    def test_multiple_axes(self):
+        grid = parse_param_specs(
+            EXPERIMENTS["sec6.4-hetero"], ["bs_t=2,4", "seed=0"]
+        )
+        assert grid == {"bs_t": [2, 4], "seed": [0]}
+
+    def test_rejects_unknown_param(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            parse_param_specs(EXPERIMENTS["fig6"], ["bogus=1"])
+
+    def test_rejects_missing_equals(self):
+        with pytest.raises(ValueError, match="expected k=v1,v2"):
+            parse_param_specs(EXPERIMENTS["fig6"], ["seed"])
+
+    def test_rejects_uncastable_value(self):
+        with pytest.raises(ValueError, match="expected int"):
+            parse_param_specs(EXPERIMENTS["fig6"], ["seed=abc"])
+
+
+class TestExpandGrid:
+    def test_cartesian_product_in_axis_order(self):
+        combos = expand_grid(
+            EXPERIMENTS["sec6.4-hetero"], {"bs_t": [2, 4], "seed": [0, 1]}
+        )
+        assert [(c["bs_t"], c["seed"]) for c in combos] == [
+            (2, 0), (2, 1), (4, 0), (4, 1)
+        ]
+        # non-swept params keep their defaults
+        assert all(c["model"] == "model3" for c in combos)
+
+    def test_empty_grid_is_one_default_point(self):
+        combos = expand_grid(EXPERIMENTS["fig6"], {})
+        assert combos == [{"seed": 0}]
+
+
+class TestPlusSeparatedModels:
+    def test_plus_separator_groups_models_in_one_value(self):
+        # `,` splits sweep-axis values, so multi-model grid points use `+`
+        grid = parse_param_specs(
+            EXPERIMENTS["fig14"], ["models=model4+model3,model4"]
+        )
+        assert grid == {"models": ["model4+model3", "model4"]}
+
+    def test_plus_separated_models_run(self):
+        out = run_experiment("fig14", models="model4+model3")
+        assert set(out) == {"model3", "model4"}
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(ValueError, match="bad model list"):
+            run_experiment("fig14", models="model4+model9")

@@ -42,3 +42,76 @@ class TestCommands:
         assert main(["run", "fig17", "--output", str(target)]) == 0
         payload = json.loads(target.read_text())
         assert payload["bishop_totals"]["area_mm2"] == pytest.approx(2.96, abs=0.01)
+
+    def test_run_with_param_override(self, capsys):
+        assert main(["run", "fig6", "--param", "seed=1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"without_bsa", "with_bsa"}
+
+    def test_run_rejects_unknown_param(self, capsys):
+        assert main(["run", "fig6", "--param", "bogus=1"]) == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_run_rejects_multi_valued_param(self, capsys):
+        assert main(["run", "fig6", "--param", "seed=1,2"]) == 2
+        assert "use `sweep`" in capsys.readouterr().err
+
+
+class TestRunAll:
+    def test_runs_subset_and_writes_manifest(self, tmp_path, capsys):
+        artifacts = tmp_path / "artifacts"
+        argv = ["run-all", "--only", "table2,fig17", "--jobs", "1",
+                "--artifacts", str(artifacts)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 cache hits, 2 runs, 0 errors" in out
+        manifest = json.loads((artifacts / "manifest.json").read_text())
+        assert {r["experiment"] for r in manifest["runs"]} == {"table2", "fig17"}
+        assert json.loads((artifacts / "table2.json").read_text())["model1"]
+
+        # second invocation replays both results from the cache
+        assert main(argv) == 0
+        assert "2 cache hits, 0 runs" in capsys.readouterr().out
+
+    def test_force_ignores_cache(self, tmp_path, capsys):
+        argv = ["run-all", "--only", "fig17", "--artifacts", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--force"]) == 0
+        assert "0 cache hits, 1 runs" in capsys.readouterr().out
+
+    def test_unknown_only_id(self, tmp_path, capsys):
+        argv = ["run-all", "--only", "fig99", "--artifacts", str(tmp_path)]
+        assert main(argv) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_writes_artifact_and_output(self, tmp_path, capsys):
+        target = tmp_path / "sweep.json"
+        argv = ["sweep", "fig6", "--param", "seed=0,1",
+                "--artifacts", str(tmp_path), "--output", str(target)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 experiments" in out
+        payload = json.loads(target.read_text())
+        assert payload["grid"] == {"seed": [0, 1]}
+        assert [p["params"]["seed"] for p in payload["points"]] == [0, 1]
+        assert payload == json.loads(
+            (tmp_path / "sweeps" / "fig6.json").read_text()
+        )
+
+    def test_sweep_unknown_experiment(self, tmp_path, capsys):
+        argv = ["sweep", "fig99", "--param", "seed=0", "--artifacts", str(tmp_path)]
+        assert main(argv) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sweep_unknown_param(self, tmp_path, capsys):
+        argv = ["sweep", "fig6", "--param", "bogus=0", "--artifacts", str(tmp_path)]
+        assert main(argv) == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_sweep_malformed_param(self, tmp_path, capsys):
+        argv = ["sweep", "fig6", "--param", "seed", "--artifacts", str(tmp_path)]
+        assert main(argv) == 2
+        assert "expected k=v1,v2" in capsys.readouterr().err
