@@ -17,7 +17,12 @@ train
     Synthetic datasets, training loop, metrics.
 arch
     The Bishop accelerator simulator (stratifier, dense/sparse/attention
-    cores, spike generator, memory hierarchy, energy model).
+    cores, spike generator, memory hierarchy, energy model) and the
+    discrete-event engine modelling the cores as contended resources
+    (``arch.engine``, docs/ARCHITECTURE.md).
+serve
+    Multi-request serving simulation on the event engine: Poisson/bursty
+    arrival streams, batch/queue schedulers, latency-percentile reports.
 baselines
     PTB systolic accelerator and edge-GPU roofline comparators.
 harness

@@ -9,6 +9,16 @@ from .analysis import (
     speedup_table,
     utilization_summary,
 )
+from .engine import (
+    BishopMachine,
+    Engine,
+    EngineRun,
+    LayerTiming,
+    TimelineEntry,
+    inference_process,
+    layer_timings,
+    simulate_inference,
+)
 from .pipeline import PipelineSchedule, pipeline_schedule
 from .sram import SRAMEstimate, estimate_sram, glb_configuration_estimate
 from .attention_core import (
@@ -68,6 +78,14 @@ __all__ = [
     "glb_configuration_estimate",
     "PipelineSchedule",
     "pipeline_schedule",
+    "BishopMachine",
+    "Engine",
+    "EngineRun",
+    "LayerTiming",
+    "TimelineEntry",
+    "inference_process",
+    "layer_timings",
+    "simulate_inference",
     "LayerBoundedness",
     "boundedness_profile",
     "EnergyDecomposition",

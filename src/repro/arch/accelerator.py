@@ -10,6 +10,13 @@ DRAM transfers are double-buffered, so a layer's latency is
 The tokenizer and classification head are outside Bishop's scope (the paper
 delegates spiking-CNN front-ends to prior accelerators, Sec. 2.2) and are not
 simulated.
+
+Per-layer numbers come from the analytical core models; ``run_trace`` then
+replays the layer chain on the discrete-event engine (``repro.arch.engine``)
+and attaches the resulting timeline to the report.  For one uncontended
+request the event makespan reproduces the closed-form total, which keeps the
+analytical numbers as the engine's validation oracle; the serving layer
+(``repro.serve``) reuses the same task graph under contention.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from .attention_core import simulate_attention_core
 from .config import BishopConfig
 from .dense_core import simulate_dense_core
 from .energy import EnergyModel
+from .engine.machine import simulate_inference
 from .memory import TrafficLedger, bundle_storage_bytes, spike_payload_bytes
 from .report import EnergyBreakdown, InferenceReport, LayerReport
 from .sparse_core import simulate_sparse_core
@@ -163,6 +171,8 @@ class BishopAccelerator:
                 "sparse_active_pairs": sparse.active_pairs,
                 "dram_time_s": dram_time,
                 "compute_time_s": compute_time,
+                "dense_tiles": dense.tiles,
+                "sparse_tiles": sparse.waves,
             },
         )
 
@@ -222,14 +232,24 @@ class BishopAccelerator:
                 "score_compute_fraction": result.score_compute_fraction,
                 "dram_time_s": dram_time,
                 "compute_time_s": compute_time,
+                "attention_tiles": result.tiles,
             },
         )
 
     # ------------------------------------------------------------------
     def run_trace(
-        self, trace: ModelTrace, ecp: ECPConfig | None = None
+        self,
+        trace: ModelTrace,
+        ecp: ECPConfig | None = None,
+        simulate_events: bool = True,
     ) -> InferenceReport:
-        """Simulate a full single-image inference."""
+        """Simulate a full single-image inference.
+
+        The per-layer analytical reports are replayed on the discrete-event
+        engine and the resulting timeline is attached as
+        ``report.engine_run`` (set ``simulate_events=False`` to skip, e.g.
+        inside tight design-space loops).
+        """
         report = InferenceReport(accelerator="bishop", model_name=trace.model_name)
         for record in trace.records:
             if record.is_matmul:
@@ -237,4 +257,6 @@ class BishopAccelerator:
             elif record.kind == "attention":
                 report.layers.append(self.run_attention_layer(record, ecp=ecp))
             # tokenizer/head records are outside the accelerator's scope
+        if simulate_events:
+            report.engine_run = simulate_inference(report, self.config, self.energy)
         return report

@@ -49,6 +49,7 @@ class AttentionCoreResult:
     k_keep_fraction: float
     utilization: float
     traffic: TrafficLedger
+    tiles: int = 0                 # Q-row × K-column tiles — engine acquire grain
 
     @property
     def cycles(self) -> float:
@@ -177,4 +178,5 @@ def simulate_attention_core(
         k_keep_fraction=k_keep,
         utilization=float(utilization),
         traffic=traffic,
+        tiles=int(q_row_tiles * k_col_tiles),
     )

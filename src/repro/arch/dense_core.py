@@ -44,6 +44,7 @@ class DenseCoreResult:
     idle_slots: float
     utilization: float
     traffic: TrafficLedger
+    tiles: int = 0     # bundle-row × output tiles — the engine's acquire grain
 
     def time_s(self, config: BishopConfig) -> float:
         return self.cycles / config.clock_hz
@@ -149,4 +150,5 @@ def simulate_dense_core(
         idle_slots=idle_slots,
         utilization=utilization,
         traffic=traffic,
+        tiles=row_tiles * col_tiles,
     )

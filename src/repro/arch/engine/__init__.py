@@ -1,0 +1,55 @@
+"""Discrete-event engine for the heterogeneous-core simulator.
+
+``kernel``
+    Event queue, shared clock, cooperative processes, contended resources.
+``timeline``
+    Timeline records and the :class:`EngineRun` result container.
+``machine``
+    The Bishop chip as engine resources plus the per-layer task graph.
+
+See docs/ARCHITECTURE.md for the event model and how a core plugs in.
+"""
+
+from .kernel import (
+    Acquire,
+    Command,
+    Engine,
+    Gate,
+    Hold,
+    Join,
+    Process,
+    Release,
+    Resource,
+    ResourceStats,
+    WaitFor,
+)
+from .machine import (
+    BishopMachine,
+    LayerTiming,
+    inference_process,
+    layer_timings,
+    simulate_inference,
+)
+from .timeline import EngineRun, TimelineEntry, use
+
+__all__ = [
+    "Acquire",
+    "BishopMachine",
+    "Command",
+    "Engine",
+    "EngineRun",
+    "Gate",
+    "Hold",
+    "Join",
+    "LayerTiming",
+    "Process",
+    "Release",
+    "Resource",
+    "ResourceStats",
+    "TimelineEntry",
+    "WaitFor",
+    "inference_process",
+    "layer_timings",
+    "simulate_inference",
+    "use",
+]

@@ -1,0 +1,261 @@
+"""Discrete-event kernel: event queue, shared clock, cooperative processes.
+
+The engine owns a single simulated clock and a heap-ordered event queue.
+Work is expressed as *processes* — plain Python generators that yield
+:class:`Command` objects back to the kernel:
+
+``Hold(dt)``
+    Advance this process ``dt`` simulated seconds into the future.
+``Acquire(resource)`` / ``Release(resource)``
+    Claim / give back one unit of a contended :class:`Resource`
+    (FIFO-granted; blocked processes wait in the resource's queue).
+``Join(process)``
+    Suspend until another process finishes.
+``WaitFor(gate)``
+    Suspend until the gate is signalled (condition-variable style; the
+    waiter must re-check its predicate after waking).
+
+Determinism: simultaneous events are ordered by a monotonically increasing
+sequence number, so a simulation is a pure function of its inputs — the
+property the result cache and the engine-vs-analytical regression tests
+rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+__all__ = [
+    "Acquire",
+    "Command",
+    "Engine",
+    "Gate",
+    "Hold",
+    "Join",
+    "Process",
+    "Release",
+    "Resource",
+    "ResourceStats",
+    "WaitFor",
+]
+
+
+class Command:
+    """Base class of every instruction a process may yield to the kernel."""
+
+
+@dataclass(frozen=True)
+class Hold(Command):
+    """Occupy simulated time: resume the process after ``duration`` seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"cannot hold a negative duration {self.duration}")
+
+
+@dataclass(frozen=True)
+class Acquire(Command):
+    """Claim one unit of ``resource`` (blocks while fully occupied)."""
+
+    resource: "Resource"
+
+
+@dataclass(frozen=True)
+class Release(Command):
+    """Give back one unit of ``resource``."""
+
+    resource: "Resource"
+
+
+@dataclass(frozen=True)
+class Join(Command):
+    """Wait for another process to finish."""
+
+    process: "Process"
+
+
+@dataclass(frozen=True)
+class WaitFor(Command):
+    """Sleep until the gate is next signalled."""
+
+    gate: "Gate"
+
+
+class Process:
+    """A running generator, scheduled by the engine."""
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str):
+        self.engine = engine
+        self.generator = generator
+        self.name = name
+        self.done = False
+        self.started_at = engine.now
+        self.finished_at: float | None = None
+        self._joiners: list["Process"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Gate:
+    """Broadcast wake-up: every process waiting at signal time resumes."""
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self._waiters: list[Process] = []
+
+    def signal(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.engine._resume(process)
+
+
+@dataclass
+class ResourceStats:
+    """Occupancy accounting of one resource over a finished run."""
+
+    busy_s: float = 0.0          # ∫ units-in-use dt
+    wait_s: float = 0.0          # total time processes spent queued
+    acquisitions: int = 0
+
+    def utilization(self, horizon_s: float, capacity: int = 1) -> float:
+        if horizon_s <= 0:
+            return 0.0
+        return self.busy_s / (horizon_s * capacity)
+
+
+class Resource:
+    """A contended unit of hardware (core, DRAM channel, scheduler slot).
+
+    ``capacity`` units may be held simultaneously; further acquirers queue
+    FIFO and are granted in order as units free up.
+    """
+
+    def __init__(self, engine: "Engine", name: str, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"resource {name!r} needs capacity >= 1")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self.stats = ResourceStats()
+        self._queue: deque[tuple[Process, float]] = deque()
+        self._last_change = engine.now
+
+    def _integrate(self) -> None:
+        now = self.engine.now
+        self.stats.busy_s += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def _grant(self, process: Process) -> None:
+        self._integrate()
+        self.in_use += 1
+        self.stats.acquisitions += 1
+        self.engine._resume(process)
+
+    def _acquire(self, process: Process) -> None:
+        if self.in_use < self.capacity:
+            self._grant(process)
+        else:
+            self._queue.append((process, self.engine.now))
+
+    def _release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        self._integrate()
+        self.in_use -= 1
+        if self._queue and self.in_use < self.capacity:
+            process, enqueued_at = self._queue.popleft()
+            self.stats.wait_s += self.engine.now - enqueued_at
+            self._grant(process)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+
+class Engine:
+    """The discrete-event simulator: one clock, one event heap."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.resources: dict[str, Resource] = {}
+
+    # -- construction ------------------------------------------------------
+    def resource(self, name: str, capacity: int = 1) -> Resource:
+        if name in self.resources:
+            raise ValueError(f"duplicate resource {name!r}")
+        resource = Resource(self, name, capacity)
+        self.resources[name] = resource
+        return resource
+
+    def gate(self) -> Gate:
+        return Gate(self)
+
+    def spawn(self, generator: Generator, name: str = "process") -> Process:
+        process = Process(self, generator, name)
+        self.schedule(0.0, lambda: self._step(process, None))
+        return process
+
+    # -- event queue -------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay}s into the past")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn))
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event queue; returns the final simulated time."""
+        while self._heap:
+            time, _, fn = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            fn()
+        return self.now
+
+    # -- process stepping --------------------------------------------------
+    def _resume(self, process: Process, value: object = None) -> None:
+        self.schedule(0.0, lambda: self._step(process, value))
+
+    def _step(self, process: Process, value: object) -> None:
+        try:
+            send = getattr(process.generator, "send", None)
+            # Generators receive the resume value; plain iterators of
+            # commands are also accepted (handy in tests).
+            command = send(value) if send is not None else next(process.generator)
+        except StopIteration:
+            process.done = True
+            process.finished_at = self.now
+            for joiner in process._joiners:
+                self._resume(joiner, process)
+            process._joiners.clear()
+            return
+        if isinstance(command, Hold):
+            self.schedule(command.duration, lambda: self._step(process, None))
+        elif isinstance(command, Acquire):
+            command.resource._acquire(process)
+        elif isinstance(command, Release):
+            command.resource._release()
+            self._resume(process)
+        elif isinstance(command, Join):
+            if command.process.done:
+                self._resume(process, command.process)
+            else:
+                command.process._joiners.append(process)
+        elif isinstance(command, WaitFor):
+            command.gate._waiters.append(process)
+        else:
+            raise TypeError(
+                f"process {process.name!r} yielded {command!r}; expected a Command"
+            )

@@ -1,0 +1,232 @@
+"""The Bishop chip as a set of contended engine resources (Fig. 9).
+
+The analytical core models (``dense_core``/``sparse_core``/``attention_core``
+/``spike_generator``) stay the single source of truth for *how long* each
+unit works on a layer; this module turns those per-layer numbers into
+:class:`LayerTiming` task descriptors and replays them on the event engine,
+where the five shared units — dense core, sparse core, attention core,
+spike generator, DRAM channel — are :class:`~repro.arch.engine.kernel.Resource`
+objects that requests acquire and release per TTB tile.
+
+For a single request the event schedule reproduces the closed-form
+``Σ max(compute, dram)`` latency exactly (the regression-test oracle); its
+value is contention: multiple in-flight requests queue on the same
+resources, which is what the serving layer (``repro.serve``) measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import BishopConfig
+from ..energy import EnergyModel
+from ..report import InferenceReport, LayerReport
+from .kernel import Engine, Join
+from .timeline import EngineRun, TimelineEntry, use
+
+__all__ = [
+    "BishopMachine",
+    "LayerTiming",
+    "inference_process",
+    "layer_timings",
+    "simulate_inference",
+]
+
+# Upper bound on acquire/release quanta per core task: tile-granular
+# interleaving with a cap so event counts stay linear in layers, not tiles.
+MAX_QUANTA = 8
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """One layer's engine task durations, extracted from a LayerReport."""
+
+    block: int
+    kind: str
+    phase: str
+    dense_s: float = 0.0
+    sparse_s: float = 0.0
+    attention_s: float = 0.0
+    spike_gen_s: float = 0.0
+    weight_dram_s: float = 0.0
+    activation_dram_s: float = 0.0
+    dynamic_pj: float = 0.0        # layer energy minus the static share
+    weight_dram_pj: float = 0.0    # the part a batch streams only once
+    dense_tiles: int = 1
+    sparse_tiles: int = 1
+    attention_tiles: int = 1
+
+    @property
+    def compute_s(self) -> float:
+        """Critical-path compute time (parallel cores, then spike gen)."""
+        return max(self.dense_s, self.sparse_s) + self.attention_s + self.spike_gen_s
+
+    def dram_s(self, batch: int = 1) -> float:
+        """DRAM channel time: weights stream once per batch, activations per
+        request (the double-buffered GLBs hold one request's working set)."""
+        return self.weight_dram_s + batch * self.activation_dram_s
+
+    def batch_dynamic_pj(self, batch: int = 1) -> float:
+        return (self.dynamic_pj - self.weight_dram_pj) * batch + self.weight_dram_pj
+
+
+def layer_timing(
+    layer: LayerReport,
+    config: BishopConfig,
+    energy: EnergyModel,
+) -> LayerTiming:
+    """Extract engine task durations from one analytic layer report."""
+    clock = config.clock_hz
+    units = layer.unit_cycles
+    weight_bytes = layer.traffic.bytes(level="dram", kind="weight")
+    activation_bytes = layer.traffic.bytes(level="dram") - weight_bytes
+    if layer.phase == "ATN":
+        attention_s = (units.get("mode1", 0.0) + units.get("mode2", 0.0)) / clock
+        dense_s = sparse_s = 0.0
+    else:
+        attention_s = 0.0
+        dense_s = units.get("dense", 0.0) / clock
+        sparse_s = units.get("sparse", 0.0) / clock
+    return LayerTiming(
+        block=layer.block,
+        kind=layer.kind,
+        phase=layer.phase,
+        dense_s=dense_s,
+        sparse_s=sparse_s,
+        attention_s=attention_s,
+        spike_gen_s=units.get("spike_gen", 0.0) / clock,
+        weight_dram_s=config.dram.transfer_time_s(weight_bytes),
+        activation_dram_s=config.dram.transfer_time_s(activation_bytes),
+        dynamic_pj=layer.energy.total_pj - layer.energy.static_pj,
+        weight_dram_pj=energy.memory_pj("dram", weight_bytes),
+        dense_tiles=int(layer.notes.get("dense_tiles", 1)),
+        sparse_tiles=int(layer.notes.get("sparse_tiles", 1)),
+        attention_tiles=int(layer.notes.get("attention_tiles", 1)),
+    )
+
+
+def layer_timings(
+    report: InferenceReport,
+    config: BishopConfig,
+    energy: EnergyModel | None = None,
+) -> tuple[LayerTiming, ...]:
+    energy = energy or EnergyModel()
+    return tuple(layer_timing(layer, config, energy) for layer in report.layers)
+
+
+class BishopMachine:
+    """One Bishop chip: the five contended resources of Fig. 9."""
+
+    RESOURCE_NAMES = ("dense_core", "sparse_core", "attention_core", "spike_gen", "dram")
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.dense_core = engine.resource("dense_core")
+        self.sparse_core = engine.resource("sparse_core")
+        self.attention_core = engine.resource("attention_core")
+        self.spike_gen = engine.resource("spike_gen")
+        self.dram = engine.resource("dram")
+
+
+def _quanta(tiles: int) -> int:
+    return max(1, min(int(tiles), MAX_QUANTA))
+
+
+def _compute_chain(
+    engine: Engine,
+    machine: BishopMachine,
+    timing: LayerTiming,
+    label: str,
+    batch: int,
+    timeline: list[TimelineEntry] | None,
+):
+    """Core occupancy of one layer: dense ∥ sparse (or attention), then the
+    spike generator merges/fires — the Fig.-9 dataflow as engine tasks."""
+    if timing.phase == "ATN":
+        yield from use(
+            engine, machine.attention_core, timing.attention_s * batch,
+            timeline, f"{label}:attn", _quanta(timing.attention_tiles),
+        )
+    else:
+        cores = []
+        if timing.dense_s > 0:
+            cores.append(engine.spawn(
+                use(engine, machine.dense_core, timing.dense_s * batch,
+                    timeline, f"{label}:dense", _quanta(timing.dense_tiles)),
+                name=f"{label}:dense",
+            ))
+        if timing.sparse_s > 0:
+            cores.append(engine.spawn(
+                use(engine, machine.sparse_core, timing.sparse_s * batch,
+                    timeline, f"{label}:sparse", _quanta(timing.sparse_tiles)),
+                name=f"{label}:sparse",
+            ))
+        for core in cores:
+            yield Join(core)
+    yield from use(
+        engine, machine.spike_gen, timing.spike_gen_s * batch,
+        timeline, f"{label}:spike_gen", 1,
+    )
+
+
+def inference_process(
+    engine: Engine,
+    machine: BishopMachine,
+    timings: tuple[LayerTiming, ...],
+    label: str = "request",
+    batch: int = 1,
+    timeline: list[TimelineEntry] | None = None,
+):
+    """One (possibly batched) inference walking the layer chain.
+
+    Per layer, the compute chain and the layer's DRAM streaming run
+    concurrently (double-buffered GLBs); the layer completes when both
+    finish — ``max(compute, dram)`` when uncontended, longer when another
+    request holds a core or the DRAM channel.
+    """
+    for index, timing in enumerate(timings):
+        layer_label = f"{label}/L{index}.{timing.kind}"
+        compute = engine.spawn(
+            _compute_chain(engine, machine, timing, layer_label, batch, timeline),
+            name=f"{layer_label}:compute",
+        )
+        dram_s = timing.dram_s(batch)
+        dram = None
+        if dram_s > 0:
+            dram = engine.spawn(
+                use(engine, machine.dram, dram_s, timeline, f"{layer_label}:dram", 1),
+                name=f"{layer_label}:dram",
+            )
+        yield Join(compute)
+        if dram is not None:
+            yield Join(dram)
+
+
+def simulate_inference(
+    report: InferenceReport,
+    config: BishopConfig,
+    energy: EnergyModel | None = None,
+    record_timeline: bool = True,
+) -> EngineRun:
+    """Replay one analytic inference report on the event engine.
+
+    Single request, no contention: the makespan equals the closed-form
+    ``Σ max(compute, dram)`` and the energy equals the analytical total —
+    the agreement the zoo regression test pins to 1%.
+    """
+    energy = energy or EnergyModel()
+    timings = layer_timings(report, config, energy)
+    engine = Engine()
+    machine = BishopMachine(engine)
+    timeline: list[TimelineEntry] | None = [] if record_timeline else None
+    engine.spawn(
+        inference_process(engine, machine, timings, report.model_name, 1, timeline),
+        name=report.model_name,
+    )
+    engine.run()
+    dynamic_pj = sum(timing.dynamic_pj for timing in timings)
+    return EngineRun.capture(
+        engine,
+        energy_pj=dynamic_pj + energy.static_pj(engine.now),
+        timeline=timeline,
+    )

@@ -1,0 +1,122 @@
+"""Event timelines: what ran where, when — the engine's observable output.
+
+A :class:`TimelineEntry` records one contiguous occupancy of one resource
+by one labelled task.  :func:`use` is the canonical way a process occupies
+a resource: it acquires, holds, records, releases — optionally in several
+chunks (TTB tile granularity), releasing the resource between chunks so
+concurrent requests can interleave at tile boundaries.
+
+:class:`EngineRun` packages a finished simulation: makespan, energy, the
+recorded timeline, and per-resource occupancy statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .kernel import Acquire, Engine, Hold, Release, Resource, ResourceStats
+
+__all__ = ["EngineRun", "TimelineEntry", "use"]
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One task's contiguous occupancy of one resource."""
+
+    resource: str
+    label: str
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def use(
+    engine: Engine,
+    resource: Resource,
+    duration_s: float,
+    timeline: list[TimelineEntry] | None = None,
+    label: str = "",
+    chunks: int = 1,
+):
+    """Occupy ``resource`` for ``duration_s``, in ``chunks`` equal quanta.
+
+    With ``chunks > 1`` the resource is released between quanta, so a
+    queued competitor can slot in at tile boundaries — the acquire/release
+    granularity of the heterogeneous-core model.  Zero-duration work
+    returns immediately without touching the resource.
+    """
+    if duration_s <= 0.0:
+        return
+    chunks = max(1, int(chunks))
+    quantum = duration_s / chunks
+    for _ in range(chunks):
+        yield Acquire(resource)
+        start = engine.now
+        yield Hold(quantum)
+        if timeline is not None:
+            timeline.append(
+                TimelineEntry(resource.name, label, start, engine.now)
+            )
+        yield Release(resource)
+
+
+@dataclass
+class EngineRun:
+    """Outcome of one engine simulation.
+
+    ``energy_pj`` covers dynamic energy of the simulated work plus static
+    energy over the makespan; for a single request it reproduces the
+    analytical :class:`~repro.arch.report.InferenceReport` total exactly
+    (the regression-test oracle).
+    """
+
+    makespan_s: float
+    energy_pj: float
+    timeline: list[TimelineEntry] = field(default_factory=list)
+    resource_stats: dict[str, ResourceStats] = field(default_factory=dict)
+    resource_capacity: dict[str, int] = field(default_factory=dict)
+
+    def utilization(self) -> dict[str, float]:
+        """Busy fraction of each resource over the makespan."""
+        return {
+            name: stats.utilization(
+                self.makespan_s, self.resource_capacity.get(name, 1)
+            )
+            for name, stats in self.resource_stats.items()
+        }
+
+    def busy_s(self, resource: str) -> float:
+        return self.resource_stats[resource].busy_s
+
+    @classmethod
+    def capture(
+        cls,
+        engine: Engine,
+        energy_pj: float = 0.0,
+        timeline: list[TimelineEntry] | None = None,
+    ) -> "EngineRun":
+        """Snapshot a drained engine into a result object.
+
+        Stats are copied, so the snapshot stays stable even if the engine
+        is run further (``run(until=...)`` supports incremental draining);
+        in-flight holds are integrated up to ``engine.now`` first so a
+        mid-run snapshot reports the elapsed occupancy.
+        """
+        for resource in engine.resources.values():
+            resource._integrate()
+        return cls(
+            makespan_s=engine.now,
+            energy_pj=energy_pj,
+            timeline=list(timeline or []),
+            resource_stats={
+                name: replace(resource.stats)
+                for name, resource in engine.resources.items()
+            },
+            resource_capacity={
+                name: resource.capacity
+                for name, resource in engine.resources.items()
+            },
+        )

@@ -2,22 +2,30 @@
 
 The paper's memory system is double-buffered at every level "to hide
 latency" (Sec. 6.1): while layer *i* computes, the ping-pong GLBs prefetch
-layer *i+1*'s weights.  The per-layer reports already model *intra*-layer
-overlap (``max(compute, dram)``); this module composes the steady-state
-*inter*-layer schedule, where DRAM streaming for any layer may hide under
-any other layer's compute:
+layer *i+1*'s weights.  The serial schedule is *measured* by replaying the
+layer chain on the discrete-event engine — the datapath and the DRAM
+channel are two contended resources, each layer's compute and streaming
+tasks run concurrently, and the layer completes when both finish — so
+``serial_latency_s`` is an event makespan, not a closed-form sum (for an
+uncontended chain the two coincide, which the tests pin).
+
+The steady-state *pipelined* bound composes the same engine-measured
+resource busy times: with prefetch, DRAM streaming for any layer may hide
+under any other layer's compute, so
 
     pipelined latency = max(Σ compute_i, Σ dram_i)
 
-— the two shared resources (datapath, DRAM channel) each become the
-bottleneck wholesale, which is both the achievable steady state and the
-information-theoretic lower bound for a serial layer chain.
+— the two shared resources each become the bottleneck wholesale, which is
+both the achievable steady state and the information-theoretic lower bound
+for a serial layer chain.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from .engine.kernel import Engine, Join
+from .engine.timeline import EngineRun, TimelineEntry, use
 from .report import InferenceReport
 
 __all__ = ["PipelineSchedule", "pipeline_schedule"]
@@ -27,10 +35,12 @@ __all__ = ["PipelineSchedule", "pipeline_schedule"]
 class PipelineSchedule:
     """Serial vs pipelined end-to-end latency of one inference."""
 
-    serial_latency_s: float      # Σ max(compute, dram) per layer
+    serial_latency_s: float      # engine makespan, layers serialized
     pipelined_latency_s: float   # prefetch overlapped across layers
     compute_total_s: float
     dram_total_s: float
+    # The engine run behind the serial numbers (timeline + busy stats).
+    run: EngineRun | None = field(default=None, compare=False)
 
     @property
     def savings_fraction(self) -> float:
@@ -44,24 +54,61 @@ class PipelineSchedule:
         return max(self.compute_total_s, self.dram_total_s)
 
 
+def _serial_process(
+    engine: Engine,
+    datapath,
+    dram,
+    layers: list[tuple[float, float]],
+    timeline: list[TimelineEntry],
+):
+    """Layer-serial schedule: per layer, compute ∥ DRAM, then a barrier."""
+    for index, (compute_s, dram_s) in enumerate(layers):
+        tasks = []
+        if compute_s > 0:
+            tasks.append(engine.spawn(
+                use(engine, datapath, compute_s, timeline, f"L{index}:compute"),
+                name=f"L{index}:compute",
+            ))
+        if dram_s > 0:
+            tasks.append(engine.spawn(
+                use(engine, dram, dram_s, timeline, f"L{index}:dram"),
+                name=f"L{index}:dram",
+            ))
+        for task in tasks:
+            yield Join(task)
+
+
 def pipeline_schedule(report: InferenceReport) -> PipelineSchedule:
     """Compose a double-buffered schedule from a layer-serial report.
 
     Layers lacking timing notes (e.g. GPU roofline reports) fall back to
     their recorded latency with no overlap.
     """
-    compute_times: list[float] = []
-    dram_times: list[float] = []
-    for layer in report.layers:
-        compute_times.append(layer.notes.get("compute_time_s", layer.latency_s))
-        dram_times.append(layer.notes.get("dram_time_s", 0.0))
+    layers = [
+        (
+            layer.notes.get("compute_time_s", layer.latency_s),
+            layer.notes.get("dram_time_s", 0.0),
+        )
+        for layer in report.layers
+    ]
 
-    serial = sum(max(c, d) for c, d in zip(compute_times, dram_times))
-    pipelined = max(sum(compute_times), sum(dram_times))
+    engine = Engine()
+    datapath = engine.resource("datapath")
+    dram = engine.resource("dram")
+    timeline: list[TimelineEntry] = []
+    engine.spawn(
+        _serial_process(engine, datapath, dram, layers, timeline),
+        name=f"{report.model_name}:serial",
+    )
+    engine.run()
+    run = EngineRun.capture(engine, timeline=timeline)
 
+    compute_total = datapath.stats.busy_s
+    dram_total = dram.stats.busy_s
     return PipelineSchedule(
-        serial_latency_s=serial,
-        pipelined_latency_s=pipelined,
-        compute_total_s=sum(compute_times),
-        dram_total_s=sum(dram_times),
+        serial_latency_s=run.makespan_s,
+        pipelined_latency_s=max(compute_total, dram_total),
+        compute_total_s=compute_total,
+        dram_total_s=dram_total,
+        run=run,
     )

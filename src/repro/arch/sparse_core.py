@@ -41,6 +41,7 @@ class SparseCoreResult:
     active_pairs: float
     utilization: float
     traffic: TrafficLedger
+    waves: int = 0     # distribution-network waves — the engine's acquire grain
 
     def time_s(self, config: BishopConfig) -> float:
         return self.cycles / config.clock_hz
@@ -98,4 +99,5 @@ def simulate_sparse_core(
         active_pairs=active_pairs,
         utilization=utilization,
         traffic=traffic,
+        waves=int(waves),
     )

@@ -11,8 +11,13 @@ run-all [--jobs N] [--force] [--only a,b,...] [--smoke] [--artifacts DIR]
     Run every experiment through the parallel runtime: process-pool
     execution, content-addressed result cache, ``artifacts/<id>.json``
     plus a ``manifest.json`` with timings and cache hits.
+    ``--jobs 0`` resolves to one worker per CPU core.
 sweep <experiment-id> --param k=v1,v2,... [--jobs N] [--output FILE]
     Cartesian-product parameter sweep of one experiment.
+bench [--jobs N] [--only a,b,...] [--smoke] [--output FILE]
+    Force-run experiments and record per-experiment wall-clock timings
+    from the runtime manifest to ``BENCH_<timestamp>.json`` (repo root),
+    so the perf trajectory accumulates across PRs.
 zoo
     Print the Table-2 model zoo.
 """
@@ -22,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from .harness import EXPERIMENTS, get_experiment
@@ -55,7 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_all.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for cache misses (default: 1)",
+        help="worker processes for cache misses (default: 1; 0 = one per core)",
     )
     run_all.add_argument(
         "--force", action="store_true", help="ignore and overwrite cached results"
@@ -79,7 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--param", action="append", default=[], metavar="K=V1,V2,...",
         help="sweep axis: parameter name and comma-separated values (repeatable)",
     )
-    sweep.add_argument("--jobs", type=int, default=1, metavar="N")
+    sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default: 1; 0 = one per core)",
+    )
     sweep.add_argument("--force", action="store_true")
     sweep.add_argument(
         "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR"
@@ -89,8 +98,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the sweep payload JSON here",
     )
 
+    bench = sub.add_parser(
+        "bench", help="measure per-experiment wall-clock timings"
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default: 1; 0 = one per core)",
+    )
+    bench.add_argument(
+        "--only", default=None, metavar="ID,ID,...",
+        help="comma-separated subset of experiment ids",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="time each experiment under its cheap smoke params (CI)",
+    )
+    bench.add_argument(
+        "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR",
+        help="artifact root for the underlying run-all",
+    )
+    bench.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="bench JSON path (default: ./BENCH_<timestamp>.json)",
+    )
+
     sub.add_parser("zoo", help="print the Table-2 model zoo")
     return parser
+
+
+def _parse_only(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def _run_registry(args, force: bool) -> tuple[int, RunSummary | None]:
+    """Shared run-all/bench body: build the runner, run, print the summary.
+
+    Returns ``(exit_code, summary)``; a bad id or option yields
+    ``(2, None)`` with the message already on stderr.
+    """
+    try:
+        runner = ExperimentRunner(
+            artifacts_root=args.artifacts, jobs=args.jobs, force=force
+        )
+        summary = runner.run_all(only=_parse_only(args.only), smoke=args.smoke)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2, None
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2, None
+    _print_summary(summary)
+    return (0 if summary.ok else 1), summary
 
 
 def _parse_single_params(name: str, specs: list[str]) -> dict:
@@ -164,25 +224,42 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run-all":
-        only = None
-        if args.only is not None:
-            only = [name.strip() for name in args.only.split(",") if name.strip()]
-        runner = ExperimentRunner(
-            artifacts_root=args.artifacts, jobs=args.jobs, force=args.force
-        )
-        try:
-            summary = runner.run_all(only=only, smoke=args.smoke)
-        except KeyError as error:
-            print(error.args[0], file=sys.stderr)
-            return 2
-        _print_summary(summary)
-        return 0 if summary.ok else 1
+        code, _ = _run_registry(args, force=args.force)
+        return code
+
+    if args.command == "bench":
+        # Benchmarks force-run: cache hits report ~0s and would poison the
+        # timing series.
+        code, summary = _run_registry(args, force=True)
+        if summary is None:
+            return code
+        payload = {
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "smoke": args.smoke,
+            "jobs": summary.jobs,
+            "code_hash": summary.code_hash,
+            "wall_time_s": summary.wall_time_s,
+            "experiments": {
+                o.experiment: {
+                    "duration_s": o.duration_s,
+                    "status": o.status,
+                    "params": o.params,
+                }
+                for o in summary.outcomes
+            },
+        }
+        target = args.output
+        if target is None:
+            target = Path(f"BENCH_{time.strftime('%Y%m%d-%H%M%S')}.json")
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True, default=float))
+        print(f"bench: {target}")
+        return code
 
     if args.command == "sweep":
-        runner = ExperimentRunner(
-            artifacts_root=args.artifacts, jobs=args.jobs, force=args.force
-        )
         try:
+            runner = ExperimentRunner(
+                artifacts_root=args.artifacts, jobs=args.jobs, force=args.force
+            )
             grid = parse_param_specs(get_experiment(args.experiment), args.param)
             summary = runner.sweep(args.experiment, grid)
         except KeyError as error:

@@ -138,6 +138,9 @@ _MODEL = ParamSpec(str, "model3", "Table-2 model id")
 _MODELS = ParamSpec(
     str, ",".join(ALL_MODELS[:4]), "model ids, ','- or '+'-separated"
 )
+_MIX = ParamSpec(
+    str, "model4", "model mix, e.g. 'model4' or 'model4:0.7+model2:0.3'"
+)
 
 
 # ----------------------------------------------------------------------
@@ -403,6 +406,135 @@ def experiment_sec64_attn(models: str = _MODELS.default) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Serving experiments (beyond the paper: multi-request engine simulation)
+# ----------------------------------------------------------------------
+def _serve_setup(mix: str, bs_t: int, bs_n: int, seed: int, rho: float):
+    """Shared serving preamble: parse the mix, build per-model profiles,
+    and derive the arrival rate realizing load ``rho`` on the mix's mean
+    single-request latency.  Returns ``(weights, profiles, rate_rps)``."""
+    # Imported lazily: repro.serve builds on repro.harness.synthetic, so a
+    # top-level import would cycle through the package initializer.
+    from ..serve import parse_model_mix, request_profile
+
+    weights = parse_model_mix(mix)
+    profiles = {m: request_profile(m, bs_t, bs_n, seed) for m in weights}
+    mean_latency = sum(w * profiles[m].single_latency_s for m, w in weights.items())
+    return weights, profiles, rho / mean_latency
+
+
+def _serve_arrivals(
+    arrival: str,
+    num_requests: int,
+    rate: float,
+    weights: dict[str, float],
+    seed: int,
+    burst_factor: float,
+):
+    from ..serve import bursty_arrivals, poisson_arrivals
+
+    if arrival == "poisson":
+        return poisson_arrivals(num_requests, rate, weights, seed)
+    if arrival == "bursty":
+        return bursty_arrivals(
+            num_requests, rate, weights, seed, burst_factor=burst_factor
+        )
+    raise ValueError(f"unknown arrival kind {arrival!r}; use poisson|bursty")
+
+
+def experiment_serve_latency_cdf(
+    mix: str = "model4",
+    rho: float = 0.7,
+    num_requests: int = 400,
+    seed: int = 0,
+    arrival: str = "poisson",
+    burst_factor: float = 8.0,
+    max_batch: int = 1,
+    max_inflight: int = 2,
+    bs_t: int = 2,
+    bs_n: int = 4,
+) -> dict:
+    """Serving — latency percentiles/throughput under an arrival stream.
+
+    ``rho`` is the offered load relative to one chip's single-request
+    service rate on the mix's mean inference latency; the arrival rate is
+    derived from it so the experiment is meaningful across model mixes.
+    """
+    from ..serve import SchedulerConfig, simulate_serving
+
+    weights, profiles, rate = _serve_setup(mix, bs_t, bs_n, seed, rho)
+    requests = _serve_arrivals(
+        arrival, num_requests, rate, weights, seed, burst_factor
+    )
+    report = simulate_serving(
+        requests,
+        SchedulerConfig(max_batch=max_batch, max_inflight=max_inflight),
+        profiles=profiles,
+        bs_t=bs_t,
+        bs_n=bs_n,
+        seed=seed,
+    )
+    return {
+        "mix": weights,
+        "arrival": arrival,
+        "target_rho": rho,
+        "arrival_rate_rps": rate,
+        "single_latency_ms": {
+            m: profiles[m].single_latency_s * 1e3 for m in weights
+        },
+        **report.to_dict(),
+    }
+
+
+def experiment_serve_batch_sweep(
+    mix: str = "model4",
+    rho: float = 1.5,
+    num_requests: int = 300,
+    seed: int = 0,
+    batch_sizes: str = "1+2+4+8",
+    max_inflight: int = 2,
+    bs_t: int = 2,
+    bs_n: int = 4,
+) -> dict:
+    """Serving — batch-size sweep under backlog.
+
+    The same (overloaded, so queues actually form) arrival stream is
+    served at each ``max_batch``; batching amortizes weight streaming, so
+    the sweep exposes the throughput / tail-latency / energy-per-request
+    trade-off.
+    """
+    from ..serve import SchedulerConfig, simulate_serving
+
+    weights, profiles, rate = _serve_setup(mix, bs_t, bs_n, seed, rho)
+    sizes = [int(b) for b in batch_sizes.split("+") if b.strip()]
+    if not sizes or any(b < 1 for b in sizes):
+        raise ValueError(f"bad batch_sizes {batch_sizes!r}; e.g. '1+2+4'")
+    requests = _serve_arrivals("poisson", num_requests, rate, weights, seed, 8.0)
+    points = {}
+    for batch in sizes:
+        report = simulate_serving(
+            requests,
+            SchedulerConfig(max_batch=batch, max_inflight=max_inflight),
+            profiles=profiles,
+            bs_t=bs_t,
+            bs_n=bs_n,
+            seed=seed,
+        )
+        points[str(batch)] = {
+            "throughput_rps": report.throughput_rps,
+            "p95_latency_ms": report.latency_percentiles_ms["p95"],
+            "mean_batch_size": report.mean_batch_size,
+            "energy_per_request_mj": report.energy_per_request_mj,
+            "dram_utilization": report.utilization.get("dram", 0.0),
+        }
+    return {
+        "mix": weights,
+        "target_rho": rho,
+        "arrival_rate_rps": rate,
+        "points": points,
+    }
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 def _register(experiments: tuple[Experiment, ...]) -> dict[str, Experiment]:
@@ -511,6 +643,38 @@ EXPERIMENTS: dict[str, Experiment] = _register((
         params={"models": _MODELS},
         smoke_params={"models": "model4"},
         description="attention-core comparison vs PTB",
+    ),
+    Experiment(
+        "serve_latency_cdf", "Serving", experiment_serve_latency_cdf,
+        cost="medium",
+        params={
+            "mix": _MIX,
+            "rho": ParamSpec(float, 0.7, "offered load vs single-chip capacity"),
+            "num_requests": ParamSpec(int, 400, "requests in the stream"),
+            "seed": _SEED,
+            "arrival": ParamSpec(str, "poisson", "poisson | bursty"),
+            "burst_factor": ParamSpec(float, 8.0, "burst rate multiplier"),
+            "max_batch": ParamSpec(int, 1, "same-model batching limit"),
+            "max_inflight": ParamSpec(int, 2, "concurrent inferences"),
+            "bs_t": _BS_T, "bs_n": _BS_N,
+        },
+        smoke_params={"num_requests": 40},
+        description="serving latency percentiles under an arrival stream",
+    ),
+    Experiment(
+        "serve_batch_sweep", "Serving", experiment_serve_batch_sweep,
+        cost="medium",
+        params={
+            "mix": _MIX,
+            "rho": ParamSpec(float, 1.5, "offered load vs single-chip capacity"),
+            "num_requests": ParamSpec(int, 300, "requests in the stream"),
+            "seed": _SEED,
+            "batch_sizes": ParamSpec(str, "1+2+4+8", "'+'-separated batch sizes"),
+            "max_inflight": ParamSpec(int, 2, "concurrent inferences"),
+            "bs_t": _BS_T, "bs_n": _BS_N,
+        },
+        smoke_params={"num_requests": 40, "batch_sizes": "1+4"},
+        description="batching throughput/latency/energy trade-off",
     ),
 ))
 

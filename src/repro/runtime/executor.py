@@ -14,6 +14,7 @@ fresh run.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -140,8 +141,9 @@ class ExperimentRunner:
         and cache persistence (results are still returned).
     jobs:
         Worker processes for cache misses.  ``1`` runs inline in the
-        calling process (deterministic, easy to debug); results are
-        identical either way because every experiment seeds its own RNG.
+        calling process (deterministic, easy to debug); ``0`` resolves to
+        ``os.cpu_count()`` (one worker per core); results are identical
+        either way because every experiment seeds its own RNG.
     force:
         Ignore (and overwrite) existing cache entries.
     """
@@ -157,7 +159,12 @@ class ExperimentRunner:
         if cache is None and self.store is not None:
             cache = ResultCache(self.store.root / "cache")
         self.cache = cache
-        self.jobs = max(1, int(jobs))
+        jobs = int(jobs)
+        if jobs == 0:
+            jobs = os.cpu_count() or 1
+        elif jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        self.jobs = jobs
         self.force = force
         self._code_hash = registry_code_hash()
 

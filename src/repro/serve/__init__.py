@@ -1,0 +1,37 @@
+"""Multi-request serving simulation on top of the event engine.
+
+``workload``
+    Poisson / bursty arrival streams over Table-2 model mixes.
+``profiles``
+    Cached per-model engine task graphs (one analytic run per model).
+``scheduler``
+    FIFO / same-model batching dispatch policies.
+``simulate``
+    The serving loop: arrivals → scheduler → contended inference.
+``report``
+    Latency percentiles, throughput, utilization, chip energy.
+
+Registered experiments: ``serve_latency_cdf`` and ``serve_batch_sweep``
+(see ``repro.harness.experiments``); docs/ARCHITECTURE.md describes the
+event model underneath.
+"""
+
+from .profiles import RequestProfile, request_profile
+from .report import ServedRequest, ServingReport
+from .scheduler import SchedulerConfig, take_batch
+from .simulate import simulate_serving
+from .workload import Request, bursty_arrivals, parse_model_mix, poisson_arrivals
+
+__all__ = [
+    "Request",
+    "RequestProfile",
+    "SchedulerConfig",
+    "ServedRequest",
+    "ServingReport",
+    "bursty_arrivals",
+    "parse_model_mix",
+    "poisson_arrivals",
+    "request_profile",
+    "simulate_serving",
+    "take_batch",
+]

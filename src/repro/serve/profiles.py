@@ -1,0 +1,72 @@
+"""Per-model request profiles: the engine task graph of one inference.
+
+Simulating a request does not re-run the numpy core models — a
+:class:`RequestProfile` is computed once per (model, bundle, seed)
+configuration and replayed cheaply through the event engine for every
+request, which is what makes thousand-request serving sweeps tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..arch import BishopAccelerator, BishopConfig
+from ..arch.engine.machine import LayerTiming, layer_timings
+from ..bundles import BundleSpec
+from ..harness.synthetic import PROFILES, synthetic_trace
+from ..model import model_config
+
+__all__ = ["RequestProfile", "request_profile"]
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """Everything the serving simulator needs about one model's inference."""
+
+    model: str
+    timings: tuple[LayerTiming, ...]
+    single_latency_s: float        # uncontended engine latency (oracle-equal)
+    dynamic_pj: float              # per-request dynamic energy at batch 1
+
+    def batch_dynamic_pj(self, batch: int) -> float:
+        return sum(t.batch_dynamic_pj(batch) for t in self.timings)
+
+
+def request_profile(
+    model: str,
+    bs_t: int = 2,
+    bs_n: int = 4,
+    seed: int = 0,
+    dense_fraction: float = 0.5,
+) -> RequestProfile:
+    """Build (and cache) the serving profile of one Table-2 model.
+
+    Stratification uses a fixed dense fraction rather than the per-layer
+    balanced-θ search: serving cares about steady-state task durations, and
+    the fixed policy keeps profile construction fast enough to build mixes
+    over the whole zoo.
+    """
+    # Normalize before the cache so positional and keyword call styles
+    # share one entry (lru_cache keys them differently).
+    return _request_profile(
+        model, int(bs_t), int(bs_n), int(seed), float(dense_fraction)
+    )
+
+
+@lru_cache(maxsize=32)
+def _request_profile(
+    model: str, bs_t: int, bs_n: int, seed: int, dense_fraction: float
+) -> RequestProfile:
+    spec = BundleSpec(bs_t, bs_n)
+    config = BishopConfig(bundle_spec=spec, stratify_dense_fraction=dense_fraction)
+    accelerator = BishopAccelerator(config)
+    trace = synthetic_trace(model_config(model), PROFILES[model], spec, seed=seed)
+    report = accelerator.run_trace(trace, simulate_events=False)
+    timings = layer_timings(report, config, accelerator.energy)
+    return RequestProfile(
+        model=model,
+        timings=timings,
+        single_latency_s=report.total_latency_s,
+        dynamic_pj=sum(t.dynamic_pj for t in timings),
+    )

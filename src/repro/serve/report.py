@@ -1,0 +1,129 @@
+"""Serving-level results: per-request records and aggregate statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch.engine.timeline import EngineRun
+
+__all__ = ["ServedRequest", "ServingReport"]
+
+PERCENTILES = (50, 90, 95, 99)
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """One request's life cycle through the serving simulator."""
+
+    index: int
+    model: str
+    arrival_s: float
+    start_s: float       # dispatch time (batch formed, chip slot granted)
+    finish_s: float
+    batch_size: int
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+
+@dataclass
+class ServingReport:
+    """Aggregate view of one serving simulation."""
+
+    num_requests: int
+    offered_rps: float           # arrival rate of the generated stream
+    horizon_s: float             # last completion time
+    throughput_rps: float
+    latency_percentiles_ms: dict[str, float]
+    latency_mean_ms: float
+    latency_max_ms: float
+    queue_wait_mean_ms: float
+    mean_batch_size: float
+    utilization: dict[str, float]
+    dynamic_energy_mj: float
+    static_energy_mj: float
+    policy: str
+    max_batch: int
+    max_inflight: int
+    requests: tuple[ServedRequest, ...] = field(default_factory=tuple, repr=False)
+    run: EngineRun | None = field(default=None, repr=False)
+
+    @property
+    def energy_per_request_mj(self) -> float:
+        if not self.num_requests:
+            return 0.0
+        return (self.dynamic_energy_mj + self.static_energy_mj) / self.num_requests
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (drops the raw request list and timeline)."""
+        return {
+            "num_requests": self.num_requests,
+            "offered_rps": self.offered_rps,
+            "horizon_s": self.horizon_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": {
+                "mean": self.latency_mean_ms,
+                "max": self.latency_max_ms,
+                **self.latency_percentiles_ms,
+            },
+            "queue_wait_mean_ms": self.queue_wait_mean_ms,
+            "mean_batch_size": self.mean_batch_size,
+            "utilization": dict(self.utilization),
+            "energy_mj": {
+                "dynamic": self.dynamic_energy_mj,
+                "static": self.static_energy_mj,
+                "per_request": self.energy_per_request_mj,
+            },
+            "scheduler": {
+                "policy": self.policy,
+                "max_batch": self.max_batch,
+                "max_inflight": self.max_inflight,
+            },
+        }
+
+
+def build_report(
+    served: list[ServedRequest],
+    run: EngineRun,
+    offered_rps: float,
+    dynamic_energy_pj: float,
+    static_energy_pj: float,
+    policy: str,
+    max_batch: int,
+    max_inflight: int,
+) -> ServingReport:
+    served = sorted(served, key=lambda r: r.index)
+    latencies = np.array([r.latency_s for r in served])
+    waits = np.array([r.queue_wait_s for r in served])
+    horizon = max((r.finish_s for r in served), default=0.0)
+    values = np.percentile(latencies, PERCENTILES) if served else [0.0] * len(PERCENTILES)
+    return ServingReport(
+        num_requests=len(served),
+        offered_rps=offered_rps,
+        horizon_s=horizon,
+        throughput_rps=len(served) / horizon if horizon else 0.0,
+        latency_percentiles_ms={
+            f"p{p}": float(v) * 1e3 for p, v in zip(PERCENTILES, values)
+        },
+        latency_mean_ms=float(latencies.mean()) * 1e3 if served else 0.0,
+        latency_max_ms=float(latencies.max()) * 1e3 if served else 0.0,
+        queue_wait_mean_ms=float(waits.mean()) * 1e3 if served else 0.0,
+        mean_batch_size=(
+            float(np.mean([r.batch_size for r in served])) if served else 0.0
+        ),
+        utilization={k: float(v) for k, v in run.utilization().items()},
+        dynamic_energy_mj=dynamic_energy_pj * 1e-9,
+        static_energy_mj=static_energy_pj * 1e-9,
+        policy=policy,
+        max_batch=max_batch,
+        max_inflight=max_inflight,
+        requests=tuple(served),
+        run=run,
+    )

@@ -1,0 +1,65 @@
+"""Queue and batch scheduling policies for the serving simulator.
+
+The scheduler decides *what to dispatch next* when the chip has a free
+inference slot; the engine then decides how the dispatched work contends
+for cores.  Two axes:
+
+``max_batch``
+    Requests for the same model are merged into one batched inference:
+    compute scales with batch size, but the layer's weights stream from
+    DRAM only once (the classic batching bandwidth amortization).
+    ``max_batch=1`` is plain FIFO.
+``max_inflight``
+    Concurrent inferences allowed on the chip.  More than one lets
+    requests overlap on different cores (one request's attention phase
+    under another's MLP), at the price of queueing on busy cores.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .workload import Request
+
+__all__ = ["SchedulerConfig", "take_batch"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Dispatch policy of the serving simulator."""
+
+    max_batch: int = 1
+    max_inflight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+
+    @property
+    def policy(self) -> str:
+        return "fifo" if self.max_batch == 1 else "batch"
+
+
+def take_batch(pending: deque[Request], max_batch: int) -> list[Request]:
+    """Pop the next batch: the head request plus up to ``max_batch - 1``
+    later pending requests for the *same model* (they can share weight
+    streams).  Requests for other models keep their queue positions.
+    """
+    if not pending:
+        raise ValueError("no pending requests")
+    head = pending.popleft()
+    batch = [head]
+    if max_batch > 1:
+        keep: list[Request] = []
+        while pending and len(batch) < max_batch:
+            request = pending.popleft()
+            if request.model == head.model:
+                batch.append(request)
+            else:
+                keep.append(request)
+        for request in reversed(keep):
+            pending.appendleft(request)
+    return batch

@@ -1,0 +1,135 @@
+"""Request workloads for the serving simulator.
+
+Arrival processes
+-----------------
+``poisson_arrivals``
+    Memoryless stream at a target rate — the classic open-loop load model.
+``bursty_arrivals``
+    Hyperexponential inter-arrival gaps: a fraction of gaps is drawn from a
+    much faster exponential, producing request bursts while preserving the
+    target mean rate (coefficient of variation > 1).
+
+Model mixes
+-----------
+A mix string names the Table-2 models a stream draws from, with optional
+weights: ``"model4"``, ``"model4:0.7+model2:0.3"``.  ``+`` separates
+entries because ``,`` already delimits sweep-axis values on the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model import MODEL_ZOO
+
+__all__ = [
+    "Request",
+    "bursty_arrivals",
+    "parse_model_mix",
+    "poisson_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request in an arrival stream."""
+
+    index: int
+    model: str
+    arrival_s: float
+
+
+def parse_model_mix(mix: str) -> dict[str, float]:
+    """Parse ``"model4"`` / ``"model4:0.7+model2:0.3"`` into weights.
+
+    Weights are normalized to sum to 1; entries without an explicit weight
+    get weight 1 before normalization.
+    """
+    weights: dict[str, float] = {}
+    for entry in mix.split("+"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, sep, raw_weight = entry.partition(":")
+        name = name.strip()
+        if name not in MODEL_ZOO:
+            raise ValueError(
+                f"unknown model {name!r} in mix {mix!r}; options {sorted(MODEL_ZOO)}"
+            )
+        if name in weights:
+            raise ValueError(f"duplicate model {name!r} in mix {mix!r}")
+        weight = float(raw_weight) if sep else 1.0
+        if weight <= 0:
+            raise ValueError(f"model weight must be positive in {mix!r}")
+        weights[name] = weight
+    if not weights:
+        raise ValueError(f"empty model mix {mix!r}")
+    total = sum(weights.values())
+    return {name: weight / total for name, weight in weights.items()}
+
+
+def _materialize(
+    gaps: np.ndarray, mix: dict[str, float], rng: np.random.Generator
+) -> list[Request]:
+    arrivals = np.cumsum(gaps)
+    models = rng.choice(list(mix), size=len(gaps), p=list(mix.values()))
+    return [
+        Request(index=i, model=str(models[i]), arrival_s=float(arrivals[i]))
+        for i in range(len(gaps))
+    ]
+
+
+def poisson_arrivals(
+    num_requests: int,
+    rate_rps: float,
+    mix: str | dict[str, float] = "model4",
+    seed: int = 0,
+) -> list[Request]:
+    """Poisson stream: exponential inter-arrival gaps at ``rate_rps``."""
+    if num_requests < 1:
+        raise ValueError("need at least one request")
+    if rate_rps <= 0:
+        raise ValueError("arrival rate must be positive")
+    weights = parse_model_mix(mix) if isinstance(mix, str) else dict(mix)
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=num_requests)
+    return _materialize(gaps, weights, rng)
+
+
+def bursty_arrivals(
+    num_requests: int,
+    rate_rps: float,
+    mix: str | dict[str, float] = "model4",
+    seed: int = 0,
+    burst_factor: float = 8.0,
+    burst_fraction: float = 0.3,
+) -> list[Request]:
+    """Bursty stream with the same mean rate as the Poisson one.
+
+    A ``burst_fraction`` share of gaps is exponential at
+    ``burst_factor × rate_rps`` (requests arriving back-to-back); the rest
+    is stretched so the overall mean gap stays ``1/rate_rps``.
+    """
+    if num_requests < 1:
+        raise ValueError("need at least one request")
+    if rate_rps <= 0:
+        raise ValueError("arrival rate must be positive")
+    if burst_factor <= 1.0:
+        raise ValueError("burst_factor must exceed 1")
+    if not 0.0 < burst_fraction < 1.0:
+        raise ValueError("burst_fraction must be in (0, 1)")
+    weights = parse_model_mix(mix) if isinstance(mix, str) else dict(mix)
+    rng = np.random.default_rng(seed)
+    # Mean gap budget: burst gaps spend 1/(burst_factor·λ) each, the slow
+    # phase absorbs the remainder so E[gap] = 1/λ exactly.
+    fast_rate = burst_factor * rate_rps
+    slow_mean = (1.0 / rate_rps - burst_fraction / fast_rate) / (1.0 - burst_fraction)
+    in_burst = rng.random(num_requests) < burst_fraction
+    gaps = np.where(
+        in_burst,
+        rng.exponential(1.0 / fast_rate, size=num_requests),
+        rng.exponential(slow_mean, size=num_requests),
+    )
+    return _materialize(gaps, weights, rng)

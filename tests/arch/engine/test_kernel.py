@@ -1,0 +1,233 @@
+"""Discrete-event kernel semantics: clock, resources, joins, gates."""
+
+import pytest
+
+from repro.arch.engine import (
+    Acquire,
+    Engine,
+    Hold,
+    Join,
+    Release,
+    WaitFor,
+    use,
+)
+
+
+class TestClockAndHold:
+    def test_hold_advances_clock(self):
+        engine = Engine()
+
+        def proc():
+            yield Hold(2.5)
+            yield Hold(1.5)
+
+        engine.spawn(proc())
+        assert engine.run() == pytest.approx(4.0)
+
+    def test_parallel_processes_overlap(self):
+        engine = Engine()
+        for _ in range(3):
+            engine.spawn(iter([Hold(5.0)]))
+        assert engine.run() == pytest.approx(5.0)
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ValueError):
+            Hold(-1.0)
+
+    def test_run_until_stops_early(self):
+        engine = Engine()
+        engine.spawn(iter([Hold(10.0)]))
+        assert engine.run(until=3.0) == pytest.approx(3.0)
+        # the remaining event still fires on the next run
+        assert engine.run() == pytest.approx(10.0)
+
+    def test_empty_engine_runs_to_zero(self):
+        assert Engine().run() == 0.0
+
+
+class TestResources:
+    def test_contention_serializes(self):
+        engine = Engine()
+        resource = engine.resource("core")
+        finishes = []
+
+        def proc(name):
+            yield Acquire(resource)
+            yield Hold(1.0)
+            yield Release(resource)
+            finishes.append((name, engine.now))
+
+        engine.spawn(proc("a"))
+        engine.spawn(proc("b"))
+        assert engine.run() == pytest.approx(2.0)
+        assert [name for name, _ in finishes] == ["a", "b"]  # FIFO grant order
+
+    def test_capacity_allows_parallelism(self):
+        engine = Engine()
+        resource = engine.resource("pool", capacity=2)
+
+        def proc():
+            yield Acquire(resource)
+            yield Hold(1.0)
+            yield Release(resource)
+
+        for _ in range(4):
+            engine.spawn(proc())
+        assert engine.run() == pytest.approx(2.0)
+
+    def test_busy_and_wait_stats(self):
+        engine = Engine()
+        resource = engine.resource("core")
+
+        def proc():
+            yield Acquire(resource)
+            yield Hold(2.0)
+            yield Release(resource)
+
+        engine.spawn(proc())
+        engine.spawn(proc())
+        engine.run()
+        assert resource.stats.busy_s == pytest.approx(4.0)
+        assert resource.stats.wait_s == pytest.approx(2.0)  # second waited
+        assert resource.stats.acquisitions == 2
+        assert resource.stats.utilization(engine.now) == pytest.approx(1.0)
+
+    def test_release_of_idle_resource_raises(self):
+        engine = Engine()
+        resource = engine.resource("core")
+        engine.spawn(iter([Release(resource)]))
+        with pytest.raises(RuntimeError, match="idle resource"):
+            engine.run()
+
+    def test_duplicate_resource_name_rejected(self):
+        engine = Engine()
+        engine.resource("core")
+        with pytest.raises(ValueError, match="duplicate"):
+            engine.resource("core")
+
+
+class TestJoinAndGate:
+    def test_join_waits_for_child(self):
+        engine = Engine()
+        order = []
+
+        def child():
+            yield Hold(3.0)
+            order.append("child")
+
+        def parent():
+            task = engine.spawn(child())
+            yield Join(task)
+            order.append("parent")
+
+        engine.spawn(parent())
+        assert engine.run() == pytest.approx(3.0)
+        assert order == ["child", "parent"]
+
+    def test_join_on_finished_process_returns_immediately(self):
+        engine = Engine()
+        done = []
+
+        def child():
+            yield Hold(1.0)
+
+        def parent(task):
+            yield Hold(5.0)
+            yield Join(task)   # child finished long ago
+            done.append(engine.now)
+
+        task = engine.spawn(child())
+        engine.spawn(parent(task))
+        engine.run()
+        assert done == [pytest.approx(5.0)]
+
+    def test_gate_broadcast(self):
+        engine = Engine()
+        woken = []
+        gate = engine.gate()
+
+        def waiter(name):
+            yield WaitFor(gate)
+            woken.append((name, engine.now))
+
+        def signaller():
+            yield Hold(2.0)
+            gate.signal()
+
+        engine.spawn(waiter("a"))
+        engine.spawn(waiter("b"))
+        engine.spawn(signaller())
+        engine.run()
+        assert sorted(n for n, _ in woken) == ["a", "b"]
+        assert all(t == pytest.approx(2.0) for _, t in woken)
+
+    def test_unknown_command_raises(self):
+        engine = Engine()
+        engine.spawn(iter(["not a command"]))
+        with pytest.raises(TypeError, match="expected a Command"):
+            engine.run()
+
+
+class TestUseHelper:
+    def test_records_timeline(self):
+        engine = Engine()
+        resource = engine.resource("core")
+        timeline = []
+        engine.spawn(use(engine, resource, 4.0, timeline, "task", chunks=4))
+        engine.run()
+        assert len(timeline) == 4
+        assert timeline[0].start_s == 0.0
+        assert timeline[-1].end_s == pytest.approx(4.0)
+        assert all(e.duration_s == pytest.approx(1.0) for e in timeline)
+        assert {e.resource for e in timeline} == {"core"}
+
+    def test_chunks_let_competitor_interleave(self):
+        engine = Engine()
+        resource = engine.resource("core")
+        timeline = []
+        engine.spawn(use(engine, resource, 4.0, timeline, "chunked", chunks=4))
+
+        def latecomer():
+            yield Hold(0.5)
+            yield from use(engine, resource, 1.0, timeline, "late", chunks=1)
+
+        engine.spawn(latecomer())
+        engine.run()
+        late = next(e for e in timeline if e.label == "late")
+        # slots in after the first chunk, not after the whole 4s task
+        assert late.start_s == pytest.approx(1.0)
+
+    def test_captured_stats_survive_further_running(self):
+        from repro.arch.engine import EngineRun
+
+        engine = Engine()
+        resource = engine.resource("core")
+        engine.spawn(use(engine, resource, 2.0, label="first"))
+        engine.run(until=2.0)
+        snapshot = EngineRun.capture(engine)
+        engine.spawn(use(engine, resource, 3.0, label="second"))
+        engine.run()
+        assert snapshot.busy_s("core") == pytest.approx(2.0)
+        assert resource.stats.busy_s == pytest.approx(5.0)
+
+    def test_mid_hold_snapshot_counts_elapsed_occupancy(self):
+        from repro.arch.engine import EngineRun
+
+        engine = Engine()
+        resource = engine.resource("core")
+        engine.spawn(use(engine, resource, 2.0, label="task"))
+        engine.run(until=1.0)   # snapshot in the middle of the hold
+        snapshot = EngineRun.capture(engine)
+        assert snapshot.busy_s("core") == pytest.approx(1.0)
+        assert snapshot.utilization()["core"] == pytest.approx(1.0)
+        engine.run()
+        assert resource.stats.busy_s == pytest.approx(2.0)
+
+    def test_zero_duration_is_free(self):
+        engine = Engine()
+        resource = engine.resource("core")
+        timeline = []
+        engine.spawn(use(engine, resource, 0.0, timeline, "noop"))
+        engine.run()
+        assert timeline == []
+        assert resource.stats.acquisitions == 0

@@ -40,7 +40,8 @@ class TestMetadata:
 
     def test_artifact_and_cost(self, name):
         experiment = EXPERIMENTS[name]
-        assert experiment.artifact.startswith(("Table", "Fig.", "Sec."))
+        # Paper artifacts plus the beyond-paper serving experiments.
+        assert experiment.artifact.startswith(("Table", "Fig.", "Sec.", "Serving"))
         assert experiment.cost in COST_TIERS
         assert experiment.description
 

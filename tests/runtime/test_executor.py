@@ -19,6 +19,21 @@ def artifact_bytes(runner, name):
     return runner.store.path_for(name).read_bytes()
 
 
+class TestJobsResolution:
+    def test_zero_resolves_to_cpu_count(self, tmp_path):
+        import os
+
+        runner = ExperimentRunner(tmp_path, jobs=0)
+        assert runner.jobs == (os.cpu_count() or 1)
+
+    def test_positive_jobs_kept(self, tmp_path):
+        assert ExperimentRunner(tmp_path, jobs=3).jobs == 3
+
+    def test_negative_jobs_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="jobs"):
+            ExperimentRunner(tmp_path, jobs=-1)
+
+
 class TestCacheBehavior:
     def test_first_run_misses_second_hits(self, tmp_path):
         runner = ExperimentRunner(tmp_path, jobs=1)

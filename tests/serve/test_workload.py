@@ -1,0 +1,90 @@
+"""Arrival-stream generators: rates, burstiness, model mixes."""
+
+import numpy as np
+import pytest
+
+from repro.serve import bursty_arrivals, parse_model_mix, poisson_arrivals
+
+
+class TestModelMix:
+    def test_single_model(self):
+        assert parse_model_mix("model4") == {"model4": 1.0}
+
+    def test_weighted_mix_normalizes(self):
+        mix = parse_model_mix("model4:0.7+model2:0.3")
+        assert mix["model4"] == pytest.approx(0.7)
+        assert mix["model2"] == pytest.approx(0.3)
+
+    def test_unweighted_entries_share_equally(self):
+        mix = parse_model_mix("model1+model2")
+        assert mix == {"model1": pytest.approx(0.5), "model2": pytest.approx(0.5)}
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            parse_model_mix("model99")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_model_mix("model4+model4")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_model_mix("+")
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            parse_model_mix("model4:0")
+
+
+class TestPoisson:
+    def test_mean_rate_on_target(self):
+        requests = poisson_arrivals(4000, rate_rps=100.0, seed=0)
+        span = requests[-1].arrival_s - requests[0].arrival_s
+        observed = (len(requests) - 1) / span
+        assert observed == pytest.approx(100.0, rel=0.1)
+
+    def test_sorted_and_indexed(self):
+        requests = poisson_arrivals(50, 10.0, seed=1)
+        assert [r.index for r in requests] == list(range(50))
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_mix_respected(self):
+        requests = poisson_arrivals(2000, 10.0, "model4:0.8+model2:0.2", seed=0)
+        share = sum(r.model == "model4" for r in requests) / len(requests)
+        assert share == pytest.approx(0.8, abs=0.05)
+
+    def test_deterministic(self):
+        a = poisson_arrivals(20, 10.0, seed=7)
+        b = poisson_arrivals(20, 10.0, seed=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 10.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, 0.0)
+
+
+class TestBursty:
+    def test_mean_rate_preserved(self):
+        requests = bursty_arrivals(8000, rate_rps=100.0, seed=0)
+        span = requests[-1].arrival_s - requests[0].arrival_s
+        observed = (len(requests) - 1) / span
+        assert observed == pytest.approx(100.0, rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        def cov(requests):
+            gaps = np.diff([r.arrival_s for r in requests])
+            return gaps.std() / gaps.mean()
+
+        poisson = poisson_arrivals(8000, 100.0, seed=0)
+        bursty = bursty_arrivals(8000, 100.0, seed=0, burst_factor=16.0)
+        assert cov(poisson) == pytest.approx(1.0, abs=0.1)   # exponential
+        assert cov(bursty) > cov(poisson) * 1.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="burst_factor"):
+            bursty_arrivals(10, 10.0, burst_factor=1.0)
+        with pytest.raises(ValueError, match="burst_fraction"):
+            bursty_arrivals(10, 10.0, burst_fraction=1.0)

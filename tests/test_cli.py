@@ -86,6 +86,68 @@ class TestRunAll:
         assert "unknown experiment" in capsys.readouterr().err
 
 
+class TestRunAllJobs:
+    def test_jobs_zero_resolves_to_cpu_count(self, tmp_path, capsys):
+        import os
+
+        argv = ["run-all", "--only", "table2", "--jobs", "0",
+                "--artifacts", str(tmp_path)]
+        assert main(argv) == 0
+        expected = os.cpu_count() or 1
+        assert f"with {expected} job(s)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("command", ["run-all", "sweep", "bench"])
+    def test_negative_jobs_is_a_clean_usage_error(self, command, tmp_path, capsys):
+        argv = [command, "--jobs", "-1", "--artifacts", str(tmp_path)]
+        if command == "sweep":
+            argv = ["sweep", "fig6", "--param", "seed=0"] + argv[1:]
+        assert main(argv) == 2
+        assert "jobs" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_writes_bench_json(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_test.json"
+        argv = ["bench", "--only", "table2,fig17", "--smoke",
+                "--artifacts", str(tmp_path / "artifacts"),
+                "--output", str(target)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"bench: {target}" in out
+        payload = json.loads(target.read_text())
+        assert set(payload["experiments"]) == {"table2", "fig17"}
+        for record in payload["experiments"].values():
+            assert record["status"] == "ok"
+            assert record["duration_s"] >= 0.0
+        assert payload["smoke"] is True
+        assert len(payload["code_hash"]) == 64
+
+    def test_default_output_lands_in_cwd(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = ["bench", "--only", "table2", "--smoke",
+                "--artifacts", str(tmp_path / "artifacts")]
+        assert main(argv) == 0
+        benches = list(tmp_path.glob("BENCH_*.json"))
+        assert len(benches) == 1
+        assert json.loads(benches[0].read_text())["experiments"]["table2"]
+
+    def test_bench_forces_reruns(self, tmp_path, capsys):
+        # a warm cache must not zero the timings: bench always re-runs
+        artifacts = str(tmp_path / "artifacts")
+        assert main(["run-all", "--only", "fig17", "--artifacts", artifacts]) == 0
+        capsys.readouterr()
+        target = tmp_path / "bench.json"
+        argv = ["bench", "--only", "fig17", "--artifacts", artifacts,
+                "--output", str(target)]
+        assert main(argv) == 0
+        assert "0 cache hits, 1 runs" in capsys.readouterr().out
+
+    def test_unknown_only_id(self, tmp_path, capsys):
+        argv = ["bench", "--only", "fig99", "--artifacts", str(tmp_path)]
+        assert main(argv) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
 class TestSweep:
     def test_sweep_writes_artifact_and_output(self, tmp_path, capsys):
         target = tmp_path / "sweep.json"
