@@ -23,6 +23,10 @@ arch
 serve
     Multi-request serving simulation on the event engine: Poisson/bursty
     arrival streams, batch/queue schedulers, latency-percentile reports.
+cluster
+    Multi-chip fleets behind a front-end router: chip kinds and model
+    placement, routing policies, admission control, reactive autoscaling
+    (docs/CLUSTER.md).
 baselines
     PTB systolic accelerator and edge-GPU roofline comparators.
 harness

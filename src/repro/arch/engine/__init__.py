@@ -30,7 +30,14 @@ from .machine import (
     layer_timings,
     simulate_inference,
 )
-from .timeline import EngineRun, TimelineEntry, use
+from .timeline import (
+    EngineRun,
+    TimelineEntry,
+    entries_from_dicts,
+    entries_to_dicts,
+    merge_timelines,
+    use,
+)
 
 __all__ = [
     "Acquire",
@@ -48,8 +55,11 @@ __all__ = [
     "ResourceStats",
     "TimelineEntry",
     "WaitFor",
+    "entries_from_dicts",
+    "entries_to_dicts",
     "inference_process",
     "layer_timings",
+    "merge_timelines",
     "simulate_inference",
     "use",
 ]

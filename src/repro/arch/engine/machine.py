@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from ..config import BishopConfig
 from ..energy import EnergyModel
 from ..report import InferenceReport, LayerReport
-from .kernel import Engine, Join
+from .kernel import Engine, Join, Resource
 from .timeline import EngineRun, TimelineEntry, use
 
 __all__ = [
@@ -115,17 +115,37 @@ def layer_timings(
 
 
 class BishopMachine:
-    """One Bishop chip: the five contended resources of Fig. 9."""
+    """One Bishop chip: the five contended resources of Fig. 9.
+
+    Several machines may share one :class:`Engine` (the cluster clock):
+    pass a unique ``name`` and every resource is registered under the
+    ``<name>.<unit>`` namespace, so chips contend only with themselves.
+    With ``name=None`` (the single-chip default) resource names stay bare,
+    which is what the zoo regression oracle and ``repro.serve`` pin.
+    """
 
     RESOURCE_NAMES = ("dense_core", "sparse_core", "attention_core", "spike_gen", "dram")
 
-    def __init__(self, engine: Engine):
+    def __init__(self, engine: Engine, name: str | None = None):
         self.engine = engine
-        self.dense_core = engine.resource("dense_core")
-        self.sparse_core = engine.resource("sparse_core")
-        self.attention_core = engine.resource("attention_core")
-        self.spike_gen = engine.resource("spike_gen")
-        self.dram = engine.resource("dram")
+        self.name = name
+        prefix = f"{name}." if name else ""
+        self.dense_core = engine.resource(f"{prefix}dense_core")
+        self.sparse_core = engine.resource(f"{prefix}sparse_core")
+        self.attention_core = engine.resource(f"{prefix}attention_core")
+        self.spike_gen = engine.resource(f"{prefix}spike_gen")
+        self.dram = engine.resource(f"{prefix}dram")
+
+    @property
+    def resources(self) -> dict[str, Resource]:
+        """Short (un-prefixed) unit name → engine resource."""
+        return {
+            "dense_core": self.dense_core,
+            "sparse_core": self.sparse_core,
+            "attention_core": self.attention_core,
+            "spike_gen": self.spike_gen,
+            "dram": self.dram,
+        }
 
 
 def _quanta(tiles: int) -> int:

@@ -16,7 +16,14 @@ from dataclasses import dataclass, field, replace
 
 from .kernel import Acquire, Engine, Hold, Release, Resource, ResourceStats
 
-__all__ = ["EngineRun", "TimelineEntry", "use"]
+__all__ = [
+    "EngineRun",
+    "TimelineEntry",
+    "entries_from_dicts",
+    "entries_to_dicts",
+    "merge_timelines",
+    "use",
+]
 
 
 @dataclass(frozen=True)
@@ -31,6 +38,46 @@ class TimelineEntry:
     @property
     def duration_s(self) -> float:
         return self.end_s - self.start_s
+
+    def to_dict(self) -> dict:
+        return {
+            "resource": self.resource,
+            "label": self.label,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TimelineEntry":
+        return cls(
+            resource=str(payload["resource"]),
+            label=str(payload["label"]),
+            start_s=float(payload["start_s"]),
+            end_s=float(payload["end_s"]),
+        )
+
+
+def merge_timelines(*timelines: list[TimelineEntry]) -> list[TimelineEntry]:
+    """Merge per-machine timelines into one deterministic total order.
+
+    Entries are ordered by ``(start_s, end_s, resource, label)``: when two
+    chips emit events at the same timestamp, the namespaced resource name
+    (``chip0.dense_core`` < ``chip1.dense_core``) breaks the tie, so the
+    merged order is a pure function of the entries — independent of which
+    machine's timeline was recorded or passed first.
+    """
+    merged = [entry for timeline in timelines for entry in timeline]
+    merged.sort(key=lambda e: (e.start_s, e.end_s, e.resource, e.label))
+    return merged
+
+
+def entries_to_dicts(entries: list[TimelineEntry]) -> list[dict]:
+    """JSON-ready timeline payload (inverse of :func:`entries_from_dicts`)."""
+    return [entry.to_dict() for entry in entries]
+
+
+def entries_from_dicts(payload: list[dict]) -> list[TimelineEntry]:
+    return [TimelineEntry.from_dict(item) for item in payload]
 
 
 def use(

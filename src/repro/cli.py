@@ -18,8 +18,21 @@ bench [--jobs N] [--only a,b,...] [--smoke] [--output FILE]
     Force-run experiments and record per-experiment wall-clock timings
     from the runtime manifest to ``BENCH_<timestamp>.json`` (repo root),
     so the perf trajectory accumulates across PRs.
+cluster [--fleet SPEC] [--policy P] [--mix MIX] [--rho R] [--seed N] ...
+    Simulate a multi-chip fleet behind the front-end router directly
+    (no registry round-trip): prints the fleet summary and per-chip
+    breakdown, optionally writing the full report JSON.
+cache ls|gc
+    Inspect or garbage-collect the runtime's content-addressed result
+    cache (``artifacts/cache``); ``gc --keep-latest N`` bounds long
+    sweep campaigns.
 zoo
     Print the Table-2 model zoo.
+
+Reproducibility: ``run``/``sweep``/``cluster`` accept ``--seed N``,
+threaded end-to-end into workload generation and synthetic traces (for
+registry experiments it sets the ``seed`` parameter unless one is given
+explicitly via ``--param``).
 """
 
 from __future__ import annotations
@@ -32,7 +45,13 @@ from pathlib import Path
 
 from .harness import EXPERIMENTS, get_experiment
 from .model import MODEL_ZOO
-from .runtime import ExperimentRunner, RunSummary, canonical_json, parse_param_specs
+from .runtime import (
+    ExperimentRunner,
+    ResultCache,
+    RunSummary,
+    canonical_json,
+    parse_param_specs,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -51,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--param", action="append", default=[], metavar="K=V",
         help="override one experiment parameter (repeatable)",
+    )
+    run.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="set the experiment's seed parameter (reproducible workloads)",
     )
     run.add_argument(
         "--output", type=Path, default=None, help="write JSON here instead of stdout"
@@ -89,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes (default: 1; 0 = one per core)",
     )
+    sweep.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="set the experiment's seed parameter on every grid point",
+    )
     sweep.add_argument("--force", action="store_true")
     sweep.add_argument(
         "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR"
@@ -122,6 +149,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench JSON path (default: ./BENCH_<timestamp>.json)",
     )
 
+    cluster = sub.add_parser(
+        "cluster", help="simulate a multi-chip fleet behind the router"
+    )
+    cluster.add_argument(
+        "--fleet", default="standard:4", metavar="SPEC",
+        help="chips, e.g. 'standard:4' or 'dense_heavy:2+sparse_heavy:2'",
+    )
+    cluster.add_argument(
+        "--policy", default="least_work",
+        help="routing policy: round_robin | least_work | sparsity",
+    )
+    cluster.add_argument(
+        "--mix", default="model4", metavar="MIX",
+        help="model mix, e.g. 'model4' or 'model4:0.7+model2:0.3'",
+    )
+    cluster.add_argument(
+        "--rho", type=float, default=0.7,
+        help="offered load relative to fleet aggregate capacity",
+    )
+    cluster.add_argument("--requests", type=int, default=400, metavar="N")
+    cluster.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="workload + synthetic-trace seed (one seed fixes the run)",
+    )
+    cluster.add_argument(
+        "--arrival", default="poisson", choices=("poisson", "bursty")
+    )
+    cluster.add_argument("--max-batch", type=int, default=1, metavar="B")
+    cluster.add_argument("--max-inflight", type=int, default=2, metavar="I")
+    cluster.add_argument(
+        "--queue-capacity", type=int, default=0, metavar="Q",
+        help="per-chip admission bound (0 = unbounded, no shedding)",
+    )
+    cluster.add_argument(
+        "--autoscale-max", type=int, default=0, metavar="N",
+        help="enable the reactive autoscaler up to N chips (0 = off);"
+        " replicas clone the fleet's first chip kind",
+    )
+    cluster.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="also write the full cluster report JSON here",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect / garbage-collect the result cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser("ls", help="list cache entries, newest first")
+    cache_ls.add_argument(
+        "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR",
+        help="artifact root holding the cache (default: ./artifacts)",
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc", help="delete all but the most recent entries"
+    )
+    cache_gc.add_argument(
+        "--keep-latest", type=int, required=True, metavar="N",
+        help="number of most-recent entries to keep",
+    )
+    cache_gc.add_argument(
+        "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR"
+    )
+
     sub.add_parser("zoo", help="print the Table-2 model zoo")
     return parser
 
@@ -153,14 +243,40 @@ def _run_registry(args, force: bool) -> tuple[int, RunSummary | None]:
     return (0 if summary.ok else 1), summary
 
 
-def _parse_single_params(name: str, specs: list[str]) -> dict:
-    grid = parse_param_specs(get_experiment(name), specs)
+def _parse_single_params(name: str, specs: list[str], seed: int | None = None) -> dict:
+    experiment = get_experiment(name)
+    grid = parse_param_specs(experiment, specs)
     multi = [k for k, values in grid.items() if len(values) > 1]
     if multi:
         raise ValueError(
             f"`run` takes single values; {multi} have several (use `sweep`)"
         )
-    return {k: values[0] for k, values in grid.items()}
+    params = {k: values[0] for k, values in grid.items()}
+    return _apply_seed(experiment, params, seed)
+
+
+def _seed_applies(experiment, explicit: bool, seed: int | None) -> bool:
+    """Whether ``--seed`` should set the experiment's seed parameter.
+
+    An explicit ``--param seed=...`` (or sweep axis) wins; a seed flag on
+    a seedless experiment warns rather than failing, so sweep scripts can
+    pass one uniformly.
+    """
+    if seed is None or explicit:
+        return False
+    if "seed" not in experiment.params:
+        print(
+            f"--seed ignored: experiment {experiment.id!r} has no seed parameter",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
+def _apply_seed(experiment, params: dict, seed: int | None) -> dict:
+    if _seed_applies(experiment, "seed" in params, seed):
+        params["seed"] = seed
+    return params
 
 
 def _print_summary(summary: RunSummary) -> None:
@@ -177,6 +293,123 @@ def _print_summary(summary: RunSummary) -> None:
     )
     if summary.manifest_path:
         print(f"manifest: {summary.manifest_path}")
+
+
+def _run_cluster(args) -> int:
+    """The `repro cluster` body: build the fleet, serve the stream, print."""
+    # Imported lazily: the cluster layer pulls the whole simulator stack,
+    # which `repro list`/`repro cache` don't need.
+    from .cluster import (
+        AdmissionConfig,
+        AutoscaleConfig,
+        ClusterSimulation,
+        fleet_capacity_rps,
+        homogeneous_fleet,
+        parse_fleet,
+    )
+    from .serve import (
+        SchedulerConfig,
+        bursty_arrivals,
+        parse_model_mix,
+        poisson_arrivals,
+    )
+
+    weights = parse_model_mix(args.mix)
+    fleet = parse_fleet(args.fleet)
+    capacity = fleet_capacity_rps(fleet, weights, seed=args.seed)
+    rate = args.rho * capacity
+    arrivals = poisson_arrivals if args.arrival == "poisson" else bursty_arrivals
+    stream = arrivals(args.requests, rate, weights, args.seed)
+
+    autoscale = None
+    if args.autoscale_max:
+        # Sampling interval ~20x the mix's mean service time on one chip
+        # of the fleet's leading kind — replicas are of that kind too, so
+        # a sparse_heavy fleet scales with sparse_heavy chips.
+        template_kind = fleet.chips[0].kind
+        mean_latency = 1.0 / fleet_capacity_rps(
+            homogeneous_fleet(1, template_kind), weights, seed=args.seed
+        )
+        autoscale = AutoscaleConfig(
+            interval_s=20 * mean_latency,
+            max_chips=args.autoscale_max,
+            kind=template_kind,
+        )
+    report = ClusterSimulation(
+        fleet,
+        SchedulerConfig(max_batch=args.max_batch, max_inflight=args.max_inflight),
+        policy=args.policy,
+        admission=AdmissionConfig(queue_capacity=args.queue_capacity or None),
+        autoscale=autoscale,
+        seed=args.seed,
+    ).run(stream)
+
+    p = report.latency_percentiles_ms
+    print(
+        f"fleet {args.fleet} policy {report.policy} mix {args.mix}"
+        f" seed {args.seed}"
+    )
+    print(
+        f"  offered {report.offered_rps:,.0f} rps (rho {args.rho} of"
+        f" {capacity:,.0f} rps capacity)"
+    )
+    print(
+        f"  served {report.served}/{report.num_requests}"
+        f" (shed {report.shed}), throughput {report.throughput_rps:,.0f} rps"
+    )
+    print(
+        f"  latency ms: p50 {p['p50']:.3f}  p95 {p['p95']:.3f}"
+        f"  p99 {p['p99']:.3f}  max {report.latency_max_ms:.3f}"
+    )
+    print(f"  energy/request {report.energy_per_request_mj:.4f} mJ")
+    for name, chip in report.chips.items():
+        util = chip.utilization
+        print(
+            f"  {name:<7} {chip.kind:<12} served {chip.requests_served:>5}"
+            f"  dense {util['dense_core']:.2f} sparse {util['sparse_core']:.2f}"
+            f" attn {util['attention_core']:.2f} dram {util['dram']:.2f}"
+            + ("  (drained)" if chip.drained else "")
+        )
+    for event in report.scaling_events:
+        print(
+            f"  autoscaler t={event.t_s * 1e3:8.2f}ms {event.action:<5}"
+            f" {event.chip} (pressure {event.pressure:.2f},"
+            f" {event.accepting_chips} accepting)"
+        )
+    if args.output is not None:
+        args.output.write_text(canonical_json(report.to_dict()))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _run_cache(args) -> int:
+    """The `repro cache ls|gc` body."""
+    cache = ResultCache(Path(args.artifacts) / "cache")
+    if args.cache_command == "ls":
+        entries = cache.list_entries()
+        total = sum(entry.size_bytes for entry in entries)
+        for entry in entries:
+            age_s = max(0.0, time.time() - entry.mtime)
+            params = ",".join(
+                f"{k}={v}" for k, v in sorted(entry.params.items())
+            ) or "-"
+            if len(params) > 48:
+                params = params[:45] + "..."
+            print(
+                f"{entry.key[:12]}  {entry.experiment:<24}"
+                f" {entry.size_bytes:>9}B  {age_s:>8.0f}s ago  {params}"
+            )
+        print(f"{len(entries)} entries, {total} bytes ({cache.root})")
+        return 0
+    if args.keep_latest < 0:
+        print("--keep-latest must be >= 0", file=sys.stderr)
+        return 2
+    result = cache.gc(args.keep_latest)
+    print(
+        f"kept {result.kept}, removed {result.removed},"
+        f" freed {result.freed_bytes} bytes ({cache.root})"
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -204,7 +437,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         try:
-            params = _parse_single_params(args.experiment, args.param)
+            params = _parse_single_params(args.experiment, args.param, args.seed)
         except KeyError as error:
             print(error.args[0], file=sys.stderr)
             return 2
@@ -255,12 +488,25 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench: {target}")
         return code
 
+    if args.command == "cluster":
+        try:
+            return _run_cluster(args)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+
+    if args.command == "cache":
+        return _run_cache(args)
+
     if args.command == "sweep":
         try:
             runner = ExperimentRunner(
                 artifacts_root=args.artifacts, jobs=args.jobs, force=args.force
             )
-            grid = parse_param_specs(get_experiment(args.experiment), args.param)
+            experiment = get_experiment(args.experiment)
+            grid = parse_param_specs(experiment, args.param)
+            if _seed_applies(experiment, "seed" in grid, args.seed):
+                grid = {**grid, "seed": [args.seed]}
             summary = runner.sweep(args.experiment, grid)
         except KeyError as error:
             print(error.args[0], file=sys.stderr)

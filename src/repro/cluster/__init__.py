@@ -1,0 +1,73 @@
+"""Multi-chip cluster serving: sharded Bishop fleets on one engine clock.
+
+``fleet``
+    Chip kinds (standard / sparse-heavy / dense-heavy), model placement,
+    fleet parsing.
+``routing``
+    Front-end policies: round-robin, least-outstanding-work,
+    sparsity-aware affinity.
+``admission``
+    Bounded per-chip queues and load shedding.
+``autoscale``
+    Reactive replica scaling from queue-pressure signals.
+``simulate``
+    :class:`ClusterSimulation`: N chips + router (+ autoscaler) on one
+    shared discrete-event engine.
+``report``
+    Fleet-aggregate and per-chip statistics, reusing the serving layer's
+    percentile machinery.
+
+Registered experiments: ``cluster_scaling_curve`` and
+``cluster_routing_ablation`` (see ``repro.harness.experiments``);
+docs/CLUSTER.md describes the fleet model, routing policies, and
+autoscaler semantics.
+"""
+
+from .admission import AdmissionConfig, ShedRecord, eligible_chips
+from .autoscale import AutoscaleConfig, Autoscaler, ScalingEvent
+from .fleet import (
+    CHIP_KINDS,
+    ChipSpec,
+    FleetSpec,
+    chip_config,
+    fleet_capacity_rps,
+    homogeneous_fleet,
+    parse_fleet,
+)
+from .report import ChipReport, ClusterReport, build_cluster_report
+from .routing import (
+    POLICIES,
+    LeastOutstanding,
+    RoundRobin,
+    RoutingPolicy,
+    SparsityAffinity,
+    make_policy,
+)
+from .simulate import ClusterSimulation, simulate_cluster
+
+__all__ = [
+    "AdmissionConfig",
+    "AutoscaleConfig",
+    "Autoscaler",
+    "CHIP_KINDS",
+    "ChipReport",
+    "ChipSpec",
+    "ClusterReport",
+    "ClusterSimulation",
+    "FleetSpec",
+    "LeastOutstanding",
+    "POLICIES",
+    "RoundRobin",
+    "RoutingPolicy",
+    "ScalingEvent",
+    "ShedRecord",
+    "SparsityAffinity",
+    "build_cluster_report",
+    "chip_config",
+    "eligible_chips",
+    "fleet_capacity_rps",
+    "homogeneous_fleet",
+    "make_policy",
+    "parse_fleet",
+    "simulate_cluster",
+]

@@ -1,0 +1,49 @@
+"""Admission control: bounded per-chip queues and load shedding.
+
+Every chip's pending queue is bounded by ``queue_capacity``; a request is
+only routable to chips with a free slot.  When *no* eligible chip exists
+— every replica of the model is full (or draining) — the request is shed
+at the front door instead of growing an unbounded backlog, and the
+cluster report accounts for it (``shed`` count and per-model breakdown).
+``queue_capacity=None`` disables shedding (unbounded queues), which is
+what capacity-measurement experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..serve.simulate import ChipServer
+from ..serve.workload import Request
+
+__all__ = ["AdmissionConfig", "ShedRecord", "eligible_chips"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Front-door policy of the cluster router."""
+
+    queue_capacity: int | None = None   # per-chip pending bound; None = unbounded
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1 (or None: unbounded)")
+
+
+@dataclass(frozen=True)
+class ShedRecord:
+    """One request rejected by admission control."""
+
+    index: int
+    model: str
+    arrival_s: float
+
+
+def eligible_chips(request: Request, chips: list[ChipServer]) -> list[ChipServer]:
+    """Chips the router may send ``request`` to, in fleet order:
+    accepting (not draining), hosting the model, and queue not full."""
+    return [
+        chip
+        for chip in chips
+        if chip.accepting and chip.hosts(request.model) and chip.has_queue_capacity()
+    ]

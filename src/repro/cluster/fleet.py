@@ -1,0 +1,194 @@
+"""Fleet specification: chip kinds, model placement, and parsing.
+
+A *fleet* is an ordered list of chips.  Each chip has a **kind** — a named
+Bishop configuration variant — and an optional **placement**: the subset
+of Table-2 models whose weights it hosts.  Kinds extend the paper's
+intra-chip heterogeneity (dense/sparse/attention cores) to inter-chip
+heterogeneity: a ``sparse_heavy`` chip doubles the sparse-core TTB units
+and stratifies more of the workload onto them, so high-sparsity traces
+(model2/model5-like) run fastest there, while ``dense_heavy`` trades
+sparse units for a wider dense core, which suits low-sparsity traces.
+All kinds keep the paper's attention core, spike generator, DRAM
+channel, and clock; the total PE budget stays within ~15% of the
+Sec.-6.1 chip so fleets compare like-for-like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import BishopConfig
+from ..model import MODEL_ZOO
+from ..serve.profiles import profile_config, request_profile
+
+__all__ = [
+    "CHIP_KINDS",
+    "ChipSpec",
+    "FleetSpec",
+    "chip_config",
+    "fleet_capacity_rps",
+    "homogeneous_fleet",
+    "parse_fleet",
+]
+
+# Kind name → overrides on the standard serving-chip configuration.
+# dense_rows scales the dense core (rows × 32 output features);
+# sparse_units counts parallel TTB units; stratify_dense_fraction moves
+# the stratification threshold so the workload split matches the silicon.
+CHIP_KINDS: dict[str, dict] = {
+    "standard": {},
+    "sparse_heavy": {
+        "sparse_units": 256,
+        "stratify_dense_fraction": 0.35,
+    },
+    "dense_heavy": {
+        "sparse_units": 64,
+        "dense_rows": 24,
+        "stratify_dense_fraction": 0.65,
+    },
+}
+
+
+def chip_config(kind: str, bs_t: int = 2, bs_n: int = 4) -> BishopConfig:
+    """The :class:`BishopConfig` of one chip kind at a bundle shape.
+
+    ``standard`` is byte-identical to the single-chip serving
+    configuration (:func:`repro.serve.profiles.profile_config`), which is
+    what makes an N=1 standard fleet reproduce ``simulate_serving``.
+    """
+    try:
+        overrides = CHIP_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown chip kind {kind!r}; options {sorted(CHIP_KINDS)}"
+        ) from None
+    base = profile_config(bs_t, bs_n)
+    return base.with_overrides(**overrides) if overrides else base
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """One chip in a fleet: its kind and the models it hosts.
+
+    ``models=None`` means the chip replicates every model of the workload
+    (full replication); a tuple restricts placement — requests for models
+    this chip does not host are never routed to it.
+    """
+
+    kind: str = "standard"
+    models: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHIP_KINDS:
+            raise ValueError(
+                f"unknown chip kind {self.kind!r}; options {sorted(CHIP_KINDS)}"
+            )
+        if self.models is not None:
+            if not self.models:
+                raise ValueError("a chip's placement cannot be empty")
+            unknown = [m for m in self.models if m not in MODEL_ZOO]
+            if unknown:
+                raise ValueError(
+                    f"unknown model(s) {unknown} in placement;"
+                    f" options {sorted(MODEL_ZOO)}"
+                )
+
+    def hosted_models(self, workload_models: tuple[str, ...]) -> tuple[str, ...]:
+        """Models this chip serves, resolved against the workload's set."""
+        if self.models is None:
+            return tuple(workload_models)
+        return tuple(m for m in self.models if m in workload_models)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """An ordered fleet of chips (order fixes router determinism)."""
+
+    chips: tuple[ChipSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.chips:
+            raise ValueError("a fleet needs at least one chip")
+
+    def __len__(self) -> int:
+        return len(self.chips)
+
+    def validate_placement(self, workload_models: tuple[str, ...]) -> None:
+        """Every workload model must be hosted by at least one chip."""
+        unplaced = [
+            model
+            for model in workload_models
+            if not any(chip.hosted_models((model,)) for chip in self.chips)
+        ]
+        if unplaced:
+            raise ValueError(
+                f"model(s) {unplaced} are not placed on any chip; add a"
+                " replica hosting them or use models=None (full replication)"
+            )
+
+
+def homogeneous_fleet(size: int, kind: str = "standard") -> FleetSpec:
+    """``size`` identical fully-replicated chips of one kind."""
+    if size < 1:
+        raise ValueError("fleet size must be >= 1")
+    return FleetSpec(tuple(ChipSpec(kind=kind) for _ in range(size)))
+
+
+def fleet_capacity_rps(
+    fleet: FleetSpec,
+    weights: dict[str, float],
+    bs_t: int = 2,
+    bs_n: int = 4,
+    seed: int = 0,
+) -> float:
+    """Aggregate fleet capacity on a model mix: Σ chips 1/mean-latency.
+
+    Each chip's mean single-request latency is evaluated with *its own*
+    configuration over the part of the mix it actually hosts (weights
+    renormalized; a chip hosting none of the mix contributes nothing), so
+    heterogeneous and placement-restricted fleets are rated fairly.
+    Experiments and the CLI derive arrival rates from this
+    (``rate = rho × capacity``).  This is a service-rate rating, not an
+    exact capacity bound: under heavily skewed placement the achievable
+    rate also depends on how the mix balance matches the placement.
+    """
+    total = 0.0
+    for spec in fleet.chips:
+        hosted = {
+            model: weight
+            for model, weight in weights.items()
+            if spec.models is None or model in spec.models
+        }
+        share = sum(hosted.values())
+        if share == 0.0:
+            continue
+        config = chip_config(spec.kind, bs_t, bs_n)
+        mean_latency = sum(
+            (weight / share)
+            * request_profile(model, seed=seed, config=config).single_latency_s
+            for model, weight in hosted.items()
+        )
+        total += 1.0 / mean_latency
+    return total
+
+
+def parse_fleet(spec: str) -> FleetSpec:
+    """Parse ``"standard:4"`` / ``"dense_heavy:2+sparse_heavy:2"``.
+
+    ``+`` separates entries (``,`` already delimits sweep-axis values on
+    the CLI); an entry without a count means one chip of that kind.
+    """
+    chips: list[ChipSpec] = []
+    for entry in spec.split("+"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        kind, sep, raw_count = entry.partition(":")
+        kind = kind.strip()
+        count = int(raw_count) if sep else 1
+        if count < 1:
+            raise ValueError(f"chip count must be positive in {spec!r}")
+        chips.extend(ChipSpec(kind=kind) for _ in range(count))
+    if not chips:
+        raise ValueError(f"empty fleet spec {spec!r}")
+    return FleetSpec(tuple(chips))

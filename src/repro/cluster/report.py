@@ -1,0 +1,201 @@
+"""Cluster-level results: per-chip and fleet-aggregate statistics.
+
+Reuses the serving layer's percentile machinery
+(:func:`repro.serve.report.latency_stats`) so single-chip and cluster
+reports quote identical statistics, and stays well-defined on degenerate
+outcomes (a fully-shed stream reports zeros, not errors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch.engine.timeline import EngineRun
+from ..serve.report import ServedRequest, latency_stats
+from ..serve.simulate import ChipServer
+from .admission import ShedRecord
+from .autoscale import ScalingEvent
+
+__all__ = ["ChipReport", "ClusterReport", "build_cluster_report"]
+
+
+@dataclass(frozen=True)
+class ChipReport:
+    """One chip's contribution to a cluster run."""
+
+    name: str
+    kind: str
+    models: tuple[str, ...]
+    requests_served: int
+    mean_batch_size: float
+    utilization: dict[str, float]     # busy fraction over the chip's active span
+    dynamic_energy_mj: float
+    static_energy_mj: float
+    active_span_s: float
+    added_s: float                    # 0.0 for the initial fleet
+    drained: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "models": list(self.models),
+            "requests_served": self.requests_served,
+            "mean_batch_size": self.mean_batch_size,
+            "utilization": dict(self.utilization),
+            "energy_mj": {
+                "dynamic": self.dynamic_energy_mj,
+                "static": self.static_energy_mj,
+            },
+            "active_span_s": self.active_span_s,
+            "added_s": self.added_s,
+            "drained": self.drained,
+        }
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate view of one cluster simulation."""
+
+    num_requests: int
+    served: int
+    shed: int
+    offered_rps: float
+    horizon_s: float                  # last completion time
+    throughput_rps: float
+    latency_percentiles_ms: dict[str, float]
+    latency_mean_ms: float
+    latency_max_ms: float
+    queue_wait_mean_ms: float
+    policy: str
+    queue_capacity: int | None
+    initial_chips: int
+    final_accepting_chips: int
+    chips: dict[str, ChipReport]
+    shed_by_model: dict[str, int]
+    scaling_events: tuple[ScalingEvent, ...]
+    dynamic_energy_mj: float
+    static_energy_mj: float
+    requests: tuple[ServedRequest, ...] = field(default_factory=tuple, repr=False)
+    shed_records: tuple[ShedRecord, ...] = field(default_factory=tuple, repr=False)
+    run: EngineRun | None = field(default=None, repr=False)
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def energy_per_request_mj(self) -> float:
+        if not self.served:
+            return 0.0
+        return (self.dynamic_energy_mj + self.static_energy_mj) / self.served
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (drops raw request records and the timeline)."""
+        return {
+            "num_requests": self.num_requests,
+            "served": self.served,
+            "shed": self.shed,
+            "shed_fraction": self.shed_fraction,
+            "shed_by_model": dict(self.shed_by_model),
+            "offered_rps": self.offered_rps,
+            "horizon_s": self.horizon_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": {
+                "mean": self.latency_mean_ms,
+                "max": self.latency_max_ms,
+                **self.latency_percentiles_ms,
+            },
+            "queue_wait_mean_ms": self.queue_wait_mean_ms,
+            "router": {
+                "policy": self.policy,
+                "queue_capacity": self.queue_capacity,
+            },
+            "fleet": {
+                "initial_chips": self.initial_chips,
+                "final_accepting_chips": self.final_accepting_chips,
+                "chips": {name: chip.to_dict() for name, chip in self.chips.items()},
+            },
+            "autoscaler_events": [event.to_dict() for event in self.scaling_events],
+            "energy_mj": {
+                "dynamic": self.dynamic_energy_mj,
+                "static": self.static_energy_mj,
+                "per_request": self.energy_per_request_mj,
+            },
+        }
+
+
+def _chip_report(chip: ChipServer, horizon_s: float, static_pj_per_s: float) -> ChipReport:
+    span = chip.active_span_s(horizon_s)
+    batch_sizes = [r.batch_size for r in chip.served]
+    return ChipReport(
+        name=chip.name or "chip",
+        kind=chip.kind,
+        models=tuple(sorted(chip.profiles)),
+        requests_served=len(chip.served),
+        mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+        utilization={
+            unit: resource.stats.utilization(span, resource.capacity)
+            for unit, resource in chip.machine.resources.items()
+        },
+        dynamic_energy_mj=chip.dynamic_energy_pj * 1e-9,
+        static_energy_mj=static_pj_per_s * span * 1e-9,
+        active_span_s=span,
+        added_s=chip.started_s,
+        drained=chip.drained_s is not None and not chip.accepting,
+    )
+
+
+def build_cluster_report(
+    chips: list[ChipServer],
+    shed: list[ShedRecord],
+    offered_rps: float,
+    policy: str,
+    queue_capacity: int | None,
+    initial_chips: int,
+    scaling_events: list[ScalingEvent],
+    static_pj_per_s: float,
+    run: EngineRun | None = None,
+) -> ClusterReport:
+    served = sorted(
+        (r for chip in chips for r in chip.served), key=lambda r: r.index
+    )
+    stats = latency_stats([r.latency_s for r in served])
+    waits = np.array([r.queue_wait_s for r in served])
+    horizon = max((r.finish_s for r in served), default=0.0)
+    chip_reports = {
+        report.name: report
+        for report in (
+            _chip_report(chip, horizon, static_pj_per_s) for chip in chips
+        )
+    }
+    shed_by_model: dict[str, int] = {}
+    for record in shed:
+        shed_by_model[record.model] = shed_by_model.get(record.model, 0) + 1
+    return ClusterReport(
+        num_requests=len(served) + len(shed),
+        served=len(served),
+        shed=len(shed),
+        offered_rps=offered_rps,
+        horizon_s=horizon,
+        throughput_rps=len(served) / horizon if horizon > 0 else 0.0,
+        latency_percentiles_ms=stats.percentiles_ms,
+        latency_mean_ms=stats.mean_ms,
+        latency_max_ms=stats.max_ms,
+        queue_wait_mean_ms=float(waits.mean()) * 1e3 if served else 0.0,
+        policy=policy,
+        queue_capacity=queue_capacity,
+        initial_chips=initial_chips,
+        final_accepting_chips=sum(1 for chip in chips if chip.accepting),
+        chips=chip_reports,
+        shed_by_model=shed_by_model,
+        scaling_events=tuple(scaling_events),
+        dynamic_energy_mj=sum(chip.dynamic_energy_pj for chip in chips) * 1e-9,
+        static_energy_mj=sum(
+            report.static_energy_mj for report in chip_reports.values()
+        ),
+        requests=tuple(served),
+        shed_records=tuple(shed),
+        run=run,
+    )

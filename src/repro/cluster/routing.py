@@ -1,0 +1,117 @@
+"""Front-end routing policies: which chip serves the next request.
+
+The router consults a policy with the request and the *eligible* chips
+(active, accepting, hosting the model, queue not full — see
+``repro.cluster.admission``).  Policies are deterministic: given the same
+stream and fleet they always produce the same assignment, which keeps
+cluster experiments cacheable by the runtime.
+
+``round_robin``
+    Cycle through eligible chips regardless of load or fit — the baseline.
+``least_work``
+    Join the chip with the least outstanding estimated work (queued plus
+    in-flight single-request service estimates) — classic load balancing,
+    blind to heterogeneity.
+``sparsity``
+    Sparsity-aware affinity: minimize *expected completion* — the chip's
+    outstanding work **plus the model's service time on that chip**.  A
+    chip's per-model service estimate encodes its core provisioning, so
+    high-sparsity traces gravitate to sparse-core-heavy chips (where their
+    stratified-up workload runs on 2× the TTB units) and dense traces to
+    dense-core-heavy chips, while the outstanding-work term still spreads
+    load when the preferred chips back up.
+"""
+
+from __future__ import annotations
+
+from ..serve.simulate import ChipServer
+from ..serve.workload import Request
+
+__all__ = [
+    "POLICIES",
+    "LeastOutstanding",
+    "RoundRobin",
+    "RoutingPolicy",
+    "SparsityAffinity",
+    "make_policy",
+]
+
+
+class RoutingPolicy:
+    """Base class: pick one chip among the eligible, or ``None`` to shed."""
+
+    name = "?"
+
+    def choose(
+        self, request: Request, eligible: list[ChipServer]
+    ) -> ChipServer | None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any routing state; called at the start of every run so a
+        reused policy instance routes each stream identically."""
+
+
+class RoundRobin(RoutingPolicy):
+    """Cycle through eligible chips in fleet order."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._turn = 0
+
+    def reset(self):
+        self._turn = 0
+
+    def choose(self, request, eligible):
+        if not eligible:
+            return None
+        chip = eligible[self._turn % len(eligible)]
+        self._turn += 1
+        return chip
+
+
+class LeastOutstanding(RoutingPolicy):
+    """Join the chip with the least outstanding estimated work."""
+
+    name = "least_work"
+
+    def choose(self, request, eligible):
+        if not eligible:
+            return None
+        # min() is stable: fleet order breaks exact ties deterministically.
+        return min(eligible, key=lambda chip: chip.outstanding_s)
+
+
+class SparsityAffinity(RoutingPolicy):
+    """Minimize expected completion: outstanding work + service time on
+    that chip (the heterogeneity-aware term)."""
+
+    name = "sparsity"
+
+    def choose(self, request, eligible):
+        if not eligible:
+            return None
+        return min(
+            eligible,
+            key=lambda chip: chip.outstanding_s
+            + chip.service_estimate_s(request.model),
+        )
+
+
+POLICIES: dict[str, type[RoutingPolicy]] = {
+    policy.name: policy
+    for policy in (RoundRobin, LeastOutstanding, SparsityAffinity)
+}
+
+
+def make_policy(policy: str | RoutingPolicy) -> RoutingPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {policy!r}; options {sorted(POLICIES)}"
+        ) from None

@@ -535,6 +535,182 @@ def experiment_serve_batch_sweep(
 
 
 # ----------------------------------------------------------------------
+# Cluster experiments (beyond the paper: multi-chip fleet simulation)
+# ----------------------------------------------------------------------
+def experiment_cluster_scaling_curve(
+    mix: str = "model4",
+    rho: float = 5.0,
+    fleet_sizes: str = "1+2+4",
+    kind: str = "standard",
+    policy: str = "least_work",
+    num_requests: int = 600,
+    seed: int = 0,
+    max_batch: int = 1,
+    max_inflight: int = 2,
+    bs_t: int = 2,
+    bs_n: int = 4,
+) -> dict:
+    """Cluster — throughput and latency percentiles vs fleet size.
+
+    ``rho`` is offered load relative to ONE chip *of the fleet's kind*
+    (so the default 5.0 saturates small fleets); every fleet size serves
+    the SAME arrival stream, and the single-chip ``repro.serve``
+    simulation of that stream — on the same kind's profiles — is included
+    as the reference (the N=1 fleet must match it).
+    """
+    from ..cluster import ClusterSimulation, chip_config, homogeneous_fleet
+    from ..serve import (
+        SchedulerConfig,
+        parse_model_mix,
+        request_profile,
+        simulate_serving,
+    )
+
+    weights = parse_model_mix(mix)
+    config = chip_config(kind, bs_t, bs_n)
+    profiles = {
+        model: request_profile(model, seed=seed, config=config)
+        for model in weights
+    }
+    mean_latency = sum(
+        weight * profiles[model].single_latency_s
+        for model, weight in weights.items()
+    )
+    rate = rho / mean_latency
+    sizes = [int(n) for n in fleet_sizes.split("+") if n.strip()]
+    if not sizes or any(n < 1 for n in sizes):
+        raise ValueError(f"bad fleet_sizes {fleet_sizes!r}; e.g. '1+2+4'")
+    requests = _serve_arrivals("poisson", num_requests, rate, weights, seed, 8.0)
+    scheduler = SchedulerConfig(max_batch=max_batch, max_inflight=max_inflight)
+    single = simulate_serving(
+        requests, scheduler, profiles=profiles, bs_t=bs_t, bs_n=bs_n, seed=seed
+    )
+    points = {}
+    for size in sizes:
+        report = ClusterSimulation(
+            homogeneous_fleet(size, kind),
+            scheduler,
+            policy=policy,
+            bs_t=bs_t,
+            bs_n=bs_n,
+            seed=seed,
+        ).run(requests)
+        points[str(size)] = {
+            "throughput_rps": report.throughput_rps,
+            "p50_latency_ms": report.latency_percentiles_ms["p50"],
+            "p99_latency_ms": report.latency_percentiles_ms["p99"],
+            "speedup_vs_single_chip": (
+                report.throughput_rps / single.throughput_rps
+                if single.throughput_rps
+                else 0.0
+            ),
+            "energy_per_request_mj": report.energy_per_request_mj,
+        }
+    return {
+        "mix": weights,
+        "kind": kind,
+        "policy": policy,
+        "target_rho": rho,
+        "arrival_rate_rps": rate,
+        "single_chip": {
+            "throughput_rps": single.throughput_rps,
+            "p50_latency_ms": single.latency_percentiles_ms["p50"],
+            "p99_latency_ms": single.latency_percentiles_ms["p99"],
+        },
+        "points": points,
+    }
+
+
+def experiment_cluster_routing_ablation(
+    mix: str = "model2:0.5+model4:0.5",
+    fleet: str = "dense_heavy:2+sparse_heavy:2",
+    rho: float = 0.85,
+    policies: str = "round_robin+least_work+sparsity",
+    num_requests: int = 800,
+    seed: int = 0,
+    queue_capacity: int = 0,
+    max_batch: int = 1,
+    max_inflight: int = 2,
+    bs_t: int = 2,
+    bs_n: int = 4,
+) -> dict:
+    """Cluster — routing-policy comparison at a fixed (heterogeneous) fleet.
+
+    ``rho`` is offered load relative to the FLEET's aggregate capacity on
+    the mix; the same stream is routed under each policy.  With the
+    default mixed-sparsity mix on a dense-heavy + sparse-heavy fleet, the
+    sparsity-aware policy routes each model to the chips whose core
+    provisioning matches its trace sparsity.  ``queue_capacity=0`` means
+    unbounded (no shedding).
+    """
+    from ..cluster import (
+        POLICIES,
+        AdmissionConfig,
+        ClusterSimulation,
+        chip_config,
+        fleet_capacity_rps,
+        parse_fleet,
+    )
+    from ..serve import SchedulerConfig, parse_model_mix, request_profile
+
+    weights = parse_model_mix(mix)
+    fleet_spec = parse_fleet(fleet)
+    names = [p.strip() for p in policies.split("+") if p.strip()]
+    unknown = [p for p in names if p not in POLICIES]
+    if not names or unknown:
+        raise ValueError(f"bad policies {policies!r}; options {sorted(POLICIES)}")
+    rate = rho * fleet_capacity_rps(fleet_spec, weights, bs_t, bs_n, seed)
+    requests = _serve_arrivals("poisson", num_requests, rate, weights, seed, 8.0)
+    scheduler = SchedulerConfig(max_batch=max_batch, max_inflight=max_inflight)
+    admission = AdmissionConfig(queue_capacity=queue_capacity or None)
+    results = {}
+    for name in names:
+        report = ClusterSimulation(
+            fleet_spec,
+            scheduler,
+            policy=name,
+            admission=admission,
+            bs_t=bs_t,
+            bs_n=bs_n,
+            seed=seed,
+        ).run(requests)
+        results[name] = {
+            "throughput_rps": report.throughput_rps,
+            "p50_latency_ms": report.latency_percentiles_ms["p50"],
+            "p99_latency_ms": report.latency_percentiles_ms["p99"],
+            "mean_latency_ms": report.latency_mean_ms,
+            "shed": report.shed,
+            "requests_per_chip": {
+                name: chip.requests_served
+                for name, chip in report.chips.items()
+            },
+        }
+    model_profiles = {}
+    for model in weights:
+        latency_by_kind = {}
+        share_by_kind = {}
+        for kind in sorted({spec.kind for spec in fleet_spec.chips}):
+            profile = request_profile(
+                model, seed=seed, config=chip_config(kind, bs_t, bs_n)
+            )
+            latency_by_kind[kind] = profile.single_latency_s * 1e3
+            share_by_kind[kind] = profile.sparse_core_share
+        model_profiles[model] = {
+            "single_latency_ms_by_kind": latency_by_kind,
+            "sparse_core_share_by_kind": share_by_kind,
+        }
+    return {
+        "mix": weights,
+        "fleet": fleet,
+        "target_rho": rho,
+        "arrival_rate_rps": rate,
+        "queue_capacity": queue_capacity or None,
+        "models": model_profiles,
+        "policies": results,
+    }
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 def _register(experiments: tuple[Experiment, ...]) -> dict[str, Experiment]:
@@ -675,6 +851,47 @@ EXPERIMENTS: dict[str, Experiment] = _register((
         },
         smoke_params={"num_requests": 40, "batch_sizes": "1+4"},
         description="batching throughput/latency/energy trade-off",
+    ),
+    Experiment(
+        "cluster_scaling_curve", "Cluster", experiment_cluster_scaling_curve,
+        cost="medium",
+        params={
+            "mix": _MIX,
+            "rho": ParamSpec(float, 5.0, "offered load vs ONE chip's capacity"),
+            "fleet_sizes": ParamSpec(str, "1+2+4", "'+'-separated fleet sizes"),
+            "kind": ParamSpec(str, "standard", "chip kind of the homogeneous fleet"),
+            "policy": ParamSpec(str, "least_work", "routing policy"),
+            "num_requests": ParamSpec(int, 600, "requests in the stream"),
+            "seed": _SEED,
+            "max_batch": ParamSpec(int, 1, "same-model batching limit"),
+            "max_inflight": ParamSpec(int, 2, "concurrent inferences per chip"),
+            "bs_t": _BS_T, "bs_n": _BS_N,
+        },
+        smoke_params={"num_requests": 60, "fleet_sizes": "1+2"},
+        description="throughput + p50/p99 latency vs fleet size",
+    ),
+    Experiment(
+        "cluster_routing_ablation", "Cluster", experiment_cluster_routing_ablation,
+        cost="medium",
+        params={
+            "mix": ParamSpec(str, "model2:0.5+model4:0.5", _MIX.help),
+            "fleet": ParamSpec(
+                str, "dense_heavy:2+sparse_heavy:2",
+                "fleet spec, e.g. 'standard:4' or 'dense_heavy:2+sparse_heavy:2'",
+            ),
+            "rho": ParamSpec(float, 0.85, "offered load vs fleet aggregate capacity"),
+            "policies": ParamSpec(
+                str, "round_robin+least_work+sparsity", "'+'-separated policies"
+            ),
+            "num_requests": ParamSpec(int, 800, "requests in the stream"),
+            "seed": _SEED,
+            "queue_capacity": ParamSpec(int, 0, "per-chip queue bound (0: unbounded)"),
+            "max_batch": ParamSpec(int, 1, "same-model batching limit"),
+            "max_inflight": ParamSpec(int, 2, "concurrent inferences per chip"),
+            "bs_t": _BS_T, "bs_n": _BS_N,
+        },
+        smoke_params={"num_requests": 80, "policies": "round_robin+sparsity"},
+        description="routing-policy comparison at a fixed heterogeneous fleet",
     ),
 ))
 

@@ -7,13 +7,22 @@ timing/cache manifest.  See docs/RUNTIME.md.
 """
 
 from .artifacts import ArtifactStore, canonical_json, canonical_payload
-from .cache import CacheEntry, ResultCache, cache_key, config_hash
+from .cache import (
+    CacheEntry,
+    CacheEntryInfo,
+    GcResult,
+    ResultCache,
+    cache_key,
+    config_hash,
+)
 from .executor import ExperimentRunner, RunOutcome, RunSummary
 from .sweep import expand_grid, parse_param_specs
 
 __all__ = [
     "ArtifactStore",
     "CacheEntry",
+    "CacheEntryInfo",
+    "GcResult",
     "ExperimentRunner",
     "ResultCache",
     "RunOutcome",

@@ -15,12 +15,20 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from .artifacts import canonical_json
 
-__all__ = ["ResultCache", "CacheEntry", "cache_key", "config_hash"]
+__all__ = [
+    "CacheEntry",
+    "CacheEntryInfo",
+    "GcResult",
+    "ResultCache",
+    "cache_key",
+    "config_hash",
+]
 
 
 def config_hash(params: dict) -> str:
@@ -57,6 +65,9 @@ class CacheEntry:
 
 class ResultCache:
     """Directory of content-addressed experiment results."""
+
+    # A .tmp this old cannot be a write in flight; gc may reclaim it.
+    TMP_ORPHAN_AGE_S = 60.0
 
     def __init__(self, root: Path | str):
         self.root = Path(root)
@@ -102,3 +113,110 @@ class ResultCache:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def _scan(self) -> list[tuple[Path, int, float]]:
+        """(path, size, mtime) of every entry, newest first — stat only.
+
+        Entries unlinked between glob and stat (a concurrent gc or sweep)
+        are skipped; ties on mtime break by path for a deterministic order.
+        """
+        found = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except FileNotFoundError:
+                continue
+            found.append((path, stat.st_size, stat.st_mtime))
+        return sorted(found, key=lambda e: (-e[2], str(e[0])))
+
+    def list_entries(self) -> list["CacheEntryInfo"]:
+        """Metadata of every entry, newest first (for ``repro cache ls``).
+
+        Corrupted entries are listed too, as experiment ``"<corrupt>"``
+        (``get()`` self-heals them on access; ``gc`` removes them when
+        they age out of the keep window like any other entry).
+        """
+        infos = []
+        for path, size, mtime in self._scan():
+            experiment, params = "<corrupt>", {}
+            try:
+                raw = json.loads(path.read_text())
+                experiment = str(raw["experiment"])
+                raw_params = raw.get("params")
+                params = raw_params if isinstance(raw_params, dict) else {}
+            except FileNotFoundError:
+                continue  # unlinked since the scan (concurrent gc)
+            except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
+                pass
+            infos.append(CacheEntryInfo(
+                path=path,
+                key=path.stem,
+                experiment=experiment,
+                params=params,
+                size_bytes=size,
+                mtime=mtime,
+            ))
+        return infos
+
+    def gc(self, keep_latest: int) -> "GcResult":
+        """Delete all but the ``keep_latest`` most recent entries.
+
+        Long sweep campaigns write one entry per grid point, so the cache
+        grows unboundedly without this.  Victims are picked from the
+        stat-only scan (no payload parsing).  Empty shard directories left
+        behind are pruned.  Returns kept/removed counts and freed bytes.
+        """
+        if keep_latest < 0:
+            raise ValueError("keep_latest must be >= 0")
+        entries = self._scan()
+        doomed = entries[keep_latest:]
+        freed = 0
+        removed = len(doomed)
+        for path, size, _ in doomed:
+            freed += size
+            path.unlink(missing_ok=True)
+        # Orphaned .tmp files from a crashed put() never become entries;
+        # collect them too, but only once stale — a fresh one may belong
+        # to a write in flight.
+        cutoff = time.time() - self.TMP_ORPHAN_AGE_S
+        for tmp in self.root.glob("*/*.tmp"):
+            try:
+                stat = tmp.stat()
+            except FileNotFoundError:
+                continue
+            if stat.st_mtime < cutoff:
+                freed += stat.st_size
+                removed += 1
+                tmp.unlink(missing_ok=True)
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass  # non-empty, or a concurrent writer repopulated it
+        return GcResult(
+            kept=len(entries) - len(doomed),
+            removed=removed,
+            freed_bytes=freed,
+        )
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """Metadata of one on-disk cache entry (no result payload)."""
+
+    path: Path
+    key: str
+    experiment: str
+    params: dict
+    size_bytes: int
+    mtime: float
+
+
+@dataclass(frozen=True)
+class GcResult:
+    """Outcome of one cache garbage collection."""
+
+    kept: int
+    removed: int
+    freed_bytes: int

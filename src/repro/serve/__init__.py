@@ -16,21 +16,25 @@ Registered experiments: ``serve_latency_cdf`` and ``serve_batch_sweep``
 event model underneath.
 """
 
-from .profiles import RequestProfile, request_profile
-from .report import ServedRequest, ServingReport
+from .profiles import RequestProfile, profile_config, request_profile
+from .report import LatencyStats, ServedRequest, ServingReport, latency_stats
 from .scheduler import SchedulerConfig, take_batch
-from .simulate import simulate_serving
+from .simulate import ChipServer, simulate_serving
 from .workload import Request, bursty_arrivals, parse_model_mix, poisson_arrivals
 
 __all__ = [
+    "ChipServer",
+    "LatencyStats",
     "Request",
     "RequestProfile",
     "SchedulerConfig",
     "ServedRequest",
     "ServingReport",
     "bursty_arrivals",
+    "latency_stats",
     "parse_model_mix",
     "poisson_arrivals",
+    "profile_config",
     "request_profile",
     "simulate_serving",
     "take_batch",

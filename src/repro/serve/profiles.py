@@ -1,9 +1,14 @@
 """Per-model request profiles: the engine task graph of one inference.
 
 Simulating a request does not re-run the numpy core models — a
-:class:`RequestProfile` is computed once per (model, bundle, seed)
-configuration and replayed cheaply through the event engine for every
-request, which is what makes thousand-request serving sweeps tractable.
+:class:`RequestProfile` is computed once per (model, chip configuration,
+seed) and replayed cheaply through the event engine for every request,
+which is what makes thousand-request serving sweeps tractable.
+
+Profiles are chip-aware: passing an explicit :class:`BishopConfig` builds
+the task graph for that chip's core provisioning and clock, which is how
+the cluster layer gives differently-configured chips (sparse-core-heavy,
+dense-core-heavy) different per-model service times.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from ..bundles import BundleSpec
 from ..harness.synthetic import PROFILES, synthetic_trace
 from ..model import model_config
 
-__all__ = ["RequestProfile", "request_profile"]
+__all__ = ["RequestProfile", "profile_config", "request_profile"]
 
 
 @dataclass(frozen=True)
@@ -32,6 +37,33 @@ class RequestProfile:
     def batch_dynamic_pj(self, batch: int) -> float:
         return sum(t.batch_dynamic_pj(batch) for t in self.timings)
 
+    @property
+    def sparse_core_share(self) -> float:
+        """Fraction of core-seconds this model spends on the sparse core —
+        the trace-sparsity signal the affinity router keys on."""
+        sparse = sum(t.sparse_s for t in self.timings)
+        total = sum(
+            t.dense_s + t.sparse_s + t.attention_s + t.spike_gen_s
+            for t in self.timings
+        )
+        return sparse / total if total > 0 else 0.0
+
+
+def profile_config(
+    bs_t: int = 2, bs_n: int = 4, dense_fraction: float = 0.5
+) -> BishopConfig:
+    """The default serving-chip configuration for a bundle shape.
+
+    Stratification uses a fixed dense fraction rather than the per-layer
+    balanced-θ search: serving cares about steady-state task durations, and
+    the fixed policy keeps profile construction fast enough to build mixes
+    over the whole zoo.
+    """
+    return BishopConfig(
+        bundle_spec=BundleSpec(int(bs_t), int(bs_n)),
+        stratify_dense_fraction=float(dense_fraction),
+    )
+
 
 def request_profile(
     model: str,
@@ -39,29 +71,27 @@ def request_profile(
     bs_n: int = 4,
     seed: int = 0,
     dense_fraction: float = 0.5,
+    config: BishopConfig | None = None,
 ) -> RequestProfile:
     """Build (and cache) the serving profile of one Table-2 model.
 
-    Stratification uses a fixed dense fraction rather than the per-layer
-    balanced-θ search: serving cares about steady-state task durations, and
-    the fixed policy keeps profile construction fast enough to build mixes
-    over the whole zoo.
+    An explicit ``config`` (a specific chip's provisioning) takes
+    precedence over the ``bs_t``/``bs_n``/``dense_fraction`` shorthand;
+    the synthetic trace is still seeded by ``seed`` either way.
     """
-    # Normalize before the cache so positional and keyword call styles
+    if config is None:
+        config = profile_config(bs_t, bs_n, dense_fraction)
+    # Normalized before the cache so positional and keyword call styles
     # share one entry (lru_cache keys them differently).
-    return _request_profile(
-        model, int(bs_t), int(bs_n), int(seed), float(dense_fraction)
-    )
+    return _request_profile(model, config, int(seed))
 
 
-@lru_cache(maxsize=32)
-def _request_profile(
-    model: str, bs_t: int, bs_n: int, seed: int, dense_fraction: float
-) -> RequestProfile:
-    spec = BundleSpec(bs_t, bs_n)
-    config = BishopConfig(bundle_spec=spec, stratify_dense_fraction=dense_fraction)
+@lru_cache(maxsize=128)
+def _request_profile(model: str, config: BishopConfig, seed: int) -> RequestProfile:
     accelerator = BishopAccelerator(config)
-    trace = synthetic_trace(model_config(model), PROFILES[model], spec, seed=seed)
+    trace = synthetic_trace(
+        model_config(model), PROFILES[model], config.bundle_spec, seed=seed
+    )
     report = accelerator.run_trace(trace, simulate_events=False)
     timings = layer_timings(report, config, accelerator.energy)
     return RequestProfile(

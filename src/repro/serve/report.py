@@ -8,9 +8,47 @@ import numpy as np
 
 from ..arch.engine.timeline import EngineRun
 
-__all__ = ["ServedRequest", "ServingReport"]
+__all__ = ["LatencyStats", "ServedRequest", "ServingReport", "latency_stats"]
 
 PERCENTILES = (50, 90, 95, 99)
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Percentile summary of one latency sample set (seconds in, ms out).
+
+    Shared by the single-chip :class:`ServingReport` and the cluster
+    reports.  Degenerate inputs are well-defined rather than errors: an
+    empty sample set reports all-zero statistics (a fully-shed stream is a
+    legitimate simulation outcome), and a single sample reports that value
+    at every percentile.
+    """
+
+    count: int
+    mean_ms: float
+    max_ms: float
+    percentiles_ms: dict[str, float]
+
+
+def latency_stats(latencies_s: "np.ndarray | list[float]") -> LatencyStats:
+    """Summarize a latency sample set; safe on empty and single samples."""
+    samples = np.asarray(latencies_s, dtype=float)
+    if samples.size == 0:
+        return LatencyStats(
+            count=0,
+            mean_ms=0.0,
+            max_ms=0.0,
+            percentiles_ms={f"p{p}": 0.0 for p in PERCENTILES},
+        )
+    values = np.percentile(samples, PERCENTILES)
+    return LatencyStats(
+        count=int(samples.size),
+        mean_ms=float(samples.mean()) * 1e3,
+        max_ms=float(samples.max()) * 1e3,
+        percentiles_ms={
+            f"p{p}": float(v) * 1e3 for p, v in zip(PERCENTILES, values)
+        },
+    )
 
 
 @dataclass(frozen=True)
@@ -23,6 +61,7 @@ class ServedRequest:
     start_s: float       # dispatch time (batch formed, chip slot granted)
     finish_s: float
     batch_size: int
+    chip: str = ""       # serving chip (cluster runs; "" on a lone chip)
 
     @property
     def latency_s(self) -> float:
@@ -100,20 +139,17 @@ def build_report(
     max_inflight: int,
 ) -> ServingReport:
     served = sorted(served, key=lambda r: r.index)
-    latencies = np.array([r.latency_s for r in served])
+    stats = latency_stats([r.latency_s for r in served])
     waits = np.array([r.queue_wait_s for r in served])
     horizon = max((r.finish_s for r in served), default=0.0)
-    values = np.percentile(latencies, PERCENTILES) if served else [0.0] * len(PERCENTILES)
     return ServingReport(
         num_requests=len(served),
         offered_rps=offered_rps,
         horizon_s=horizon,
         throughput_rps=len(served) / horizon if horizon else 0.0,
-        latency_percentiles_ms={
-            f"p{p}": float(v) * 1e3 for p, v in zip(PERCENTILES, values)
-        },
-        latency_mean_ms=float(latencies.mean()) * 1e3 if served else 0.0,
-        latency_max_ms=float(latencies.max()) * 1e3 if served else 0.0,
+        latency_percentiles_ms=stats.percentiles_ms,
+        latency_mean_ms=stats.mean_ms,
+        latency_max_ms=stats.max_ms,
         queue_wait_mean_ms=float(waits.mean()) * 1e3 if served else 0.0,
         mean_batch_size=(
             float(np.mean([r.batch_size for r in served])) if served else 0.0

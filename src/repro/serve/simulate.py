@@ -1,24 +1,25 @@
 """Multi-request serving simulation on the discrete-event engine.
 
-Three cooperating processes on one :class:`~repro.arch.engine.Engine`:
+The serving loop of one chip is packaged as a :class:`ChipServer`: a
+bounded pending queue, a **scheduler** process that forms batches
+(``repro.serve.scheduler``) and dispatches them whenever an inference slot
+is free, and per-batch processes running the model's
+:func:`~repro.arch.engine.machine.inference_process`, contending with
+every other in-flight batch for the dense/sparse/attention cores, the
+spike generator, and the DRAM channel.
 
-* an **arrival** process releases requests into the pending queue at their
-  stream timestamps;
-* a **scheduler** process forms batches (``repro.serve.scheduler``) and
-  dispatches them whenever an inference slot is free;
-* each dispatched batch runs the model's
-  :func:`~repro.arch.engine.machine.inference_process`, contending with
-  every other in-flight batch for the dense/sparse/attention cores, the
-  spike generator, and the DRAM channel.
-
-The output is a :class:`~repro.serve.report.ServingReport`: latency
-percentiles, throughput, queue waits, per-resource utilization, and chip
-energy (dynamic per work done + static over the horizon).
+:func:`simulate_serving` wires ONE chip server to an arrival stream — the
+N=1 special case of the cluster simulation (``repro.cluster``), which
+routes the same streams across many chip servers sharing one engine
+clock.  The output is a :class:`~repro.serve.report.ServingReport`:
+latency percentiles, throughput, queue waits, per-resource utilization,
+and chip energy (dynamic per work done + static over the horizon).
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
 from ..arch.engine.kernel import Engine, Hold, WaitFor
 from ..arch.engine.machine import BishopMachine, inference_process
@@ -29,17 +30,151 @@ from .report import ServedRequest, ServingReport, build_report
 from .scheduler import SchedulerConfig, take_batch
 from .workload import Request
 
-__all__ = ["simulate_serving"]
+__all__ = ["ChipServer", "simulate_serving"]
 
 
-class _ServingState:
-    """Mutable counters shared by the simulation's processes."""
+class ChipServer:
+    """One chip's serving loop: pending queue, scheduler, dispatch.
 
-    def __init__(self):
+    The server owns the mutable serving state of a single
+    :class:`~repro.arch.engine.machine.BishopMachine` — the pending queue
+    (optionally bounded, for admission control), the in-flight count, the
+    per-request completion records, and the chip's dynamic energy.  The
+    cluster router talks to it through :meth:`enqueue` /
+    :meth:`has_queue_capacity` / :attr:`outstanding_s`; the single-chip
+    simulator feeds it directly from the arrival stream.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        machine: BishopMachine,
+        profiles: dict[str, RequestProfile],
+        scheduler: SchedulerConfig | None = None,
+        *,
+        name: str | None = None,
+        kind: str = "standard",
+        queue_capacity: int | None = None,
+        timeline: list[TimelineEntry] | None = None,
+        on_complete: Callable[[list[Request]], None] | None = None,
+    ):
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1 (or None: unbounded)")
+        self.engine = engine
+        self.machine = machine
+        self.profiles = profiles
+        self.scheduler = scheduler or SchedulerConfig()
+        self.name = name
+        self.kind = kind
+        self.queue_capacity = queue_capacity
+        self.timeline = timeline
+        self.on_complete = on_complete
+
+        self.pending: deque[Request] = deque()
+        self.work = engine.gate()
         self.inflight = 0
         self.dispatched = 0
-        self.dynamic_energy_pj = 0.0
         self.served: list[ServedRequest] = []
+        self.dynamic_energy_pj = 0.0
+        self.outstanding_s = 0.0     # estimated queued + in-flight work
+        self.accepting = True        # routing eligibility (autoscaler drain)
+        self.closed = False          # no further arrivals will ever come
+        self.started_s = engine.now  # chips added mid-run start later
+        self.drained_s: float | None = None
+        self._process = engine.spawn(
+            self._schedule_loop(), name=f"{name or 'chip'}:scheduler"
+        )
+
+    # -- router-facing interface ------------------------------------------
+    def hosts(self, model: str) -> bool:
+        return model in self.profiles
+
+    def has_queue_capacity(self) -> bool:
+        return self.queue_capacity is None or len(self.pending) < self.queue_capacity
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.pending)
+
+    def service_estimate_s(self, model: str) -> float:
+        """Uncontended single-request latency of ``model`` on this chip."""
+        return self.profiles[model].single_latency_s
+
+    def enqueue(self, request: Request) -> None:
+        if self.closed:
+            raise RuntimeError(f"chip {self.name!r} is closed")
+        self.pending.append(request)
+        self.outstanding_s += self.service_estimate_s(request.model)
+        self.work.signal()
+
+    def close(self) -> None:
+        """No more arrivals: drain the queue, then let the scheduler exit."""
+        self.closed = True
+        self.work.signal()
+
+    @property
+    def idle(self) -> bool:
+        return not self.pending and self.inflight == 0
+
+    def active_span_s(self, horizon_s: float) -> float:
+        """Seconds this chip was powered: creation until the run's horizon,
+        or until it finished draining if the autoscaler removed it (an idle
+        but accepting chip still burns static power)."""
+        end = horizon_s
+        if not self.accepting and self.drained_s is not None:
+            end = self.drained_s
+        return max(0.0, end - self.started_s)
+
+    # -- serving processes -------------------------------------------------
+    def _schedule_loop(self):
+        while True:
+            if self.pending and self.inflight < self.scheduler.max_inflight:
+                batch = take_batch(self.pending, self.scheduler.max_batch)
+                self.dispatched += len(batch)
+                self.inflight += 1
+                label = self._batch_label(batch)
+                self.engine.spawn(self._run_batch(batch, label), name=label)
+                continue
+            if self.closed and not self.pending:
+                self._maybe_mark_drained()
+                return
+            yield WaitFor(self.work)
+
+    def _maybe_mark_drained(self) -> None:
+        # Fully idle after close: the scheduler may exit while batches are
+        # still in flight, so the last _run_batch also checks.
+        if self.closed and self.idle and self.drained_s is None:
+            self.drained_s = self.engine.now
+
+    def _batch_label(self, batch: list[Request]) -> str:
+        label = f"b{batch[0].index}x{len(batch)}"
+        return f"{self.name}/{label}" if self.name else label
+
+    def _run_batch(self, batch: list[Request], label: str):
+        profile = self.profiles[batch[0].model]
+        start = self.engine.now
+        yield from inference_process(
+            self.engine, self.machine, profile.timings, label, len(batch),
+            self.timeline,
+        )
+        finish = self.engine.now
+        for request in batch:
+            self.served.append(ServedRequest(
+                index=request.index,
+                model=request.model,
+                arrival_s=request.arrival_s,
+                start_s=start,
+                finish_s=finish,
+                batch_size=len(batch),
+                chip=self.name or "",
+            ))
+            self.outstanding_s -= self.service_estimate_s(request.model)
+        self.dynamic_energy_pj += profile.batch_dynamic_pj(len(batch))
+        self.inflight -= 1
+        self._maybe_mark_drained()
+        self.work.signal()
+        if self.on_complete is not None:
+            self.on_complete(batch)
 
 
 def simulate_serving(
@@ -57,10 +192,9 @@ def simulate_serving(
     ``profiles`` may be passed explicitly (e.g. to serve custom task
     graphs) and then takes precedence over ``bs_t``/``bs_n``/``seed`` for
     the models it covers; by default each model's profile is built (and
-    cached) from its Table-2 synthetic trace.
+    cached) from its Table-2 synthetic trace.  An empty stream yields an
+    empty (all-zero) report rather than raising.
     """
-    if not requests:
-        raise ValueError("need at least one request")
     scheduler = scheduler or SchedulerConfig()
     energy = energy or EnergyModel()
     stream = sorted(requests, key=lambda r: (r.arrival_s, r.index))
@@ -72,9 +206,7 @@ def simulate_serving(
     engine = Engine()
     machine = BishopMachine(engine)
     timeline: list[TimelineEntry] | None = [] if record_timeline else None
-    pending: deque[Request] = deque()
-    work = engine.gate()
-    state = _ServingState()
+    chip = ChipServer(engine, machine, profiles, scheduler, timeline=timeline)
     total = len(stream)
 
     def arrivals():
@@ -82,60 +214,28 @@ def simulate_serving(
             gap = request.arrival_s - engine.now
             if gap > 0:
                 yield Hold(gap)
-            pending.append(request)
-            work.signal()
-
-    def run_batch(batch: list[Request]):
-        profile = profiles[batch[0].model]
-        start = engine.now
-        label = f"b{batch[0].index}x{len(batch)}"
-        yield from inference_process(
-            engine, machine, profile.timings, label, len(batch), timeline
-        )
-        finish = engine.now
-        for request in batch:
-            state.served.append(ServedRequest(
-                index=request.index,
-                model=request.model,
-                arrival_s=request.arrival_s,
-                start_s=start,
-                finish_s=finish,
-                batch_size=len(batch),
-            ))
-        state.dynamic_energy_pj += profile.batch_dynamic_pj(len(batch))
-        state.inflight -= 1
-        work.signal()
-
-    def schedule():
-        while state.dispatched < total:
-            if not pending or state.inflight >= scheduler.max_inflight:
-                yield WaitFor(work)
-                continue
-            batch = take_batch(pending, scheduler.max_batch)
-            state.dispatched += len(batch)
-            state.inflight += 1
-            engine.spawn(run_batch(batch), name=f"batch@{batch[0].index}")
+            chip.enqueue(request)
+        chip.close()
 
     engine.spawn(arrivals(), name="arrivals")
-    engine.spawn(schedule(), name="scheduler")
     engine.run()
-    if len(state.served) != total:  # pragma: no cover - engine invariant
+    if len(chip.served) != total:  # pragma: no cover - engine invariant
         raise RuntimeError(
-            f"serving simulation stalled: {len(state.served)}/{total} completed"
+            f"serving simulation stalled: {len(chip.served)}/{total} completed"
         )
 
     run = EngineRun.capture(engine, timeline=timeline)
-    run.energy_pj = state.dynamic_energy_pj + energy.static_pj(run.makespan_s)
-    # Zero-span streams (single request, simultaneous burst) have no
+    run.energy_pj = chip.dynamic_energy_pj + energy.static_pj(run.makespan_s)
+    # Zero-span streams (empty, single request, simultaneous burst) have no
     # meaningful rate; report 0 rather than infinity so artifacts stay
     # strict-JSON parseable.
-    span = stream[-1].arrival_s - stream[0].arrival_s
+    span = stream[-1].arrival_s - stream[0].arrival_s if stream else 0.0
     offered = (total - 1) / span if span > 0 else 0.0
     return build_report(
-        state.served,
+        chip.served,
         run,
         offered_rps=offered,
-        dynamic_energy_pj=state.dynamic_energy_pj,
+        dynamic_energy_pj=chip.dynamic_energy_pj,
         static_energy_pj=energy.static_pj(run.makespan_s),
         policy=scheduler.policy,
         max_batch=scheduler.max_batch,

@@ -1,0 +1,109 @@
+"""Fleet specification: kinds, parsing, placement, capacity."""
+
+import pytest
+
+from repro.cluster import (
+    CHIP_KINDS,
+    ChipSpec,
+    FleetSpec,
+    chip_config,
+    fleet_capacity_rps,
+    homogeneous_fleet,
+    parse_fleet,
+)
+from repro.serve import request_profile
+from repro.serve.profiles import profile_config
+
+
+class TestChipKinds:
+    def test_standard_matches_single_chip_serving_config(self):
+        assert chip_config("standard") == profile_config()
+        assert chip_config("standard", 2, 2) == profile_config(2, 2)
+
+    def test_kinds_differ_in_core_provisioning(self):
+        sparse = chip_config("sparse_heavy")
+        dense = chip_config("dense_heavy")
+        assert sparse.sparse_units > dense.sparse_units
+        assert sparse.dense_pes < dense.dense_pes
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown chip kind"):
+            chip_config("gpu")
+
+    def test_heterogeneity_differentiates_models(self):
+        """High-sparsity model2 prefers sparse_heavy; model4 dense_heavy."""
+        lat = {
+            kind: {
+                m: request_profile(m, config=chip_config(kind)).single_latency_s
+                for m in ("model2", "model4")
+            }
+            for kind in ("sparse_heavy", "dense_heavy")
+        }
+        assert lat["sparse_heavy"]["model2"] < lat["dense_heavy"]["model2"]
+        assert lat["dense_heavy"]["model4"] < lat["sparse_heavy"]["model4"]
+
+
+class TestSpecs:
+    def test_parse_fleet(self):
+        fleet = parse_fleet("dense_heavy:2+sparse_heavy")
+        assert [c.kind for c in fleet.chips] == [
+            "dense_heavy", "dense_heavy", "sparse_heavy",
+        ]
+
+    def test_parse_rejects_bad_specs(self):
+        for bad in ("", "standard:0", "warp:2"):
+            with pytest.raises(ValueError):
+                parse_fleet(bad)
+
+    def test_homogeneous_fleet(self):
+        fleet = homogeneous_fleet(3, "sparse_heavy")
+        assert len(fleet) == 3
+        assert all(c.kind == "sparse_heavy" and c.models is None for c in fleet.chips)
+
+    def test_chip_spec_validates_models(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            ChipSpec(models=("model99",))
+        with pytest.raises(ValueError, match="empty"):
+            ChipSpec(models=())
+
+    def test_placement_validation(self):
+        fleet = FleetSpec((ChipSpec(models=("model1",)),))
+        fleet.validate_placement(("model1",))
+        with pytest.raises(ValueError, match="not placed"):
+            fleet.validate_placement(("model1", "model4"))
+
+    def test_hosted_models_resolves_against_workload(self):
+        spec = ChipSpec(models=("model1", "model4"))
+        assert spec.hosted_models(("model4", "model2")) == ("model4",)
+        assert ChipSpec().hosted_models(("model2",)) == ("model2",)
+
+
+class TestCapacity:
+    def test_capacity_scales_with_fleet_size(self):
+        weights = {"model4": 1.0}
+        one = fleet_capacity_rps(homogeneous_fleet(1), weights)
+        four = fleet_capacity_rps(homogeneous_fleet(4), weights)
+        assert four == pytest.approx(4 * one)
+        single = request_profile("model4").single_latency_s
+        assert one == pytest.approx(1.0 / single)
+
+    def test_every_kind_registered(self):
+        assert set(CHIP_KINDS) == {"standard", "sparse_heavy", "dense_heavy"}
+
+    def test_capacity_respects_placement(self):
+        weights = {"model4": 1.0}
+        hosting = FleetSpec((ChipSpec(models=("model4",)),))
+        not_hosting = FleetSpec((ChipSpec(models=("model1",)),))
+        both = FleetSpec(hosting.chips + not_hosting.chips)
+        assert fleet_capacity_rps(not_hosting, weights) == 0.0
+        assert fleet_capacity_rps(both, weights) == pytest.approx(
+            fleet_capacity_rps(hosting, weights)
+        )
+
+    def test_partial_placement_renormalizes_the_hosted_mix(self):
+        weights = {"model2": 0.5, "model4": 0.5}
+        only_m4 = FleetSpec((ChipSpec(models=("model4",)),))
+        # the chip serves pure-model4 traffic: rated at model4's rate
+        assert fleet_capacity_rps(only_m4, weights) == pytest.approx(
+            fleet_capacity_rps(only_m4, {"model4": 1.0})
+        )

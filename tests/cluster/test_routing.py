@@ -1,0 +1,85 @@
+"""Routing policies and admission eligibility on stub chips."""
+
+import pytest
+
+from repro.cluster import eligible_chips, make_policy
+from repro.cluster.routing import POLICIES
+from repro.serve import Request
+
+
+class StubChip:
+    """The slice of the ChipServer interface the router consults."""
+
+    def __init__(self, name, outstanding_s=0.0, latencies=None,
+                 accepting=True, capacity_free=True):
+        self.name = name
+        self.outstanding_s = outstanding_s
+        self._latencies = latencies or {}
+        self.accepting = accepting
+        self._capacity_free = capacity_free
+
+    def hosts(self, model):
+        return model in self._latencies
+
+    def has_queue_capacity(self):
+        return self._capacity_free
+
+    def service_estimate_s(self, model):
+        return self._latencies[model]
+
+
+def req(model="model4"):
+    return Request(index=0, model=model, arrival_s=0.0)
+
+
+class TestEligibility:
+    def test_filters_placement_admission_and_draining(self):
+        hosting = StubChip("a", latencies={"model4": 1.0})
+        other_model = StubChip("b", latencies={"model2": 1.0})
+        full = StubChip("c", latencies={"model4": 1.0}, capacity_free=False)
+        draining = StubChip("d", latencies={"model4": 1.0}, accepting=False)
+        chips = [hosting, other_model, full, draining]
+        assert eligible_chips(req(), chips) == [hosting]
+
+
+class TestPolicies:
+    def test_registry(self):
+        assert set(POLICIES) == {"round_robin", "least_work", "sparsity"}
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            make_policy("random")
+
+    def test_all_policies_shed_on_empty_eligible(self):
+        for name in POLICIES:
+            assert make_policy(name).choose(req(), []) is None
+
+    def test_round_robin_cycles(self):
+        chips = [StubChip(n, latencies={"model4": 1.0}) for n in "abc"]
+        policy = make_policy("round_robin")
+        picks = [policy.choose(req(), chips).name for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_least_work_picks_min_backlog(self):
+        chips = [
+            StubChip("a", outstanding_s=3.0, latencies={"model4": 1.0}),
+            StubChip("b", outstanding_s=1.0, latencies={"model4": 1.0}),
+            StubChip("c", outstanding_s=2.0, latencies={"model4": 1.0}),
+        ]
+        assert make_policy("least_work").choose(req(), chips).name == "b"
+
+    def test_least_work_breaks_ties_by_fleet_order(self):
+        chips = [StubChip(n, latencies={"model4": 1.0}) for n in "ab"]
+        assert make_policy("least_work").choose(req(), chips).name == "a"
+
+    def test_sparsity_prefers_the_faster_chip(self):
+        dense = StubChip("dense", latencies={"model2": 2.0, "model4": 1.0})
+        sparse = StubChip("sparse", latencies={"model2": 1.0, "model4": 2.0})
+        policy = make_policy("sparsity")
+        assert policy.choose(req("model2"), [dense, sparse]).name == "sparse"
+        assert policy.choose(req("model4"), [dense, sparse]).name == "dense"
+
+    def test_sparsity_trades_affinity_for_backlog(self):
+        # the preferred chip is 5s backed up; the slower chip wins on
+        # expected completion (0 + 2 < 5 + 1)
+        busy = StubChip("busy", outstanding_s=5.0, latencies={"model2": 1.0})
+        idle = StubChip("idle", outstanding_s=0.0, latencies={"model2": 2.0})
+        assert make_policy("sparsity").choose(req("model2"), [busy, idle]).name == "idle"

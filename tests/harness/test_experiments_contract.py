@@ -40,8 +40,10 @@ class TestMetadata:
 
     def test_artifact_and_cost(self, name):
         experiment = EXPERIMENTS[name]
-        # Paper artifacts plus the beyond-paper serving experiments.
-        assert experiment.artifact.startswith(("Table", "Fig.", "Sec.", "Serving"))
+        # Paper artifacts plus the beyond-paper serving/cluster experiments.
+        assert experiment.artifact.startswith(
+            ("Table", "Fig.", "Sec.", "Serving", "Cluster")
+        )
         assert experiment.cost in COST_TIERS
         assert experiment.description
 

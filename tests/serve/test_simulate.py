@@ -139,9 +139,12 @@ class TestReport:
         assert without.run.timeline == []
         assert len(with_tl.run.timeline) > 0
 
-    def test_empty_stream_rejected(self):
-        with pytest.raises(ValueError):
-            simulate_serving([], SchedulerConfig())
+    def test_empty_stream_yields_empty_report(self):
+        report = simulate_serving([], SchedulerConfig())
+        assert report.num_requests == 0
+        assert report.throughput_rps == 0.0
+        assert report.latency_percentiles_ms["p99"] == 0.0
+        json.dumps(report.to_dict(), allow_nan=False)  # strict-JSON clean
 
     def test_caller_profiles_dict_not_mutated(self):
         profiles = {}

@@ -177,3 +177,124 @@ class TestSweep:
         argv = ["sweep", "fig6", "--param", "seed", "--artifacts", str(tmp_path)]
         assert main(argv) == 2
         assert "expected k=v1,v2" in capsys.readouterr().err
+
+
+class TestSeedFlag:
+    def test_run_threads_seed_into_params(self, capsys):
+        assert main(["run", "fig6", "--seed", "1"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["run", "fig6", "--param", "seed=1"]) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_explicit_param_wins_over_seed_flag(self, capsys):
+        assert main(["run", "fig6", "--param", "seed=1", "--seed", "2"]) == 0
+        explicit = capsys.readouterr().out
+        assert main(["run", "fig6", "--param", "seed=1"]) == 0
+        assert capsys.readouterr().out == explicit
+
+    def test_seed_on_seedless_experiment_warns(self, capsys):
+        assert main(["run", "table2", "--seed", "1"]) == 0
+        assert "no seed parameter" in capsys.readouterr().err
+
+    def test_sweep_threads_seed_into_every_point(self, tmp_path, capsys):
+        argv = ["sweep", "fig6", "--param", "seed=0,1",
+                "--seed", "7", "--artifacts", str(tmp_path)]
+        assert main(argv) == 0  # explicit sweep axis wins
+        payload = json.loads((tmp_path / "sweeps" / "fig6.json").read_text())
+        assert payload["grid"] == {"seed": [0, 1]}
+
+    def test_sweep_seed_fixes_unswept_axis(self, tmp_path, capsys):
+        argv = ["sweep", "serve_latency_cdf", "--param", "rho=0.2,0.4",
+                "--param", "num_requests=20", "--seed", "5",
+                "--artifacts", str(tmp_path)]
+        assert main(argv) == 0
+        payload = json.loads(
+            (tmp_path / "sweeps" / "serve_latency_cdf.json").read_text()
+        )
+        assert payload["grid"]["seed"] == [5]
+        assert all(p["params"]["seed"] == 5 for p in payload["points"])
+
+
+class TestCluster:
+    def test_cluster_prints_summary_and_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "cluster.json"
+        argv = ["cluster", "--fleet", "standard:2", "--requests", "40",
+                "--rho", "0.5", "--seed", "3", "--output", str(target)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fleet standard:2" in out and "seed 3" in out
+        assert "chip0" in out and "chip1" in out
+        payload = json.loads(target.read_text())
+        assert payload["served"] == 40
+        assert payload["fleet"]["initial_chips"] == 2
+
+    def test_cluster_rejects_bad_fleet(self, capsys):
+        assert main(["cluster", "--fleet", "warp:2", "--requests", "5"]) == 2
+        assert "unknown chip kind" in capsys.readouterr().err
+
+    def test_cluster_rejects_bad_policy(self, capsys):
+        argv = ["cluster", "--policy", "random", "--requests", "5"]
+        assert main(argv) == 2
+        assert "unknown routing policy" in capsys.readouterr().err
+
+
+class TestCacheCommands:
+    def seed_cache(self, tmp_path, ids="table2,fig17"):
+        artifacts = tmp_path / "artifacts"
+        assert main(["run-all", "--only", ids, "--artifacts", str(artifacts)]) == 0
+        return artifacts
+
+    def test_ls_lists_entries(self, tmp_path, capsys):
+        artifacts = self.seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "ls", "--artifacts", str(artifacts)]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig17" in out
+        assert "2 entries" in out
+
+    def test_ls_on_missing_cache_is_empty(self, tmp_path, capsys):
+        assert main(["cache", "ls", "--artifacts", str(tmp_path / "nope")]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_gc_keeps_latest(self, tmp_path, capsys):
+        artifacts = self.seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "gc", "--keep-latest", "1",
+                     "--artifacts", str(artifacts)]) == 0
+        assert "kept 1, removed 1" in capsys.readouterr().out
+        assert main(["cache", "ls", "--artifacts", str(artifacts)]) == 0
+        assert "1 entries" in capsys.readouterr().out
+
+    def test_gc_keep_zero_empties_the_cache(self, tmp_path, capsys):
+        artifacts = self.seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "gc", "--keep-latest", "0",
+                     "--artifacts", str(artifacts)]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        cache_root = artifacts / "cache"
+        assert not list(cache_root.glob("*/*.json"))
+        # shard dirs are pruned too
+        assert not [p for p in cache_root.glob("*") if p.is_dir()]
+
+    def test_ls_tolerates_malformed_entries(self, tmp_path, capsys):
+        artifacts = self.seed_cache(tmp_path, ids="table2")
+        shard = artifacts / "cache" / "zz"
+        shard.mkdir(parents=True)
+        # valid JSON, wrong shape: params is a list, not a dict
+        (shard / ("z" * 64 + ".json")).write_text(
+            '{"experiment": "x", "params": [1]}'
+        )
+        (shard / ("y" * 64 + ".json")).write_text("not json at all")
+        capsys.readouterr()
+        assert main(["cache", "ls", "--artifacts", str(artifacts)]) == 0
+        out = capsys.readouterr().out
+        assert "<corrupt>" in out and "3 entries" in out
+
+    def test_gc_then_run_all_repopulates(self, tmp_path, capsys):
+        artifacts = self.seed_cache(tmp_path, ids="table2")
+        assert main(["cache", "gc", "--keep-latest", "0",
+                     "--artifacts", str(artifacts)]) == 0
+        capsys.readouterr()
+        assert main(["run-all", "--only", "table2",
+                     "--artifacts", str(artifacts)]) == 0
+        assert "0 cache hits, 1 runs" in capsys.readouterr().out
