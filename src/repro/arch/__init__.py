@@ -17,6 +17,7 @@ from .engine import (
     TimelineEntry,
     inference_process,
     layer_timings,
+    scheduled_inference_process,
     simulate_inference,
 )
 from .pipeline import PipelineSchedule, pipeline_schedule
@@ -85,6 +86,7 @@ __all__ = [
     "TimelineEntry",
     "inference_process",
     "layer_timings",
+    "scheduled_inference_process",
     "simulate_inference",
     "LayerBoundedness",
     "boundedness_profile",

@@ -11,12 +11,16 @@ The tokenizer and classification head are outside Bishop's scope (the paper
 delegates spiking-CNN front-ends to prior accelerators, Sec. 2.2) and are not
 simulated.
 
-Per-layer numbers come from the analytical core models; ``run_trace`` then
-replays the layer chain on the discrete-event engine (``repro.arch.engine``)
-and attaches the resulting timeline to the report.  For one uncontended
-request the event makespan reproduces the closed-form total, which keeps the
-analytical numbers as the engine's validation oracle; the serving layer
-(``repro.serve``) reuses the same task graph under contention.
+Lowering goes through the compiler (``repro.compiler``): ``run_trace``
+compiles the trace with the pass pipeline derived from this config (plus an
+optional :class:`~repro.algo.ECPConfig`), materializes the per-layer
+analytical reports from the compiled :class:`~repro.compiler.ir.Program`,
+and replays the layer chain on the discrete-event engine
+(``repro.arch.engine``), attaching the resulting timeline to the report.
+For one uncontended request the event makespan reproduces the closed-form
+total, which keeps the analytical numbers as the engine's validation
+oracle; the serving layer (``repro.serve``) replays the same compiled
+programs under contention.
 """
 
 from __future__ import annotations
@@ -24,23 +28,18 @@ from __future__ import annotations
 import numpy as np
 
 from ..algo import ECPConfig
-from ..bundles import TTBGrid
+from ..compiler.lowering import (
+    lower_attention_layer,
+    lower_matmul_layer,
+    plan_stratification,
+)
+from ..compiler.passes import PassConfig, compile_trace, materialize_report
 from ..model import LayerRecord, ModelTrace
-from .attention_core import simulate_attention_core
 from .config import BishopConfig
-from .dense_core import simulate_dense_core
 from .energy import EnergyModel
 from .engine.machine import simulate_inference
-from .memory import TrafficLedger, bundle_storage_bytes, spike_payload_bytes
-from .report import EnergyBreakdown, InferenceReport, LayerReport
-from .sparse_core import simulate_sparse_core
-from .spike_generator import simulate_spike_generator
-from .stratifier import (
-    StratifiedWorkload,
-    balanced_theta,
-    stratify,
-    theta_for_dense_fraction,
-)
+from .report import InferenceReport, LayerReport
+from .stratifier import StratifiedWorkload
 
 __all__ = ["BishopAccelerator"]
 
@@ -63,178 +62,23 @@ class BishopAccelerator:
         self, spikes: np.ndarray, out_features: int
     ) -> StratifiedWorkload:
         """Apply the configured θ_s policy to one layer's input spikes."""
-        config = self.config
-        spec = config.bundle_spec
-        if not config.use_stratifier:
-            counts = TTBGrid(spikes, spec).active_per_feature
-            return StratifiedWorkload(
-                dense_features=np.arange(spikes.shape[2]),
-                sparse_features=np.array([], dtype=np.int64),
-                theta=-1.0,
-                active_per_feature=counts,
-            )
-        if config.stratify_theta is not None:
-            theta = config.stratify_theta
-        elif config.stratify_dense_fraction is not None:
-            theta = theta_for_dense_fraction(
-                spikes, spec, config.stratify_dense_fraction
-            )
-        else:
-            theta = balanced_theta(
-                spikes,
-                spec,
-                dense_time_fn=lambda w: simulate_dense_core(
-                    spikes[:, :, w.dense_features], out_features, config
-                ).cycles,
-                sparse_time_fn=lambda w: simulate_sparse_core(
-                    spikes[:, :, w.sparse_features], out_features, config
-                ).cycles,
-            )
-        return stratify(spikes, spec, theta)
+        return plan_stratification(spikes, out_features, self.config)
 
     # ------------------------------------------------------------------
-    # Layer simulations
+    # Layer simulations (the compiler's lowering, config-driven)
     # ------------------------------------------------------------------
     def run_matmul_layer(self, record: LayerRecord) -> LayerReport:
         """Simulate one projection/MLP layer on the dense+sparse cores."""
-        config, energy = self.config, self.energy
-        spikes = record.input_spikes
-        d_in, d_out = record.weight_shape
-        timesteps, tokens, _ = spikes.shape
-
-        workload = self.stratify_layer(spikes, d_out)
-        x_dense, x_sparse = workload.split(spikes)
-        dense = simulate_dense_core(x_dense, d_out, config)
-        sparse = simulate_sparse_core(x_sparse, d_out, config)
-        spike_gen = simulate_spike_generator(timesteps, tokens, d_out, config)
-
-        core_cycles = max(dense.cycles, sparse.cycles)
-        cycles = core_cycles + spike_gen.cycles
-        compute_time = cycles / config.clock_hz
-
-        traffic = TrafficLedger()
-        traffic.merge(dense.traffic)
-        traffic.merge(sparse.traffic)
-        traffic.merge(spike_gen.traffic)
-
-        # DRAM: weights streamed once (output-tiled when they exceed the
-        # weight GLB); rows of completely silent input features are never
-        # fetched (tag-gated — the structured pruning BSA amplifies).
-        # Input/output spike tensors spill only past the ping-pong spike GLB.
-        grid = TTBGrid(spikes, config.bundle_spec)
-        if config.skip_inactive_bundles:
-            alive_features = int((grid.active_per_feature > 0).sum())
-        else:
-            alive_features = d_in
-        weight_bytes = alive_features * d_out * config.weight_bits / 8.0
-        traffic.add("dram", "weight", weight_bytes)
-        in_payload = bundle_storage_bytes(
-            grid.num_active_bundles, config.bundle_spec.volume, grid.num_bundles
+        workload = self.stratify_layer(
+            record.input_spikes, record.weight_shape[1]
         )
-        out_payload = spike_payload_bytes(timesteps * tokens, d_out)
-        for payload in (in_payload, out_payload):
-            spill = max(0.0, payload - config.spike_glb_bytes)
-            if spill:
-                traffic.add("dram", "activation", 2.0 * spill)  # write + read
-
-        dram_time = traffic.dram_time_s(config.dram)
-        latency = max(compute_time, dram_time)
-
-        breakdown = EnergyBreakdown(
-            compute_pj=dense.compute_energy_pj(energy) + sparse.compute_energy_pj(energy),
-            memory_pj=traffic.energy_pj(energy),
-            spike_gen_pj=spike_gen.compute_energy_pj(energy),
-            static_pj=energy.static_pj(latency),
-            memory_by_kind_pj=traffic.energy_by_kind_pj(energy),
-        )
-        total_ops = dense.sac_ops + sparse.sparse_ops
-        peak = cycles * (config.dense_throughput + config.sparse_throughput)
-        return LayerReport(
-            block=record.block,
-            kind=record.kind,
-            phase=record.phase,
-            cycles=cycles,
-            latency_s=latency,
-            energy=breakdown,
-            traffic=traffic,
-            unit_cycles={
-                "dense": dense.cycles,
-                "sparse": sparse.cycles,
-                "spike_gen": spike_gen.cycles,
-            },
-            utilization=float(total_ops / peak) if peak else 0.0,
-            notes={
-                "theta_s": workload.theta,
-                "dense_fraction": workload.dense_fraction,
-                "dense_cycles": dense.cycles,
-                "sparse_cycles": sparse.cycles,
-                "sparse_active_pairs": sparse.active_pairs,
-                "dram_time_s": dram_time,
-                "compute_time_s": compute_time,
-                "dense_tiles": dense.tiles,
-                "sparse_tiles": sparse.waves,
-            },
-        )
+        return lower_matmul_layer(record, workload, self.config, self.energy)
 
     def run_attention_layer(
         self, record: LayerRecord, ecp: ECPConfig | None = None
     ) -> LayerReport:
         """Simulate one SSA layer on the attention core (Modes 1 + 2)."""
-        config, energy = self.config, self.energy
-        result = simulate_attention_core(record.q, record.k, record.v, config, ecp=ecp)
-        timesteps, heads, tokens, head_dim = record.q.shape
-        features = heads * head_dim
-        spike_gen = simulate_spike_generator(timesteps, tokens, features, config)
-
-        cycles = result.cycles + spike_gen.cycles
-        compute_time = cycles / config.clock_hz
-
-        traffic = TrafficLedger()
-        traffic.merge(result.traffic)
-        traffic.merge(spike_gen.traffic)
-        # Q/K/V/Y share the ping-pong spike GLBs, equally partitioned; the
-        # binary Q/K/V tensors spill past their quarter share.  Y itself is
-        # consumed by the spike generator in-flight and never spills.
-        tensor_capacity = 2 * config.spike_glb_bytes / 4.0
-        qkv_payload = spike_payload_bytes(timesteps * tokens, features)
-        for _ in range(3):  # Q, K, V
-            spill = max(0.0, qkv_payload - tensor_capacity)
-            if spill:
-                traffic.add("dram", "activation", spill)
-
-        dram_time = traffic.dram_time_s(config.dram)
-        latency = max(compute_time, dram_time)
-
-        breakdown = EnergyBreakdown(
-            compute_pj=result.compute_energy_pj(energy),
-            memory_pj=traffic.energy_pj(energy),
-            spike_gen_pj=spike_gen.compute_energy_pj(energy),
-            static_pj=energy.static_pj(latency),
-            memory_by_kind_pj=traffic.energy_by_kind_pj(energy),
-        )
-        return LayerReport(
-            block=record.block,
-            kind=record.kind,
-            phase=record.phase,
-            cycles=cycles,
-            latency_s=latency,
-            energy=breakdown,
-            traffic=traffic,
-            unit_cycles={
-                "mode1": result.mode1_cycles,
-                "mode2": result.mode2_cycles,
-                "spike_gen": spike_gen.cycles,
-            },
-            utilization=result.utilization,
-            notes={
-                "q_keep_fraction": result.q_keep_fraction,
-                "k_keep_fraction": result.k_keep_fraction,
-                "score_compute_fraction": result.score_compute_fraction,
-                "dram_time_s": dram_time,
-                "compute_time_s": compute_time,
-                "attention_tiles": result.tiles,
-            },
-        )
+        return lower_attention_layer(record, self.config, self.energy, ecp=ecp)
 
     # ------------------------------------------------------------------
     def run_trace(
@@ -242,21 +86,24 @@ class BishopAccelerator:
         trace: ModelTrace,
         ecp: ECPConfig | None = None,
         simulate_events: bool = True,
+        passes: "PassConfig | str | None" = None,
     ) -> InferenceReport:
         """Simulate a full single-image inference.
 
-        The per-layer analytical reports are replayed on the discrete-event
-        engine and the resulting timeline is attached as
-        ``report.engine_run`` (set ``simulate_events=False`` to skip, e.g.
-        inside tight design-space loops).
+        The trace is compiled through the pass pipeline (``repro.compiler``)
+        and the per-layer analytical reports are materialized from the
+        resulting program, available as ``report.program``.  The layer
+        chain is then replayed on the discrete-event engine and the
+        resulting timeline attached as ``report.engine_run`` (set
+        ``simulate_events=False`` to skip, e.g. inside tight design-space
+        loops).  ``passes`` toggles individual optimization passes; the
+        config's own policy switches (``use_stratifier``,
+        ``skip_inactive_bundles``) stay authoritative either way.
         """
-        report = InferenceReport(accelerator="bishop", model_name=trace.model_name)
-        for record in trace.records:
-            if record.is_matmul:
-                report.layers.append(self.run_matmul_layer(record))
-            elif record.kind == "attention":
-                report.layers.append(self.run_attention_layer(record, ecp=ecp))
-            # tokenizer/head records are outside the accelerator's scope
+        program = compile_trace(
+            trace, self.config, self.energy, ecp=ecp, passes=passes
+        )
+        report = materialize_report(program)
         if simulate_events:
             report.engine_run = simulate_inference(report, self.config, self.energy)
         return report

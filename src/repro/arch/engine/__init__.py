@@ -28,6 +28,7 @@ from .machine import (
     LayerTiming,
     inference_process,
     layer_timings,
+    scheduled_inference_process,
     simulate_inference,
 )
 from .timeline import (
@@ -60,6 +61,7 @@ __all__ = [
     "inference_process",
     "layer_timings",
     "merge_timelines",
+    "scheduled_inference_process",
     "simulate_inference",
     "use",
 ]

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from ..config import BishopConfig
 from ..energy import EnergyModel
 from ..report import InferenceReport, LayerReport
-from .kernel import Engine, Join, Resource
+from .kernel import Engine, Join, Resource, WaitFor
 from .timeline import EngineRun, TimelineEntry, use
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "LayerTiming",
     "inference_process",
     "layer_timings",
+    "scheduled_inference_process",
     "simulate_inference",
 ]
 
@@ -220,6 +221,77 @@ def inference_process(
         yield Join(compute)
         if dram is not None:
             yield Join(dram)
+
+
+def scheduled_inference_process(
+    engine: Engine,
+    machine: BishopMachine,
+    timings: tuple[LayerTiming, ...],
+    label: str = "request",
+    batch: int = 1,
+    timeline: list[TimelineEntry] | None = None,
+):
+    """One inference under the compiler's depth-1 weight-prefetch schedule.
+
+    The scheduling pass's emission: a prefetcher process streams each
+    layer's *weights* as soon as the DRAM channel frees up and the previous
+    layer's compute has started (the ping-pong weight GLB holds one layer in
+    use plus one filling), while the compute chain walks the layers.  A
+    layer still completes only when its compute, its activation streaming,
+    and its weight stream have all finished — weights are consumed
+    tile-by-tile, so compute can never outrun the stream — which keeps the
+    schedule causal and makes its makespan ≤ the layer-serial
+    :func:`inference_process` makespan (equal when one resource dominates
+    every layer, strictly smaller on mixed compute-/memory-bound chains).
+    """
+    n = len(timings)
+    compute_started = [False] * n
+    weights_done = [False] * n
+    started_gate = engine.gate()
+    weights_gate = engine.gate()
+
+    def prefetcher():
+        for index, timing in enumerate(timings):
+            # Depth-1 double buffer: layer i's weights may stream only once
+            # layer i-1 has begun computing (its own weights left the GLB).
+            while index > 0 and not compute_started[index - 1]:
+                yield WaitFor(started_gate)
+            if timing.weight_dram_s > 0:
+                yield from use(
+                    engine, machine.dram, timing.weight_dram_s,
+                    timeline, f"{label}/L{index}.{timing.kind}:dram.w", 1,
+                )
+            weights_done[index] = True
+            weights_gate.signal()
+
+    prefetch = None
+    for index, timing in enumerate(timings):
+        compute_started[index] = True
+        layer_label = f"{label}/L{index}.{timing.kind}"
+        compute = engine.spawn(
+            _compute_chain(engine, machine, timing, layer_label, batch, timeline),
+            name=f"{layer_label}:compute",
+        )
+        activation_s = batch * timing.activation_dram_s
+        activation = None
+        if activation_s > 0:
+            activation = engine.spawn(
+                use(engine, machine.dram, activation_s, timeline,
+                    f"{layer_label}:dram.a", 1),
+                name=f"{layer_label}:dram.a",
+            )
+        # The prefetcher is spawned — and, on later layers, woken — only
+        # after this layer's own streams are in the DRAM queue: a layer's
+        # activation traffic must never end up FIFO-queued behind the
+        # *next* layer's weight prefetch.
+        if prefetch is None:
+            prefetch = engine.spawn(prefetcher(), name=f"{label}:prefetch")
+        started_gate.signal()
+        yield Join(compute)
+        if activation is not None:
+            yield Join(activation)
+        while not weights_done[index]:
+            yield WaitFor(weights_gate)
 
 
 def simulate_inference(

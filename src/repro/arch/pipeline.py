@@ -2,30 +2,33 @@
 
 The paper's memory system is double-buffered at every level "to hide
 latency" (Sec. 6.1): while layer *i* computes, the ping-pong GLBs prefetch
-layer *i+1*'s weights.  The serial schedule is *measured* by replaying the
-layer chain on the discrete-event engine — the datapath and the DRAM
-channel are two contended resources, each layer's compute and streaming
-tasks run concurrently, and the layer completes when both finish — so
-``serial_latency_s`` is an event makespan, not a closed-form sum (for an
-uncontended chain the two coincide, which the tests pin).
+layer *i+1*'s weights.  All three numbers here are produced by the
+compiler's two-resource emissions (``repro.compiler.emit``) — the datapath
+and the DRAM channel are two contended resources, each layer's compute and
+streaming tasks run concurrently, and the layer completes when both finish:
 
-The steady-state *pipelined* bound composes the same engine-measured
-resource busy times: with prefetch, DRAM streaming for any layer may hide
-under any other layer's compute, so
+* ``serial_latency_s`` — the layer-serial engine makespan (for an
+  uncontended chain it equals the closed-form ``Σ max(compute, dram)``,
+  which the tests pin);
+* ``scheduled_latency_s`` — the engine makespan under the compiler's
+  depth-1 prefetch schedule (*weight* streaming runs ahead of compute,
+  bounded by the double buffer; activation traffic stays bound to its
+  layer);
+* ``pipelined_latency_s`` — the steady-state bound ``max(Σ compute,
+  Σ dram)``: with unbounded prefetch either shared resource becomes the
+  bottleneck wholesale, the information-theoretic floor for a serial
+  layer chain.
 
-    pipelined latency = max(Σ compute_i, Σ dram_i)
-
-— the two shared resources each become the bottleneck wholesale, which is
-both the achievable steady state and the information-theoretic lower bound
-for a serial layer chain.
+``serial ≥ scheduled ≥ pipelined`` always holds; the gap between the first
+two is what the compiler's scheduling pass actually wins.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .engine.kernel import Engine, Join
-from .engine.timeline import EngineRun, TimelineEntry, use
+from ..compiler.emit import prefetch_pairs_makespan, serial_pairs_run
+from .engine.timeline import EngineRun
 from .report import InferenceReport
 
 __all__ = ["PipelineSchedule", "pipeline_schedule"]
@@ -36,9 +39,12 @@ class PipelineSchedule:
     """Serial vs pipelined end-to-end latency of one inference."""
 
     serial_latency_s: float      # engine makespan, layers serialized
-    pipelined_latency_s: float   # prefetch overlapped across layers
+    pipelined_latency_s: float   # prefetch overlapped across layers (bound)
     compute_total_s: float
     dram_total_s: float
+    # Engine makespan under the depth-1 prefetch schedule (between the
+    # serial makespan and the pipelined bound).
+    scheduled_latency_s: float = 0.0
     # The engine run behind the serial numbers (timeline + busy stats).
     run: EngineRun | None = field(default=None, compare=False)
 
@@ -49,66 +55,64 @@ class PipelineSchedule:
         return 1.0 - self.pipelined_latency_s / self.serial_latency_s
 
     @property
+    def scheduled_savings_fraction(self) -> float:
+        """Fraction of the serial latency the achievable (depth-1
+        prefetch) schedule actually recovers."""
+        if self.serial_latency_s == 0:
+            return 0.0
+        return 1.0 - self.scheduled_latency_s / self.serial_latency_s
+
+    @property
     def lower_bound_s(self) -> float:
         """No schedule can beat max(total compute, total DRAM)."""
         return max(self.compute_total_s, self.dram_total_s)
 
 
-def _serial_process(
-    engine: Engine,
-    datapath,
-    dram,
-    layers: list[tuple[float, float]],
-    timeline: list[TimelineEntry],
-):
-    """Layer-serial schedule: per layer, compute ∥ DRAM, then a barrier."""
-    for index, (compute_s, dram_s) in enumerate(layers):
-        tasks = []
-        if compute_s > 0:
-            tasks.append(engine.spawn(
-                use(engine, datapath, compute_s, timeline, f"L{index}:compute"),
-                name=f"L{index}:compute",
-            ))
-        if dram_s > 0:
-            tasks.append(engine.spawn(
-                use(engine, dram, dram_s, timeline, f"L{index}:dram"),
-                name=f"L{index}:dram",
-            ))
-        for task in tasks:
-            yield Join(task)
+def _layer_triples(report: InferenceReport) -> list[tuple[float, float, float]]:
+    """Per-layer ``(compute_s, weight_dram_s, activation_dram_s)``, from
+    the compiled program when available, else from the layer timing notes.
+
+    Only the weight stream is prefetchable; notes-based reports split
+    their total DRAM time by the traffic ledger's weight/activation byte
+    fractions (a report with DRAM time but no recorded DRAM bytes —
+    synthetic test reports — is treated as all-weight).  Layers lacking
+    timing notes (e.g. GPU roofline reports) fall back to their recorded
+    latency with no overlap.
+    """
+    if report.program is not None:
+        return [
+            (stage.compute_s, stage.weight_dram_s, stage.activation_dram_s)
+            for stage in report.program.stages
+        ]
+    triples = []
+    for layer in report.layers:
+        compute_s = layer.notes.get("compute_time_s", layer.latency_s)
+        dram_s = layer.notes.get("dram_time_s", 0.0)
+        total_bytes = layer.traffic.bytes(level="dram")
+        if dram_s > 0 and total_bytes > 0:
+            weight_fraction = (
+                layer.traffic.bytes(level="dram", kind="weight") / total_bytes
+            )
+        else:
+            weight_fraction = 1.0
+        triples.append(
+            (compute_s, dram_s * weight_fraction, dram_s * (1 - weight_fraction))
+        )
+    return triples
 
 
 def pipeline_schedule(report: InferenceReport) -> PipelineSchedule:
-    """Compose a double-buffered schedule from a layer-serial report.
-
-    Layers lacking timing notes (e.g. GPU roofline reports) fall back to
-    their recorded latency with no overlap.
-    """
-    layers = [
-        (
-            layer.notes.get("compute_time_s", layer.latency_s),
-            layer.notes.get("dram_time_s", 0.0),
-        )
-        for layer in report.layers
-    ]
-
-    engine = Engine()
-    datapath = engine.resource("datapath")
-    dram = engine.resource("dram")
-    timeline: list[TimelineEntry] = []
-    engine.spawn(
-        _serial_process(engine, datapath, dram, layers, timeline),
-        name=f"{report.model_name}:serial",
+    """Compose a double-buffered schedule from a layer-serial report."""
+    layers = _layer_triples(report)
+    run, compute_total, dram_total = serial_pairs_run(
+        [(compute, weight + activation) for compute, weight, activation in layers],
+        label=f"{report.model_name}:serial",
     )
-    engine.run()
-    run = EngineRun.capture(engine, timeline=timeline)
-
-    compute_total = datapath.stats.busy_s
-    dram_total = dram.stats.busy_s
     return PipelineSchedule(
         serial_latency_s=run.makespan_s,
         pipelined_latency_s=max(compute_total, dram_total),
         compute_total_s=compute_total,
         dram_total_s=dram_total,
+        scheduled_latency_s=prefetch_pairs_makespan(layers),
         run=run,
     )

@@ -9,6 +9,7 @@ from .energy import EnergyModel
 from .memory import TrafficLedger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine uses reports)
+    from ..compiler.ir import Program
     from .engine.timeline import EngineRun
 
 __all__ = ["EnergyBreakdown", "LayerReport", "InferenceReport"]
@@ -77,6 +78,9 @@ class InferenceReport:
     # (attached by BishopAccelerator.run_trace; None for closed-form-only
     # baselines such as PTB and the GPU roofline).
     engine_run: "EngineRun | None" = None
+    # The compiled program this report was materialized from (Bishop only;
+    # None for baselines and hand-assembled reports).
+    program: "Program | None" = None
 
     # -- totals ----------------------------------------------------------
     @property

@@ -15,10 +15,18 @@ run-all [--jobs N] [--force] [--only a,b,...] [--smoke] [--artifacts DIR]
 sweep <experiment-id> --param k=v1,v2,... [--jobs N] [--output FILE]
     Cartesian-product parameter sweep of one experiment.
 bench [--jobs N] [--only a,b,...] [--smoke] [--output FILE]
+      [--compare BENCH_old.json]
     Force-run experiments and record per-experiment wall-clock timings
     from the runtime manifest to ``BENCH_<timestamp>.json`` (repo root),
-    so the perf trajectory accumulates across PRs.
-cluster [--fleet SPEC] [--policy P] [--mix MIX] [--rho R] [--seed N] ...
+    so the perf trajectory accumulates across PRs.  ``--compare`` prints
+    a per-experiment regression/speedup diff against an older bench file.
+compile <model> [--chip KIND] [--passes SPEC] [--dump FILE]
+    Compile one Table-2 model through the pass pipeline
+    (``repro.compiler``) and print the program summary: stages, tile
+    counts per core class, bundle occupancy, estimated makespans.
+    ``--dump`` writes the IR as JSON (``-`` for stdout).
+cluster [--fleet SPEC] [--policy P] [--mix MIX] [--rho R] [--seed N]
+        [--passes SPEC] ...
     Simulate a multi-chip fleet behind the front-end router directly
     (no registry round-trip): prints the fleet summary and per-chip
     breakdown, optionally writing the full report JSON.
@@ -148,6 +156,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None, metavar="FILE",
         help="bench JSON path (default: ./BENCH_<timestamp>.json)",
     )
+    bench.add_argument(
+        "--compare", type=Path, default=None, metavar="BENCH.json",
+        help="print per-experiment speedup/regression vs an older bench file",
+    )
+
+    compile_cmd = sub.add_parser(
+        "compile", help="compile one zoo model into a chip program"
+    )
+    compile_cmd.add_argument("model", help="Table-2 model id (see `repro zoo`)")
+    compile_cmd.add_argument(
+        "--chip", default="standard",
+        help="chip kind: standard | sparse_heavy | dense_heavy",
+    )
+    compile_cmd.add_argument("--bs-t", type=int, default=2, metavar="N")
+    compile_cmd.add_argument("--bs-n", type=int, default=4, metavar="N")
+    compile_cmd.add_argument(
+        "--passes", default="all", metavar="SPEC",
+        help="compiler passes: all | none | '+'-joined subset of"
+        " packing,stratify,ecp,schedule",
+    )
+    compile_cmd.add_argument("--seed", type=int, default=0, metavar="N")
+    compile_cmd.add_argument(
+        "--dram-gbps", type=float, default=None, metavar="G",
+        help="override the chip's DRAM bandwidth (GB/s)",
+    )
+    compile_cmd.add_argument(
+        "--theta-q", type=float, default=None, metavar="T",
+        help="enable ECP with this Q threshold (requires --theta-k)",
+    )
+    compile_cmd.add_argument(
+        "--theta-k", type=float, default=None, metavar="T",
+        help="enable ECP with this K threshold (requires --theta-q)",
+    )
+    compile_cmd.add_argument(
+        "--dump", type=Path, default=None, metavar="FILE",
+        help="write the program IR as JSON ('-' for stdout)",
+    )
+    compile_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk program cache",
+    )
 
     cluster = sub.add_parser(
         "cluster", help="simulate a multi-chip fleet behind the router"
@@ -186,6 +235,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--autoscale-max", type=int, default=0, metavar="N",
         help="enable the reactive autoscaler up to N chips (0 = off);"
         " replicas clone the fleet's first chip kind",
+    )
+    cluster.add_argument(
+        "--passes", default="all", metavar="SPEC",
+        help="compiler passes for the chip programs: all | none |"
+        " '+'-joined subset of packing,stratify,ecp,schedule",
     )
     cluster.add_argument(
         "--output", type=Path, default=None, metavar="FILE",
@@ -316,7 +370,7 @@ def _run_cluster(args) -> int:
 
     weights = parse_model_mix(args.mix)
     fleet = parse_fleet(args.fleet)
-    capacity = fleet_capacity_rps(fleet, weights, seed=args.seed)
+    capacity = fleet_capacity_rps(fleet, weights, seed=args.seed, passes=args.passes)
     rate = args.rho * capacity
     arrivals = poisson_arrivals if args.arrival == "poisson" else bursty_arrivals
     stream = arrivals(args.requests, rate, weights, args.seed)
@@ -328,7 +382,8 @@ def _run_cluster(args) -> int:
         # a sparse_heavy fleet scales with sparse_heavy chips.
         template_kind = fleet.chips[0].kind
         mean_latency = 1.0 / fleet_capacity_rps(
-            homogeneous_fleet(1, template_kind), weights, seed=args.seed
+            homogeneous_fleet(1, template_kind), weights, seed=args.seed,
+            passes=args.passes,
         )
         autoscale = AutoscaleConfig(
             interval_s=20 * mean_latency,
@@ -342,12 +397,13 @@ def _run_cluster(args) -> int:
         admission=AdmissionConfig(queue_capacity=args.queue_capacity or None),
         autoscale=autoscale,
         seed=args.seed,
+        passes=args.passes,
     ).run(stream)
 
     p = report.latency_percentiles_ms
     print(
         f"fleet {args.fleet} policy {report.policy} mix {args.mix}"
-        f" seed {args.seed}"
+        f" seed {args.seed} passes {args.passes}"
     )
     print(
         f"  offered {report.offered_rps:,.0f} rps (rho {args.rho} of"
@@ -382,9 +438,144 @@ def _run_cluster(args) -> int:
     return 0
 
 
+def _run_compile(args) -> int:
+    """The `repro compile` body: compile one model, print the summary."""
+    import dataclasses
+
+    # Imported lazily, like the cluster layer: compilation pulls the full
+    # simulator stack, which `repro list`/`repro cache` don't need.
+    from .algo import ECPConfig
+    from .cluster import chip_config
+    from .compiler import PassConfig, ProgramCache, compile_model, default_program_cache, program_key
+    from .model import MODEL_ZOO
+
+    if args.model not in MODEL_ZOO:
+        print(
+            f"unknown model {args.model!r}; options {sorted(MODEL_ZOO)}",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.theta_q is None) != (args.theta_k is None):
+        print("--theta-q and --theta-k must be given together", file=sys.stderr)
+        return 2
+    config = chip_config(args.chip, args.bs_t, args.bs_n)
+    if args.dram_gbps is not None:
+        if args.dram_gbps <= 0:
+            print("--dram-gbps must be positive", file=sys.stderr)
+            return 2
+        config = config.with_overrides(
+            dram=dataclasses.replace(
+                config.dram, bandwidth_bytes_per_s=args.dram_gbps * 1e9
+            )
+        )
+    ecp = None
+    if args.theta_q is not None:
+        ecp = ECPConfig(
+            theta_q=args.theta_q, theta_k=args.theta_k, spec=config.bundle_spec
+        )
+    pass_config = PassConfig.parse(args.passes)
+    cache = ProgramCache(None) if args.no_cache else default_program_cache()
+    key = program_key(args.model, config, pass_config, seed=args.seed, ecp=ecp)
+    # get(), not `in`: a corrupted on-disk entry is a miss (and self-heals).
+    cached = cache.get(key) is not None
+    program = compile_model(
+        args.model, config, seed=args.seed, ecp=ecp, passes=pass_config,
+        cache=cache,
+    )
+
+    if args.dump is not None and str(args.dump) == "-":
+        print(canonical_json(program.to_dict()))
+        return 0
+
+    counts = program.tile_counts()
+    phases = program.stage_counts()
+    scheduled = program.scheduled_latency_s
+    print(
+        f"{args.model} on {args.chip} chip (bs {args.bs_t}x{args.bs_n},"
+        f" seed {args.seed}), passes {pass_config.spec()}"
+        + (f", ecp θq={args.theta_q:g} θk={args.theta_k:g}" if ecp else "")
+    )
+    print(f"  pipeline: {' -> '.join(program.passes)}")
+    print(
+        f"  stages {len(program.stages)} ("
+        + " ".join(f"{phase} {n}" for phase, n in sorted(phases.items()))
+        + ")"
+    )
+    print(
+        "  tiles: "
+        + "  ".join(f"{core} {counts[core]}" for core in sorted(counts))
+    )
+    print(f"  bundle occupancy {program.bundle_occupancy():.3f}")
+    print(
+        f"  est. makespan: serial {program.serial_latency_s * 1e3:.4f} ms"
+        + (
+            f" | scheduled {scheduled * 1e3:.4f} ms"
+            if scheduled is not None
+            else ""
+        )
+        + f" | lower bound {program.pipelined_bound_s * 1e3:.4f} ms"
+    )
+    print(
+        f"  dynamic energy {program.dynamic_pj * 1e-9:.4f} mJ,"
+        f" DRAM traffic {program.dram_bytes / 1e6:.2f} MB"
+    )
+    print(
+        f"  program cache: {'hit' if cached else 'miss'} @{key[:12]}"
+        + (" (bypassed)" if args.no_cache else "")
+    )
+    if args.dump is not None:
+        args.dump.write_text(canonical_json(program.to_dict()))
+        print(f"wrote {args.dump}")
+    return 0
+
+
+def _print_bench_compare(old_payload: dict, payload: dict, old_path: Path) -> None:
+    """Per-experiment wall-clock diff of two bench files (new vs old)."""
+    old_experiments = old_payload.get("experiments", {})
+    new_experiments = payload.get("experiments", {})
+    print(
+        f"vs {old_path} (generated {old_payload.get('generated_at', '?')},"
+        f" code {str(old_payload.get('code_hash', '?'))[:12]})"
+    )
+    shared = [name for name in new_experiments if name in old_experiments]
+    width = max((len(name) for name in shared), default=10)
+    old_total = new_total = 0.0
+    for name in sorted(shared):
+        old_s = float(old_experiments[name].get("duration_s", 0.0))
+        new_s = float(new_experiments[name].get("duration_s", 0.0))
+        old_total += old_s
+        new_total += new_s
+        if new_s > 0:
+            ratio = old_s / new_s
+            verdict = f"{ratio:6.2f}x " + ("faster" if ratio >= 1.0 else "SLOWER")
+        else:
+            verdict = "      -"
+        print(f"  {name:<{width}}  {old_s:8.2f}s -> {new_s:8.2f}s  {verdict}")
+    if old_total > 0 and new_total > 0:
+        ratio = old_total / new_total
+        print(
+            f"  {'total':<{width}}  {old_total:8.2f}s -> {new_total:8.2f}s"
+            f"  {ratio:6.2f}x " + ("faster" if ratio >= 1.0 else "SLOWER")
+        )
+    new_only = sorted(set(new_experiments) - set(old_experiments))
+    gone = sorted(set(old_experiments) - set(new_experiments))
+    if new_only:
+        print(f"  new since {old_path.name}: {', '.join(new_only)}")
+    if gone:
+        print(f"  missing vs {old_path.name}: {', '.join(gone)}")
+
+
 def _run_cache(args) -> int:
-    """The `repro cache ls|gc` body."""
+    """The `repro cache ls|gc` body.
+
+    Covers both content-addressed stores under the artifact root: the
+    experiment result cache (``cache/``) and the compiler's program cache
+    (``programs/``, when present).
+    """
+    from .compiler import ProgramCache
+
     cache = ResultCache(Path(args.artifacts) / "cache")
+    programs = ProgramCache(Path(args.artifacts) / "programs")
     if args.cache_command == "ls":
         entries = cache.list_entries()
         total = sum(entry.size_bytes for entry in entries)
@@ -400,6 +591,12 @@ def _run_cache(args) -> int:
                 f" {entry.size_bytes:>9}B  {age_s:>8.0f}s ago  {params}"
             )
         print(f"{len(entries)} entries, {total} bytes ({cache.root})")
+        program_entries, program_bytes = programs.disk_usage()
+        if program_entries:
+            print(
+                f"programs: {program_entries} entries,"
+                f" {program_bytes} bytes ({programs.root})"
+            )
         return 0
     if args.keep_latest < 0:
         print("--keep-latest must be >= 0", file=sys.stderr)
@@ -409,6 +606,12 @@ def _run_cache(args) -> int:
         f"kept {result.kept}, removed {result.removed},"
         f" freed {result.freed_bytes} bytes ({cache.root})"
     )
+    kept, removed, freed = programs.gc(args.keep_latest)
+    if kept or removed:
+        print(
+            f"programs: kept {kept}, removed {removed},"
+            f" freed {freed} bytes ({programs.root})"
+        )
     return 0
 
 
@@ -486,7 +689,24 @@ def main(argv: list[str] | None = None) -> int:
             target = Path(f"BENCH_{time.strftime('%Y%m%d-%H%M%S')}.json")
         target.write_text(json.dumps(payload, indent=2, sort_keys=True, default=float))
         print(f"bench: {target}")
+        if args.compare is not None:
+            try:
+                old_payload = json.loads(args.compare.read_text())
+            except FileNotFoundError:
+                print(f"--compare: {args.compare} not found", file=sys.stderr)
+                return 2
+            except json.JSONDecodeError as error:
+                print(f"--compare: {args.compare}: {error}", file=sys.stderr)
+                return 2
+            _print_bench_compare(old_payload, payload, args.compare)
         return code
+
+    if args.command == "compile":
+        try:
+            return _run_compile(args)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
 
     if args.command == "cluster":
         try:

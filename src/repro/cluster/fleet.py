@@ -140,6 +140,7 @@ def fleet_capacity_rps(
     bs_t: int = 2,
     bs_n: int = 4,
     seed: int = 0,
+    passes: str | None = None,
 ) -> float:
     """Aggregate fleet capacity on a model mix: Σ chips 1/mean-latency.
 
@@ -165,7 +166,9 @@ def fleet_capacity_rps(
         config = chip_config(spec.kind, bs_t, bs_n)
         mean_latency = sum(
             (weight / share)
-            * request_profile(model, seed=seed, config=config).single_latency_s
+            * request_profile(
+                model, seed=seed, config=config, passes=passes
+            ).single_latency_s
             for model, weight in hosted.items()
         )
         total += 1.0 / mean_latency

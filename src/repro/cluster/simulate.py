@@ -61,6 +61,10 @@ class ClusterSimulation:
         Bundle shape and trace seed for per-chip model profiles; ``seed``
         also only enters workload generation upstream, so one seed
         reproduces the whole experiment.
+    passes:
+        Compiler pass spec for the per-chip programs (``"all"`` /
+        ``"none"`` / ``"packing+stratify+schedule"`` …); chips of the
+        same kind share one compiled program through the program cache.
     """
 
     def __init__(
@@ -76,6 +80,7 @@ class ClusterSimulation:
         seed: int = 0,
         energy: EnergyModel | None = None,
         record_timeline: bool = False,
+        passes: str | None = None,
     ):
         self.fleet = fleet
         self.scheduler = scheduler or SchedulerConfig()
@@ -85,6 +90,7 @@ class ClusterSimulation:
         self.bs_t = bs_t
         self.bs_n = bs_n
         self.seed = seed
+        self.passes = passes
         self.energy = energy or EnergyModel()
         self.record_timeline = record_timeline
 
@@ -112,7 +118,9 @@ class ClusterSimulation:
         name = f"chip{len(self.chips)}"
         config = chip_config(kind, self.bs_t, self.bs_n)
         profiles = {
-            model: request_profile(model, seed=self.seed, config=config)
+            model: request_profile(
+                model, seed=self.seed, config=config, passes=self.passes
+            )
             for model in models
         }
         machine = BishopMachine(self.engine, name=name)
@@ -234,6 +242,7 @@ def simulate_cluster(
     seed: int = 0,
     energy: EnergyModel | None = None,
     record_timeline: bool = False,
+    passes: str | None = None,
 ) -> ClusterReport:
     """One-call form of :class:`ClusterSimulation` (mirrors
     :func:`repro.serve.simulate_serving`)."""
@@ -248,4 +257,5 @@ def simulate_cluster(
         seed=seed,
         energy=energy,
         record_timeline=record_timeline,
+        passes=passes,
     ).run(requests)

@@ -1,0 +1,288 @@
+"""Content-addressed cache of compiled programs.
+
+A compiled :class:`~repro.compiler.ir.Program` is a pure function of
+``(model, chip configuration, pass configuration, ECP thresholds, trace
+seed, compiler source)``, so it can be content-addressed exactly like the
+runtime's experiment results: the cache key is the SHA-256 of that tuple's
+canonical JSON, with the package source hash standing in for the compiler
+version (any source edit invalidates cleanly).
+
+Two layers back the cache:
+
+* an in-process memory map — repeated :func:`compile_model` calls inside
+  one simulation (every request of a serving run, every chip of a fleet)
+  hit it for free;
+* an on-disk JSON store under ``artifacts/programs`` (override with the
+  ``REPRO_PROGRAM_CACHE`` environment variable; ``off`` disables) — worker
+  *processes* of ``repro run-all``/``sweep``/``bench`` reuse programs
+  compiled by earlier runs instead of re-running the numpy core models,
+  which is where the serving experiments' wall-clock win comes from.
+
+Entries live at ``<root>/<key[:2]>/<key>.json``; corrupted entries are
+treated as misses and deleted (self-healing, same contract as
+``repro.runtime.cache.ResultCache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict
+from functools import lru_cache
+from pathlib import Path
+
+from ..algo.ecp import ECPConfig
+from ..arch.config import BishopConfig
+from ..arch.energy import EnergyModel
+from .ir import Program
+from .passes import PassConfig, compile_trace
+
+__all__ = [
+    "ProgramCache",
+    "compile_model",
+    "default_program_cache",
+    "package_code_hash",
+    "program_key",
+]
+
+
+@lru_cache(maxsize=1)
+def package_code_hash() -> str:
+    """SHA-256 over every ``repro`` source file (compiler-version stamp)."""
+    digest = hashlib.sha256()
+    package_root = Path(__file__).resolve().parents[1]
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def program_key(
+    model: str,
+    config: BishopConfig,
+    passes: PassConfig,
+    seed: int = 0,
+    ecp: ECPConfig | None = None,
+    energy: EnergyModel | None = None,
+) -> str:
+    """Cache key: (model, chip config, pass config, ECP, energy, seed, code).
+
+    ``energy=None`` keys as the default :class:`EnergyModel` — the stage
+    annotations bake in per-event energies, so a non-default model must
+    miss entries compiled under the default one.
+    """
+    payload = {
+        "model": model,
+        "chip": asdict(config),
+        "passes": passes.spec(),
+        "seed": int(seed),
+        "ecp": (
+            {"theta_q": ecp.theta_q, "theta_k": ecp.theta_k}
+            if ecp is not None
+            else None
+        ),
+        "energy": asdict(energy if energy is not None else EnergyModel()),
+        "code": package_code_hash(),
+    }
+    text = json.dumps(payload, sort_keys=True, default=float)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ProgramCache:
+    """Memory + disk cache of compiled programs.
+
+    ``root=None`` keeps the cache memory-only (tests, throwaway configs);
+    a path enables the cross-process disk layer.
+
+    The package source hash in every key means a source edit orphans all
+    prior disk entries (they can never hit again); :meth:`gc` reclaims
+    them by recency, and ``repro cache gc --keep-latest N`` applies it
+    alongside the result cache.
+    """
+
+    # A .tmp this old cannot be a write in flight; gc may reclaim it.
+    TMP_ORPHAN_AGE_S = 60.0
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else None
+        self._memory: dict[str, Program] = {}
+
+    # -- bookkeeping -------------------------------------------------------
+    def path_for(self, key: str) -> Path | None:
+        if self.root is None:
+            return None
+        return self.root / key[:2] / f"{key}.json"
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    def entry_count(self) -> int:
+        if self.root is None or not self.root.is_dir():
+            return len(self._memory)
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def disk_usage(self) -> tuple[int, int]:
+        """(entries, total bytes) of the on-disk layer."""
+        entries = total = 0
+        if self.root is None or not self.root.is_dir():
+            return 0, 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                total += path.stat().st_size
+            except FileNotFoundError:
+                continue
+            entries += 1
+        return entries, total
+
+    def gc(self, keep_latest: int) -> tuple[int, int, int]:
+        """Delete all but the ``keep_latest`` most recent disk entries.
+
+        Returns ``(kept, removed, freed bytes)``.  Victims are picked by
+        recency (stat only); stale ``.tmp`` orphans from crashed writes
+        are collected too, and empty shard directories pruned — the same
+        contract as the result cache's gc.
+        """
+        if keep_latest < 0:
+            raise ValueError("keep_latest must be >= 0")
+        if self.root is None or not self.root.is_dir():
+            return 0, 0, 0
+        found = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except FileNotFoundError:
+                continue
+            found.append((path, stat.st_size, stat.st_mtime))
+        found.sort(key=lambda e: (-e[2], str(e[0])))
+        doomed = found[keep_latest:]
+        freed = 0
+        for path, size, _ in doomed:
+            freed += size
+            path.unlink(missing_ok=True)
+        removed = len(doomed)
+        cutoff = time.time() - self.TMP_ORPHAN_AGE_S
+        for tmp in self.root.glob("*/*.tmp"):
+            try:
+                stat = tmp.stat()
+            except FileNotFoundError:
+                continue
+            if stat.st_mtime < cutoff:
+                freed += stat.st_size
+                removed += 1
+                tmp.unlink(missing_ok=True)
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
+        return len(found) - len(doomed), removed, freed
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, key: str) -> Program | None:
+        program = self._memory.get(key)
+        if program is not None:
+            return program
+        path = self.path_for(key)
+        if path is None:
+            return None
+        try:
+            program = Program.from_dict(json.loads(path.read_text()))
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                UnicodeDecodeError):
+            path.unlink(missing_ok=True)  # corrupted: self-heal on next put
+            return None
+        self._memory[key] = program
+        return program
+
+    def put(self, key: str, program: Program) -> None:
+        self._memory[key] = program
+        path = self.path_for(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(program.to_dict(), sort_keys=True, default=float)
+        )
+        tmp.replace(path)  # atomic: a crashed write never corrupts an entry
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        path = self.path_for(key)
+        return path is not None and path.is_file()
+
+
+_DEFAULT_CACHE: ProgramCache | None = None
+
+
+def default_program_cache() -> ProgramCache:
+    """The process-wide cache; disk root from ``REPRO_PROGRAM_CACHE``
+    (default ``artifacts/programs``; ``0``/``off``/``none`` → memory-only)."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        raw = os.environ.get("REPRO_PROGRAM_CACHE", "")
+        if raw.strip().lower() in ("0", "off", "none", "disabled"):
+            _DEFAULT_CACHE = ProgramCache(None)
+        elif raw.strip():
+            _DEFAULT_CACHE = ProgramCache(Path(raw))
+        else:
+            _DEFAULT_CACHE = ProgramCache(Path("artifacts") / "programs")
+    return _DEFAULT_CACHE
+
+
+def compile_model(
+    model: str,
+    config: BishopConfig | None = None,
+    *,
+    bs_t: int = 2,
+    bs_n: int = 4,
+    seed: int = 0,
+    ecp: ECPConfig | None = None,
+    passes: "PassConfig | str | None" = None,
+    energy: EnergyModel | None = None,
+    cache: ProgramCache | None = None,
+) -> Program:
+    """Compile one Table-2 zoo model (cache-backed).
+
+    Without an explicit ``config``, the chip is the standard serving
+    configuration at the given bundle shape
+    (:func:`repro.serve.profiles.profile_config`).  The returned program
+    may come from the cache, in which case its stages carry no analytic
+    reports — everything the engine needs is in the IR.
+    """
+    # Imported lazily: the serve/harness layers sit above the compiler in
+    # the package graph (serve itself compiles through this module).
+    from ..harness.synthetic import PROFILES, synthetic_trace
+    from ..model import model_config
+    from ..serve.profiles import profile_config
+
+    if model not in PROFILES:
+        raise ValueError(f"unknown model {model!r}; options {sorted(PROFILES)}")
+    if config is None:
+        config = profile_config(bs_t, bs_n)
+    pass_config = PassConfig.parse(passes)
+    cache = cache if cache is not None else default_program_cache()
+    key = program_key(model, config, pass_config, seed=seed, ecp=ecp, energy=energy)
+    program = cache.get(key)
+    if program is not None:
+        return program
+    trace = synthetic_trace(
+        model_config(model), PROFILES[model], config.bundle_spec, seed=seed
+    )
+    program = compile_trace(
+        trace,
+        config,
+        energy=energy,
+        ecp=ecp,
+        passes=pass_config,
+        meta={"seed": int(seed), "cache_key": key},
+    )
+    cache.put(key, program)
+    return program

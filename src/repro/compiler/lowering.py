@@ -1,0 +1,307 @@
+"""Layer lowering: the analytic core models applied to one traced layer.
+
+This module is the compiler's back end — and the *single* lowering path of
+the repo: :class:`~repro.arch.accelerator.BishopAccelerator` delegates its
+per-layer methods here, and the :class:`~repro.compiler.passes.LowerPass`
+calls the same functions with pass-derived plans, so config-driven and
+pass-driven compilation produce bit-identical :class:`LayerReport`s.
+
+The split of responsibilities:
+
+* :func:`plan_stratification` — Algorithm-1 θ_s policy (the stratify pass);
+* :func:`unstratified_workload` — the everything-dense fallback used when
+  the stratify pass (or ``config.use_stratifier``) is off;
+* :func:`lower_matmul_layer` / :func:`lower_attention_layer` — cycle/energy/
+  traffic models composed into a :class:`LayerReport`;
+* :func:`stage_ops` — decompose a lowered report into the IR's
+  :class:`~repro.compiler.ir.TileOp` occupancies (exact float round-trip
+  with the engine's :func:`~repro.arch.engine.machine.layer_timing`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algo.ecp import ECPConfig
+from ..arch.attention_core import simulate_attention_core
+from ..arch.config import BishopConfig
+from ..arch.dense_core import simulate_dense_core
+from ..arch.energy import EnergyModel
+from ..arch.engine.machine import layer_timing
+from ..arch.memory import TrafficLedger, bundle_storage_bytes, spike_payload_bytes
+from ..arch.report import EnergyBreakdown, LayerReport
+from ..arch.sparse_core import simulate_sparse_core
+from ..arch.spike_generator import simulate_spike_generator
+from ..arch.stratifier import (
+    StratifiedWorkload,
+    balanced_theta,
+    stratify,
+    theta_for_dense_fraction,
+)
+from ..bundles import BundleSpec, TTBGrid
+from ..model.trace import LayerRecord
+from .ir import TileOp
+
+__all__ = [
+    "lower_attention_layer",
+    "lower_matmul_layer",
+    "plan_stratification",
+    "stage_ops",
+    "unstratified_workload",
+]
+
+
+def unstratified_workload(spikes: np.ndarray, spec: BundleSpec) -> StratifiedWorkload:
+    """Every feature on the dense core (stratify pass / flag off)."""
+    counts = TTBGrid(spikes, spec).active_per_feature
+    return StratifiedWorkload(
+        dense_features=np.arange(spikes.shape[2]),
+        sparse_features=np.array([], dtype=np.int64),
+        theta=-1.0,
+        active_per_feature=counts,
+    )
+
+
+def plan_stratification(
+    spikes: np.ndarray, out_features: int, config: BishopConfig
+) -> StratifiedWorkload:
+    """Apply the configured θ_s policy to one layer's input spikes.
+
+    Honors ``config.use_stratifier`` (off → everything dense) so the
+    accelerator's config-driven path and the compiler's pass-driven path
+    share one implementation.
+    """
+    spec = config.bundle_spec
+    if not config.use_stratifier:
+        return unstratified_workload(spikes, spec)
+    if config.stratify_theta is not None:
+        theta = config.stratify_theta
+    elif config.stratify_dense_fraction is not None:
+        theta = theta_for_dense_fraction(
+            spikes, spec, config.stratify_dense_fraction
+        )
+    else:
+        theta = balanced_theta(
+            spikes,
+            spec,
+            dense_time_fn=lambda w: simulate_dense_core(
+                spikes[:, :, w.dense_features], out_features, config
+            ).cycles,
+            sparse_time_fn=lambda w: simulate_sparse_core(
+                spikes[:, :, w.sparse_features], out_features, config
+            ).cycles,
+        )
+    return stratify(spikes, spec, theta)
+
+
+def lower_matmul_layer(
+    record: LayerRecord,
+    workload: StratifiedWorkload,
+    config: BishopConfig,
+    energy: EnergyModel,
+) -> LayerReport:
+    """Lower one projection/MLP layer onto the dense+sparse cores."""
+    spikes = record.input_spikes
+    d_in, d_out = record.weight_shape
+    timesteps, tokens, _ = spikes.shape
+
+    x_dense, x_sparse = workload.split(spikes)
+    dense = simulate_dense_core(x_dense, d_out, config)
+    sparse = simulate_sparse_core(x_sparse, d_out, config)
+    spike_gen = simulate_spike_generator(timesteps, tokens, d_out, config)
+
+    core_cycles = max(dense.cycles, sparse.cycles)
+    cycles = core_cycles + spike_gen.cycles
+    compute_time = cycles / config.clock_hz
+
+    traffic = TrafficLedger()
+    traffic.merge(dense.traffic)
+    traffic.merge(sparse.traffic)
+    traffic.merge(spike_gen.traffic)
+
+    # DRAM: weights streamed once (output-tiled when they exceed the
+    # weight GLB); rows of completely silent input features are never
+    # fetched (tag-gated — the structured pruning BSA amplifies).
+    # Input/output spike tensors spill only past the ping-pong spike GLB.
+    grid = TTBGrid(spikes, config.bundle_spec)
+    if config.skip_inactive_bundles:
+        alive_features = int((grid.active_per_feature > 0).sum())
+    else:
+        alive_features = d_in
+    weight_bytes = alive_features * d_out * config.weight_bits / 8.0
+    traffic.add("dram", "weight", weight_bytes)
+    in_payload = bundle_storage_bytes(
+        grid.num_active_bundles, config.bundle_spec.volume, grid.num_bundles
+    )
+    out_payload = spike_payload_bytes(timesteps * tokens, d_out)
+    for payload in (in_payload, out_payload):
+        spill = max(0.0, payload - config.spike_glb_bytes)
+        if spill:
+            traffic.add("dram", "activation", 2.0 * spill)  # write + read
+
+    dram_time = traffic.dram_time_s(config.dram)
+    latency = max(compute_time, dram_time)
+
+    breakdown = EnergyBreakdown(
+        compute_pj=dense.compute_energy_pj(energy) + sparse.compute_energy_pj(energy),
+        memory_pj=traffic.energy_pj(energy),
+        spike_gen_pj=spike_gen.compute_energy_pj(energy),
+        static_pj=energy.static_pj(latency),
+        memory_by_kind_pj=traffic.energy_by_kind_pj(energy),
+    )
+    total_ops = dense.sac_ops + sparse.sparse_ops
+    peak = cycles * (config.dense_throughput + config.sparse_throughput)
+    return LayerReport(
+        block=record.block,
+        kind=record.kind,
+        phase=record.phase,
+        cycles=cycles,
+        latency_s=latency,
+        energy=breakdown,
+        traffic=traffic,
+        unit_cycles={
+            "dense": dense.cycles,
+            "sparse": sparse.cycles,
+            "spike_gen": spike_gen.cycles,
+        },
+        utilization=float(total_ops / peak) if peak else 0.0,
+        notes={
+            "theta_s": workload.theta,
+            "dense_fraction": workload.dense_fraction,
+            "dense_cycles": dense.cycles,
+            "sparse_cycles": sparse.cycles,
+            "sparse_active_pairs": sparse.active_pairs,
+            "dram_time_s": dram_time,
+            "compute_time_s": compute_time,
+            "dense_tiles": dense.tiles,
+            "sparse_tiles": sparse.waves,
+            "sac_ops": dense.sac_ops,
+            "sparse_ops": sparse.sparse_ops,
+            "spike_count": float(spikes.sum()),
+            "alive_features": float(alive_features),
+            "bundle_occupancy": grid.bundle_density,
+        },
+    )
+
+
+def lower_attention_layer(
+    record: LayerRecord,
+    config: BishopConfig,
+    energy: EnergyModel,
+    ecp: ECPConfig | None = None,
+) -> LayerReport:
+    """Lower one SSA layer onto the attention core (Modes 1 + 2)."""
+    result = simulate_attention_core(record.q, record.k, record.v, config, ecp=ecp)
+    timesteps, heads, tokens, head_dim = record.q.shape
+    features = heads * head_dim
+    spike_gen = simulate_spike_generator(timesteps, tokens, features, config)
+
+    cycles = result.cycles + spike_gen.cycles
+    compute_time = cycles / config.clock_hz
+
+    traffic = TrafficLedger()
+    traffic.merge(result.traffic)
+    traffic.merge(spike_gen.traffic)
+    # Q/K/V/Y share the ping-pong spike GLBs, equally partitioned; the
+    # binary Q/K/V tensors spill past their quarter share.  Y itself is
+    # consumed by the spike generator in-flight and never spills.
+    tensor_capacity = 2 * config.spike_glb_bytes / 4.0
+    qkv_payload = spike_payload_bytes(timesteps * tokens, features)
+    for _ in range(3):  # Q, K, V
+        spill = max(0.0, qkv_payload - tensor_capacity)
+        if spill:
+            traffic.add("dram", "activation", spill)
+
+    dram_time = traffic.dram_time_s(config.dram)
+    latency = max(compute_time, dram_time)
+
+    breakdown = EnergyBreakdown(
+        compute_pj=result.compute_energy_pj(energy),
+        memory_pj=traffic.energy_pj(energy),
+        spike_gen_pj=spike_gen.compute_energy_pj(energy),
+        static_pj=energy.static_pj(latency),
+        memory_by_kind_pj=traffic.energy_by_kind_pj(energy),
+    )
+    return LayerReport(
+        block=record.block,
+        kind=record.kind,
+        phase=record.phase,
+        cycles=cycles,
+        latency_s=latency,
+        energy=breakdown,
+        traffic=traffic,
+        unit_cycles={
+            "mode1": result.mode1_cycles,
+            "mode2": result.mode2_cycles,
+            "spike_gen": spike_gen.cycles,
+        },
+        utilization=result.utilization,
+        notes={
+            "q_keep_fraction": result.q_keep_fraction,
+            "k_keep_fraction": result.k_keep_fraction,
+            "score_compute_fraction": result.score_compute_fraction,
+            "dram_time_s": dram_time,
+            "compute_time_s": compute_time,
+            "attention_tiles": result.tiles,
+            "aac_ops": result.aac_ops,
+            "sac_ops": result.sac_ops,
+            "spike_count": float(record.q.sum() + record.k.sum() + record.v.sum()),
+        },
+    )
+
+
+def stage_ops(
+    report: LayerReport, config: BishopConfig, energy: EnergyModel
+) -> tuple[tuple[TileOp, ...], dict]:
+    """Decompose a lowered report into IR tile ops plus energy annotations.
+
+    Built on :func:`~repro.arch.engine.machine.layer_timing`, so a stage's
+    :meth:`~repro.compiler.ir.Stage.timing` round-trips the engine task
+    descriptor exactly — the compiled serving path replays the same floats
+    the legacy path did.
+    """
+    timing = layer_timing(report, config, energy)
+    weight_bytes = report.traffic.bytes(level="dram", kind="weight")
+    activation_bytes = report.traffic.bytes(level="dram") - weight_bytes
+
+    ops: list[TileOp] = []
+    if timing.dense_s > 0:
+        ops.append(TileOp("dense_core", timing.dense_s, tiles=timing.dense_tiles))
+    if timing.sparse_s > 0:
+        ops.append(TileOp("sparse_core", timing.sparse_s, tiles=timing.sparse_tiles))
+    if timing.attention_s > 0:
+        ops.append(
+            TileOp("attention_core", timing.attention_s, tiles=timing.attention_tiles)
+        )
+    if timing.spike_gen_s > 0:
+        ops.append(TileOp("spike_gen", timing.spike_gen_s))
+    if timing.weight_dram_s > 0:
+        ops.append(
+            TileOp("dram", timing.weight_dram_s, bytes=weight_bytes, tag="weight")
+        )
+    if timing.activation_dram_s > 0:
+        ops.append(
+            TileOp(
+                "dram",
+                timing.activation_dram_s,
+                bytes=activation_bytes,
+                tag="activation",
+            )
+        )
+
+    annotations = {
+        "dynamic_pj": timing.dynamic_pj,
+        "weight_dram_pj": timing.weight_dram_pj,
+        "energy_pj": report.energy.total_pj,
+        "latency_s": report.latency_s,
+        "cycles": report.cycles,
+        "utilization": report.utilization,
+        "dram_weight_bytes": weight_bytes,
+        "dram_activation_bytes": activation_bytes,
+    }
+    # Numeric lowering notes (θ_s, keep fractions, op counts, …) become IR
+    # annotations verbatim — they are what the passes decided.
+    for key, value in report.notes.items():
+        if isinstance(value, (int, float)):
+            annotations.setdefault(key, float(value))
+    return tuple(ops), annotations

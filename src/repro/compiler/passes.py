@@ -1,0 +1,475 @@
+"""The Bishop compiler's pass pipeline.
+
+Compilation turns a :class:`~repro.model.trace.ModelTrace` into an
+engine-ready :class:`~repro.compiler.ir.Program` through ordered,
+individually-testable passes over a mutable :class:`Compilation`:
+
+``ingest``
+    One :class:`StageDraft` per traced matmul/attention record, annotated
+    with raw workload statistics (spikes, MACs, shapes).
+``packing``
+    TTB bundle packing (Sec. 3): activity tags gate fetch and compute, so
+    inactive bundles vanish.  Off → every bundle processed as if active.
+``ecp``
+    Error-constrained pruning plan (Sec. 5.1, reusing ``repro.algo.ecp``):
+    attention stages get certified Q/K bundle-row keep plans.
+``stratify``
+    Algorithm-1 dense/sparse feature assignment (reusing
+    ``repro.arch.stratifier`` through the lowering helpers).  Off → the
+    whole layer runs on the dense core.
+``lower``
+    The analytic core models realize the plans into cycles, energy, and
+    traffic; stage drafts gain :class:`~repro.compiler.ir.TileOp` bindings.
+``schedule``
+    Depth-1 weight-prefetch/double-buffer scheduling: marks weight streams
+    prefetchable and measures the scheduled makespan on the event engine.
+
+:func:`compile_trace` assembles the pipeline from a :class:`PassConfig`
+(each optimization pass can be toggled off — the ``compiler_pass_ablation``
+experiment does exactly that) and the chip config's own policy switches,
+which a pass may *disable* but never override on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from ..algo.ecp import ECPConfig
+from ..arch.attention_core import merge_attention_heads
+from ..arch.config import BishopConfig
+from ..arch.energy import EnergyModel
+from ..arch.report import InferenceReport, LayerReport
+from ..bundles import TTBGrid
+from ..model.trace import LayerRecord, ModelTrace
+from .ir import Program, Stage, TileOp
+from .lowering import (
+    lower_attention_layer,
+    lower_matmul_layer,
+    plan_stratification,
+    stage_ops,
+    unstratified_workload,
+)
+
+__all__ = [
+    "Compilation",
+    "CompilerPass",
+    "PassConfig",
+    "PassManager",
+    "StageDraft",
+    "BundlePackingPass",
+    "ECPPlanningPass",
+    "LowerPass",
+    "SchedulePass",
+    "StratifyPass",
+    "TraceIngestPass",
+    "compile_trace",
+    "default_pipeline",
+    "materialize_report",
+]
+
+# Optimization-pass toggles addressable from CLI specs.
+_PASS_TOKENS = {
+    "packing": "bundle_packing",
+    "bundle_packing": "bundle_packing",
+    "stratify": "stratify",
+    "ecp": "ecp",
+    "schedule": "schedule",
+}
+
+
+@dataclass(frozen=True)
+class PassConfig:
+    """Which optimization passes run (the mandatory ingest/lower always do)."""
+
+    bundle_packing: bool = True
+    stratify: bool = True
+    ecp: bool = True
+    schedule: bool = True
+
+    @classmethod
+    def parse(cls, spec: "str | PassConfig | None") -> "PassConfig":
+        """``"all"`` / ``"none"`` / ``"packing+stratify+ecp+schedule"`` (any
+        subset, ``+``-separated) → a :class:`PassConfig`."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, PassConfig):
+            return spec
+        text = spec.strip().lower()
+        if text in ("all", "", "default"):
+            return cls()
+        if text in ("none", "off"):
+            return cls(
+                bundle_packing=False, stratify=False, ecp=False, schedule=False
+            )
+        enabled = {}
+        for token in text.split("+"):
+            token = token.strip()
+            if not token:
+                continue
+            if token not in _PASS_TOKENS:
+                raise ValueError(
+                    f"unknown compiler pass {token!r}; options"
+                    f" {sorted(set(_PASS_TOKENS))} (or 'all'/'none')"
+                )
+            enabled[_PASS_TOKENS[token]] = True
+        return cls(
+            bundle_packing=enabled.get("bundle_packing", False),
+            stratify=enabled.get("stratify", False),
+            ecp=enabled.get("ecp", False),
+            schedule=enabled.get("schedule", False),
+        )
+
+    def spec(self) -> str:
+        """Canonical string form (stable — feeds the program cache key)."""
+        names = [
+            name
+            for name, on in (
+                ("packing", self.bundle_packing),
+                ("stratify", self.stratify),
+                ("ecp", self.ecp),
+                ("schedule", self.schedule),
+            )
+            if on
+        ]
+        if len(names) == 4:
+            return "all"
+        return "+".join(names) if names else "none"
+
+    def without(self, name: str) -> "PassConfig":
+        """This config with one pass toggled off (ablation helper)."""
+        if name not in _PASS_TOKENS:
+            raise ValueError(
+                f"unknown compiler pass {name!r}; options {sorted(set(_PASS_TOKENS))}"
+            )
+        return replace(self, **{_PASS_TOKENS[name]: False})
+
+
+@dataclass
+class StageDraft:
+    """Mutable per-stage state the passes successively refine."""
+
+    index: int
+    record: LayerRecord
+    annotations: dict = field(default_factory=dict)
+    workload: object | None = None      # StratifiedWorkload (stratify pass)
+    packed: bool = False                # bundle-packing pass ran
+    ecp: ECPConfig | None = None        # ECP plan (attention stages)
+    report: LayerReport | None = None   # set by the lower pass
+    ops: tuple[TileOp, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return self.record.kind
+
+    @property
+    def is_matmul(self) -> bool:
+        return self.record.is_matmul
+
+
+@dataclass
+class Compilation:
+    """One compilation in flight: inputs, drafts, and the pass log."""
+
+    trace: ModelTrace
+    config: BishopConfig
+    energy: EnergyModel
+    ecp: ECPConfig | None = None
+    drafts: list[StageDraft] = field(default_factory=list)
+    log: list[str] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def lowering_config(self, draft: StageDraft) -> BishopConfig:
+        """The chip config the core models see for ``draft``: the packing
+        decision is the pass's, not the config flag's."""
+        if self.config.skip_inactive_bundles == draft.packed:
+            return self.config
+        return self.config.with_overrides(skip_inactive_bundles=draft.packed)
+
+
+class CompilerPass:
+    """One step of the pipeline; subclasses set ``name`` and ``run``."""
+
+    name = "pass"
+
+    def run(self, comp: Compilation) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class TraceIngestPass(CompilerPass):
+    """Trace → stage drafts with raw workload statistics."""
+
+    name = "ingest"
+
+    def run(self, comp: Compilation) -> None:
+        for record in comp.trace.records:
+            if not (record.is_matmul or record.kind == "attention"):
+                continue  # tokenizer/head are outside Bishop's scope
+            draft = StageDraft(index=len(comp.drafts), record=record)
+            draft.annotations["macs"] = float(record.macs())
+            if record.is_matmul:
+                t, n, d_in = record.input_spikes.shape
+                draft.annotations.update(
+                    timesteps=float(t), tokens=float(n),
+                    in_features=float(d_in),
+                    out_features=float(record.weight_shape[1]),
+                    spike_count=float(record.input_spikes.sum()),
+                )
+            else:
+                t, h, n, d = record.q.shape
+                draft.annotations.update(
+                    timesteps=float(t), tokens=float(n), heads=float(h),
+                    in_features=float(h * d),
+                    spike_count=float(
+                        record.q.sum() + record.k.sum() + record.v.sum()
+                    ),
+                )
+            comp.drafts.append(draft)
+
+
+class BundlePackingPass(CompilerPass):
+    """TTB bundle packing: annotate activity tags, enable inactive-bundle
+    skipping in the lowering (Sec. 3's Eq.-9 tags)."""
+
+    name = "packing"
+
+    def run(self, comp: Compilation) -> None:
+        spec = comp.config.bundle_spec
+        for draft in comp.drafts:
+            draft.packed = True
+            if draft.is_matmul:
+                grid = TTBGrid(draft.record.input_spikes, spec)
+                draft.annotations.update(
+                    num_bundles=float(grid.num_bundles),
+                    active_bundles=float(grid.num_active_bundles),
+                    bundle_occupancy=grid.bundle_density,
+                )
+            else:
+                q_grid = TTBGrid(merge_attention_heads(draft.record.q), spec)
+                k_grid = TTBGrid(merge_attention_heads(draft.record.k), spec)
+                total = q_grid.num_bundles + k_grid.num_bundles
+                active = q_grid.num_active_bundles + k_grid.num_active_bundles
+                draft.annotations.update(
+                    num_bundles=float(total),
+                    active_bundles=float(active),
+                    bundle_occupancy=active / total if total else 0.0,
+                )
+
+
+class ECPPlanningPass(CompilerPass):
+    """Error-constrained pruning plan for attention stages (Sec. 5.1).
+
+    The pass decides *which* stages prune and records the certified
+    per-score error bound (``max(θ_q, θ_k)`` by construction — no pruning
+    run needed); the realized Q/K keep fractions come out of the lowering
+    itself (``q_keep_fraction``/``k_keep_fraction`` annotations), which
+    runs the pruning exactly once per stage.
+    """
+
+    name = "ecp"
+
+    def run(self, comp: Compilation) -> None:
+        if comp.ecp is None:
+            return
+        for draft in comp.drafts:
+            if draft.kind != "attention":
+                continue
+            draft.ecp = comp.ecp
+            draft.annotations.update(
+                ecp_theta_q=float(comp.ecp.theta_q),
+                ecp_theta_k=float(comp.ecp.theta_k),
+                ecp_error_bound=float(
+                    max(comp.ecp.theta_q, comp.ecp.theta_k)
+                ),
+            )
+
+
+class StratifyPass(CompilerPass):
+    """Algorithm-1 dense/sparse feature assignment for matmul stages."""
+
+    name = "stratify"
+
+    def run(self, comp: Compilation) -> None:
+        for draft in comp.drafts:
+            if not draft.is_matmul:
+                continue
+            config = comp.lowering_config(draft).with_overrides(use_stratifier=True)
+            workload = plan_stratification(
+                draft.record.input_spikes, draft.record.weight_shape[1], config
+            )
+            draft.workload = workload
+            draft.annotations.update(
+                theta_s=workload.theta,
+                dense_fraction=workload.dense_fraction,
+                dense_features=float(len(workload.dense_features)),
+                sparse_features=float(len(workload.sparse_features)),
+            )
+
+
+class LowerPass(CompilerPass):
+    """Realize the plans through the analytic core models → tile ops."""
+
+    name = "lower"
+
+    def run(self, comp: Compilation) -> None:
+        spec = comp.config.bundle_spec
+        for draft in comp.drafts:
+            config = comp.lowering_config(draft)
+            if draft.is_matmul:
+                workload = draft.workload
+                if workload is None:  # stratify pass off → everything dense
+                    workload = unstratified_workload(draft.record.input_spikes, spec)
+                report = lower_matmul_layer(
+                    draft.record, workload, config, comp.energy
+                )
+            else:
+                report = lower_attention_layer(
+                    draft.record, config, comp.energy, ecp=draft.ecp
+                )
+            draft.report = report
+            ops, annotations = stage_ops(report, config, comp.energy)
+            draft.ops = ops
+            # Pass annotations (the plan) take precedence over lowering
+            # echoes of the same keys.
+            draft.annotations = {**annotations, **draft.annotations}
+
+
+class SchedulePass(CompilerPass):
+    """Prefetch/double-buffer scheduling: mark weight streams prefetchable
+    and measure the scheduled makespan on the event engine."""
+
+    name = "schedule"
+
+    def run(self, comp: Compilation) -> None:
+        from .emit import measure_timings  # local: emit imports the engine
+
+        timings = []
+        for draft in comp.drafts:
+            if draft.report is None:
+                raise RuntimeError("schedule pass requires lowered stages")
+            draft.annotations["prefetch_weights"] = True
+            timings.append(_draft_stage(draft).timing())
+        comp.meta["scheduled_latency_s"] = measure_timings(
+            tuple(timings), scheduled=True
+        )
+
+
+def _draft_stage(draft: StageDraft) -> Stage:
+    return Stage(
+        index=draft.index,
+        block=draft.record.block,
+        kind=draft.record.kind,
+        phase=draft.record.phase,
+        ops=draft.ops,
+        annotations=dict(draft.annotations),
+        report=draft.report,
+    )
+
+
+class PassManager:
+    """Runs an ordered pass pipeline and finishes the Program."""
+
+    def __init__(self, pipeline: Sequence[CompilerPass]):
+        self.pipeline = tuple(pipeline)
+
+    def run(self, comp: Compilation, meta: dict | None = None) -> Program:
+        for compiler_pass in self.pipeline:
+            compiler_pass.run(comp)
+            comp.log.append(compiler_pass.name)
+        if any(draft.report is None for draft in comp.drafts):
+            raise RuntimeError(
+                "pass pipeline finished without lowering every stage;"
+                " include LowerPass"
+            )
+        stages = tuple(_draft_stage(draft) for draft in comp.drafts)
+        program = Program(
+            model=comp.trace.model_name,
+            stages=stages,
+            passes=tuple(comp.log),
+            chip=_chip_dict(comp.config),
+            meta={**comp.meta, **(meta or {})},
+        )
+        # Program-level estimates, recorded for dumps and cache hits.
+        extra = {
+            "serial_latency_s": program.serial_latency_s,
+            "pipelined_bound_s": program.pipelined_bound_s,
+            "dynamic_pj": program.dynamic_pj,
+            "request_latency_s": program.request_latency_s,
+        }
+        program.meta.update(extra)
+        return program
+
+
+def _chip_dict(config: BishopConfig) -> dict:
+    """JSON-safe chip description (nested dataclasses flattened)."""
+    import dataclasses
+
+    return dataclasses.asdict(config)
+
+
+def default_pipeline(
+    config: BishopConfig,
+    passes: PassConfig,
+    ecp: ECPConfig | None = None,
+) -> list[CompilerPass]:
+    """The standard pipeline for a chip config and pass toggles.
+
+    A pass can *disable* an optimization the chip config already turned
+    off (e.g. ``use_stratifier=False``) but never force it back on — the
+    config's policy switches remain authoritative, which keeps the
+    accelerator's config-driven ablations and the compiler's pass-driven
+    ablations consistent.
+    """
+    pipeline: list[CompilerPass] = [TraceIngestPass()]
+    if passes.bundle_packing and config.skip_inactive_bundles:
+        pipeline.append(BundlePackingPass())
+    if passes.ecp and ecp is not None:
+        pipeline.append(ECPPlanningPass())
+    if passes.stratify and config.use_stratifier:
+        pipeline.append(StratifyPass())
+    pipeline.append(LowerPass())
+    if passes.schedule:
+        pipeline.append(SchedulePass())
+    return pipeline
+
+
+def compile_trace(
+    trace: ModelTrace,
+    config: BishopConfig | None = None,
+    energy: EnergyModel | None = None,
+    ecp: ECPConfig | None = None,
+    passes: "PassConfig | str | None" = None,
+    meta: dict | None = None,
+) -> Program:
+    """Compile one model trace into an engine-ready :class:`Program`."""
+    config = config or BishopConfig()
+    energy = energy or EnergyModel()
+    pass_config = PassConfig.parse(passes)
+    comp = Compilation(trace=trace, config=config, energy=energy, ecp=ecp)
+    manager = PassManager(default_pipeline(config, pass_config, ecp))
+    base_meta = {"pass_config": pass_config.spec()}
+    if meta:
+        base_meta.update(meta)
+    return manager.run(comp, meta=base_meta)
+
+
+def materialize_report(program: Program) -> InferenceReport:
+    """The analytic :class:`InferenceReport` behind an in-process program.
+
+    Only available when the program was compiled in this process (stage
+    reports are not serialized; a cache-loaded program raises).
+    """
+    layers = []
+    for stage in program.stages:
+        if stage.report is None:
+            raise ValueError(
+                "program has no stage reports (loaded from cache?);"
+                " recompile from the trace to materialize an InferenceReport"
+            )
+        layers.append(stage.report)
+    return InferenceReport(
+        accelerator="bishop",
+        model_name=program.model,
+        layers=layers,
+        program=program,
+    )

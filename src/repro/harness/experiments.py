@@ -134,6 +134,11 @@ class Experiment:
 _SEED = ParamSpec(int, 0, "base RNG seed")
 _BS_T = ParamSpec(int, 2, "bundle timestep extent BS_t")
 _BS_N = ParamSpec(int, 4, "bundle token extent BS_n")
+_PASSES = ParamSpec(
+    str, "all",
+    "compiler passes: all | none | '+'-joined subset of"
+    " packing,stratify,ecp,schedule",
+)
 _MODEL = ParamSpec(str, "model3", "Table-2 model id")
 _MODELS = ParamSpec(
     str, ",".join(ALL_MODELS[:4]), "model ids, ','- or '+'-separated"
@@ -408,16 +413,21 @@ def experiment_sec64_attn(models: str = _MODELS.default) -> dict:
 # ----------------------------------------------------------------------
 # Serving experiments (beyond the paper: multi-request engine simulation)
 # ----------------------------------------------------------------------
-def _serve_setup(mix: str, bs_t: int, bs_n: int, seed: int, rho: float):
-    """Shared serving preamble: parse the mix, build per-model profiles,
-    and derive the arrival rate realizing load ``rho`` on the mix's mean
-    single-request latency.  Returns ``(weights, profiles, rate_rps)``."""
+def _serve_setup(
+    mix: str, bs_t: int, bs_n: int, seed: int, rho: float, passes: str = "all"
+):
+    """Shared serving preamble: parse the mix, compile per-model profiles
+    (under the requested compiler passes), and derive the arrival rate
+    realizing load ``rho`` on the mix's mean single-request latency.
+    Returns ``(weights, profiles, rate_rps)``."""
     # Imported lazily: repro.serve builds on repro.harness.synthetic, so a
     # top-level import would cycle through the package initializer.
     from ..serve import parse_model_mix, request_profile
 
     weights = parse_model_mix(mix)
-    profiles = {m: request_profile(m, bs_t, bs_n, seed) for m in weights}
+    profiles = {
+        m: request_profile(m, bs_t, bs_n, seed, passes=passes) for m in weights
+    }
     mean_latency = sum(w * profiles[m].single_latency_s for m, w in weights.items())
     return weights, profiles, rho / mean_latency
 
@@ -452,16 +462,19 @@ def experiment_serve_latency_cdf(
     max_inflight: int = 2,
     bs_t: int = 2,
     bs_n: int = 4,
+    passes: str = "all",
 ) -> dict:
     """Serving — latency percentiles/throughput under an arrival stream.
 
     ``rho`` is the offered load relative to one chip's single-request
     service rate on the mix's mean inference latency; the arrival rate is
     derived from it so the experiment is meaningful across model mixes.
+    ``passes`` selects the compiler passes the request programs are built
+    with (program-cached across runs and worker processes).
     """
     from ..serve import SchedulerConfig, simulate_serving
 
-    weights, profiles, rate = _serve_setup(mix, bs_t, bs_n, seed, rho)
+    weights, profiles, rate = _serve_setup(mix, bs_t, bs_n, seed, rho, passes)
     requests = _serve_arrivals(
         arrival, num_requests, rate, weights, seed, burst_factor
     )
@@ -477,6 +490,7 @@ def experiment_serve_latency_cdf(
         "mix": weights,
         "arrival": arrival,
         "target_rho": rho,
+        "passes": passes,
         "arrival_rate_rps": rate,
         "single_latency_ms": {
             m: profiles[m].single_latency_s * 1e3 for m in weights
@@ -494,6 +508,7 @@ def experiment_serve_batch_sweep(
     max_inflight: int = 2,
     bs_t: int = 2,
     bs_n: int = 4,
+    passes: str = "all",
 ) -> dict:
     """Serving — batch-size sweep under backlog.
 
@@ -504,7 +519,7 @@ def experiment_serve_batch_sweep(
     """
     from ..serve import SchedulerConfig, simulate_serving
 
-    weights, profiles, rate = _serve_setup(mix, bs_t, bs_n, seed, rho)
+    weights, profiles, rate = _serve_setup(mix, bs_t, bs_n, seed, rho, passes)
     sizes = [int(b) for b in batch_sizes.split("+") if b.strip()]
     if not sizes or any(b < 1 for b in sizes):
         raise ValueError(f"bad batch_sizes {batch_sizes!r}; e.g. '1+2+4'")
@@ -535,6 +550,101 @@ def experiment_serve_batch_sweep(
 
 
 # ----------------------------------------------------------------------
+# Compiler experiments (beyond the paper: pass-pipeline ablation)
+# ----------------------------------------------------------------------
+def experiment_compiler_pass_ablation(
+    model: str = "model3",
+    dram_gbps: float = 2.4,
+    theta_q: float = 6.0,
+    theta_k: float = 6.0,
+    seed: int = 0,
+    bs_t: int = 2,
+    bs_n: int = 4,
+) -> dict:
+    """Compiler — what each optimization pass contributes.
+
+    The same trace is compiled six times: all passes on, each optimization
+    pass individually off, and all off.  The chip is the serving
+    configuration with a configurable DRAM bandwidth; the 2.4 GB/s default
+    models an LPDDR-class edge deployment where the memory system is the
+    scarce resource and the prefetch scheduling pass has room to work — at
+    the paper's 76.8 GB/s the Table-2 zoo is uniformly compute-bound, the
+    scheduling pass is neutral, and only packing/stratify/ECP move the
+    needle (set ``dram_gbps=76.8`` to see exactly that).
+    """
+    import dataclasses
+
+    from ..algo import ECPConfig
+    from ..compiler import PassConfig, ProgramCache, compile_model
+    from ..serve.profiles import profile_config
+
+    if dram_gbps <= 0:
+        raise ValueError(f"dram_gbps must be positive, got {dram_gbps}")
+    base = profile_config(bs_t, bs_n)
+    config = base.with_overrides(
+        dram=dataclasses.replace(
+            base.dram, bandwidth_bytes_per_s=dram_gbps * 1e9
+        )
+    )
+    ecp = ECPConfig(theta_q=theta_q, theta_k=theta_k, spec=config.bundle_spec)
+    variants = {
+        "all": PassConfig(),
+        "no_packing": PassConfig().without("packing"),
+        "no_stratify": PassConfig().without("stratify"),
+        "no_ecp": PassConfig().without("ecp"),
+        "no_schedule": PassConfig().without("schedule"),
+        "none": PassConfig.parse("none"),
+    }
+    # Off-default chips stay out of the shared on-disk program store; the
+    # run-level result cache already memoizes the whole experiment.
+    cache = ProgramCache(None)
+    rows = {}
+    for name, pass_config in variants.items():
+        program = compile_model(
+            model, config, seed=seed, ecp=ecp, passes=pass_config, cache=cache
+        )
+        scheduled_ms = (
+            program.scheduled_latency_s * 1e3
+            if program.scheduled_latency_s is not None
+            else None
+        )
+        rows[name] = {
+            "passes": pass_config.spec(),
+            "pipeline": list(program.passes),
+            "stages": len(program.stages),
+            "serial_latency_ms": program.serial_latency_s * 1e3,
+            "scheduled_latency_ms": scheduled_ms,
+            "request_latency_ms": program.request_latency_s * 1e3,
+            "pipelined_bound_ms": program.pipelined_bound_s * 1e3,
+            "dynamic_energy_mj": program.dynamic_pj * 1e-9,
+            "dram_mb": program.dram_bytes / 1e6,
+            "bundle_occupancy": program.bundle_occupancy(),
+            "tile_counts": program.tile_counts(),
+        }
+    full = rows["all"]["request_latency_ms"]
+    baseline = rows["none"]["request_latency_ms"]
+    no_schedule = rows["no_schedule"]["request_latency_ms"]
+    return {
+        "model": model,
+        "dram_gbps": dram_gbps,
+        "ecp": {"theta_q": theta_q, "theta_k": theta_k},
+        "variants": rows,
+        "summary": {
+            "speedup_all_vs_none": baseline / full if full else 0.0,
+            # The scheduling pass in isolation: all-on (scheduled makespan)
+            # vs the same mapping without the pass (serial makespan).
+            "schedule_makespan_gain": (
+                1.0 - full / no_schedule if no_schedule else 0.0
+            ),
+            "pass_cost_ms": {
+                name: rows[name]["request_latency_ms"] - full
+                for name in ("no_packing", "no_stratify", "no_ecp", "no_schedule")
+            },
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # Cluster experiments (beyond the paper: multi-chip fleet simulation)
 # ----------------------------------------------------------------------
 def experiment_cluster_scaling_curve(
@@ -549,6 +659,7 @@ def experiment_cluster_scaling_curve(
     max_inflight: int = 2,
     bs_t: int = 2,
     bs_n: int = 4,
+    passes: str = "all",
 ) -> dict:
     """Cluster — throughput and latency percentiles vs fleet size.
 
@@ -569,7 +680,7 @@ def experiment_cluster_scaling_curve(
     weights = parse_model_mix(mix)
     config = chip_config(kind, bs_t, bs_n)
     profiles = {
-        model: request_profile(model, seed=seed, config=config)
+        model: request_profile(model, seed=seed, config=config, passes=passes)
         for model in weights
     }
     mean_latency = sum(
@@ -594,6 +705,7 @@ def experiment_cluster_scaling_curve(
             bs_t=bs_t,
             bs_n=bs_n,
             seed=seed,
+            passes=passes,
         ).run(requests)
         points[str(size)] = {
             "throughput_rps": report.throughput_rps,
@@ -633,6 +745,7 @@ def experiment_cluster_routing_ablation(
     max_inflight: int = 2,
     bs_t: int = 2,
     bs_n: int = 4,
+    passes: str = "all",
 ) -> dict:
     """Cluster — routing-policy comparison at a fixed (heterogeneous) fleet.
 
@@ -659,7 +772,7 @@ def experiment_cluster_routing_ablation(
     unknown = [p for p in names if p not in POLICIES]
     if not names or unknown:
         raise ValueError(f"bad policies {policies!r}; options {sorted(POLICIES)}")
-    rate = rho * fleet_capacity_rps(fleet_spec, weights, bs_t, bs_n, seed)
+    rate = rho * fleet_capacity_rps(fleet_spec, weights, bs_t, bs_n, seed, passes)
     requests = _serve_arrivals("poisson", num_requests, rate, weights, seed, 8.0)
     scheduler = SchedulerConfig(max_batch=max_batch, max_inflight=max_inflight)
     admission = AdmissionConfig(queue_capacity=queue_capacity or None)
@@ -673,6 +786,7 @@ def experiment_cluster_routing_ablation(
             bs_t=bs_t,
             bs_n=bs_n,
             seed=seed,
+            passes=passes,
         ).run(requests)
         results[name] = {
             "throughput_rps": report.throughput_rps,
@@ -691,7 +805,8 @@ def experiment_cluster_routing_ablation(
         share_by_kind = {}
         for kind in sorted({spec.kind for spec in fleet_spec.chips}):
             profile = request_profile(
-                model, seed=seed, config=chip_config(kind, bs_t, bs_n)
+                model, seed=seed, config=chip_config(kind, bs_t, bs_n),
+                passes=passes,
             )
             latency_by_kind[kind] = profile.single_latency_s * 1e3
             share_by_kind[kind] = profile.sparse_core_share
@@ -821,6 +936,22 @@ EXPERIMENTS: dict[str, Experiment] = _register((
         description="attention-core comparison vs PTB",
     ),
     Experiment(
+        "compiler_pass_ablation", "Compiler", experiment_compiler_pass_ablation,
+        cost="medium",
+        params={
+            "model": _MODEL,
+            "dram_gbps": ParamSpec(
+                float, 2.4, "chip DRAM bandwidth (GB/s); 76.8 = paper chip"
+            ),
+            "theta_q": ParamSpec(float, 6.0, "ECP Q-pruning threshold"),
+            "theta_k": ParamSpec(float, 6.0, "ECP K-pruning threshold"),
+            "seed": _SEED, "bs_t": _BS_T, "bs_n": _BS_N,
+        },
+        smoke_params={"model": "model4"},
+        description="per-pass compiler ablation: makespan/energy of each"
+        " optimization pass toggled off",
+    ),
+    Experiment(
         "serve_latency_cdf", "Serving", experiment_serve_latency_cdf,
         cost="medium",
         params={
@@ -833,6 +964,7 @@ EXPERIMENTS: dict[str, Experiment] = _register((
             "max_batch": ParamSpec(int, 1, "same-model batching limit"),
             "max_inflight": ParamSpec(int, 2, "concurrent inferences"),
             "bs_t": _BS_T, "bs_n": _BS_N,
+            "passes": _PASSES,
         },
         smoke_params={"num_requests": 40},
         description="serving latency percentiles under an arrival stream",
@@ -848,6 +980,7 @@ EXPERIMENTS: dict[str, Experiment] = _register((
             "batch_sizes": ParamSpec(str, "1+2+4+8", "'+'-separated batch sizes"),
             "max_inflight": ParamSpec(int, 2, "concurrent inferences"),
             "bs_t": _BS_T, "bs_n": _BS_N,
+            "passes": _PASSES,
         },
         smoke_params={"num_requests": 40, "batch_sizes": "1+4"},
         description="batching throughput/latency/energy trade-off",
@@ -866,6 +999,7 @@ EXPERIMENTS: dict[str, Experiment] = _register((
             "max_batch": ParamSpec(int, 1, "same-model batching limit"),
             "max_inflight": ParamSpec(int, 2, "concurrent inferences per chip"),
             "bs_t": _BS_T, "bs_n": _BS_N,
+            "passes": _PASSES,
         },
         smoke_params={"num_requests": 60, "fleet_sizes": "1+2"},
         description="throughput + p50/p99 latency vs fleet size",
@@ -889,6 +1023,7 @@ EXPERIMENTS: dict[str, Experiment] = _register((
             "max_batch": ParamSpec(int, 1, "same-model batching limit"),
             "max_inflight": ParamSpec(int, 2, "concurrent inferences per chip"),
             "bs_t": _BS_T, "bs_n": _BS_N,
+            "passes": _PASSES,
         },
         smoke_params={"num_requests": 80, "policies": "round_robin+sparsity"},
         description="routing-policy comparison at a fixed heterogeneous fleet",

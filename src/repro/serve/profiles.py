@@ -1,14 +1,22 @@
-"""Per-model request profiles: the engine task graph of one inference.
+"""Per-model request profiles: the compiled program of one inference.
 
 Simulating a request does not re-run the numpy core models — a
-:class:`RequestProfile` is computed once per (model, chip configuration,
-seed) and replayed cheaply through the event engine for every request,
-which is what makes thousand-request serving sweeps tractable.
+:class:`RequestProfile` wraps the compiler's
+:class:`~repro.compiler.ir.Program` for one (model, chip configuration,
+pass configuration, seed) and is replayed cheaply through the event engine
+for every request, which is what makes thousand-request serving sweeps
+tractable.  Compilation itself is content-addressed
+(``repro.compiler.cache``): repeated profile builds — across requests,
+chips of the same kind, and even across *worker processes* — reuse the
+compiled program instead of re-simulating.
 
 Profiles are chip-aware: passing an explicit :class:`BishopConfig` builds
 the task graph for that chip's core provisioning and clock, which is how
 the cluster layer gives differently-configured chips (sparse-core-heavy,
-dense-core-heavy) different per-model service times.
+dense-core-heavy) different per-model service times.  The ``passes`` knob
+selects the compiler passes (``"all"`` / ``"none"`` /
+``"packing+stratify+schedule"`` …); with the scheduling pass on, requests
+replay under the depth-1 weight-prefetch schedule.
 """
 
 from __future__ import annotations
@@ -16,11 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-from ..arch import BishopAccelerator, BishopConfig
-from ..arch.engine.machine import LayerTiming, layer_timings
+from ..arch import BishopConfig
+from ..arch.engine.machine import LayerTiming
 from ..bundles import BundleSpec
-from ..harness.synthetic import PROFILES, synthetic_trace
-from ..model import model_config
+from ..compiler import PassConfig, compile_model
 
 __all__ = ["RequestProfile", "profile_config", "request_profile"]
 
@@ -33,6 +40,7 @@ class RequestProfile:
     timings: tuple[LayerTiming, ...]
     single_latency_s: float        # uncontended engine latency (oracle-equal)
     dynamic_pj: float              # per-request dynamic energy at batch 1
+    scheduled: bool = False        # replay under the prefetch schedule
 
     def batch_dynamic_pj(self, batch: int) -> float:
         return sum(t.batch_dynamic_pj(batch) for t in self.timings)
@@ -72,31 +80,33 @@ def request_profile(
     seed: int = 0,
     dense_fraction: float = 0.5,
     config: BishopConfig | None = None,
+    passes: "PassConfig | str | None" = None,
 ) -> RequestProfile:
     """Build (and cache) the serving profile of one Table-2 model.
 
     An explicit ``config`` (a specific chip's provisioning) takes
     precedence over the ``bs_t``/``bs_n``/``dense_fraction`` shorthand;
-    the synthetic trace is still seeded by ``seed`` either way.
+    the synthetic trace is still seeded by ``seed`` either way.  The
+    profile is derived from the compiled program, so two chips with the
+    same configuration share one compilation.
     """
     if config is None:
         config = profile_config(bs_t, bs_n, dense_fraction)
     # Normalized before the cache so positional and keyword call styles
     # share one entry (lru_cache keys them differently).
-    return _request_profile(model, config, int(seed))
+    return _request_profile(model, config, int(seed), PassConfig.parse(passes))
 
 
 @lru_cache(maxsize=128)
-def _request_profile(model: str, config: BishopConfig, seed: int) -> RequestProfile:
-    accelerator = BishopAccelerator(config)
-    trace = synthetic_trace(
-        model_config(model), PROFILES[model], config.bundle_spec, seed=seed
-    )
-    report = accelerator.run_trace(trace, simulate_events=False)
-    timings = layer_timings(report, config, accelerator.energy)
+def _request_profile(
+    model: str, config: BishopConfig, seed: int, passes: PassConfig
+) -> RequestProfile:
+    program = compile_model(model, config, seed=seed, passes=passes)
+    timings = program.timings()
     return RequestProfile(
         model=model,
         timings=timings,
-        single_latency_s=report.total_latency_s,
+        single_latency_s=program.request_latency_s,
         dynamic_pj=sum(t.dynamic_pj for t in timings),
+        scheduled=program.scheduled,
     )

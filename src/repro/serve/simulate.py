@@ -22,7 +22,11 @@ from collections import deque
 from typing import Callable
 
 from ..arch.engine.kernel import Engine, Hold, WaitFor
-from ..arch.engine.machine import BishopMachine, inference_process
+from ..arch.engine.machine import (
+    BishopMachine,
+    inference_process,
+    scheduled_inference_process,
+)
 from ..arch.engine.timeline import EngineRun, TimelineEntry
 from ..arch.energy import EnergyModel
 from .profiles import RequestProfile, request_profile
@@ -153,7 +157,14 @@ class ChipServer:
     def _run_batch(self, batch: list[Request], label: str):
         profile = self.profiles[batch[0].model]
         start = self.engine.now
-        yield from inference_process(
+        # Profiles compiled with the scheduling pass replay under the
+        # depth-1 weight-prefetch schedule; others layer-serially.
+        process = (
+            scheduled_inference_process
+            if getattr(profile, "scheduled", False)
+            else inference_process
+        )
+        yield from process(
             self.engine, self.machine, profile.timings, label, len(batch),
             self.timeline,
         )
@@ -186,14 +197,16 @@ def simulate_serving(
     seed: int = 0,
     energy: EnergyModel | None = None,
     record_timeline: bool = False,
+    passes: str | None = None,
 ) -> ServingReport:
     """Serve an arrival stream on one Bishop chip; returns the report.
 
     ``profiles`` may be passed explicitly (e.g. to serve custom task
     graphs) and then takes precedence over ``bs_t``/``bs_n``/``seed`` for
-    the models it covers; by default each model's profile is built (and
-    cached) from its Table-2 synthetic trace.  An empty stream yields an
-    empty (all-zero) report rather than raising.
+    the models it covers; by default each model's profile is compiled (and
+    program-cached) from its Table-2 synthetic trace, with ``passes``
+    selecting the compiler passes.  An empty stream yields an empty
+    (all-zero) report rather than raising.
     """
     scheduler = scheduler or SchedulerConfig()
     energy = energy or EnergyModel()
@@ -201,7 +214,9 @@ def simulate_serving(
     profiles = dict(profiles) if profiles else {}  # never mutate the caller's
     for model in {r.model for r in stream}:
         if model not in profiles:
-            profiles[model] = request_profile(model, bs_t=bs_t, bs_n=bs_n, seed=seed)
+            profiles[model] = request_profile(
+                model, bs_t=bs_t, bs_n=bs_n, seed=seed, passes=passes
+            )
 
     engine = Engine()
     machine = BishopMachine(engine)

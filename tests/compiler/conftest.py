@@ -1,0 +1,28 @@
+"""Shared fixtures for the compiler tests: one small synthetic workload."""
+
+import pytest
+
+from repro.bundles import BundleSpec
+from repro.harness.synthetic import DensityProfile, synthetic_trace
+from repro.model import model_config
+
+
+@pytest.fixture(scope="package")
+def small_config():
+    """A two-block, sequence-input transformer small enough for fast tests."""
+    return model_config("model1").with_overrides(
+        name="compiler-test",
+        num_blocks=2,
+        timesteps=4,
+        num_tokens=16,
+        embed_dim=64,
+        input_kind="sequence",
+    )
+
+
+@pytest.fixture(scope="package")
+def small_trace(small_config):
+    profile = DensityProfile(
+        mean_density=0.15, zero_feature_fraction=0.1, within_bundle=0.45
+    )
+    return synthetic_trace(small_config, profile, BundleSpec(2, 4), seed=7)

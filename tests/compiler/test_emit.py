@@ -1,0 +1,117 @@
+"""Engine emission: serial oracle, prefetch schedule, two-resource forms."""
+
+import pytest
+
+from repro.arch.engine.machine import LayerTiming
+from repro.compiler import (
+    measure_timings,
+    prefetch_pairs_makespan,
+    serial_pairs_run,
+)
+
+
+def timing(compute_s, weight_s, activation_s=0.0, kind="mlp1", phase="MLP"):
+    return LayerTiming(
+        block=0,
+        kind=kind,
+        phase=phase,
+        dense_s=compute_s,
+        weight_dram_s=weight_s,
+        activation_dram_s=activation_s,
+    )
+
+
+class TestSerialEmission:
+    def test_matches_closed_form(self):
+        timings = (timing(10.0, 4.0), timing(2.0, 7.0), timing(5.0, 5.0))
+        expected = sum(max(t.compute_s, t.dram_s()) for t in timings)
+        assert measure_timings(timings) == pytest.approx(expected)
+
+    def test_empty_chain(self):
+        assert measure_timings(()) == 0.0
+
+
+class TestScheduledEmission:
+    def test_equal_when_compute_bound(self):
+        timings = (timing(10.0, 1.0), timing(10.0, 1.0), timing(10.0, 1.0))
+        serial = measure_timings(timings)
+        scheduled = measure_timings(timings, scheduled=True)
+        assert scheduled == pytest.approx(serial)
+
+    def test_strictly_faster_on_mixed_chain(self):
+        # Layer 0 compute-heavy, layer 1 weight-heavy: prefetch hides the
+        # second layer's stream under the first layer's compute.
+        timings = (timing(10.0, 1.0), timing(2.0, 9.0))
+        serial = measure_timings(timings)                  # 10 + 9 = 19
+        scheduled = measure_timings(timings, scheduled=True)
+        assert serial == pytest.approx(19.0)
+        # W1 streams during L0 compute; L1 ends at max(10+2, 1+9) = 12.
+        assert scheduled == pytest.approx(12.0)
+
+    def test_never_slower_than_serial(self):
+        cases = [
+            (timing(3.0, 5.0, 1.0), timing(4.0, 0.5, 2.0), timing(1.0, 6.0)),
+            (timing(1.0, 1.0), timing(1.0, 1.0)),
+            (timing(0.0, 5.0), timing(5.0, 0.0)),
+            (timing(2.0, 0.0, 3.0), timing(2.0, 4.0, 0.0)),
+        ]
+        for timings in cases:
+            serial = measure_timings(timings)
+            scheduled = measure_timings(timings, scheduled=True)
+            assert scheduled <= serial * (1 + 1e-12)
+
+    def test_activation_stream_not_starved_by_prefetch(self):
+        # The current layer's activation traffic must win the channel over
+        # the next layer's weight prefetch (the FIFO-ordering regression).
+        timings = (timing(10.0, 0.0, 8.0), timing(5.0, 9.0))
+        serial = measure_timings(timings)                  # 10 + 9 = 19
+        scheduled = measure_timings(timings, scheduled=True)
+        assert scheduled <= serial * (1 + 1e-12)
+
+    def test_batch_scales_activation_not_weights(self):
+        timings = (timing(1.0, 4.0, 2.0),)
+        # batch=3: compute 3, weights 4 (once), activations 6.
+        assert measure_timings(timings, batch=3) == pytest.approx(10.0)
+        assert measure_timings(
+            timings, scheduled=True, batch=3
+        ) == pytest.approx(10.0)
+
+
+class TestTwoResourceEmission:
+    def test_serial_pairs_match_closed_form(self):
+        pairs = [(3.0, 1.0), (2.0, 4.0)]
+        run, compute_total, dram_total = serial_pairs_run(pairs)
+        assert run.makespan_s == pytest.approx(3.0 + 4.0)
+        assert compute_total == pytest.approx(5.0)
+        assert dram_total == pytest.approx(5.0)
+
+    def test_prefetch_between_serial_and_bound(self):
+        pairs = [(3.0, 1.0), (2.0, 4.0), (1.0, 3.0)]
+        serial = sum(max(c, d) for c, d in pairs)
+        bound = max(sum(c for c, _ in pairs), sum(d for _, d in pairs))
+        scheduled = prefetch_pairs_makespan(pairs)
+        assert bound * (1 - 1e-12) <= scheduled <= serial * (1 + 1e-12)
+
+    def test_prefetch_wins_on_alternating_chain(self):
+        pairs = [(4.0, 1.0), (1.0, 4.0)] * 3
+        serial = sum(max(c, d) for c, d in pairs)       # 24
+        scheduled = prefetch_pairs_makespan(pairs)
+        assert scheduled < serial
+
+    def test_activation_traffic_is_never_prefetched(self):
+        """Causality: a layer's activation spill cannot stream before the
+        layer computes, so an activation-dominated chain gains nothing —
+        the pairs emission must agree with the executable machine
+        schedule, not beat it."""
+        triples = [(4.0, 0.0, 1.0), (1.0, 0.0, 4.0)] * 2
+        serial = sum(max(c, w + a) for c, w, a in triples)
+        assert prefetch_pairs_makespan(triples) == pytest.approx(serial)
+        timings = tuple(
+            timing(c, w, a) for c, w, a in triples
+        )
+        assert measure_timings(timings, scheduled=True) == pytest.approx(serial)
+
+    def test_empty_pairs(self):
+        assert prefetch_pairs_makespan([]) == 0.0
+        run, compute_total, dram_total = serial_pairs_run([])
+        assert run.makespan_s == 0.0

@@ -1,0 +1,119 @@
+"""Compiled lowering ≡ legacy config-driven lowering, across the Table-2 zoo.
+
+The compiler replaced the accelerator's hand-rolled per-layer loop.  These
+tests pin the contract that made that replacement safe: for every zoo
+model, the pass-driven pipeline reproduces the config-driven per-layer
+lowering to float precision — with the optimization passes disabled
+(against a chip with the matching policy switches off) and with them
+enabled (against the default chip), with and without ECP.
+"""
+
+import pytest
+
+from repro.algo import ECPConfig
+from repro.arch import BishopAccelerator, BishopConfig
+from repro.bundles import BundleSpec
+from repro.compiler import compile_trace, materialize_report
+from repro.harness.synthetic import PROFILES, synthetic_trace
+from repro.model import MODEL_ZOO, model_config
+
+SPEC = BundleSpec(2, 4)
+
+
+@pytest.fixture(scope="module")
+def zoo_traces():
+    return {
+        model: synthetic_trace(model_config(model), PROFILES[model], SPEC, seed=0)
+        for model in MODEL_ZOO
+    }
+
+
+def legacy_report(trace, config, ecp=None):
+    """The pre-compiler lowering: the accelerator's per-layer loop."""
+    accelerator = BishopAccelerator(config)
+    layers = []
+    for record in trace.records:
+        if record.is_matmul:
+            layers.append(accelerator.run_matmul_layer(record))
+        elif record.kind == "attention":
+            layers.append(accelerator.run_attention_layer(record, ecp=ecp))
+    return layers
+
+
+def assert_layers_equal(compiled_layers, legacy_layers):
+    assert len(compiled_layers) == len(legacy_layers)
+    for compiled, legacy in zip(compiled_layers, legacy_layers):
+        assert compiled.kind == legacy.kind
+        assert compiled.latency_s == legacy.latency_s
+        assert compiled.cycles == legacy.cycles
+        assert compiled.energy.total_pj == legacy.energy.total_pj
+        assert compiled.traffic.bytes() == legacy.traffic.bytes()
+
+
+@pytest.mark.parametrize("model", sorted(MODEL_ZOO))
+class TestZooEquivalence:
+    def test_passes_off_equals_legacy_flags_off(self, zoo_traces, model):
+        """Compiled with no optimization passes == legacy lowering on a
+        chip with stratifier and bundle skipping disabled, bit-for-bit."""
+        trace = zoo_traces[model]
+        base = BishopConfig(bundle_spec=SPEC)
+        program = compile_trace(trace, base, passes="none")
+        flags_off = base.with_overrides(
+            use_stratifier=False, skip_inactive_bundles=False
+        )
+        assert_layers_equal(
+            [stage.report for stage in program.stages],
+            legacy_report(trace, flags_off),
+        )
+
+    def test_all_passes_equal_legacy_defaults(self, zoo_traces, model):
+        """Compiled with every optimization pass == legacy lowering on the
+        default chip (whose policy switches are all on)."""
+        trace = zoo_traces[model]
+        config = BishopConfig(bundle_spec=SPEC)
+        program = compile_trace(trace, config, passes="all")
+        assert_layers_equal(
+            [stage.report for stage in program.stages],
+            legacy_report(trace, config),
+        )
+
+
+class TestRunTraceContract:
+    def test_run_trace_totals_match_per_layer_loop(self, zoo_traces):
+        trace = zoo_traces["model4"]
+        config = BishopConfig(bundle_spec=SPEC)
+        report = BishopAccelerator(config).run_trace(trace, simulate_events=False)
+        legacy = legacy_report(trace, config)
+        assert report.total_latency_s == sum(l.latency_s for l in legacy)
+        assert report.total_energy_pj == sum(l.energy.total_pj for l in legacy)
+        assert report.program is not None
+        assert report.program.scheduled
+
+    def test_run_trace_with_ecp_matches_per_layer_loop(self, zoo_traces):
+        trace = zoo_traces["model4"]
+        config = BishopConfig(bundle_spec=SPEC)
+        ecp = ECPConfig(theta_q=6, theta_k=6, spec=SPEC)
+        report = BishopAccelerator(config).run_trace(
+            trace, ecp=ecp, simulate_events=False
+        )
+        legacy = legacy_report(trace, config, ecp=ecp)
+        assert report.total_latency_s == sum(l.latency_s for l in legacy)
+        assert report.total_energy_pj == sum(l.energy.total_pj for l in legacy)
+        assert "ecp" in report.program.passes
+
+    def test_materialized_report_reuses_stage_reports(self, zoo_traces):
+        trace = zoo_traces["model4"]
+        program = compile_trace(trace, BishopConfig(bundle_spec=SPEC))
+        report = materialize_report(program)
+        assert [id(l) for l in report.layers] == [
+            id(stage.report) for stage in program.stages
+        ]
+
+    def test_materialize_rejects_cache_loaded_programs(self, zoo_traces):
+        from repro.compiler import Program
+
+        trace = zoo_traces["model4"]
+        program = compile_trace(trace, BishopConfig(bundle_spec=SPEC))
+        stripped = Program.from_dict(program.to_dict())
+        with pytest.raises(ValueError, match="no stage reports"):
+            materialize_report(stripped)

@@ -1,0 +1,134 @@
+"""The tile-level IR: validation, structure, serialization."""
+
+import json
+
+import pytest
+
+from repro.arch import BishopConfig
+from repro.compiler import Program, Stage, TileOp, compile_trace, legal_cores_for
+
+
+def matmul_stage(**kwargs):
+    defaults = dict(
+        index=0,
+        block=0,
+        kind="mlp1",
+        phase="MLP",
+        ops=(
+            TileOp("dense_core", 2e-5, tiles=4),
+            TileOp("sparse_core", 1e-5, tiles=2),
+            TileOp("spike_gen", 1e-6),
+            TileOp("dram", 3e-5, bytes=1024.0, tag="weight"),
+            TileOp("dram", 5e-6, bytes=128.0, tag="activation"),
+        ),
+        annotations={"dynamic_pj": 10.0, "weight_dram_pj": 4.0},
+    )
+    defaults.update(kwargs)
+    return Stage(**defaults)
+
+
+class TestTileOp:
+    def test_rejects_unknown_core(self):
+        with pytest.raises(ValueError, match="core class"):
+            TileOp("gpu", 1.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="negative"):
+            TileOp("dense_core", -1.0)
+
+    def test_rejects_bad_tile_count(self):
+        with pytest.raises(ValueError, match="tiles"):
+            TileOp("dense_core", 1.0, tiles=0)
+
+    def test_rejects_unknown_dram_tag(self):
+        with pytest.raises(ValueError, match="tag"):
+            TileOp("dram", 1.0, tag="scores")
+
+    def test_round_trips_through_dict(self):
+        op = TileOp("dram", 0.25, tiles=3, bytes=77.0, tag="weight")
+        assert TileOp.from_dict(op.to_dict()) == op
+
+
+class TestStageLegality:
+    def test_matmul_stage_rejects_attention_core(self):
+        with pytest.raises(ValueError, match="illegal core"):
+            matmul_stage(ops=(TileOp("attention_core", 1e-5),))
+
+    def test_attention_stage_rejects_dense_core(self):
+        with pytest.raises(ValueError, match="illegal core"):
+            Stage(
+                index=0, block=0, kind="attention", phase="ATN",
+                ops=(TileOp("dense_core", 1e-5),),
+            )
+
+    def test_legal_core_map(self):
+        assert "sparse_core" in legal_cores_for("proj_q")
+        assert "attention_core" not in legal_cores_for("mlp2")
+        assert legal_cores_for("attention") == {
+            "attention_core", "spike_gen", "dram",
+        }
+
+
+class TestStageTiming:
+    def test_compute_follows_fig9_dataflow(self):
+        stage = matmul_stage()
+        # dense ∥ sparse, then spike generator.
+        assert stage.compute_s == pytest.approx(2e-5 + 1e-6)
+        assert stage.dram_s == pytest.approx(3.5e-5)
+        assert stage.latency_s == pytest.approx(3.5e-5)
+
+    def test_timing_carries_streams_and_energy(self):
+        timing = matmul_stage().timing()
+        assert timing.dense_s == pytest.approx(2e-5)
+        assert timing.weight_dram_s == pytest.approx(3e-5)
+        assert timing.activation_dram_s == pytest.approx(5e-6)
+        assert timing.dynamic_pj == pytest.approx(10.0)
+        assert timing.weight_dram_pj == pytest.approx(4.0)
+        assert timing.dense_tiles == 4
+        assert timing.sparse_tiles == 2
+
+
+class TestProgram:
+    def test_serial_latency_sums_stage_latencies(self):
+        program = Program(
+            model="m", stages=(matmul_stage(), matmul_stage(index=1))
+        )
+        assert program.serial_latency_s == pytest.approx(2 * 3.5e-5)
+        assert program.pipelined_bound_s == pytest.approx(2 * 3.5e-5)
+
+    def test_tile_counts_by_core(self):
+        program = Program(model="m", stages=(matmul_stage(),))
+        counts = program.tile_counts()
+        assert counts["dense_core"] == 4
+        assert counts["sparse_core"] == 2
+        assert counts["dram"] == 2
+
+    def test_request_latency_prefers_scheduled(self):
+        program = Program(
+            model="m",
+            stages=(matmul_stage(),),
+            passes=("ingest", "lower", "schedule"),
+            meta={"scheduled_latency_s": 3.0e-5},
+        )
+        assert program.scheduled
+        assert program.request_latency_s == pytest.approx(3.0e-5)
+
+
+class TestSerialization:
+    def test_compiled_program_round_trips(self, small_trace):
+        program = compile_trace(small_trace, BishopConfig())
+        clone = Program.from_dict(
+            json.loads(json.dumps(program.to_dict(), default=float))
+        )
+        assert clone.model == program.model
+        assert clone.passes == program.passes
+        assert clone.timings() == program.timings()
+        assert clone.serial_latency_s == program.serial_latency_s
+        assert clone.scheduled_latency_s == program.scheduled_latency_s
+        assert clone.dynamic_pj == program.dynamic_pj
+
+    def test_stage_reports_not_serialized(self, small_trace):
+        program = compile_trace(small_trace, BishopConfig())
+        assert all(stage.report is not None for stage in program.stages)
+        clone = Program.from_dict(program.to_dict())
+        assert all(stage.report is None for stage in clone.stages)

@@ -40,9 +40,10 @@ class TestMetadata:
 
     def test_artifact_and_cost(self, name):
         experiment = EXPERIMENTS[name]
-        # Paper artifacts plus the beyond-paper serving/cluster experiments.
+        # Paper artifacts plus the beyond-paper serving/cluster/compiler
+        # experiments.
         assert experiment.artifact.startswith(
-            ("Table", "Fig.", "Sec.", "Serving", "Cluster")
+            ("Table", "Fig.", "Sec.", "Serving", "Cluster", "Compiler")
         )
         assert experiment.cost in COST_TIERS
         assert experiment.description

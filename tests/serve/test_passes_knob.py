@@ -1,0 +1,55 @@
+"""The compiler-pass knob on the serving path."""
+
+import pytest
+
+from repro.serve import Request, SchedulerConfig, request_profile, simulate_serving
+
+MODEL = "model4"
+
+
+class TestProfilePasses:
+    def test_default_profile_is_fully_compiled(self):
+        profile = request_profile(MODEL)
+        assert profile.scheduled
+
+    def test_passes_none_disables_optimizations(self):
+        optimized = request_profile(MODEL)
+        baseline = request_profile(MODEL, passes="none")
+        assert not baseline.scheduled
+        assert baseline.single_latency_s > optimized.single_latency_s
+        assert baseline.dynamic_pj > optimized.dynamic_pj
+
+    def test_stratify_only_keeps_sparse_core_idle_without_packing(self):
+        dense_only = request_profile(MODEL, passes="packing")
+        assert dense_only.sparse_core_share == 0.0
+
+    def test_distinct_pass_specs_cached_separately(self):
+        a = request_profile(MODEL, passes="all")
+        b = request_profile(MODEL, passes="none")
+        c = request_profile(MODEL)
+        assert a is c
+        assert a is not b
+
+
+class TestServingPasses:
+    def test_single_request_latency_tracks_pass_config(self):
+        for passes in ("all", "none", "packing+stratify"):
+            profile = request_profile(MODEL, passes=passes)
+            report = simulate_serving(
+                [Request(index=0, model=MODEL, arrival_s=0.0)],
+                SchedulerConfig(),
+                passes=passes,
+            )
+            assert report.latency_mean_ms == pytest.approx(
+                profile.single_latency_s * 1e3, rel=1e-9
+            )
+
+    def test_unoptimized_serving_is_slower(self):
+        requests = [
+            Request(index=i, model=MODEL, arrival_s=0.0) for i in range(4)
+        ]
+        fast = simulate_serving(requests, SchedulerConfig(max_inflight=1))
+        slow = simulate_serving(
+            requests, SchedulerConfig(max_inflight=1), passes="none"
+        )
+        assert slow.horizon_s > fast.horizon_s
