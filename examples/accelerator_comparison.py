@@ -20,13 +20,20 @@ def main() -> None:
     parser.add_argument("--jobs", type=int, default=3)
     parser.add_argument("--force", action="store_true")
     parser.add_argument("--artifacts", default="artifacts")
+    parser.add_argument(
+        "--models", default=None, metavar="m1,m2",
+        help="restrict to a model subset (smoke tests use one model)",
+    )
     args = parser.parse_args()
 
+    overrides = {}
+    if args.models:
+        overrides["models"] = args.models
     runner = ExperimentRunner(
         artifacts_root=args.artifacts, jobs=args.jobs, force=args.force
     )
     summary = runner.run_many(
-        [("fig12", {}), ("fig13", {}), ("sec6.2-summary", {})]
+        [("fig12", overrides), ("fig13", overrides), ("sec6.2-summary", overrides)]
     )
     for outcome in summary.outcomes:
         if not outcome.ok:

@@ -4,9 +4,10 @@ Bishop's datapath stores 8-bit weights (Sec. 2.3/6.1), so deployment means
 quantizing the trained float weights to the accelerator's format, saving the
 artifact, and scheduling inference with double-buffered layer pipelining.
 
-Run:  python examples/deploy_quantized.py
+Run:  python examples/deploy_quantized.py [--epochs N]
 """
 
+import argparse
 import tempfile
 from pathlib import Path
 
@@ -20,10 +21,14 @@ SPEC = BundleSpec(2, 2)
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=10,
+                        help="training epochs (smoke tests use 1)")
+    args = parser.parse_args()
     dataset = make_image_dataset(num_classes=4, samples_per_class=30, image_size=16, seed=3)
     model = SpikingTransformer(tiny_config(num_classes=4), seed=1)
     trainer = Trainer(
-        model, dataset, TrainConfig(epochs=10, batch_size=24, lr=3e-3, seed=0)
+        model, dataset, TrainConfig(epochs=args.epochs, batch_size=24, lr=3e-3, seed=0)
     )
     trainer.fit()
     float_accuracy = trainer.evaluate(dataset.x_test, dataset.y_test)

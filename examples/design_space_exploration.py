@@ -1,92 +1,87 @@
-"""Design-space exploration — paper Sec. 6.5 (Figs. 15-16).
+"""Design-space exploration — Sec. 6.5 generalized to a joint Pareto search.
 
-Sweeps the two architectural hyperparameters the paper calls out, through
-the parallel cached runtime (``repro.runtime``) so each (experiment,
-model) point is computed once and replayed from cache on re-runs:
+The paper sweeps two architectural knobs by hand (θ_s in Fig. 15, the TTB
+bundle volume in Fig. 16).  The ``repro.dse`` subsystem searches the
+*joint* chip space — core geometries, sparse TTB units, bundle volume,
+psum registers, GLB sizes, DRAM bandwidth, θ_s — with a multi-objective
+strategy, every candidate compiled through the pass pipeline and measured
+on the event engine.  Candidates evaluate as ``dse_point`` experiments
+through the parallel content-addressed runtime (``repro.runtime``), so
+re-runs replay from the cache and a bigger ``--budget`` only evaluates
+the new points.
 
-* the stratification threshold θ_s, via targeted dense-fraction splits
-  (latency is minimized near balance; EDP traces a U-shape);
-* the TTB bundle volume (BS_t × BS_n) (near-optimal at volume 4-8; large
-  volumes shift memory energy from weights to spike activations).
+Run:  python examples/design_space_exploration.py [--model m] [--budget N]
+          [--strategy random|grid|evolutionary] [--jobs N] [--seed N]
+          [--export-fleet FILE]
 
-Run:  python examples/design_space_exploration.py [--models m1,m2] [--jobs N]
-
-Equivalent CLI:  python -m repro sweep fig15 --param model=model3,model4
+Equivalent CLI:  python -m repro dse model3 --strategy random --budget 64
 """
 
 import argparse
 
+from repro.dse import (
+    DSEConfig,
+    export_fleet_kinds,
+    format_frontier_report,
+    parse_objectives,
+    run_dse,
+)
 from repro.runtime import ExperimentRunner
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--models", default="model3")
+    parser.add_argument("--model", default="model3")
+    parser.add_argument("--strategy", default="random",
+                        choices=("grid", "random", "evolutionary"))
+    parser.add_argument("--budget", type=int, default=48)
+    parser.add_argument("--objectives", default="latency_ms+energy_mj+area_mm2")
+    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--jobs", type=int, default=2)
     parser.add_argument("--force", action="store_true")
     parser.add_argument("--artifacts", default="artifacts")
+    parser.add_argument("--export-fleet", default=None, metavar="FILE")
     args = parser.parse_args()
-    models = [m.strip() for m in args.models.split(",") if m.strip()]
 
+    objectives = parse_objectives(args.objectives)
     runner = ExperimentRunner(
         artifacts_root=args.artifacts, jobs=args.jobs, force=args.force
     )
-    fig15 = runner.sweep("fig15", {"model": models})
-    fig16 = runner.sweep("fig16", {"model": models})
-
-    for outcome in fig15.outcomes:
-        if not outcome.ok:
-            raise SystemExit(outcome.error)
-        sweep = outcome.result
-        model = outcome.params["model"]
-        print(f"== Fig. 15: stratification threshold sweep ({model}) ==")
-        print(" dense-frac   latency(ms)   energy(mJ)        EDP")
-        for point in sweep["points"]:
-            print(
-                f"  {point['dense_fraction_target']:9.2f}"
-                f"  {point['latency_s'] * 1e3:11.3f}"
-                f"  {point['energy_mj']:11.4f}  {point['edp']:10.3e}"
-            )
-        balanced = sweep["balanced"]
-        print(
-            f"  balanced θ  {balanced['latency_s'] * 1e3:11.3f}"
-            f"  {balanced['energy_mj']:11.4f}  {balanced['edp']:10.3e}"
-        )
-        print(
-            f"EDP gain vs PTB at balance: {sweep['edp_gain_vs_ptb']:.2f}x"
-            " (paper ~2.49x)"
-        )
-        print(
-            f"worst imbalance penalty:    {sweep['worst_imbalance_penalty']:.2f}x"
-            " (paper up to 1.65x)\n"
-        )
-
-    for outcome in fig16.outcomes:
-        if not outcome.ok:
-            raise SystemExit(outcome.error)
-        sweep = outcome.result
-        model = outcome.params["model"]
-        print(f"== Fig. 16: TTB bundle-volume sweep ({model}) ==")
-        print(" (BSt,BSn)  vol  latency(ms)  energy(mJ)  weight-mem%  act-mem%")
-        for p in sorted(sweep["points"], key=lambda p: p["bs_t"] * p["bs_n"]):
-            print(
-                f"   ({p['bs_t']},{p['bs_n']:2.0f})  {p['bs_t'] * p['bs_n']:3.0f}"
-                f"  {p['total_latency_s'] * 1e3:10.3f}"
-                f"  {p['total_energy_mj']:10.4f}"
-                f"  {p['weight_memory_share']:10.1%}"
-                f"  {p['activation_memory_share']:8.1%}"
-            )
-        best = sweep["best_volume"]
-        print(
-            f"\nbest volume: {best['bs_t']:.0f}x{best['bs_n']:.0f}"
-            f" = {best['volume']:.0f} (paper: near-optimal at 4-8)\n"
-        )
+    report = run_dse(
+        DSEConfig(
+            model=args.model,
+            strategy=args.strategy,
+            budget=args.budget,
+            objectives=objectives,
+            seed=args.seed,
+        ),
+        runner=runner,
+    )
 
     print(
-        f"runtime: fig15 {fig15.hits}+{fig15.misses} hit+run,"
-        f" fig16 {fig16.hits}+{fig16.misses} hit+run"
-        f" (artifacts under {args.artifacts}/)"
+        f"== DSE: {args.model}, {args.strategy} search, budget {args.budget},"
+        f" objectives {'+'.join(objectives)} =="
     )
+    print(
+        f"evaluated {report['evaluated']} candidate chips"
+        f" ({report['cache_hits']} served from the result cache)"
+        f" out of a {report['space']['size']:,}-point space\n"
+    )
+
+    for line in format_frontier_report(report):
+        print(line)
+    for objective in objectives:
+        best = report["best"][objective]
+        print(f"best {objective}: {best['value']:.4f}")
+
+    if args.export_fleet:
+        kinds = export_fleet_kinds(report, args.export_fleet)
+        print(
+            f"\nexported {len(kinds)} frontier chip kind(s) to"
+            f" {args.export_fleet}; simulate a fleet of the rank-0 design:\n"
+            f"  python -m repro cluster --kinds-file {args.export_fleet}"
+            f" --fleet {next(iter(kinds))}:2 --mix {args.model}"
+        )
 
 
 if __name__ == "__main__":

@@ -5,8 +5,10 @@ event streams (no frames, no direct encoding — the time axis is native),
 then traces real inference workloads and compares Bishop against PTB with the
 paper's DVS operating point (θ_p = 10).
 
-Run:  python examples/dvs_gesture_pipeline.py
+Run:  python examples/dvs_gesture_pipeline.py [--epochs N]
 """
+
+import argparse
 
 import numpy as np
 
@@ -21,6 +23,10 @@ SPEC = BundleSpec(2, 2)
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=20,
+                        help="training epochs (smoke tests use 1)")
+    args = parser.parse_args()
     timesteps = 8
     dataset = make_event_dataset(
         num_classes=4, samples_per_class=40, image_size=16,
@@ -34,7 +40,8 @@ def main() -> None:
     )
     model = SpikingTransformer(config, seed=2)
     trainer = Trainer(
-        model, dataset, TrainConfig(epochs=20, batch_size=24, lr=5e-3, seed=0)
+        model, dataset,
+        TrainConfig(epochs=args.epochs, batch_size=24, lr=5e-3, seed=0),
     )
     trainer.fit(log=True)
     accuracy = trainer.evaluate(dataset.x_test, dataset.y_test)

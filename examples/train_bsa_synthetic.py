@@ -6,8 +6,10 @@ once with plain cross-entropy, once with the BSA objective
 (the Fig.-5 statistics), and simulated Bishop latency/energy of the two
 models' real inference workloads.
 
-Run:  python examples/train_bsa_synthetic.py
+Run:  python examples/train_bsa_synthetic.py [--epochs N]
 """
+
+import argparse
 
 import numpy as np
 
@@ -48,14 +50,18 @@ def sparsity_summary(model, dataset) -> tuple[float, float]:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=12,
+                        help="training epochs per run (smoke tests use 1)")
+    args = parser.parse_args()
     dataset = make_image_dataset(
         num_classes=4, samples_per_class=24, image_size=16, seed=3
     )
 
     print("=== baseline (λ = 0) ===")
-    base_model, base_trainer = train(dataset, lambda_bsp=0.0)
+    base_model, base_trainer = train(dataset, lambda_bsp=0.0, epochs=args.epochs)
     print("\n=== BSA (λ = 10, saturating tag) ===")
-    bsa_model, bsa_trainer = train(dataset, lambda_bsp=10.0)
+    bsa_model, bsa_trainer = train(dataset, lambda_bsp=10.0, epochs=args.epochs)
 
     base_acc = base_trainer.evaluate(dataset.x_test, dataset.y_test)
     bsa_acc = bsa_trainer.evaluate(dataset.x_test, dataset.y_test)

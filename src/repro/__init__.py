@@ -27,6 +27,11 @@ cluster
     Multi-chip fleets behind a front-end router: chip kinds and model
     placement, routing policies, admission control, reactive autoscaling
     (docs/CLUSTER.md).
+dse
+    Design-space exploration: a typed parameter-space DSL over
+    ``BishopConfig``, pluggable multi-objective search strategies, and
+    Pareto-frontier extraction with cluster chip-kind export
+    (docs/DSE.md).
 baselines
     PTB systolic accelerator and edge-GPU roofline comparators.
 harness

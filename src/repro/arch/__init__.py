@@ -27,7 +27,7 @@ from .attention_core import (
     merge_attention_heads,
     simulate_attention_core,
 )
-from .config import BishopConfig, DRAMConfig, PTBConfig
+from .config import BishopConfig, DRAMConfig, PTBConfig, resolve_overrides
 from .dense_core import DenseCoreResult, simulate_dense_core
 from .energy import (
     AreaPowerBreakdown,
@@ -51,6 +51,7 @@ __all__ = [
     "BishopConfig",
     "PTBConfig",
     "DRAMConfig",
+    "resolve_overrides",
     "EnergyModel",
     "AreaPowerBreakdown",
     "BISHOP_BREAKDOWN",

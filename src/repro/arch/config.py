@@ -11,10 +11,11 @@ spikes per cycle; the spike generator handles up to 512 neurons in parallel;
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Mapping
 
 from ..bundles import BundleSpec
 
-__all__ = ["DRAMConfig", "BishopConfig", "PTBConfig"]
+__all__ = ["DRAMConfig", "BishopConfig", "PTBConfig", "resolve_overrides"]
 
 
 @dataclass(frozen=True)
@@ -24,6 +25,14 @@ class DRAMConfig:
     bandwidth_bytes_per_s: float = 76.8e9
     power_w: float = 0.3239
     energy_pj_per_byte: float = 20.0   # interface + core energy per byte
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                f"DRAM bandwidth must be positive, got {self.bandwidth_bytes_per_s}"
+            )
+        if self.power_w < 0 or self.energy_pj_per_byte < 0:
+            raise ValueError("DRAM power/energy constants must be non-negative")
 
     def transfer_time_s(self, num_bytes: float) -> float:
         return num_bytes / self.bandwidth_bytes_per_s
@@ -67,12 +76,52 @@ class BishopConfig:
     pipeline_fill_cycles: int = 64
 
     def __post_init__(self) -> None:
-        if self.dense_rows * self.dense_cols <= 0:
-            raise ValueError("dense core must have PEs")
+        if self.dense_rows < 1 or self.dense_cols < 1:
+            raise ValueError(
+                f"dense core must have PEs, got {self.dense_rows}x{self.dense_cols}"
+            )
+        if self.attn_rows < 1 or self.attn_cols < 1:
+            raise ValueError(
+                f"attention core must have PEs, got {self.attn_rows}x{self.attn_cols}"
+            )
+        if self.sparse_units < 1:
+            raise ValueError(f"sparse core needs TTB units, got {self.sparse_units}")
+        if self.sparse_overhead < 1.0:
+            raise ValueError(
+                f"sparse_overhead is a >=1 network derate, got {self.sparse_overhead}"
+            )
+        if not 0.0 < self.attn_utilization <= 1.0:
+            raise ValueError(
+                f"attn_utilization must be in (0, 1], got {self.attn_utilization}"
+            )
         if self.spikes_per_cycle < 1:
             raise ValueError("spikes_per_cycle must be >= 1")
+        if self.psum_regs_per_pe < 1:
+            raise ValueError(
+                f"psum_regs_per_pe must be >= 1, got {self.psum_regs_per_pe}"
+            )
+        if self.spike_generator_lanes < 1:
+            raise ValueError(
+                f"spike_generator_lanes must be >= 1, got {self.spike_generator_lanes}"
+            )
         if self.clock_hz <= 0:
             raise ValueError("clock must be positive")
+        if self.weight_glb_bytes < 1 or self.spike_glb_bytes < 1:
+            raise ValueError(
+                "GLB sizes must be positive, got"
+                f" weight={self.weight_glb_bytes} spike={self.spike_glb_bytes}"
+            )
+        if self.stratify_dense_fraction is not None and not (
+            0.0 <= self.stratify_dense_fraction <= 1.0
+        ):
+            raise ValueError(
+                "stratify_dense_fraction must be in [0, 1],"
+                f" got {self.stratify_dense_fraction}"
+            )
+        if self.pipeline_fill_cycles < 0:
+            raise ValueError(
+                f"pipeline_fill_cycles must be >= 0, got {self.pipeline_fill_cycles}"
+            )
 
     @property
     def dense_pes(self) -> int:
@@ -102,6 +151,26 @@ class BishopConfig:
 
     def with_overrides(self, **kwargs) -> "BishopConfig":
         return replace(self, **kwargs)
+
+
+def resolve_overrides(base: BishopConfig, overrides: Mapping) -> BishopConfig:
+    """``with_overrides`` that also accepts JSON-safe nested sub-configs.
+
+    Chip-kind profiles (``repro.cluster.fleet``) and DSE fleet exports
+    carry ``bundle_spec`` / ``dram`` as plain dicts; this resolves them
+    against the base config's values, so a kind file round-trips through
+    JSON without losing the nested dataclasses.
+    """
+    resolved = dict(overrides)
+    spec = resolved.get("bundle_spec")
+    if isinstance(spec, Mapping):
+        resolved["bundle_spec"] = replace(
+            base.bundle_spec, **{k: int(v) for k, v in spec.items()}
+        )
+    dram = resolved.get("dram")
+    if isinstance(dram, Mapping):
+        resolved["dram"] = replace(base.dram, **dram)
+    return base.with_overrides(**resolved)
 
 
 @dataclass(frozen=True)

@@ -26,10 +26,21 @@ compile <model> [--chip KIND] [--passes SPEC] [--dump FILE]
     counts per core class, bundle occupancy, estimated makespans.
     ``--dump`` writes the IR as JSON (``-`` for stdout).
 cluster [--fleet SPEC] [--policy P] [--mix MIX] [--rho R] [--seed N]
-        [--passes SPEC] ...
+        [--passes SPEC] [--kinds-file FILE] ...
     Simulate a multi-chip fleet behind the front-end router directly
     (no registry round-trip): prints the fleet summary and per-chip
     breakdown, optionally writing the full report JSON.
+    ``--kinds-file`` registers extra chip kinds (e.g. a DSE fleet
+    export) before the fleet spec is parsed.
+dse <model> [--strategy S] [--budget N] [--objectives SPEC] [--seed N]
+    [--jobs N] [--export-fleet FILE] [--output FILE]
+    Multi-objective design-space exploration over Bishop chip
+    configurations (``repro.dse``): every candidate compiles through
+    the pass pipeline and replays on the event engine, evaluated as
+    ``dse_point`` experiments through the parallel cached runtime —
+    re-runs are served from the result/program caches.  Prints the
+    Pareto frontier and where the paper's chip lands relative to it;
+    ``--export-fleet`` writes frontier chips as cluster kind profiles.
 cache ls|gc
     Inspect or garbage-collect the runtime's content-addressed result
     cache (``artifacts/cache``); ``gc --keep-latest N`` bounds long
@@ -242,8 +253,60 @@ def build_parser() -> argparse.ArgumentParser:
         " '+'-joined subset of packing,stratify,ecp,schedule",
     )
     cluster.add_argument(
+        "--kinds-file", type=Path, default=None, metavar="FILE",
+        help="register chip kinds from a JSON kinds file (e.g. a"
+        " `repro dse --export-fleet` export) before parsing --fleet",
+    )
+    cluster.add_argument(
         "--output", type=Path, default=None, metavar="FILE",
         help="also write the full cluster report JSON here",
+    )
+
+    dse = sub.add_parser(
+        "dse", help="Pareto search over Bishop chip configurations"
+    )
+    dse.add_argument("model", help="Table-2 model id (see `repro zoo`)")
+    dse.add_argument(
+        "--strategy", default="random",
+        help="search strategy: grid | random | evolutionary",
+    )
+    dse.add_argument(
+        "--budget", type=int, default=64, metavar="N",
+        help="searched candidate chips (the paper chip is always evaluated"
+        " in addition)",
+    )
+    dse.add_argument(
+        "--objectives", default="latency_ms+energy_mj+area_mm2", metavar="SPEC",
+        help="'+'-separated frontier axes: latency_ms, energy_mj,"
+        " edp_uj_ms, area_mm2",
+    )
+    dse.add_argument("--seed", type=int, default=0, metavar="N")
+    dse.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for candidate evaluation (default: 1;"
+        " 0 = one per core)",
+    )
+    dse.add_argument(
+        "--batch", type=int, default=16, metavar="N",
+        help="proposal batch size (the parallelism grain)",
+    )
+    dse.add_argument("--force", action="store_true",
+                     help="ignore cached candidate evaluations")
+    dse.add_argument(
+        "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR",
+        help="artifact/cache root (default: ./artifacts)",
+    )
+    dse.add_argument(
+        "--top", type=int, default=8, metavar="N",
+        help="frontier rows to print (default: 8)",
+    )
+    dse.add_argument(
+        "--export-fleet", type=Path, default=None, metavar="FILE",
+        help="write frontier chips as cluster chip-kind profiles",
+    )
+    dse.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="write the full frontier report JSON here",
     )
 
     cache = sub.add_parser(
@@ -368,6 +431,11 @@ def _run_cluster(args) -> int:
         poisson_arrivals,
     )
 
+    if args.kinds_file is not None:
+        from .cluster import load_chip_kinds
+
+        names = load_chip_kinds(args.kinds_file)
+        print(f"registered chip kind(s) from {args.kinds_file}: {', '.join(names)}")
     weights = parse_model_mix(args.mix)
     fleet = parse_fleet(args.fleet)
     capacity = fleet_capacity_rps(fleet, weights, seed=args.seed, passes=args.passes)
@@ -526,6 +594,65 @@ def _run_compile(args) -> int:
     if args.dump is not None:
         args.dump.write_text(canonical_json(program.to_dict()))
         print(f"wrote {args.dump}")
+    return 0
+
+
+def _run_dse(args) -> int:
+    """The `repro dse` body: search, print the frontier, export winners."""
+    # Imported lazily: the DSE layer pulls the compiler + engine stack,
+    # which `repro list`/`repro cache` don't need.
+    from .dse import (
+        DSEConfig,
+        export_fleet_kinds,
+        format_frontier_report,
+        parse_objectives,
+        run_dse,
+    )
+    from .model import MODEL_ZOO
+
+    if args.model not in MODEL_ZOO:
+        print(
+            f"unknown model {args.model!r}; options {sorted(MODEL_ZOO)}",
+            file=sys.stderr,
+        )
+        return 2
+    objectives = parse_objectives(args.objectives)
+    config = DSEConfig(
+        model=args.model,
+        strategy=args.strategy,
+        budget=args.budget,
+        objectives=objectives,
+        seed=args.seed,
+        batch=args.batch,
+    )
+    runner = ExperimentRunner(
+        artifacts_root=args.artifacts, jobs=args.jobs, force=args.force
+    )
+    started = time.perf_counter()
+    report = run_dse(config, runner=runner)
+    wall = time.perf_counter() - started
+
+    print(
+        f"{args.model} dse: strategy {args.strategy}, budget {args.budget},"
+        f" seed {args.seed}, objectives {'+'.join(objectives)}"
+    )
+    print(
+        f"  evaluated {report['evaluated']} chips"
+        f" ({report['cache_hits']} cache hits) in {wall:.1f}s"
+        f" with {runner.jobs} job(s); space size {report['space']['size']:,}"
+    )
+    for line in format_frontier_report(report, top=args.top):
+        print(f"  {line}")
+    if args.export_fleet is not None:
+        kinds = export_fleet_kinds(report, args.export_fleet)
+        print(
+            f"  exported {len(kinds)} chip kind(s) to {args.export_fleet}"
+            f" (use: repro cluster --kinds-file {args.export_fleet}"
+            f" --fleet {next(iter(kinds))}:2)"
+        )
+    if args.output is not None:
+        args.output.write_text(canonical_json(report))
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -711,6 +838,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "cluster":
         try:
             return _run_cluster(args)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+
+    if args.command == "dse":
+        try:
+            return _run_dse(args)
         except ValueError as error:
             print(error, file=sys.stderr)
             return 2

@@ -32,7 +32,9 @@ from .fleet import (
     chip_config,
     fleet_capacity_rps,
     homogeneous_fleet,
+    load_chip_kinds,
     parse_fleet,
+    register_chip_kind,
 )
 from .report import ChipReport, ClusterReport, build_cluster_report
 from .routing import (
@@ -67,7 +69,9 @@ __all__ = [
     "eligible_chips",
     "fleet_capacity_rps",
     "homogeneous_fleet",
+    "load_chip_kinds",
     "make_policy",
     "parse_fleet",
+    "register_chip_kind",
     "simulate_cluster",
 ]

@@ -15,9 +15,11 @@ Sec.-6.1 chip so fleets compare like-for-like.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 
-from ..arch import BishopConfig
+from ..arch import BishopConfig, resolve_overrides
 from ..model import MODEL_ZOO
 from ..serve.profiles import profile_config, request_profile
 
@@ -28,7 +30,9 @@ __all__ = [
     "chip_config",
     "fleet_capacity_rps",
     "homogeneous_fleet",
+    "load_chip_kinds",
     "parse_fleet",
+    "register_chip_kind",
 ]
 
 # Kind name → overrides on the standard serving-chip configuration.
@@ -55,6 +59,9 @@ def chip_config(kind: str, bs_t: int = 2, bs_n: int = 4) -> BishopConfig:
     ``standard`` is byte-identical to the single-chip serving
     configuration (:func:`repro.serve.profiles.profile_config`), which is
     what makes an N=1 standard fleet reproduce ``simulate_serving``.
+    Registered kinds may carry nested ``bundle_spec``/``dram`` dicts (the
+    DSE fleet-export format); an explicit ``bundle_spec`` override wins
+    over the ``bs_t``/``bs_n`` arguments.
     """
     try:
         overrides = CHIP_KINDS[kind]
@@ -63,7 +70,54 @@ def chip_config(kind: str, bs_t: int = 2, bs_n: int = 4) -> BishopConfig:
             f"unknown chip kind {kind!r}; options {sorted(CHIP_KINDS)}"
         ) from None
     base = profile_config(bs_t, bs_n)
-    return base.with_overrides(**overrides) if overrides else base
+    return resolve_overrides(base, overrides) if overrides else base
+
+
+def register_chip_kind(name: str, overrides: dict) -> None:
+    """Register (or replace) a chip kind from a config-override dict.
+
+    The overrides are validated eagerly — a kind that cannot build a
+    valid :class:`BishopConfig` is rejected at registration, not at first
+    use deep inside a fleet simulation.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"bad chip kind name {name!r}")
+    try:
+        resolve_overrides(profile_config(), dict(overrides))
+    except (TypeError, ValueError) as error:
+        raise ValueError(
+            f"chip kind {name!r} has invalid overrides: {error}"
+        ) from error
+    CHIP_KINDS[name] = dict(overrides)
+
+
+def load_chip_kinds(path: Path | str) -> list[str]:
+    """Register every chip kind in a kinds file (``repro dse --export-fleet``).
+
+    Accepts either the DSE export payload (``{"kinds": {name: overrides}}``)
+    or a bare ``{name: overrides}`` mapping.  Returns the registered names
+    in file order.
+    """
+    payload = json.loads(Path(path).read_text())
+    kinds = payload.get("kinds", payload) if isinstance(payload, dict) else None
+    if not isinstance(kinds, dict) or not kinds:
+        raise ValueError(f"{path}: expected a JSON object of chip kinds")
+    # Validate the whole file before touching the registry: a bad Nth kind
+    # must not leave kinds 1..N-1 registered.
+    for name, overrides in kinds.items():
+        if not isinstance(overrides, dict):
+            raise ValueError(f"{path}: kind {name!r} overrides must be an object")
+        try:
+            resolve_overrides(profile_config(), dict(overrides))
+        except (TypeError, ValueError) as error:
+            raise ValueError(
+                f"{path}: chip kind {name!r} has invalid overrides: {error}"
+            ) from error
+    names = []
+    for name, overrides in kinds.items():
+        register_chip_kind(name, overrides)
+        names.append(name)
+    return names
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,81 @@
+"""Design-space exploration over Bishop chip configurations.
+
+The paper justifies its architectural choices — the dense/sparse core
+split, the TTB bundle volume, the θ thresholds, the GLB provisioning —
+with small hand-run sweeps (Sec. 6.5, Figs. 15-16).  This subsystem
+treats them as one joint, typed design space and searches it with
+pluggable multi-objective strategies:
+
+* ``repro.dse.space`` — the parameter-space DSL (:class:`Choice`,
+  :class:`IntRange`, :class:`FloatRange` → :class:`DesignSpace`) and the
+  default Bishop space, every point of which builds a **valid**
+  :class:`~repro.arch.BishopConfig`;
+* ``repro.dse.objectives`` — candidate metrics: engine-scheduled latency,
+  total energy, EDP, and a synthesis-anchored silicon-area proxy;
+* ``repro.dse.pareto`` — non-dominated frontier extraction and the
+  ε-slack measure used to judge how far a reference chip sits from it;
+* ``repro.dse.strategies`` — grid enumeration, seeded random sampling,
+  and a seeded evolutionary search (mutation around the running Pareto
+  archive);
+* ``repro.dse.explorer`` — the orchestrator: every candidate compiles
+  through ``repro.compiler`` and replays on the event engine, evaluated
+  as the ``dse_point`` registry experiment through the parallel
+  content-addressed runtime so sweeps are parallel, cached, and
+  resumable; frontier winners export as cluster chip kinds
+  (``repro.cluster.fleet``).
+
+Surface: ``repro dse <model> [--strategy --budget --objectives --seed
+--export-fleet]``, the ``dse_pareto_frontier`` / ``dse_strategy_ablation``
+registry experiments, and ``examples/design_space_exploration.py``.
+See ``docs/DSE.md``.
+"""
+
+from .explorer import (
+    DSEConfig,
+    evaluate_point,
+    export_fleet_kinds,
+    run_dse,
+)
+from .objectives import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVES,
+    area_proxy_mm2,
+    parse_objectives,
+    program_metrics,
+    scaled_energy_model,
+)
+from .pareto import dominates, frontier_slack, pareto_frontier
+from .report import format_frontier_report, reference_standing
+from .space import (
+    Choice,
+    DesignSpace,
+    FloatRange,
+    IntRange,
+    default_space,
+)
+from .strategies import STRATEGIES, make_strategy
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "OBJECTIVES",
+    "STRATEGIES",
+    "Choice",
+    "DSEConfig",
+    "DesignSpace",
+    "FloatRange",
+    "IntRange",
+    "area_proxy_mm2",
+    "default_space",
+    "dominates",
+    "evaluate_point",
+    "export_fleet_kinds",
+    "format_frontier_report",
+    "frontier_slack",
+    "make_strategy",
+    "pareto_frontier",
+    "parse_objectives",
+    "program_metrics",
+    "reference_standing",
+    "run_dse",
+    "scaled_energy_model",
+]

@@ -1,0 +1,242 @@
+"""The DSE orchestrator: strategy loop → cached evaluation → frontier.
+
+Every candidate chip evaluates through the repo's single lowering path:
+:func:`~repro.compiler.cache.compile_model` compiles the model's
+synthetic trace for the candidate's :class:`~repro.arch.BishopConfig`
+(TTB packing, ECP planning, stratification, engine-measured prefetch
+scheduling), and the metrics come off the compiled program.  Two cache
+layers make sweeps cheap and resumable:
+
+* the **program cache** (``repro.compiler.cache``) memoizes the compiled
+  program per (model, chip, passes, seed) — shared across strategies,
+  budgets, and worker processes;
+* the **result cache** (``repro.runtime``) memoizes the whole
+  ``dse_point`` experiment per (model, point, seed) — a re-run of the
+  same search replays every candidate from disk (near-instant warm run),
+  and a larger budget only evaluates the new points.
+
+Pass an :class:`~repro.runtime.ExperimentRunner` to :func:`run_dse` to
+get both layers plus process-pool parallelism (the ``repro dse`` CLI
+does); without one, candidates evaluate inline (the registry experiments
+do this — the outer result cache already memoizes them wholesale).
+
+The paper's default chip is always evaluated as the *reference* point —
+the report records whether it lands on the computed frontier and its
+ε-slack when it does not.  Frontier winners can be exported as cluster
+chip kinds (:func:`export_fleet_kinds`) and simulated as heterogeneous
+fleets via ``repro.cluster``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .objectives import (
+    DEFAULT_OBJECTIVES,
+    parse_objectives,
+    program_metrics,
+    scaled_energy_model,
+)
+from .pareto import frontier_slack, pareto_frontier
+from .space import DesignSpace, default_space, point_key
+from .strategies import make_strategy
+
+__all__ = ["DSEConfig", "evaluate_point", "export_fleet_kinds", "run_dse"]
+
+
+@dataclass(frozen=True)
+class DSEConfig:
+    """One search: what to explore, how hard, and against which objectives.
+
+    ``budget`` counts searched candidates; the paper-default reference
+    point is always evaluated in addition.  ``batch`` is the proposal
+    granularity — the parallelism grain when a runner with worker
+    processes drives the evaluation.
+    """
+
+    model: str
+    strategy: str = "random"
+    budget: int = 64
+    objectives: tuple[str, ...] = DEFAULT_OBJECTIVES
+    seed: int = 0
+    batch: int = 16
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        parse_objectives(self.objectives)  # validates
+
+
+def evaluate_point(
+    model: str,
+    point: dict,
+    seed: int = 0,
+    space: DesignSpace | None = None,
+) -> dict:
+    """Compile + engine-measure one design point (the ``dse_point`` body).
+
+    Returns a JSON-safe record: the resolved point, the chip-kind override
+    dict it corresponds to, and all candidate metrics.
+    """
+    from ..compiler import compile_model
+
+    space = space if space is not None else default_space()
+    resolved = space.validate_point(point)
+    config = space.to_config(resolved)
+    # Leakage/clock power scales with the candidate's silicon; at the
+    # paper point the model (and thus the program-cache key) is exactly
+    # the default one.
+    program = compile_model(
+        model, config, seed=seed, energy=scaled_energy_model(config)
+    )
+    return {
+        "point": resolved,
+        "overrides": space.config_overrides(resolved),
+        "metrics": program_metrics(program, config),
+    }
+
+
+def _evaluate_batch(
+    model: str,
+    points: list[dict],
+    seed: int,
+    runner,
+    space: DesignSpace,
+) -> tuple[list[dict], int]:
+    """Evaluate a proposal batch, returning ``(records, cache_hits)``."""
+    if runner is None:
+        return [evaluate_point(model, p, seed=seed, space=space) for p in points], 0
+    requests = [
+        ("dse_point", {"model": model, "point": point_key(p), "seed": seed})
+        for p in points
+    ]
+    summary = runner.run_many(requests, write_artifacts=False)
+    records = []
+    for outcome in summary.outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"dse_point failed for {outcome.params.get('point')}:"
+                f"\n{outcome.error}"
+            )
+        records.append(dict(outcome.result))
+    return records, summary.hits
+
+
+def run_dse(
+    config: DSEConfig,
+    runner=None,
+    space: DesignSpace | None = None,
+) -> dict:
+    """Run one design-space search and return the frontier report."""
+    space = space if space is not None else default_space()
+    objectives = parse_objectives(config.objectives)
+    strategy = make_strategy(
+        config.strategy, space, seed=config.seed, objectives=objectives
+    )
+
+    # The paper chip is always candidate 0 — the acceptance reference.
+    reference_point = space.default_point()
+    reference, reference_hits = _evaluate_batch(
+        config.model, [reference_point], config.seed, runner, space
+    )
+    strategy.mark_seen(reference_point)
+    candidates: list[dict] = list(reference)
+    cache_hits = reference_hits
+
+    searched = 0
+    while searched < config.budget:
+        want = min(config.batch, config.budget - searched)
+        points = strategy.propose(want)
+        if not points:
+            break  # space exhausted
+        records, hits = _evaluate_batch(
+            config.model, points, config.seed, runner, space
+        )
+        strategy.observe(records)
+        candidates.extend(records)
+        cache_hits += hits
+        searched += len(records)
+
+    metrics_list = [c["metrics"] for c in candidates]
+    frontier_indices = pareto_frontier(metrics_list, objectives)
+    frontier_metrics = [metrics_list[i] for i in frontier_indices]
+    primary = objectives[0]
+    frontier = sorted(
+        (
+            {
+                "point": candidates[i]["point"],
+                "overrides": candidates[i]["overrides"],
+                "metrics": candidates[i]["metrics"],
+            }
+            for i in frontier_indices
+        ),
+        key=lambda entry: entry["metrics"][primary],
+    )
+    reference_record = candidates[0]
+    reference_slack = frontier_slack(
+        reference_record["metrics"], frontier_metrics, objectives
+    )
+    best = {
+        objective: min(
+            (
+                {"point": c["point"], "value": c["metrics"][objective]}
+                for c in candidates
+            ),
+            key=lambda entry: entry["value"],
+        )
+        for objective in objectives
+    }
+    return {
+        "model": config.model,
+        "strategy": config.strategy,
+        "budget": config.budget,
+        "seed": config.seed,
+        "objectives": list(objectives),
+        "space": space.describe(),
+        "evaluated": len(candidates),
+        "searched": searched,
+        "cache_hits": cache_hits,
+        "candidates": [
+            {"point": c["point"], "metrics": c["metrics"]} for c in candidates
+        ],
+        "frontier": frontier,
+        "reference": {
+            "point": reference_record["point"],
+            "metrics": reference_record["metrics"],
+            "on_frontier": 0 in frontier_indices,
+            "frontier_slack": reference_slack,
+        },
+        "best": best,
+    }
+
+
+def export_fleet_kinds(
+    report: dict, path: Path | str, prefix: str | None = None
+) -> dict[str, dict]:
+    """Write the frontier as a cluster chip-kind file.
+
+    The file maps kind names (``dse_<model>_<rank>``) to
+    :meth:`~repro.arch.BishopConfig.with_overrides` dicts;
+    :func:`repro.cluster.fleet.load_chip_kinds` registers them so
+    ``repro cluster --kinds-file`` (or :class:`ChipSpec` directly) can
+    build heterogeneous fleets out of DSE winners.  Returns the kinds.
+    """
+    prefix = prefix or f"dse_{report['model']}"
+    kinds = {
+        f"{prefix}_{rank}": entry["overrides"]
+        for rank, entry in enumerate(report["frontier"])
+    }
+    payload = {
+        "generated_by": "repro dse",
+        "model": report["model"],
+        "strategy": report["strategy"],
+        "objectives": report["objectives"],
+        "seed": report["seed"],
+        "kinds": kinds,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return kinds

@@ -1,0 +1,84 @@
+"""Pareto-frontier extraction over minimized objective dicts.
+
+Candidates are plain mappings carrying a ``metrics`` dict; the frontier
+is the set of non-dominated candidates under the chosen objective keys.
+:func:`frontier_slack` measures how far a reference point sits from an
+existing frontier: the largest factor by which some frontier member
+improves on it across *every* objective simultaneously.  A point on (or
+merely traded-off against) the frontier has slack 0; the acceptance
+criterion "within 5% of the frontier" is ``frontier_slack(...) <= 0.05``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["dominates", "frontier_slack", "pareto_frontier"]
+
+
+def _values(metrics: Mapping, keys: Sequence[str]) -> tuple[float, ...]:
+    try:
+        return tuple(float(metrics[k]) for k in keys)
+    except KeyError as error:
+        raise KeyError(
+            f"candidate metrics missing objective {error.args[0]!r};"
+            f" available: {sorted(metrics)}"
+        ) from None
+
+
+def dominates(a: Mapping, b: Mapping, keys: Sequence[str]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better somewhere
+    (all objectives minimized)."""
+    va, vb = _values(a, keys), _values(b, keys)
+    return all(x <= y for x, y in zip(va, vb)) and any(x < y for x, y in zip(va, vb))
+
+
+def pareto_frontier(
+    metrics_list: Sequence[Mapping], keys: Sequence[str]
+) -> list[int]:
+    """Indices of the non-dominated members of ``metrics_list``.
+
+    Deterministic: indices come back in input order.  Duplicate objective
+    vectors are all kept (they don't dominate each other).
+    """
+    values = [_values(m, keys) for m in metrics_list]
+    frontier: list[int] = []
+    for i, vi in enumerate(values):
+        dominated = False
+        for j, vj in enumerate(values):
+            if i == j:
+                continue
+            if all(y <= x for x, y in zip(vi, vj)) and any(
+                y < x for x, y in zip(vi, vj)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(i)
+    return frontier
+
+
+def frontier_slack(
+    point: Mapping, frontier: Sequence[Mapping], keys: Sequence[str]
+) -> float:
+    """Relative distance of ``point`` from a frontier (0 = on it).
+
+    For each frontier member ``f``, the guaranteed all-objective
+    improvement factor over the point is ``min_k point[k] / f[k]``; the
+    slack is the best such factor minus one, floored at zero.  If no
+    member beats the point in every objective, the point is itself
+    non-dominated and the slack is exactly 0.
+    """
+    pv = _values(point, keys)
+    worst = 0.0
+    for member in frontier:
+        fv = _values(member, keys)
+        ratios = []
+        for p, f in zip(pv, fv):
+            if f <= 0.0:
+                ratios.append(float("inf") if p > 0 else 1.0)
+            else:
+                ratios.append(p / f)
+        improvement = min(ratios)
+        worst = max(worst, improvement - 1.0)
+    return max(0.0, worst)

@@ -1,0 +1,59 @@
+"""Human-readable rendering of a DSE frontier report.
+
+One formatter shared by the ``repro dse`` CLI and
+``examples/design_space_exploration.py``, so the table layout, the
+delta-vs-paper-chip column, and the reference-standing line cannot
+drift between the two surfaces.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_frontier_report", "reference_standing"]
+
+
+def _point_delta(point: dict, reference_point: dict, axes: list[str]) -> str:
+    """The design as a diff against the paper chip (space-axis order)."""
+    delta = ", ".join(
+        f"{axis}={point[axis]}"
+        for axis in axes
+        if point.get(axis) != reference_point.get(axis)
+    )
+    return delta or "= paper chip"
+
+
+def reference_standing(report: dict) -> str:
+    """``"on the frontier"`` or the reference's ε-slack off it."""
+    reference = report["reference"]
+    if reference["on_frontier"]:
+        return "on the frontier"
+    return f"{reference['frontier_slack']:.1%} off the frontier"
+
+
+def format_frontier_report(report: dict, top: int | None = None) -> list[str]:
+    """Render the frontier table plus the paper-chip standing as lines.
+
+    ``top`` bounds the printed frontier rows (``None`` = all); callers
+    prepend their own run summary (cache hits, wall time, ...).
+    """
+    objectives = list(report["objectives"])
+    frontier = report["frontier"]
+    reference = report["reference"]
+    axes = list(report["space"]["params"])  # space order, not JSON-sorted
+    shown = frontier if top is None else frontier[:top]
+
+    lines = [f"Pareto frontier: {len(frontier)} designs"]
+    headers = "".join(f"{objective:>13}" for objective in objectives)
+    lines.append(f"{'rank':>6}{headers}  design (vs paper chip)")
+    for rank, entry in enumerate(shown):
+        row = "".join(f"{entry['metrics'][o]:13.4f}" for o in objectives)
+        lines.append(
+            f"{rank:>6}{row}  "
+            + _point_delta(entry["point"], reference["point"], axes)
+        )
+    if len(frontier) > len(shown):
+        lines.append(f"{'':>6}... {len(frontier) - len(shown)} more designs")
+    reference_row = "".join(
+        f"{reference['metrics'][o]:13.4f}" for o in objectives
+    )
+    lines.append(f"{'paper':>6}{reference_row}  {reference_standing(report)}")
+    return lines

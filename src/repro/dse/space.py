@@ -1,0 +1,292 @@
+"""The design-space DSL: typed parameters → valid Bishop chip configs.
+
+A :class:`DesignSpace` is an ordered tuple of named parameters.  Each
+parameter knows its discrete value grid (used by exhaustive enumeration
+and by hypothesis-based property tests) and how to draw one value from a
+seeded RNG.  A *point* is a plain ``{name: value}`` dict — JSON-safe, so
+points travel through the runtime's content-addressed result cache and
+the CLI unchanged.
+
+:meth:`DesignSpace.to_config` turns a point into a
+:class:`~repro.arch.BishopConfig`, routing the special keys (``bs_t`` /
+``bs_n`` → the bundle spec, ``dram_gbps`` → the DRAM channel,
+``dense_fraction`` → the θ_s policy) and relying on the config's own
+``__post_init__`` validation so malformed points fail fast instead of
+producing silently-wrong simulations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from ..arch.config import BishopConfig, resolve_overrides
+
+__all__ = [
+    "Choice",
+    "DesignSpace",
+    "FloatRange",
+    "IntRange",
+    "default_space",
+    "point_key",
+]
+
+
+@dataclass(frozen=True)
+class Choice:
+    """An explicit discrete value set (the workhorse of chip geometry)."""
+
+    name: str
+    values: tuple
+    default: object = None
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"parameter {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"parameter {self.name!r} has duplicate values")
+        if self.default is not None and self.default not in self.values:
+            raise ValueError(
+                f"parameter {self.name!r}: default {self.default!r} not in values"
+            )
+
+    def grid(self) -> tuple:
+        return self.values
+
+    def sample(self, rng: np.random.Generator):
+        return self.values[int(rng.integers(len(self.values)))]
+
+
+@dataclass(frozen=True)
+class IntRange:
+    """Integers ``lo..hi`` inclusive, stepped (e.g. PE row counts)."""
+
+    name: str
+    lo: int
+    hi: int
+    step: int = 1
+    default: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.step < 1 or self.hi < self.lo:
+            raise ValueError(f"bad range for {self.name!r}: {self.lo}..{self.hi}")
+        if self.default is not None and self.default not in self.grid():
+            raise ValueError(
+                f"parameter {self.name!r}: default {self.default!r} not on the grid"
+            )
+
+    def grid(self) -> tuple:
+        return tuple(range(self.lo, self.hi + 1, self.step))
+
+    def sample(self, rng: np.random.Generator) -> int:
+        values = self.grid()
+        return int(values[int(rng.integers(len(values)))])
+
+
+@dataclass(frozen=True)
+class FloatRange:
+    """``num`` floats spanning ``lo..hi`` (linear or logarithmic)."""
+
+    name: str
+    lo: float
+    hi: float
+    num: int = 5
+    log: bool = False
+    default: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num < 2 or self.hi <= self.lo:
+            raise ValueError(f"bad range for {self.name!r}: {self.lo}..{self.hi}")
+        if self.log and self.lo <= 0:
+            raise ValueError(f"log range for {self.name!r} needs lo > 0")
+        if self.default is not None and not any(
+            abs(self.default - v) < 1e-12 for v in self.grid()
+        ):
+            raise ValueError(
+                f"parameter {self.name!r}: default {self.default!r} not on the grid"
+            )
+
+    def grid(self) -> tuple:
+        if self.log:
+            points = np.geomspace(self.lo, self.hi, self.num)
+        else:
+            points = np.linspace(self.lo, self.hi, self.num)
+        return tuple(float(v) for v in points)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        values = self.grid()
+        return float(values[int(rng.integers(len(values)))])
+
+
+# Point keys with dedicated routing in to_config (everything else must be a
+# BishopConfig field name).
+_SPECIAL_KEYS = ("bs_t", "bs_n", "dram_gbps", "dense_fraction")
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """An ordered, named collection of chip-design parameters."""
+
+    params: tuple
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names in space: {names}")
+        config_fields = {f.name for f in fields(BishopConfig)}
+        unknown = [
+            n for n in names if n not in _SPECIAL_KEYS and n not in config_fields
+        ]
+        if unknown:
+            raise ValueError(
+                f"space parameter(s) {unknown} are neither BishopConfig fields"
+                f" nor special keys {_SPECIAL_KEYS}"
+            )
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def __getitem__(self, name: str):
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise KeyError(name)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct grid points (the exhaustive-search volume)."""
+        total = 1
+        for param in self.params:
+            total *= len(param.grid())
+        return total
+
+    def describe(self) -> dict:
+        """JSON-safe space summary for reports."""
+        return {
+            "params": {p.name: list(p.grid()) for p in self.params},
+            "size": self.size,
+        }
+
+    # -- points ------------------------------------------------------------
+    def default_point(self) -> dict:
+        """The reference point (each parameter's declared default)."""
+        missing = [p.name for p in self.params if p.default is None]
+        if missing:
+            raise ValueError(f"parameters {missing} declare no default")
+        return {p.name: p.default for p in self.params}
+
+    def sample(self, rng: np.random.Generator) -> dict:
+        return {p.name: p.sample(rng) for p in self.params}
+
+    def grid_points(self):
+        """Deterministic row-major enumeration of the full grid."""
+        from itertools import product
+
+        grids = [param.grid() for param in self.params]
+        for values in product(*grids):
+            yield dict(zip(self.names, values))
+
+    def validate_point(self, point: dict) -> dict:
+        """Fill defaults for missing parameters; reject unknown names and
+        off-grid values (the cache key must only ever see grid points)."""
+        unknown = set(point) - set(self.names)
+        if unknown:
+            raise ValueError(
+                f"unknown space parameter(s) {sorted(unknown)};"
+                f" space: {list(self.names)}"
+            )
+        resolved = {}
+        for param in self.params:
+            if param.name in point:
+                value = point[param.name]
+                if value not in param.grid():
+                    raise ValueError(
+                        f"value {value!r} for {param.name!r} is off-grid;"
+                        f" options {list(param.grid())}"
+                    )
+                resolved[param.name] = value
+            else:
+                if param.default is None:
+                    raise ValueError(f"parameter {param.name!r} missing (no default)")
+                resolved[param.name] = param.default
+        return resolved
+
+    # -- lowering to chip configs -----------------------------------------
+    def config_overrides(self, point: dict) -> dict:
+        """JSON-safe :meth:`BishopConfig.with_overrides` kwargs for a point.
+
+        This is the fleet-export format (``repro.cluster.fleet`` registers
+        chip kinds from exactly these dicts): nested dataclasses appear as
+        plain dicts, special keys are resolved.
+        """
+        point = self.validate_point(point)
+        overrides: dict = {}
+        bs_t = point.pop("bs_t", None)
+        bs_n = point.pop("bs_n", None)
+        if bs_t is not None or bs_n is not None:
+            overrides["bundle_spec"] = {
+                "bs_t": int(bs_t if bs_t is not None else 2),
+                "bs_n": int(bs_n if bs_n is not None else 4),
+            }
+        dram_gbps = point.pop("dram_gbps", None)
+        if dram_gbps is not None:
+            overrides["dram"] = {"bandwidth_bytes_per_s": float(dram_gbps) * 1e9}
+        dense_fraction = point.pop("dense_fraction", None)
+        if dense_fraction is not None:
+            overrides["stratify_dense_fraction"] = float(dense_fraction)
+        overrides.update(point)
+        return overrides
+
+    def to_config(
+        self, point: dict, base: BishopConfig | None = None
+    ) -> BishopConfig:
+        """Build the (validated) chip config of one design point."""
+        base = base if base is not None else BishopConfig()
+        return resolve_overrides(base, self.config_overrides(point))
+
+
+def point_key(point: dict) -> str:
+    """Canonical identity of a point (dedup + cache-key embedding)."""
+    return json.dumps(point, sort_keys=True, default=float)
+
+
+def default_space() -> DesignSpace:
+    """The Bishop chip design space.
+
+    Axes and their grids follow the knobs the paper itself varies or
+    fixes in Sec. 6.1/6.5 — core geometries, TTB unit count, bundle
+    volume, per-PE psum registers, GLB provisioning, DRAM bandwidth, and
+    the θ_s split — each bracketing the paper value (the declared
+    default) with smaller/cheaper and larger/faster variants.  Every grid
+    point constructs a valid :class:`BishopConfig`.
+    """
+    return DesignSpace((
+        # Dense core: rows × cols PEs (paper: 16 × 32 = 512).
+        Choice("dense_rows", (8, 16, 24, 32), default=16),
+        Choice("dense_cols", (16, 32, 64), default=32),
+        # Sparse core TTB units (paper: 128).
+        Choice("sparse_units", (32, 64, 128, 256), default=128),
+        # Attention core geometry (paper: 16 × 32 = 512).
+        Choice("attn_rows", (8, 16, 32), default=16),
+        Choice("attn_cols", (16, 32, 64), default=32),
+        # Spikes each TTB unit absorbs per cycle (paper: 10).
+        Choice("spikes_per_cycle", (4, 10, 16), default=10),
+        # Partial-sum registers per PE (paper: 16; Fig.-16 chunking knob).
+        Choice("psum_regs_per_pe", (8, 16, 32), default=16),
+        # TTB bundle volume BS_t × BS_n (paper default 2 × 4; Fig. 16).
+        Choice("bs_t", (1, 2, 4), default=2),
+        Choice("bs_n", (2, 4, 8), default=4),
+        # GLBs (paper: 144 KB weights, 2 × 12 KB ping-pong spike GLBs).
+        Choice("weight_glb_bytes", (72 * 1024, 144 * 1024, 288 * 1024),
+               default=144 * 1024),
+        Choice("spike_glb_bytes", (6 * 1024, 12 * 1024, 24 * 1024),
+               default=12 * 1024),
+        # Off-chip bandwidth in GB/s (paper: DDR4-2400 at 76.8).
+        Choice("dram_gbps", (12.8, 25.6, 76.8), default=76.8),
+        # θ_s policy: targeted dense-fraction split (serving default 0.5).
+        Choice("dense_fraction", (0.35, 0.5, 0.65), default=0.5),
+    ))

@@ -1,0 +1,186 @@
+"""Pluggable search strategies over a :class:`~repro.dse.space.DesignSpace`.
+
+A strategy is an ask/tell object: the explorer repeatedly calls
+:meth:`propose` for a batch of *unseen* points (so whole batches can be
+evaluated in parallel through the cached runtime) and feeds the evaluated
+``{"point", "metrics"}`` records back through :meth:`observe`.  All
+randomness flows from the seed given at construction, which is what makes
+``repro dse --seed N`` bit-deterministic.
+
+* ``grid`` — deterministic row-major enumeration of the full grid
+  (exhaustive when the budget covers the space, a prefix otherwise);
+* ``random`` — seeded uniform sampling without replacement;
+* ``evolutionary`` — an archive-based (μ+λ) search: parents are the
+  running Pareto frontier of everything observed, children mutate one or
+  two axes of a parent, with random immigrants keeping diversity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .objectives import DEFAULT_OBJECTIVES
+from .pareto import pareto_frontier
+from .space import DesignSpace, point_key
+
+__all__ = ["STRATEGIES", "SearchStrategy", "make_strategy"]
+
+
+class SearchStrategy:
+    """Base: dedup bookkeeping shared by every strategy."""
+
+    name = "strategy"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        seed: int = 0,
+        objectives: tuple[str, ...] = DEFAULT_OBJECTIVES,
+    ):
+        self.space = space
+        self.objectives = tuple(objectives)
+        self.rng = np.random.default_rng(seed)
+        self._seen: set[str] = set()
+
+    # -- ask/tell interface ------------------------------------------------
+    def propose(self, n: int) -> list[dict]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def observe(self, results: list[dict]) -> None:
+        """Default: nothing to adapt (grid/random are non-adaptive)."""
+
+    # -- shared helpers ----------------------------------------------------
+    def _claim(self, point: dict) -> bool:
+        """Mark a point as proposed; False if it was already."""
+        key = point_key(point)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        return True
+
+    def mark_seen(self, point: dict) -> None:
+        """Pre-seed dedup (the explorer registers the reference point)."""
+        self._seen.add(point_key(point))
+
+    @property
+    def exhausted(self) -> bool:
+        return len(self._seen) >= self.space.size
+
+
+class GridStrategy(SearchStrategy):
+    """Row-major exhaustive enumeration (budget-truncated)."""
+
+    name = "grid"
+
+    def __init__(self, space, seed=0, objectives=DEFAULT_OBJECTIVES):
+        super().__init__(space, seed, objectives)
+        self._iterator = space.grid_points()
+
+    def propose(self, n: int) -> list[dict]:
+        batch: list[dict] = []
+        for point in self._iterator:
+            if not self._claim(point):
+                continue
+            batch.append(point)
+            if len(batch) >= n:
+                break
+        return batch
+
+
+class RandomStrategy(SearchStrategy):
+    """Seeded uniform sampling without replacement."""
+
+    name = "random"
+
+    # Rejection-sampling patience per requested point before giving up
+    # (the space may be nearly exhausted).
+    MAX_TRIES_PER_POINT = 64
+
+    def propose(self, n: int) -> list[dict]:
+        batch: list[dict] = []
+        tries = 0
+        while len(batch) < n and tries < n * self.MAX_TRIES_PER_POINT:
+            point = self.space.sample(self.rng)
+            tries += 1
+            if self._claim(point):
+                batch.append(point)
+        return batch
+
+
+class EvolutionaryStrategy(SearchStrategy):
+    """(μ+λ) Pareto-archive evolution with random immigrants.
+
+    The first proposal is a random population; afterwards parents are
+    drawn from the Pareto frontier of every observed candidate and
+    children re-sample one or two axes (mutation).  A fixed fraction of
+    each generation is random immigrants, so the search cannot collapse
+    onto one basin — the behaviour successive-halving-style searches get
+    from their rung promotions.
+    """
+
+    name = "evolutionary"
+
+    IMMIGRANT_FRACTION = 0.25
+
+    def __init__(self, space, seed=0, objectives=DEFAULT_OBJECTIVES):
+        super().__init__(space, seed, objectives)
+        self._archive: list[dict] = []
+
+    def _mutate(self, point: dict) -> dict:
+        child = dict(point)
+        axes = list(self.space.names)
+        count = 1 + int(self.rng.integers(2))  # mutate 1 or 2 axes
+        picks = self.rng.choice(len(axes), size=min(count, len(axes)), replace=False)
+        for index in np.atleast_1d(picks):
+            param = self.space.params[int(index)]
+            child[param.name] = param.sample(self.rng)
+        return child
+
+    def propose(self, n: int) -> list[dict]:
+        batch: list[dict] = []
+        tries = 0
+        max_tries = n * RandomStrategy.MAX_TRIES_PER_POINT
+        frontier_points = []
+        if self._archive:
+            frontier = pareto_frontier(
+                [r["metrics"] for r in self._archive], self.objectives
+            )
+            frontier_points = [self._archive[i]["point"] for i in frontier]
+        while len(batch) < n and tries < max_tries:
+            tries += 1
+            immigrant = (
+                not frontier_points
+                or self.rng.random() < self.IMMIGRANT_FRACTION
+            )
+            if immigrant:
+                point = self.space.sample(self.rng)
+            else:
+                parent = frontier_points[int(self.rng.integers(len(frontier_points)))]
+                point = self._mutate(parent)
+            if self._claim(point):
+                batch.append(point)
+        return batch
+
+    def observe(self, results: list[dict]) -> None:
+        self._archive.extend(results)
+
+
+STRATEGIES: dict[str, type[SearchStrategy]] = {
+    strategy.name: strategy
+    for strategy in (GridStrategy, RandomStrategy, EvolutionaryStrategy)
+}
+
+
+def make_strategy(
+    name: str,
+    space: DesignSpace,
+    seed: int = 0,
+    objectives: tuple[str, ...] = DEFAULT_OBJECTIVES,
+) -> SearchStrategy:
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown search strategy {name!r}; options {sorted(STRATEGIES)}"
+        ) from None
+    return cls(space, seed=seed, objectives=objectives)

@@ -645,6 +645,143 @@ def experiment_compiler_pass_ablation(
 
 
 # ----------------------------------------------------------------------
+# DSE experiments (beyond the paper: joint chip-design-space search)
+# ----------------------------------------------------------------------
+def experiment_dse_point(
+    model: str = "model3", point: str = "{}", seed: int = 0
+) -> dict:
+    """DSE — compile + engine-measure one chip design point.
+
+    ``point`` is a JSON object over the default space's parameters
+    (missing keys take the paper defaults).  This is the unit the
+    ``repro dse`` explorer fans out through the parallel runtime: the
+    result cache keys on (model, point, seed), so re-running a search —
+    or growing its budget — replays evaluated candidates from disk.
+    """
+    import json as _json
+
+    from ..dse import evaluate_point
+
+    return evaluate_point(model, _json.loads(point), seed=seed)
+
+
+def experiment_dse_pareto_frontier(
+    model: str = "model3",
+    strategy: str = "random",
+    budget: int = 48,
+    objectives: str = "latency_ms+energy_mj+area_mm2",
+    seed: int = 0,
+) -> dict:
+    """DSE — multi-objective search of the Bishop chip space.
+
+    Searches ``budget`` candidate chips with the chosen strategy and
+    extracts the Pareto frontier over the ``'+'``-separated objectives.
+    The paper's Sec.-6.1 chip is always evaluated as the reference; the
+    report records whether it lands on the computed frontier and its
+    ε-slack when it does not.  Candidates evaluate inline here (the
+    runtime's result cache memoizes the whole experiment); the
+    ``repro dse`` CLI runs the same search with per-candidate caching
+    and worker-pool parallelism.
+    """
+    from ..dse import DSEConfig, parse_objectives, run_dse
+
+    return run_dse(
+        DSEConfig(
+            model=model,
+            strategy=strategy,
+            budget=budget,
+            objectives=parse_objectives(objectives),
+            seed=seed,
+        )
+    )
+
+
+def experiment_dse_strategy_ablation(
+    model: str = "model4",
+    strategies: str = "grid+random+evolutionary",
+    budget: int = 32,
+    objectives: str = "latency_ms+energy_mj+area_mm2",
+    seed: int = 0,
+) -> dict:
+    """DSE — search-strategy comparison at a fixed evaluation budget.
+
+    Every strategy searches the same space with the same budget and
+    seed; the combined frontier over the union of all candidates is the
+    yardstick.  Per strategy the report carries its frontier size, its
+    best value per objective, and its *coverage* — the fraction of
+    combined-frontier designs it discovered (grid prefixes enumerate a
+    corner of the space; random and evolutionary trade breadth for
+    refinement around the frontier).
+    """
+    from ..dse import (
+        DSEConfig,
+        frontier_slack,
+        pareto_frontier,
+        parse_objectives,
+        run_dse,
+    )
+    from ..dse.space import point_key
+
+    names = [s.strip() for s in strategies.split("+") if s.strip()]
+    if not names:
+        raise ValueError(f"bad strategies {strategies!r}; e.g. 'grid+random'")
+    keys = parse_objectives(objectives)
+    reports = {
+        name: run_dse(
+            DSEConfig(
+                model=model, strategy=name, budget=budget,
+                objectives=keys, seed=seed,
+            )
+        )
+        for name in names
+    }
+    pool: list[dict] = []
+    seen: set[str] = set()
+    for report in reports.values():
+        for candidate in report["candidates"]:
+            key = point_key(candidate["point"])
+            if key not in seen:
+                seen.add(key)
+                pool.append(candidate)
+    combined_indices = pareto_frontier([c["metrics"] for c in pool], keys)
+    combined_keys = {point_key(pool[i]["point"]) for i in combined_indices}
+    combined_metrics = [pool[i]["metrics"] for i in combined_indices]
+    results = {}
+    for name, report in reports.items():
+        found = {point_key(c["point"]) for c in report["candidates"]}
+        own_frontier = [e["metrics"] for e in report["frontier"]]
+        results[name] = {
+            "evaluated": report["evaluated"],
+            "frontier_size": len(report["frontier"]),
+            "coverage_of_combined_frontier": (
+                len(combined_keys & found) / len(combined_keys)
+                if combined_keys
+                else 0.0
+            ),
+            # How far this strategy's frontier sits from the combined one
+            # (mean slack of its frontier members, 0 = every member holds up).
+            "mean_frontier_slack": (
+                sum(
+                    frontier_slack(m, combined_metrics, keys)
+                    for m in own_frontier
+                ) / len(own_frontier)
+                if own_frontier
+                else 0.0
+            ),
+            "best": report["best"],
+        }
+    return {
+        "model": model,
+        "budget": budget,
+        "seed": seed,
+        "objectives": list(keys),
+        "combined_frontier_size": len(combined_indices),
+        "union_candidates": len(pool),
+        "strategies": results,
+    }
+
+
+# ----------------------------------------------------------------------
 # Cluster experiments (beyond the paper: multi-chip fleet simulation)
 # ----------------------------------------------------------------------
 def experiment_cluster_scaling_curve(
@@ -950,6 +1087,55 @@ EXPERIMENTS: dict[str, Experiment] = _register((
         smoke_params={"model": "model4"},
         description="per-pass compiler ablation: makespan/energy of each"
         " optimization pass toggled off",
+    ),
+    Experiment(
+        "dse_point", "DSE", experiment_dse_point,
+        params={
+            "model": _MODEL,
+            "point": ParamSpec(
+                str, "{}",
+                "JSON design point over the default space (missing keys ="
+                " paper defaults)",
+            ),
+            "seed": _SEED,
+        },
+        description="compile + engine-measure one chip design point",
+    ),
+    Experiment(
+        "dse_pareto_frontier", "DSE", experiment_dse_pareto_frontier,
+        cost="medium",
+        params={
+            "model": _MODEL,
+            "strategy": ParamSpec(
+                str, "random", "search strategy: grid | random | evolutionary"
+            ),
+            "budget": ParamSpec(int, 48, "searched candidate chips"),
+            "objectives": ParamSpec(
+                str, "latency_ms+energy_mj+area_mm2",
+                "'+'-separated frontier axes (see repro.dse.OBJECTIVES)",
+            ),
+            "seed": _SEED,
+        },
+        smoke_params={"model": "model4", "budget": 6},
+        description="Pareto search over Bishop chip configurations",
+    ),
+    Experiment(
+        "dse_strategy_ablation", "DSE", experiment_dse_strategy_ablation,
+        cost="medium",
+        params={
+            "model": ParamSpec(str, "model4", _MODEL.help),
+            "strategies": ParamSpec(
+                str, "grid+random+evolutionary", "'+'-separated strategies"
+            ),
+            "budget": ParamSpec(int, 32, "candidates per strategy"),
+            "objectives": ParamSpec(
+                str, "latency_ms+energy_mj+area_mm2",
+                "'+'-separated frontier axes",
+            ),
+            "seed": _SEED,
+        },
+        smoke_params={"budget": 5, "strategies": "random+evolutionary"},
+        description="search-strategy comparison at a fixed budget",
     ),
     Experiment(
         "serve_latency_cdf", "Serving", experiment_serve_latency_cdf,

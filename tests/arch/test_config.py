@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import BishopConfig, DRAMConfig, PTBConfig
+from repro.arch import BishopConfig, DRAMConfig, PTBConfig, resolve_overrides
 from repro.bundles import BundleSpec
 
 
@@ -38,9 +38,75 @@ class TestBishopConfig:
         with pytest.raises(ValueError):
             BishopConfig(clock_hz=0)
 
+    # Every architectural field the DSE space samples must fail fast on a
+    # nonsense value — one case per rejected field.
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("dense_rows", 0),
+            ("dense_cols", -1),
+            ("attn_rows", 0),
+            ("attn_cols", -4),
+            ("sparse_units", 0),
+            ("sparse_overhead", 0.5),
+            ("attn_utilization", 0.0),
+            ("attn_utilization", 1.5),
+            ("spikes_per_cycle", 0),
+            ("psum_regs_per_pe", 0),
+            ("spike_generator_lanes", 0),
+            ("weight_glb_bytes", 0),
+            ("spike_glb_bytes", -1),
+            ("stratify_dense_fraction", 1.5),
+            ("stratify_dense_fraction", -0.1),
+            ("pipeline_fill_cycles", -1),
+        ],
+    )
+    def test_rejects_invalid_field(self, field, value):
+        with pytest.raises(ValueError):
+            BishopConfig(**{field: value})
+
+    def test_rejects_invalid_dram(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(bandwidth_bytes_per_s=0.0)
+        with pytest.raises(ValueError):
+            DRAMConfig(bandwidth_bytes_per_s=-1.0)
+        with pytest.raises(ValueError):
+            DRAMConfig(power_w=-0.1)
+        with pytest.raises(ValueError):
+            DRAMConfig(energy_pj_per_byte=-1.0)
+
     def test_bundle_spec_frozen_default(self):
         a, b = BishopConfig(), BishopConfig()
         assert a.bundle_spec == b.bundle_spec == BundleSpec(2, 4)
+
+
+class TestResolveOverrides:
+    def test_nested_dicts_resolve(self):
+        config = resolve_overrides(
+            BishopConfig(),
+            {
+                "bundle_spec": {"bs_t": 4, "bs_n": 8},
+                "dram": {"bandwidth_bytes_per_s": 2.4e9},
+                "sparse_units": 64,
+            },
+        )
+        assert config.bundle_spec == BundleSpec(4, 8)
+        assert config.dram.bandwidth_bytes_per_s == 2.4e9
+        assert config.dram.power_w == DRAMConfig().power_w  # untouched field
+        assert config.sparse_units == 64
+
+    def test_partial_nested_dicts_keep_base_values(self):
+        """A partial bundle_spec/dram dict resolves against the BASE config's
+        values, not the dataclass defaults."""
+        base = BishopConfig(bundle_spec=BundleSpec(4, 8))
+        config = resolve_overrides(base, {"bundle_spec": {"bs_t": 2}})
+        assert config.bundle_spec == BundleSpec(2, 8)  # bs_n from base, not 4
+
+    def test_invalid_nested_values_raise(self):
+        with pytest.raises(ValueError):
+            resolve_overrides(BishopConfig(), {"bundle_spec": {"bs_t": 0}})
+        with pytest.raises(TypeError):
+            resolve_overrides(BishopConfig(), {"bundle_spec": {"bogus": 1}})
 
 
 class TestPTBConfig:

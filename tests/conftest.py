@@ -2,8 +2,31 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:  # property suites need hypothesis; the rest of the suite does not
+    from hypothesis import HealthCheck, settings
+
+    # Fixed-seed profiles: `ci` (the default) is fully derandomized so the
+    # property suites are reproducible in tier-1 and CI; `thorough` widens
+    # the search for local bug-hunting (HYPOTHESIS_PROFILE=thorough).
+    settings.register_profile(
+        "ci",
+        max_examples=20,
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "thorough", max_examples=200, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
 
 from repro.bundles import BundleSpec
 from repro.model import SpikingTransformer, tiny_config

@@ -1,0 +1,112 @@
+"""The ``repro dse`` CLI surface and the registry experiments."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import run_experiment
+
+
+class TestCLI:
+    def test_dse_prints_frontier_and_reference(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRAM_CACHE", "off")
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "dse", "model4", "--strategy", "random", "--budget", "4",
+            "--seed", "0", "--artifacts", str(tmp_path / "artifacts"),
+            "--output", str(tmp_path / "report.json"),
+            "--export-fleet", str(tmp_path / "kinds.json"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Pareto frontier" in out
+        assert "paper" in out
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["model"] == "model4"
+        assert report["evaluated"] == 5
+        kinds = json.loads((tmp_path / "kinds.json").read_text())["kinds"]
+        assert len(kinds) == len(report["frontier"])
+
+    def test_dse_warm_run_hits_cache(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRAM_CACHE", "off")
+        monkeypatch.chdir(tmp_path)
+        args = [
+            "dse", "model4", "--budget", "3", "--seed", "1",
+            "--artifacts", str(tmp_path / "artifacts"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "(4 cache hits)" in capsys.readouterr().out
+
+    def test_unknown_model_and_bad_args(self, capsys):
+        assert main(["dse", "model99"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+        assert main(["dse", "model4", "--strategy", "annealing"]) == 2
+        assert main(["dse", "model4", "--objectives", "latency_ms+bogus"]) == 2
+        assert main(["dse", "model4", "--budget", "0"]) == 2
+
+
+class TestRegistryExperiments:
+    def test_dse_point_experiment(self):
+        result = run_experiment(
+            "dse_point", model="model4", point=json.dumps({"sparse_units": 64})
+        )
+        assert result["point"]["sparse_units"] == 64
+        assert result["metrics"]["latency_ms"] > 0
+
+    def test_dse_pareto_frontier_smoke(self):
+        result = run_experiment(
+            "dse_pareto_frontier", model="model4", budget=4, seed=0
+        )
+        assert result["evaluated"] == 5
+        assert result["frontier"]
+        assert result["reference"]["frontier_slack"] >= 0.0
+
+    def test_dse_strategy_ablation_smoke(self):
+        result = run_experiment(
+            "dse_strategy_ablation",
+            model="model4",
+            budget=4,
+            strategies="random+evolutionary",
+            seed=0,
+        )
+        assert set(result["strategies"]) == {"random", "evolutionary"}
+        for row in result["strategies"].values():
+            assert row["evaluated"] == 5
+            assert 0.0 <= row["coverage_of_combined_frontier"] <= 1.0
+            assert row["mean_frontier_slack"] >= 0.0
+        assert result["combined_frontier_size"] >= 1
+
+
+@pytest.mark.slow
+@pytest.mark.dse
+class TestAcceptance:
+    """The PR's acceptance run: `repro dse model3 --strategy random
+    --budget 64 --seed 0` is deterministic, warm re-runs serve from the
+    caches, and the paper chip lands on (or within 5% of) the frontier."""
+
+    def test_model3_budget64_deterministic_cached_and_near_frontier(
+        self, tmp_path, monkeypatch
+    ):
+        import time
+
+        from repro.dse import DSEConfig, run_dse
+        from repro.runtime import ExperimentRunner
+
+        monkeypatch.chdir(tmp_path)  # program cache under tmp artifacts/
+        config = DSEConfig(model="model3", strategy="random", budget=64, seed=0)
+        runner = ExperimentRunner(artifacts_root=tmp_path / "artifacts", jobs=1)
+        cold = run_dse(config, runner=runner)
+        started = time.perf_counter()
+        warm = run_dse(
+            config,
+            runner=ExperimentRunner(artifacts_root=tmp_path / "artifacts", jobs=1),
+        )
+        warm_wall = time.perf_counter() - started
+
+        assert cold["candidates"] == warm["candidates"]  # deterministic
+        assert warm["cache_hits"] == warm["evaluated"] == 65
+        assert warm_wall < 10.0  # near-instant relative to the cold search
+        assert cold["reference"]["frontier_slack"] <= 0.05

@@ -1,0 +1,72 @@
+"""Pareto dominance, frontier extraction, and ε-slack."""
+
+import pytest
+
+from repro.dse import dominates, frontier_slack, pareto_frontier
+
+KEYS = ("latency_ms", "energy_mj")
+
+
+def m(lat, en):
+    return {"latency_ms": lat, "energy_mj": en}
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates(m(1, 1), m(2, 2), KEYS)
+        assert dominates(m(1, 2), m(2, 2), KEYS)      # tie on one axis
+        assert not dominates(m(2, 2), m(1, 1), KEYS)
+        assert not dominates(m(1, 1), m(1, 1), KEYS)  # equal: no dominance
+
+    def test_trade_off_is_incomparable(self):
+        assert not dominates(m(1, 3), m(3, 1), KEYS)
+        assert not dominates(m(3, 1), m(1, 3), KEYS)
+
+    def test_missing_objective_raises(self):
+        with pytest.raises(KeyError):
+            dominates({"latency_ms": 1}, m(1, 1), KEYS)
+
+
+class TestFrontier:
+    def test_single_point_is_frontier(self):
+        assert pareto_frontier([m(1, 1)], KEYS) == [0]
+
+    def test_dominated_points_drop(self):
+        points = [m(1, 3), m(2, 2), m(3, 1), m(3, 3), m(2.5, 2.5)]
+        assert pareto_frontier(points, KEYS) == [0, 1, 2]
+
+    def test_duplicates_all_kept(self):
+        points = [m(1, 1), m(1, 1), m(2, 2)]
+        assert pareto_frontier(points, KEYS) == [0, 1]
+
+    def test_single_objective_is_argmin(self):
+        points = [m(3, 0), m(1, 0), m(2, 0)]
+        assert pareto_frontier(points, ("latency_ms",)) == [1]
+
+
+class TestFrontierSlack:
+    def test_on_frontier_member_has_zero_slack(self):
+        frontier = [m(1, 3), m(3, 1)]
+        assert frontier_slack(m(1, 3), frontier, KEYS) == 0.0
+
+    def test_traded_off_point_has_zero_slack(self):
+        # (2, 2) is dominated by nobody in the frontier: each member is
+        # worse on one axis.
+        frontier = [m(1, 3), m(3, 1)]
+        assert frontier_slack(m(2, 2), frontier, KEYS) == 0.0
+
+    def test_dominated_point_reports_min_axis_gap(self):
+        # (2, 2) vs a (1, 1) frontier member: 2x worse on both axes ->
+        # guaranteed all-axis improvement factor 2 -> slack 1.0.
+        assert frontier_slack(m(2, 2), [m(1, 1)], KEYS) == pytest.approx(1.0)
+        # member improves latency 4x but energy only 1.25x -> slack 0.25.
+        assert frontier_slack(m(4, 2.5), [m(1, 2)], KEYS) == pytest.approx(0.25)
+
+    def test_within_five_percent(self):
+        assert frontier_slack(m(1.04, 1.04), [m(1, 1)], KEYS) <= 0.05
+        assert frontier_slack(m(1.2, 1.2), [m(1, 1)], KEYS) > 0.05
+
+    def test_zero_valued_frontier_member(self):
+        # A degenerate all-zero member improves any positive point by an
+        # unbounded factor; the slack must be huge, not a ZeroDivisionError.
+        assert frontier_slack(m(1, 1), [m(0, 0)], KEYS) > 1e6

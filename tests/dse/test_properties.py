@@ -1,0 +1,177 @@
+"""Property suites over randomly drawn **valid** chip configurations.
+
+The DSE subsystem trusts the analytic models and the engine far from the
+paper's single design point; these suites check the invariants that trust
+rests on, with hypothesis drawing configurations from the same grids the
+default DSE space actually visits (see ``tests/conftest.py`` for the
+fixed-seed ``ci`` profile):
+
+* the scheduling pass never makes a program slower than its serial
+  makespan, and never beats the two-resource pipelined lower bound;
+* every energy the lowering reports is non-negative;
+* the stratifier's dense/sparse split is an exact partition — the
+  recombined matmul is bit-identical to the unsplit one;
+* ECP's pruned-op count is monotone in θ_q and its certified per-score
+  error bound holds.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.algo.ecp import ECPConfig, ecp_prune_qk  # noqa: E402
+from repro.arch.stratifier import stratify  # noqa: E402
+from repro.bundles import BundleSpec  # noqa: E402
+from repro.compiler import compile_trace  # noqa: E402
+from repro.dse import default_space, scaled_energy_model  # noqa: E402
+from repro.harness.synthetic import DensityProfile, synthetic_trace  # noqa: E402
+from repro.model import SpikingTransformerConfig  # noqa: E402
+
+SPACE = default_space()
+
+# A laptop-scale workload: the invariants under test are schedule- and
+# accounting-level, so a single block exercises every stage kind.
+TINY_MODEL = SpikingTransformerConfig(
+    name="dse-property-tiny",
+    num_blocks=1,
+    timesteps=4,
+    num_tokens=16,
+    embed_dim=32,
+    num_heads=4,
+    input_kind="sequence",
+)
+TINY_PROFILE = DensityProfile(
+    mean_density=0.2, zero_feature_fraction=0.1, within_bundle=0.5
+)
+
+
+@st.composite
+def config_points(draw):
+    """One point of the default DSE space (the configs DSE actually visits)."""
+    return {p.name: draw(st.sampled_from(list(p.grid()))) for p in SPACE.params}
+
+
+def compile_point(point: dict, seed: int = 0):
+    config = SPACE.to_config(point)
+    trace = synthetic_trace(TINY_MODEL, TINY_PROFILE, config.bundle_spec, seed=seed)
+    program = compile_trace(
+        trace, config, energy=scaled_energy_model(config)
+    )
+    return config, program
+
+
+class TestScheduleProperties:
+    @given(point=config_points(), seed=st.integers(0, 3))
+    def test_scheduled_never_beats_bound_nor_exceeds_serial(self, point, seed):
+        _, program = compile_point(point, seed=seed)
+        scheduled = program.scheduled_latency_s
+        assert scheduled is not None
+        # Makespan ≤ layer-serial schedule, always (the PR-4 guarantee),
+        # and ≥ the two-resource pipelined lower bound.
+        assert scheduled <= program.serial_latency_s * (1 + 1e-12) + 1e-15
+        assert scheduled >= program.pipelined_bound_s * (1 - 1e-12) - 1e-15
+
+
+class TestEnergyProperties:
+    @given(point=config_points())
+    def test_energies_non_negative(self, point):
+        config, program = compile_point(point)
+        assert program.dynamic_pj >= 0.0
+        for stage in program.stages:
+            assert stage.annotations["dynamic_pj"] >= 0.0
+            assert stage.annotations["energy_pj"] >= 0.0
+            assert stage.annotations.get("weight_dram_pj", 0.0) >= 0.0
+            report = stage.report
+            assert report is not None
+            breakdown = report.energy
+            assert breakdown.compute_pj >= 0.0
+            assert breakdown.memory_pj >= 0.0
+            assert breakdown.spike_gen_pj >= 0.0
+            assert breakdown.static_pj >= 0.0
+            assert all(v >= -1e-9 for v in breakdown.memory_by_kind_pj.values())
+
+
+class TestStratifierProperties:
+    @given(
+        bs_t=st.sampled_from(list(SPACE["bs_t"].grid())),
+        bs_n=st.sampled_from(list(SPACE["bs_n"].grid())),
+        timesteps=st.integers(1, 9),
+        tokens=st.integers(1, 17),
+        features=st.integers(1, 40),
+        density=st.floats(0.0, 0.6),
+        theta=st.integers(-1, 12),
+        seed=st.integers(0, 2**16),
+    )
+    def test_split_is_an_exact_partition(
+        self, bs_t, bs_n, timesteps, tokens, features, density, theta, seed
+    ):
+        rng = np.random.default_rng(seed)
+        spikes = (rng.random((timesteps, tokens, features)) < density).astype(
+            np.float64
+        )
+        spec = BundleSpec(bs_t, bs_n)
+        workload = stratify(spikes, spec, float(theta))
+
+        # Exact partition of the feature axis: disjoint and exhaustive.
+        dense, sparse = workload.dense_features, workload.sparse_features
+        assert len(dense) + len(sparse) == features
+        merged = np.concatenate([dense, sparse])
+        assert np.array_equal(np.sort(merged), np.arange(features))
+
+        # The realigned split computes the same matmul exactly — integer
+        # weights, so equality is bit-level, not approximate.
+        weights = rng.integers(-7, 8, size=(features, 5)).astype(np.float64)
+        x_d, w_d, x_s, w_s = workload.split(spikes, weights)
+        recombined = x_d @ w_d + x_s @ w_s
+        assert np.array_equal(recombined, spikes @ weights)
+
+
+class TestECPProperties:
+    @st.composite
+    @staticmethod
+    def qk_tensors(draw):
+        spec = BundleSpec(
+            draw(st.sampled_from(list(SPACE["bs_t"].grid()))),
+            draw(st.sampled_from(list(SPACE["bs_n"].grid()))),
+        )
+        timesteps = draw(st.integers(2, 8))
+        tokens = draw(st.integers(2, 16))
+        features = draw(st.integers(4, 32))
+        density = draw(st.floats(0.01, 0.25))
+        rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+        q = (rng.random((timesteps, tokens, features)) < density).astype(np.float64)
+        k = (rng.random((timesteps, tokens, features)) < density).astype(np.float64)
+        return q, k, spec
+
+    @given(data=qk_tensors(), thetas=st.tuples(st.integers(0, 10), st.integers(0, 10)))
+    def test_pruned_ops_monotone_in_theta_q(self, data, thetas):
+        q, k, spec = data
+        lo, hi = min(thetas), max(thetas)
+        _, _, report_lo = ecp_prune_qk(q, k, ECPConfig(lo, 4.0, spec))
+        _, _, report_hi = ecp_prune_qk(q, k, ECPConfig(hi, 4.0, spec))
+        # Raising θ_q can only prune more: kept Q rows, kept token slots,
+        # and surviving score work are all non-increasing.
+        assert report_hi.q_row_keep.sum() <= report_lo.q_row_keep.sum()
+        assert report_hi.q_token_keep_fraction <= report_lo.q_token_keep_fraction
+        assert report_hi.score_compute_fraction <= report_lo.score_compute_fraction
+        # θ_k fixed: the K side is untouched by the θ_q sweep.
+        assert np.array_equal(report_hi.k_row_keep, report_lo.k_row_keep)
+
+    @given(data=qk_tensors(), theta_q=st.integers(0, 10), theta_k=st.integers(0, 10))
+    def test_certified_error_bound_holds(self, data, theta_q, theta_k):
+        q, k, spec = data
+        q_pruned, k_pruned, report = ecp_prune_qk(
+            q, k, ECPConfig(float(theta_q), float(theta_k), spec)
+        )
+        before = np.einsum("tnd,tmd->tnm", q, k)
+        after = np.einsum("tnd,tmd->tnm", q_pruned, k_pruned)
+        max_error = float(np.abs(before - after).max())
+        # Every pruned score was strictly below the threshold that pruned
+        # it, so the worst-case error is strictly inside the bound (and 0
+        # when nothing was pruned).
+        if max_error > 0.0:
+            assert max_error < report.error_bound
+        else:
+            assert max_error <= report.error_bound

@@ -1,0 +1,115 @@
+"""The design-space DSL: parameters, points, and config lowering."""
+
+import numpy as np
+import pytest
+
+from repro.arch import BishopConfig
+from repro.bundles import BundleSpec
+from repro.dse import Choice, DesignSpace, FloatRange, IntRange, default_space
+from repro.dse.space import point_key
+from repro.serve.profiles import profile_config
+
+
+class TestParams:
+    def test_choice_grid_and_sample(self):
+        param = Choice("sparse_units", (32, 64, 128), default=128)
+        assert param.grid() == (32, 64, 128)
+        rng = np.random.default_rng(0)
+        assert all(param.sample(rng) in param.grid() for _ in range(20))
+
+    def test_choice_rejects_bad(self):
+        with pytest.raises(ValueError):
+            Choice("x", ())
+        with pytest.raises(ValueError):
+            Choice("x", (1, 1, 2))
+        with pytest.raises(ValueError):
+            Choice("x", (1, 2), default=3)
+
+    def test_int_range(self):
+        param = IntRange("dense_rows", 8, 32, step=8, default=16)
+        assert param.grid() == (8, 16, 24, 32)
+        with pytest.raises(ValueError):
+            IntRange("x", 10, 5)
+        with pytest.raises(ValueError):
+            IntRange("x", 8, 32, step=8, default=9)
+
+    def test_float_range(self):
+        param = FloatRange("dense_fraction", 0.25, 0.75, num=3, default=0.5)
+        assert param.grid() == (0.25, 0.5, 0.75)
+        log = FloatRange("dram_gbps", 1.0, 100.0, num=3, log=True)
+        assert log.grid()[0] == pytest.approx(1.0)
+        assert log.grid()[1] == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            FloatRange("x", 0.0, 1.0, log=True)
+
+
+class TestDesignSpace:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace((Choice("a", (1,)), Choice("a", (2,))))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace((Choice("not_a_config_field", (1, 2)),))
+
+    def test_size_is_grid_product(self):
+        space = DesignSpace((
+            Choice("dense_rows", (8, 16), default=16),
+            Choice("bs_t", (1, 2, 4), default=2),
+        ))
+        assert space.size == 6
+        assert len(list(space.grid_points())) == 6
+
+    def test_sample_is_seed_deterministic(self):
+        space = default_space()
+        a = [space.sample(np.random.default_rng(7)) for _ in range(5)]
+        b = [space.sample(np.random.default_rng(7)) for _ in range(5)]
+        assert a == b
+
+    def test_validate_point_fills_defaults_and_rejects(self):
+        space = default_space()
+        resolved = space.validate_point({"sparse_units": 64})
+        assert resolved["sparse_units"] == 64
+        assert resolved["dense_rows"] == 16  # default filled
+        with pytest.raises(ValueError):
+            space.validate_point({"nonsense": 1})
+        with pytest.raises(ValueError):
+            space.validate_point({"sparse_units": 100})  # off-grid
+
+    def test_default_point_is_the_paper_serving_chip(self):
+        space = default_space()
+        config = space.to_config(space.default_point())
+        assert config == profile_config(2, 4)
+
+    def test_to_config_routes_special_keys(self):
+        space = default_space()
+        point = space.default_point()
+        point.update(bs_t=4, bs_n=8, dram_gbps=12.8, dense_fraction=0.35)
+        config = space.to_config(point)
+        assert config.bundle_spec == BundleSpec(4, 8)
+        assert config.dram.bandwidth_bytes_per_s == pytest.approx(12.8e9)
+        assert config.stratify_dense_fraction == pytest.approx(0.35)
+
+    def test_every_grid_axis_value_builds_a_valid_config(self):
+        """Each single-axis deviation from the default must construct."""
+        space = default_space()
+        base = space.default_point()
+        for param in space.params:
+            for value in param.grid():
+                config = space.to_config({**base, param.name: value})
+                assert isinstance(config, BishopConfig)
+
+    def test_overrides_round_trip_through_json(self):
+        import json
+
+        space = default_space()
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            point = space.sample(rng)
+            overrides = json.loads(json.dumps(space.config_overrides(point)))
+            from repro.arch import resolve_overrides
+
+            assert resolve_overrides(BishopConfig(), overrides) == space.to_config(point)
+
+    def test_point_key_is_order_insensitive(self):
+        assert point_key({"a": 1, "b": 2}) == point_key({"b": 2, "a": 1})

@@ -1,0 +1,98 @@
+"""Search strategies: determinism, dedup, adaptivity."""
+
+import numpy as np
+import pytest
+
+from repro.dse import Choice, DesignSpace, make_strategy
+from repro.dse.space import point_key
+
+KEYS = ("latency_ms", "energy_mj")
+
+
+def tiny_space() -> DesignSpace:
+    return DesignSpace((
+        Choice("dense_rows", (8, 16), default=16),
+        Choice("sparse_units", (64, 128), default=128),
+        Choice("bs_t", (1, 2), default=2),
+    ))
+
+
+def fake_result(point):
+    """Deterministic synthetic metrics: fewer resources -> slower/cheaper."""
+    lat = 100.0 / (point["dense_rows"] * point["sparse_units"] * point["bs_t"])
+    return {"point": point, "metrics": {"latency_ms": lat, "energy_mj": 1.0 / lat}}
+
+
+class TestCommon:
+    @pytest.mark.parametrize("name", ("grid", "random", "evolutionary"))
+    def test_never_proposes_duplicates(self, name):
+        space = tiny_space()
+        strategy = make_strategy(name, space, seed=0, objectives=KEYS)
+        seen = set()
+        for _ in range(4):
+            batch = strategy.propose(3)
+            strategy.observe([fake_result(p) for p in batch])
+            for point in batch:
+                key = point_key(point)
+                assert key not in seen
+                seen.add(key)
+        assert len(seen) <= space.size
+
+    @pytest.mark.parametrize("name", ("grid", "random", "evolutionary"))
+    def test_exhausts_the_space_then_stops(self, name):
+        space = tiny_space()
+        strategy = make_strategy(name, space, seed=1, objectives=KEYS)
+        total = []
+        for _ in range(10):
+            batch = strategy.propose(4)
+            strategy.observe([fake_result(p) for p in batch])
+            total.extend(batch)
+        assert len(total) == space.size
+        assert strategy.propose(4) == []
+
+    @pytest.mark.parametrize("name", ("random", "evolutionary"))
+    def test_seed_determinism(self, name):
+        space = tiny_space()
+        runs = []
+        for _ in range(2):
+            strategy = make_strategy(name, space, seed=42, objectives=KEYS)
+            points = []
+            for _ in range(3):
+                batch = strategy.propose(2)
+                strategy.observe([fake_result(p) for p in batch])
+                points.append([point_key(p) for p in batch])
+            runs.append(points)
+        assert runs[0] == runs[1]
+
+    def test_mark_seen_blocks_reproposal(self):
+        space = tiny_space()
+        strategy = make_strategy("grid", space, seed=0, objectives=KEYS)
+        first = next(space.grid_points())
+        strategy.mark_seen(first)
+        proposed = strategy.propose(space.size)
+        assert point_key(first) not in {point_key(p) for p in proposed}
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            make_strategy("annealing", tiny_space())
+
+
+class TestGrid:
+    def test_enumerates_in_row_major_order(self):
+        space = tiny_space()
+        strategy = make_strategy("grid", space, seed=0, objectives=KEYS)
+        assert strategy.propose(3) == list(space.grid_points())[:3]
+
+
+class TestEvolutionary:
+    def test_children_mutate_frontier_parents(self):
+        """After observing, non-immigrant children differ from some frontier
+        parent in at most two axes."""
+        space = tiny_space()
+        strategy = make_strategy("evolutionary", space, seed=3, objectives=KEYS)
+        batch = strategy.propose(4)
+        strategy.observe([fake_result(p) for p in batch])
+        children = strategy.propose(4)
+        assert children  # still unseen points left in an 8-point space
+        for child in children:
+            assert set(child) == set(space.names)

@@ -1,0 +1,70 @@
+"""Smoke every ``examples/`` script so example rot is caught in CI.
+
+Each example runs as a real subprocess (its own ``__main__``, argparse,
+prints) with tiny parameters, ``--jobs 1`` where it drives the runtime,
+and a temporary working directory so artifact/cache writes never touch
+the repo.  The assertion is deliberately coarse — exit code 0 plus a
+landmark line of output — because the examples' numbers are exercised by
+the unit suites; what rots silently is their wiring to the library API.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+EXAMPLES = REPO / "examples"
+
+# script -> (tiny-params argv, landmark expected in stdout)
+CASES = {
+    "quickstart.py": ([], "Bishop vs PTB"),
+    "train_bsa_synthetic.py": (["--epochs", "1"], "test accuracy"),
+    "deploy_quantized.py": (["--epochs", "1"], "checkpoint"),
+    "dvs_gesture_pipeline.py": (["--epochs", "1"], "speedup vs PTB"),
+    "ecp_attention_pruning.py": ([], "certified"),
+    "accelerator_comparison.py": (
+        ["--jobs", "1", "--models", "model4"], "headline"
+    ),
+    "serving_simulation.py": (["--requests", "40"], "load sweep"),
+    "cluster_serving.py": (["--requests", "30"], "routing"),
+    "design_space_exploration.py": (
+        ["--model", "model4", "--budget", "3", "--jobs", "1"],
+        "Pareto frontier",
+    ),
+}
+
+
+def test_every_example_is_covered():
+    """A new example must get a smoke entry (or explicitly opt out here)."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES)
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script, tmp_path):
+    args, landmark = CASES[script]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        cwd=tmp_path,  # artifacts/ and program caches land here
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{result.stdout[-2000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert landmark in result.stdout, (
+        f"{script}: landmark {landmark!r} missing from output:\n"
+        f"{result.stdout[-2000:]}"
+    )
