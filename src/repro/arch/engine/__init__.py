@@ -6,10 +6,14 @@
     Timeline records and the :class:`EngineRun` result container.
 ``machine``
     The Bishop chip as engine resources plus the per-layer task graph.
+``fastpath``
+    Vectorized closed-form replay of uncontended task graphs (the
+    ``REPRO_ENGINE=fast`` default; ``kernel`` selects the event heap).
 
 See docs/ARCHITECTURE.md for the event model and how a core plugs in.
 """
 
+from .fastpath import FastSchedule, engine_mode, schedule_for
 from .kernel import (
     Acquire,
     Command,
@@ -46,6 +50,7 @@ __all__ = [
     "Command",
     "Engine",
     "EngineRun",
+    "FastSchedule",
     "Gate",
     "Hold",
     "Join",
@@ -56,11 +61,13 @@ __all__ = [
     "ResourceStats",
     "TimelineEntry",
     "WaitFor",
+    "engine_mode",
     "entries_from_dicts",
     "entries_to_dicts",
     "inference_process",
     "layer_timings",
     "merge_timelines",
+    "schedule_for",
     "scheduled_inference_process",
     "simulate_inference",
     "use",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Generator
@@ -55,6 +56,10 @@ class Hold(Command):
     duration: float
 
     def __post_init__(self) -> None:
+        # NaN fails every comparison, so a plain `< 0` check would let it
+        # through and silently corrupt the heap's time ordering.
+        if not math.isfinite(self.duration):
+            raise ValueError(f"cannot hold a non-finite duration {self.duration}")
         if self.duration < 0:
             raise ValueError(f"cannot hold a negative duration {self.duration}")
 
@@ -208,12 +213,19 @@ class Engine:
 
     # -- event queue -------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        if not math.isfinite(delay):
+            raise ValueError(f"cannot schedule a non-finite delay {delay}")
         if delay < 0:
             raise ValueError(f"cannot schedule {delay}s into the past")
         heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn))
 
     def run(self, until: float | None = None) -> float:
-        """Drain the event queue; returns the final simulated time."""
+        """Drain the event queue; returns the final simulated time.
+
+        With ``until`` the clock always lands exactly on ``until`` (never
+        earlier, never backwards) whether events remain or the heap drains
+        first — the invariant incremental window-stepped draining relies on.
+        """
         while self._heap:
             time, _, fn = self._heap[0]
             if until is not None and time > until:
@@ -222,6 +234,8 @@ class Engine:
             heapq.heappop(self._heap)
             self.now = time
             fn()
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     # -- process stepping --------------------------------------------------

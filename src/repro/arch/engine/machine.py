@@ -150,6 +150,13 @@ class BishopMachine:
 
 
 def _quanta(tiles: int) -> int:
+    # Fast mode coalesces same-resource event runs: one acquire/hold/release
+    # per layer task, so contended serve/cluster event counts scale with
+    # layers, not tiles.  Kernel mode keeps tile-granular interleaving.
+    from .fastpath import engine_mode  # local: fastpath imports this module
+
+    if engine_mode() == "fast":
+        return 1
     return max(1, min(int(tiles), MAX_QUANTA))
 
 
@@ -305,9 +312,22 @@ def simulate_inference(
     Single request, no contention: the makespan equals the closed-form
     ``Σ max(compute, dram)`` and the energy equals the analytical total —
     the agreement the zoo regression test pins to 1%.
+
+    In fast mode (the ``REPRO_ENGINE`` default) the replay is synthesized
+    by the vectorized :mod:`~repro.arch.engine.fastpath` — same makespan,
+    energy, and (coalesced) timeline, no event heap.
     """
     energy = energy or EnergyModel()
     timings = layer_timings(report, config, energy)
+    from .fastpath import engine_mode, schedule_for
+
+    if engine_mode() == "fast":
+        schedule = schedule_for(timings)
+        run = schedule.serial_run(
+            batch=1, label=report.model_name, record_timeline=record_timeline
+        )
+        run.energy_pj = schedule.dynamic_pj + energy.static_pj(run.makespan_s)
+        return run
     engine = Engine()
     machine = BishopMachine(engine)
     timeline: list[TimelineEntry] | None = [] if record_timeline else None

@@ -92,10 +92,16 @@ def use(
 
     With ``chunks > 1`` the resource is released between quanta, so a
     queued competitor can slot in at tile boundaries — the acquire/release
-    granularity of the heterogeneous-core model.  Zero-duration work
-    returns immediately without touching the resource.
+    granularity of the heterogeneous-core model.  Zero-duration work never
+    touches the resource but still records a zero-width entry, so
+    zero-cost layers stay visible in timelines and occupancy reports
+    agree with the compiled program's stage list.
     """
     if duration_s <= 0.0:
+        if timeline is not None:
+            timeline.append(
+                TimelineEntry(resource.name, label, engine.now, engine.now)
+            )
         return
     chunks = max(1, int(chunks))
     quantum = duration_s / chunks

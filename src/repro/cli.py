@@ -15,11 +15,15 @@ run-all [--jobs N] [--force] [--only a,b,...] [--smoke] [--artifacts DIR]
 sweep <experiment-id> --param k=v1,v2,... [--jobs N] [--output FILE]
     Cartesian-product parameter sweep of one experiment.
 bench [--jobs N] [--only a,b,...] [--smoke] [--output FILE]
-      [--compare BENCH_old.json]
+      [--compare BENCH_old.json] [--gate RATIO]
     Force-run experiments and record per-experiment wall-clock timings
     from the runtime manifest to ``BENCH_<timestamp>.json`` (repo root),
     so the perf trajectory accumulates across PRs.  ``--compare`` prints
-    a per-experiment regression/speedup diff against an older bench file.
+    a per-experiment regression/speedup diff against an older bench file
+    (added/removed/failed experiments are listed explicitly and excluded
+    from the totals); ``--gate RATIO`` additionally exits 3 when the
+    shared-experiment total runs slower than RATIO x the old file — the
+    CI regression gate against the committed ``BENCH_baseline.json``.
 compile <model> [--chip KIND] [--passes SPEC] [--dump FILE]
     Compile one Table-2 model through the pass pipeline
     (``repro.compiler``) and print the program summary: stages, tile
@@ -170,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--compare", type=Path, default=None, metavar="BENCH.json",
         help="print per-experiment speedup/regression vs an older bench file",
+    )
+    bench.add_argument(
+        "--gate", type=float, default=None, metavar="RATIO",
+        help="with --compare: exit 3 when the shared-experiment total runs"
+        " slower than RATIO x the old file (the CI regression gate)",
     )
 
     compile_cmd = sub.add_parser(
@@ -656,20 +665,56 @@ def _run_dse(args) -> int:
     return 0
 
 
-def _print_bench_compare(old_payload: dict, payload: dict, old_path: Path) -> None:
-    """Per-experiment wall-clock diff of two bench files (new vs old)."""
-    old_experiments = old_payload.get("experiments", {})
+def _bench_record(table: dict, name: str, side: str) -> tuple[float, str]:
+    """One experiment's (duration, status) out of a bench payload, with a
+    clear error instead of a crash on malformed entries."""
+    entry = table[name]
+    if not isinstance(entry, dict):
+        raise ValueError(f"{side}: experiment {name!r} is not an object")
+    try:
+        duration = float(entry.get("duration_s", 0.0))
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{side}: experiment {name!r} has a non-numeric duration_s"
+            f" {entry.get('duration_s')!r}"
+        ) from None
+    return duration, str(entry.get("status", "ok"))
+
+
+def _print_bench_compare(
+    old_payload: dict, payload: dict, old_path: Path
+) -> float | None:
+    """Per-experiment wall-clock diff of two bench files (new vs old).
+
+    Experiments that failed on either side are excluded from the timing
+    totals and listed explicitly, as are experiments present on only one
+    side (added/removed) — a differing experiment set must never crash or
+    silently skip.  Returns the total new/old duration ratio over the
+    shared passing experiments (``None`` when there is no timed overlap);
+    ``--gate`` turns that ratio into the CI exit code.  Raises
+    ``ValueError`` on structurally malformed payloads.
+    """
+    old_experiments = old_payload.get("experiments")
+    if not isinstance(old_experiments, dict):
+        raise ValueError(f"{old_path}: no experiments table (not a bench file?)")
     new_experiments = payload.get("experiments", {})
     print(
         f"vs {old_path} (generated {old_payload.get('generated_at', '?')},"
         f" code {str(old_payload.get('code_hash', '?'))[:12]})"
     )
-    shared = [name for name in new_experiments if name in old_experiments]
+    shared = sorted(name for name in new_experiments if name in old_experiments)
+    failed: list[tuple[str, str, str]] = []
+    timed: list[tuple[str, float, float]] = []
+    for name in shared:
+        old_s, old_status = _bench_record(old_experiments, name, str(old_path))
+        new_s, new_status = _bench_record(new_experiments, name, "new bench")
+        if old_status != "ok" or new_status != "ok":
+            failed.append((name, old_status, new_status))
+        else:
+            timed.append((name, old_s, new_s))
     width = max((len(name) for name in shared), default=10)
     old_total = new_total = 0.0
-    for name in sorted(shared):
-        old_s = float(old_experiments[name].get("duration_s", 0.0))
-        new_s = float(new_experiments[name].get("duration_s", 0.0))
+    for name, old_s, new_s in timed:
         old_total += old_s
         new_total += new_s
         if new_s > 0:
@@ -678,18 +723,26 @@ def _print_bench_compare(old_payload: dict, payload: dict, old_path: Path) -> No
         else:
             verdict = "      -"
         print(f"  {name:<{width}}  {old_s:8.2f}s -> {new_s:8.2f}s  {verdict}")
+    total_ratio = None
     if old_total > 0 and new_total > 0:
+        total_ratio = new_total / old_total
         ratio = old_total / new_total
         print(
             f"  {'total':<{width}}  {old_total:8.2f}s -> {new_total:8.2f}s"
             f"  {ratio:6.2f}x " + ("faster" if ratio >= 1.0 else "SLOWER")
         )
+    for name, old_status, new_status in failed:
+        print(
+            f"  failed (excluded from totals): {name}"
+            f" [{old_path.name}: {old_status}, new: {new_status}]"
+        )
     new_only = sorted(set(new_experiments) - set(old_experiments))
     gone = sorted(set(old_experiments) - set(new_experiments))
     if new_only:
-        print(f"  new since {old_path.name}: {', '.join(new_only)}")
+        print(f"  added since {old_path.name}: {', '.join(new_only)}")
     if gone:
-        print(f"  missing vs {old_path.name}: {', '.join(gone)}")
+        print(f"  removed vs {old_path.name}: {', '.join(gone)}")
+    return total_ratio
 
 
 def _run_cache(args) -> int:
@@ -791,6 +844,12 @@ def main(argv: list[str] | None = None) -> int:
         return code
 
     if args.command == "bench":
+        if args.gate is not None and args.compare is None:
+            print("--gate requires --compare", file=sys.stderr)
+            return 2
+        if args.gate is not None and args.gate <= 0:
+            print("--gate must be > 0", file=sys.stderr)
+            return 2
         # Benchmarks force-run: cache hits report ~0s and would poison the
         # timing series.
         code, summary = _run_registry(args, force=True)
@@ -807,6 +866,14 @@ def main(argv: list[str] | None = None) -> int:
                     "duration_s": o.duration_s,
                     "status": o.status,
                     "params": o.params,
+                    # experiments may publish headline numbers (e.g. the
+                    # engine fastpath speedup) into the bench record
+                    **(
+                        {"metrics": o.result["bench_metrics"]}
+                        if isinstance(o.result, dict)
+                        and "bench_metrics" in o.result
+                        else {}
+                    ),
                 }
                 for o in summary.outcomes
             },
@@ -825,7 +892,35 @@ def main(argv: list[str] | None = None) -> int:
             except json.JSONDecodeError as error:
                 print(f"--compare: {args.compare}: {error}", file=sys.stderr)
                 return 2
-            _print_bench_compare(old_payload, payload, args.compare)
+            if not isinstance(old_payload, dict):
+                print(
+                    f"--compare: {args.compare}: not a bench payload",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                ratio = _print_bench_compare(old_payload, payload, args.compare)
+            except ValueError as error:
+                print(f"--compare: {error}", file=sys.stderr)
+                return 2
+            if args.gate is not None:
+                if ratio is None:
+                    print(
+                        "--gate: no shared passing experiments to compare",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if ratio > args.gate:
+                    print(
+                        f"bench gate FAILED: {ratio:.2f}x the"
+                        f" {args.compare.name} total (gate {args.gate:.2f}x)",
+                        file=sys.stderr,
+                    )
+                    return 3
+                print(
+                    f"bench gate ok: {ratio:.2f}x the {args.compare.name}"
+                    f" total (gate {args.gate:.2f}x)"
+                )
         return code
 
     if args.command == "compile":

@@ -18,6 +18,7 @@ through one path.
 
 from __future__ import annotations
 
+from ..arch.engine.fastpath import engine_mode, schedule_for
 from ..arch.engine.kernel import Engine, Join, WaitFor
 from ..arch.engine.machine import (
     BishopMachine,
@@ -31,6 +32,7 @@ from .ir import Program
 __all__ = [
     "measure_program",
     "measure_timings",
+    "measure_timings_kernel",
     "prefetch_pairs_makespan",
     "request_process",
     "serial_pairs_run",
@@ -56,7 +58,29 @@ def measure_timings(
     scheduled: bool = False,
     batch: int = 1,
 ) -> float:
-    """Uncontended single-request makespan of a task graph (fresh engine)."""
+    """Uncontended single-request makespan of a task graph.
+
+    In fast mode (the ``REPRO_ENGINE`` default) this is answered in
+    closed form by the memoized :class:`~repro.arch.engine.fastpath.
+    FastSchedule` — the schedule-pass and DSE hot path; kernel mode
+    replays the task graph on a fresh event engine
+    (:func:`measure_timings_kernel`, the reference implementation).
+    """
+    timings = tuple(timings)
+    if engine_mode() == "fast":
+        schedule = schedule_for(timings)
+        if scheduled:
+            return schedule.scheduled_makespan(batch)
+        return schedule.serial_makespan(batch)
+    return measure_timings_kernel(timings, scheduled, batch)
+
+
+def measure_timings_kernel(
+    timings: tuple[LayerTiming, ...],
+    scheduled: bool = False,
+    batch: int = 1,
+) -> float:
+    """Event-kernel reference measurement (fresh engine, full replay)."""
     engine = Engine()
     machine = BishopMachine(engine)
     engine.spawn(

@@ -42,19 +42,23 @@ class RequestProfile:
     dynamic_pj: float              # per-request dynamic energy at batch 1
     scheduled: bool = False        # replay under the prefetch schedule
 
+    @property
+    def schedule(self) -> "FastSchedule":
+        """The program's precomputed per-layer schedule (memoized per
+        timing tuple): batch energy and core-share queries answer from
+        columnar sums instead of re-walking the layer chain per request."""
+        from ..arch.engine.fastpath import schedule_for
+
+        return schedule_for(self.timings)
+
     def batch_dynamic_pj(self, batch: int) -> float:
-        return sum(t.batch_dynamic_pj(batch) for t in self.timings)
+        return self.schedule.batch_dynamic_pj(batch)
 
     @property
     def sparse_core_share(self) -> float:
         """Fraction of core-seconds this model spends on the sparse core —
         the trace-sparsity signal the affinity router keys on."""
-        sparse = sum(t.sparse_s for t in self.timings)
-        total = sum(
-            t.dense_s + t.sparse_s + t.attention_s + t.spike_gen_s
-            for t in self.timings
-        )
-        return sparse / total if total > 0 else 0.0
+        return self.schedule.sparse_core_share
 
 
 def profile_config(

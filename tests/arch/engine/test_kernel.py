@@ -8,6 +8,7 @@ from repro.arch.engine import (
     Hold,
     Join,
     Release,
+    TimelineEntry,
     WaitFor,
     use,
 )
@@ -34,12 +35,46 @@ class TestClockAndHold:
         with pytest.raises(ValueError):
             Hold(-1.0)
 
+    @pytest.mark.parametrize(
+        "duration", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_hold_rejected(self, duration):
+        # NaN compares False to everything, so `duration < 0` alone would
+        # accept it and corrupt the heap's time ordering.
+        with pytest.raises(ValueError, match="non-finite"):
+            Hold(duration)
+
+    @pytest.mark.parametrize(
+        "delay", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_schedule_rejected(self, delay):
+        with pytest.raises(ValueError, match="non-finite"):
+            Engine().schedule(delay, lambda: None)
+
     def test_run_until_stops_early(self):
         engine = Engine()
         engine.spawn(iter([Hold(10.0)]))
         assert engine.run(until=3.0) == pytest.approx(3.0)
         # the remaining event still fires on the next run
         assert engine.run() == pytest.approx(10.0)
+
+    def test_run_until_advances_empty_heap(self):
+        # The clock must land on `until` whether events remain or not —
+        # incremental window-stepped draining relies on a consistent clock.
+        engine = Engine()
+        assert engine.run(until=4.0) == 4.0
+        assert engine.now == 4.0
+
+    def test_run_until_after_drain_advances(self):
+        engine = Engine()
+        engine.spawn(iter([Hold(1.0)]))
+        assert engine.run(until=5.0) == 5.0
+
+    def test_run_until_never_moves_clock_backwards(self):
+        engine = Engine()
+        engine.spawn(iter([Hold(3.0)]))
+        engine.run()
+        assert engine.run(until=1.0) == 3.0
 
     def test_empty_engine_runs_to_zero(self):
         assert Engine().run() == 0.0
@@ -223,11 +258,36 @@ class TestUseHelper:
         engine.run()
         assert resource.stats.busy_s == pytest.approx(2.0)
 
-    def test_zero_duration_is_free(self):
+    def test_zero_duration_records_zero_width_entry(self):
+        # Zero-cost work must stay visible in the timeline (the occupancy
+        # report matches the compiled stage list) without ever touching
+        # the resource.
         engine = Engine()
         resource = engine.resource("core")
         timeline = []
         engine.spawn(use(engine, resource, 0.0, timeline, "noop"))
         engine.run()
-        assert timeline == []
+        assert timeline == [TimelineEntry("core", "noop", 0.0, 0.0)]
+        assert timeline[0].duration_s == 0.0
+        assert resource.stats.acquisitions == 0
+        assert resource.stats.busy_s == 0.0
+
+    def test_zero_duration_entry_lands_at_current_time(self):
+        engine = Engine()
+        resource = engine.resource("core")
+        timeline = []
+
+        def proc():
+            yield Hold(2.0)
+            yield from use(engine, resource, 0.0, timeline, "noop")
+
+        engine.spawn(proc())
+        engine.run()
+        assert timeline == [TimelineEntry("core", "noop", 2.0, 2.0)]
+
+    def test_zero_duration_without_timeline_is_silent(self):
+        engine = Engine()
+        resource = engine.resource("core")
+        engine.spawn(use(engine, resource, 0.0))
+        assert engine.run() == 0.0
         assert resource.stats.acquisitions == 0

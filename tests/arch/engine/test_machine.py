@@ -64,10 +64,17 @@ class TestLayerTimings:
 
 
 class TestQuanta:
-    def test_capped(self):
+    def test_capped_in_kernel_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "kernel")
         assert _quanta(1) == 1
         assert _quanta(3) == 3
         assert _quanta(10_000) == MAX_QUANTA
+
+    def test_fast_mode_coalesces_to_one_event_run_per_task(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        assert _quanta(1) == 1
+        assert _quanta(3) == 1
+        assert _quanta(10_000) == 1
 
 
 class TestSimulateInference:

@@ -64,6 +64,24 @@ class TestMergeOrdering:
         later = entry("r", "later", 2.0, 3.0)
         assert merge_timelines([long], [short, later]) == [short, long, later]
 
+    def test_zero_width_entries_merge_deterministically(self):
+        """Zero-cost work records zero-width entries; they sort stably at
+        their timestamp (before anything longer that starts there) and the
+        merge stays argument-order invariant."""
+        engine = Engine()
+        chip0 = BishopMachine(engine, name="chip0")
+        chip1 = BishopMachine(engine, name="chip1")
+        t0: list[TimelineEntry] = []
+        t1: list[TimelineEntry] = []
+        engine.spawn(use(engine, chip0.spike_gen, 0.0, t0, "free0"))
+        engine.spawn(use(engine, chip1.spike_gen, 2.0, t1, "paid1"))
+        engine.run()
+        assert t0 == [TimelineEntry("chip0.spike_gen", "free0", 0.0, 0.0)]
+        merged = merge_timelines(t0, t1)
+        assert merged == merge_timelines(t1, t0)
+        assert [e.label for e in merged] == ["free0", "paid1"]
+        assert merged[0].duration_s == 0.0
+
     def test_two_chips_emitting_simultaneously_on_one_engine(self):
         """Engine-produced ties across machines merge deterministically."""
         engine = Engine()

@@ -111,7 +111,7 @@ class TestBenchCompare:
         out = capsys.readouterr().out
         assert f"vs {old}" in out
         assert "table2" in out and "faster" in out
-        assert "missing" in out and "retired_experiment" in out
+        assert "removed vs old.json: retired_experiment" in out
 
     def test_missing_compare_file_is_usage_error(self, tmp_path, capsys):
         code, _ = self.bench(

@@ -10,6 +10,12 @@ from repro.compiler import (
 )
 
 
+@pytest.fixture(params=["fast", "kernel"], autouse=True)
+def engine_mode_env(request, monkeypatch):
+    """Every emission oracle must hold for both engine implementations."""
+    monkeypatch.setenv("REPRO_ENGINE", request.param)
+
+
 def timing(compute_s, weight_s, activation_s=0.0, kind="mlp1", phase="MLP"):
     return LayerTiming(
         block=0,

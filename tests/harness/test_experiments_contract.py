@@ -40,10 +40,11 @@ class TestMetadata:
 
     def test_artifact_and_cost(self, name):
         experiment = EXPERIMENTS[name]
-        # Paper artifacts plus the beyond-paper serving/cluster/compiler/DSE
-        # experiments.
+        # Paper artifacts plus the beyond-paper engine/serving/cluster/
+        # compiler/DSE experiments.
         assert experiment.artifact.startswith(
-            ("Table", "Fig.", "Sec.", "Serving", "Cluster", "Compiler", "DSE")
+            ("Table", "Fig.", "Sec.", "Engine", "Serving", "Cluster",
+             "Compiler", "DSE")
         )
         assert experiment.cost in COST_TIERS
         assert experiment.description
