@@ -35,7 +35,11 @@ cluster [--fleet SPEC] [--policy P] [--mix MIX] [--rho R] [--seed N]
     (no registry round-trip): prints the fleet summary and per-chip
     breakdown, optionally writing the full report JSON.
     ``--kinds-file`` registers extra chip kinds (e.g. a DSE fleet
-    export) before the fleet spec is parsed.
+    export) before the fleet spec is parsed.  ``--shards K`` partitions
+    the fleet into K windowed shard engines on the actor pool (the
+    planet-scale path); ``--arrival diurnal|flash_crowd|regional``
+    selects the trace-driven workloads and ``--slo-ms`` adds an
+    SLO-attainment report.
 dse <model> [--strategy S] [--budget N] [--objectives SPEC] [--seed N]
     [--jobs N] [--export-fleet FILE] [--output FILE]
     Multi-objective design-space exploration over Bishop chip
@@ -243,7 +247,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload + synthetic-trace seed (one seed fixes the run)",
     )
     cluster.add_argument(
-        "--arrival", default="poisson", choices=("poisson", "bursty")
+        "--arrival", default="poisson",
+        choices=("poisson", "bursty", "diurnal", "flash_crowd", "regional"),
+        help="arrival trace; diurnal/flash_crowd/regional are the"
+        " planet-scale trace workloads (--rho applies at trace peak)",
+    )
+    cluster.add_argument(
+        "--period-s", type=float, default=0.0, metavar="S",
+        help="diurnal/regional day-curve period (0 = one cycle per trace)",
+    )
+    cluster.add_argument(
+        "--regions", default="us:0.5@0.0+eu:0.3@0.33+apac:0.2@0.66",
+        metavar="SPEC", help="regional trace spec: name:weight@phase '+'-joined",
+    )
+    cluster.add_argument(
+        "--shards", type=int, default=0, metavar="K",
+        help="partition the fleet into K shard engines coordinated in"
+        " windows (0 = single-process simulation)",
+    )
+    cluster.add_argument(
+        "--window-ms", type=float, default=0.0, metavar="W",
+        help="shard coordination window (0 = trace span / 32)",
+    )
+    cluster.add_argument(
+        "--shard-jobs", type=int, default=1, metavar="N",
+        help="shard worker processes (default: 1 = inline; 0 = one per core)",
+    )
+    cluster.add_argument(
+        "--shard-policy", default="round_robin",
+        choices=("round_robin", "least_backlog"),
+        help="cross-shard request routing (within-shard routing is --policy)",
+    )
+    cluster.add_argument(
+        "--slo-ms", type=float, default=0.0, metavar="MS",
+        help="latency SLO for the attainment report (0 = off)",
     )
     cluster.add_argument("--max-batch", type=int, default=1, metavar="B")
     cluster.add_argument("--max-inflight", type=int, default=2, metavar="I")
@@ -449,8 +486,17 @@ def _run_cluster(args) -> int:
     fleet = parse_fleet(args.fleet)
     capacity = fleet_capacity_rps(fleet, weights, seed=args.seed, passes=args.passes)
     rate = args.rho * capacity
-    arrivals = poisson_arrivals if args.arrival == "poisson" else bursty_arrivals
-    stream = arrivals(args.requests, rate, weights, args.seed)
+    if args.arrival == "poisson":
+        stream = poisson_arrivals(args.requests, rate, weights, args.seed)
+    elif args.arrival == "bursty":
+        stream = bursty_arrivals(args.requests, rate, weights, args.seed)
+    else:
+        from .harness.experiments import _planet_trace
+
+        stream = _planet_trace(
+            args.arrival, args.requests, rate, weights, args.seed,
+            args.period_s, args.regions, spike_factor=4.0,
+        )
 
     autoscale = None
     if args.autoscale_max:
@@ -467,15 +513,46 @@ def _run_cluster(args) -> int:
             max_chips=args.autoscale_max,
             kind=template_kind,
         )
-    report = ClusterSimulation(
-        fleet,
-        SchedulerConfig(max_batch=args.max_batch, max_inflight=args.max_inflight),
-        policy=args.policy,
-        admission=AdmissionConfig(queue_capacity=args.queue_capacity or None),
-        autoscale=autoscale,
-        seed=args.seed,
-        passes=args.passes,
-    ).run(stream)
+    scheduler = SchedulerConfig(
+        max_batch=args.max_batch, max_inflight=args.max_inflight
+    )
+    admission = AdmissionConfig(queue_capacity=args.queue_capacity or None)
+    if args.shards:
+        from .cluster import ShardingConfig, simulate_cluster_sharded
+
+        span = stream[-1].arrival_s if stream else 0.0
+        window_s = (
+            args.window_ms * 1e-3
+            if args.window_ms > 0
+            else max(span / 32.0, 1e-9)
+        )
+        report = simulate_cluster_sharded(
+            stream,
+            fleet,
+            scheduler,
+            policy=args.policy,
+            admission=admission,
+            autoscale=autoscale,
+            sharding=ShardingConfig(
+                num_shards=args.shards,
+                window_s=window_s,
+                jobs=args.shard_jobs,
+                shard_policy=args.shard_policy,
+            ),
+            seed=args.seed,
+            passes=args.passes,
+            slo_ms=args.slo_ms or None,
+        )
+    else:
+        report = ClusterSimulation(
+            fleet,
+            scheduler,
+            policy=args.policy,
+            admission=admission,
+            autoscale=autoscale,
+            seed=args.seed,
+            passes=args.passes,
+        ).run(stream)
 
     p = report.latency_percentiles_ms
     print(
@@ -495,13 +572,37 @@ def _run_cluster(args) -> int:
         f"  p99 {p['p99']:.3f}  max {report.latency_max_ms:.3f}"
     )
     print(f"  energy/request {report.energy_per_request_mj:.4f} mJ")
-    for name, chip in report.chips.items():
-        util = chip.utilization
+    if report.num_shards > 1:
         print(
-            f"  {name:<7} {chip.kind:<12} served {chip.requests_served:>5}"
-            f"  dense {util['dense_core']:.2f} sparse {util['sparse_core']:.2f}"
-            f" attn {util['attention_core']:.2f} dram {util['dram']:.2f}"
-            + ("  (drained)" if chip.drained else "")
+            f"  sharded: {report.num_shards} shards,"
+            f" {len(report.windows)} windows of"
+            f" {report.window_s * 1e3:.4f} ms"
+            f" ({args.shard_jobs or 'all'} job(s),"
+            f" shard policy {args.shard_policy})"
+        )
+    if report.slo is not None:
+        print(
+            f"  slo {report.slo['slo_ms']:.3f} ms: attainment"
+            f" {report.slo['attainment']:.4f}"
+            f" ({report.slo['violations']} violations)"
+        )
+    if len(report.chips) <= 16:
+        for name, chip in report.chips.items():
+            util = chip.utilization
+            print(
+                f"  {name:<7} {chip.kind:<12} served {chip.requests_served:>5}"
+                f"  dense {util['dense_core']:.2f} sparse {util['sparse_core']:.2f}"
+                f" attn {util['attention_core']:.2f} dram {util['dram']:.2f}"
+                + ("  (drained)" if chip.drained else "")
+            )
+    else:
+        served_counts = [c.requests_served for c in report.chips.values()]
+        print(
+            f"  {len(report.chips)} chips: served"
+            f" min {min(served_counts)} / mean"
+            f" {sum(served_counts) / len(served_counts):.1f} /"
+            f" max {max(served_counts)} per chip"
+            " (per-chip rows elided; see --output JSON)"
         )
     for event in report.scaling_events:
         print(

@@ -36,7 +36,14 @@ from .fleet import (
     parse_fleet,
     register_chip_kind,
 )
-from .report import ChipReport, ClusterReport, build_cluster_report
+from .report import (
+    ChipReport,
+    ClusterReport,
+    ShardChipStats,
+    WindowStats,
+    build_cluster_report,
+    build_sharded_cluster_report,
+)
 from .routing import (
     POLICIES,
     LeastOutstanding,
@@ -44,6 +51,15 @@ from .routing import (
     RoutingPolicy,
     SparsityAffinity,
     make_policy,
+)
+from .sharding import (
+    SHARD_POLICIES,
+    ShardInit,
+    ShardState,
+    ShardingConfig,
+    WindowDigest,
+    partition_fleet,
+    simulate_cluster_sharded,
 )
 from .simulate import ClusterSimulation, simulate_cluster
 
@@ -61,10 +77,18 @@ __all__ = [
     "POLICIES",
     "RoundRobin",
     "RoutingPolicy",
+    "SHARD_POLICIES",
     "ScalingEvent",
+    "ShardChipStats",
+    "ShardInit",
+    "ShardState",
+    "ShardingConfig",
     "ShedRecord",
     "SparsityAffinity",
+    "WindowDigest",
+    "WindowStats",
     "build_cluster_report",
+    "build_sharded_cluster_report",
     "chip_config",
     "eligible_chips",
     "fleet_capacity_rps",
@@ -72,6 +96,8 @@ __all__ = [
     "load_chip_kinds",
     "make_policy",
     "parse_fleet",
+    "partition_fleet",
     "register_chip_kind",
     "simulate_cluster",
+    "simulate_cluster_sharded",
 ]

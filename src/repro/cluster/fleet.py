@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from functools import lru_cache
 from pathlib import Path
 
 from ..arch import BishopConfig, resolve_overrides
@@ -63,6 +64,10 @@ def chip_config(kind: str, bs_t: int = 2, bs_n: int = 4) -> BishopConfig:
     DSE fleet-export format); an explicit ``bundle_spec`` override wins
     over the ``bs_t``/``bs_n`` arguments.
     """
+    key = (kind, int(bs_t), int(bs_n))
+    cached = _CONFIG_CACHE.get(key)
+    if cached is not None:
+        return cached
     try:
         overrides = CHIP_KINDS[kind]
     except KeyError:
@@ -70,7 +75,20 @@ def chip_config(kind: str, bs_t: int = 2, bs_n: int = 4) -> BishopConfig:
             f"unknown chip kind {kind!r}; options {sorted(CHIP_KINDS)}"
         ) from None
     base = profile_config(bs_t, bs_n)
-    return resolve_overrides(base, overrides) if overrides else base
+    config = resolve_overrides(base, overrides) if overrides else base
+    _CONFIG_CACHE[key] = config
+    return config
+
+
+# Memoization over the mutable CHIP_KINDS registry: a 10,000-chip fleet
+# has a handful of distinct kinds, so per-kind results are cached and
+# invalidated whenever a kind is (re)registered.
+_CONFIG_CACHE: dict[tuple[str, int, int], BishopConfig] = {}
+
+
+def _invalidate_kind_caches() -> None:
+    _CONFIG_CACHE.clear()
+    _chip_capacity_rps.cache_clear()
 
 
 def register_chip_kind(name: str, overrides: dict) -> None:
@@ -89,6 +107,7 @@ def register_chip_kind(name: str, overrides: dict) -> None:
             f"chip kind {name!r} has invalid overrides: {error}"
         ) from error
     CHIP_KINDS[name] = dict(overrides)
+    _invalidate_kind_caches()
 
 
 def load_chip_kinds(path: Path | str) -> list[str]:
@@ -206,27 +225,53 @@ def fleet_capacity_rps(
     (``rate = rho × capacity``).  This is a service-rate rating, not an
     exact capacity bound: under heavily skewed placement the achievable
     rate also depends on how the mix balance matches the placement.
+
+    Per-(kind, placement) results are memoized: a 10,000-chip
+    homogeneous fleet rates at the cost of one chip, instead of
+    recomputing identical profiles per chip.
     """
-    total = 0.0
-    for spec in fleet.chips:
-        hosted = {
-            model: weight
-            for model, weight in weights.items()
-            if spec.models is None or model in spec.models
-        }
-        share = sum(hosted.values())
-        if share == 0.0:
-            continue
-        config = chip_config(spec.kind, bs_t, bs_n)
-        mean_latency = sum(
-            (weight / share)
-            * request_profile(
-                model, seed=seed, config=config, passes=passes
-            ).single_latency_s
-            for model, weight in hosted.items()
+    mix_items = tuple(sorted(weights.items()))
+    return sum(
+        _chip_capacity_rps(
+            spec.kind, spec.models, mix_items, int(bs_t), int(bs_n),
+            int(seed), passes,
         )
-        total += 1.0 / mean_latency
-    return total
+        for spec in fleet.chips
+    )
+
+
+@lru_cache(maxsize=None)
+def _chip_capacity_rps(
+    kind: str,
+    placement: tuple[str, ...] | None,
+    mix_items: tuple[tuple[str, float], ...],
+    bs_t: int,
+    bs_n: int,
+    seed: int,
+    passes: str | None,
+) -> float:
+    """One chip's rated capacity (1/mean-latency on its hosted mix share).
+
+    Cleared by :func:`_invalidate_kind_caches` whenever the kind registry
+    changes, so stale configurations never leak across registrations.
+    """
+    hosted = {
+        model: weight
+        for model, weight in mix_items
+        if placement is None or model in placement
+    }
+    share = sum(hosted.values())
+    if share == 0.0:
+        return 0.0
+    config = chip_config(kind, bs_t, bs_n)
+    mean_latency = sum(
+        (weight / share)
+        * request_profile(
+            model, seed=seed, config=config, passes=passes
+        ).single_latency_s
+        for model, weight in hosted.items()
+    )
+    return 1.0 / mean_latency
 
 
 def parse_fleet(spec: str) -> FleetSpec:

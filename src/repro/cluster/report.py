@@ -15,10 +15,18 @@ import numpy as np
 from ..arch.engine.timeline import EngineRun
 from ..serve.report import ServedRequest, latency_stats
 from ..serve.simulate import ChipServer
+from ..serve.sketch import LatencySketch
 from .admission import ShedRecord
 from .autoscale import ScalingEvent
 
-__all__ = ["ChipReport", "ClusterReport", "build_cluster_report"]
+__all__ = [
+    "ChipReport",
+    "ClusterReport",
+    "ShardChipStats",
+    "WindowStats",
+    "build_cluster_report",
+    "build_sharded_cluster_report",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +62,66 @@ class ChipReport:
         }
 
 
+@dataclass(frozen=True)
+class ShardChipStats:
+    """One chip's summary counters, as shipped in a shard's final digest.
+
+    The sharded simulation never moves ``ServedRequest`` lists between
+    processes; these counters (plus the shard's latency sketches) are all
+    the coordinator needs to build :class:`ChipReport`-equivalent rows.
+    """
+
+    name: str
+    kind: str
+    models: tuple[str, ...]
+    requests_served: int
+    mean_batch_size: float
+    busy_s: dict[str, float]          # per engine unit
+    capacity: dict[str, int]
+    dynamic_energy_pj: float
+    started_s: float
+    accepting: bool
+    drained_s: float | None
+
+    def active_span_s(self, horizon_s: float) -> float:
+        end = horizon_s
+        if not self.accepting and self.drained_s is not None:
+            end = self.drained_s
+        return max(0.0, end - self.started_s)
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """One coordination window of a sharded run, fleet-aggregated."""
+
+    index: int
+    start_s: float
+    end_s: float
+    arrivals: int
+    served: int
+    shed: int
+    backlog: int                 # queued + in-flight across shards at window end
+    p99_ms: float                # this window's completions
+    mean_ms: float
+    slo_attainment: float | None = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "index": self.index,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "arrivals": self.arrivals,
+            "served": self.served,
+            "shed": self.shed,
+            "backlog": self.backlog,
+            "p99_ms": self.p99_ms,
+            "mean_ms": self.mean_ms,
+        }
+        if self.slo_attainment is not None:
+            payload["slo_attainment"] = self.slo_attainment
+        return payload
+
+
 @dataclass
 class ClusterReport:
     """Aggregate view of one cluster simulation."""
@@ -80,6 +148,12 @@ class ClusterReport:
     requests: tuple[ServedRequest, ...] = field(default_factory=tuple, repr=False)
     shed_records: tuple[ShedRecord, ...] = field(default_factory=tuple, repr=False)
     run: EngineRun | None = field(default=None, repr=False)
+    # Sharded runs only (defaults keep the single-process path unchanged).
+    num_shards: int = 1
+    window_s: float | None = None
+    windows: tuple[WindowStats, ...] = field(default_factory=tuple, repr=False)
+    latency_sketch: LatencySketch | None = field(default=None, repr=False)
+    slo: dict | None = None
 
     @property
     def shed_fraction(self) -> float:
@@ -93,7 +167,7 @@ class ClusterReport:
 
     def to_dict(self) -> dict:
         """JSON-ready payload (drops raw request records and the timeline)."""
-        return {
+        payload = {
             "num_requests": self.num_requests,
             "served": self.served,
             "shed": self.shed,
@@ -124,6 +198,16 @@ class ClusterReport:
                 "per_request": self.energy_per_request_mj,
             },
         }
+        if self.num_shards > 1 or self.windows:
+            payload["sharding"] = {
+                "num_shards": self.num_shards,
+                "window_s": self.window_s,
+                "num_windows": len(self.windows),
+                "windows": [window.to_dict() for window in self.windows],
+            }
+        if self.slo is not None:
+            payload["slo"] = dict(self.slo)
+        return payload
 
 
 def _chip_report(chip: ChipServer, horizon_s: float, static_pj_per_s: float) -> ChipReport:
@@ -198,4 +282,108 @@ def build_cluster_report(
         requests=tuple(served),
         shed_records=tuple(shed),
         run=run,
+    )
+
+
+def _sharded_chip_report(
+    stats: ShardChipStats, horizon_s: float, static_pj_per_s: float
+) -> ChipReport:
+    span = stats.active_span_s(horizon_s)
+    return ChipReport(
+        name=stats.name,
+        kind=stats.kind,
+        models=stats.models,
+        requests_served=stats.requests_served,
+        mean_batch_size=stats.mean_batch_size,
+        utilization={
+            unit: (
+                busy / (span * stats.capacity.get(unit, 1)) if span > 0 else 0.0
+            )
+            for unit, busy in stats.busy_s.items()
+        },
+        dynamic_energy_mj=stats.dynamic_energy_pj * 1e-9,
+        static_energy_mj=static_pj_per_s * span * 1e-9,
+        active_span_s=span,
+        added_s=stats.started_s,
+        drained=stats.drained_s is not None and not stats.accepting,
+    )
+
+
+def build_sharded_cluster_report(
+    chip_stats: list[ShardChipStats],
+    shed_total: int,
+    shed_by_model: dict[str, int],
+    shed_records: list[ShedRecord],
+    latency: LatencySketch,
+    wait: LatencySketch,
+    *,
+    offered_rps: float,
+    horizon_s: float,
+    policy: str,
+    queue_capacity: int | None,
+    initial_chips: int,
+    scaling_events: list[ScalingEvent],
+    static_pj_per_s: float,
+    num_shards: int,
+    window_s: float,
+    windows: list[WindowStats],
+    slo_ms: float | None = None,
+) -> ClusterReport:
+    """The sharded counterpart of :func:`build_cluster_report`.
+
+    Built from merged shard digests instead of ``ServedRequest`` lists:
+    latency statistics come from the fleet's merged
+    :class:`~repro.serve.sketch.LatencySketch` (bounded-error
+    percentiles, exact count/mean/max), per-chip rows from
+    :class:`ShardChipStats` counters.  ``shed_records`` carries only the
+    coordinator-level sheds (models no accepting shard hosts);
+    shard-level sheds are counted in ``shed_total`` / ``shed_by_model``.
+    """
+    stats = latency_stats(latency)
+    served = stats.count
+    chip_reports = {
+        report.name: report
+        for report in (
+            _sharded_chip_report(chip, horizon_s, static_pj_per_s)
+            for chip in chip_stats
+        )
+    }
+    slo = None
+    if slo_ms is not None:
+        attainment = latency.cdf(slo_ms * 1e-3) if served else 0.0
+        slo = {
+            "slo_ms": float(slo_ms),
+            "attainment": attainment,
+            "violations": int(round((1.0 - attainment) * served)),
+        }
+    return ClusterReport(
+        num_requests=served + shed_total,
+        served=served,
+        shed=shed_total,
+        offered_rps=offered_rps,
+        horizon_s=horizon_s,
+        throughput_rps=served / horizon_s if horizon_s > 0 else 0.0,
+        latency_percentiles_ms=stats.percentiles_ms,
+        latency_mean_ms=stats.mean_ms,
+        latency_max_ms=stats.max_ms,
+        queue_wait_mean_ms=wait.mean_s * 1e3,
+        policy=policy,
+        queue_capacity=queue_capacity,
+        initial_chips=initial_chips,
+        final_accepting_chips=sum(1 for chip in chip_stats if chip.accepting),
+        chips=chip_reports,
+        shed_by_model=dict(shed_by_model),
+        scaling_events=tuple(scaling_events),
+        dynamic_energy_mj=sum(
+            chip.dynamic_energy_pj for chip in chip_stats
+        ) * 1e-9,
+        static_energy_mj=sum(
+            report.static_energy_mj for report in chip_reports.values()
+        ),
+        shed_records=tuple(shed_records),
+        num_shards=num_shards,
+        window_s=window_s,
+        windows=tuple(windows),
+        latency_sketch=latency,
+        slo=slo,
     )

@@ -1,0 +1,834 @@
+"""Sharded fleet simulation: planet-scale clusters in bounded time windows.
+
+The single-process :class:`~repro.cluster.simulate.ClusterSimulation`
+shares one engine clock across every chip, so fleet size is bounded by
+one core's event throughput — and its front-end router scans the whole
+fleet per request.  This module partitions the fleet into **shards** that
+advance independently:
+
+* :func:`partition_fleet` deals chips to shards round-robin (chip ``i``
+  → shard ``i % num_shards``), preserving global chip names;
+* each :class:`ShardState` owns a private engine, its chips'
+  :class:`~repro.serve.simulate.ChipServer` loops, and a shard-local
+  routing policy; it advances in **windows** — ``step(requests, until)``
+  feeds one window's arrivals, runs its engine exactly to the window
+  edge (``Engine.run(until=...)``), and returns a picklable
+  :class:`WindowDigest` of streaming latency sketches and counters;
+* the **coordinator** (:func:`simulate_cluster_sharded`) walks the
+  arrival stream window by window, assigns each request to a shard
+  (:data:`SHARD_POLICIES`), dispatches the window to every busy shard
+  through the :class:`~repro.runtime.executor.ShardPool` actor pool, and
+  merges the digests — driving the windowed autoscaler and the
+  SLO-attainment report between windows.
+
+Chips are dealt round-robin (not in contiguous blocks) so that, with
+``num_shards`` dividing the fleet size, shard-level round-robin over
+round-robin shards reproduces the global round-robin assignment *request
+for request* — the conformance anchor the sharded path is tested
+against.  In-flight batches cross window boundaries naturally because a
+shard's engine state persists in its worker process between calls.
+
+Determinism: the arrival trace is generated once by the coordinator
+(workload seeds are split with ``numpy.random.SeedSequence.spawn`` —
+see :func:`repro.serve.workload.spawn_seeds`), shard assignment is a
+pure function of the stream and prior digests, and digests merge in
+shard order — so a sharded run's report is independent of worker
+scheduling and, for the trace itself, of the shard count.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..arch.engine.kernel import Engine, Hold
+from ..arch.engine.machine import BishopMachine
+from ..arch.energy import EnergyModel
+from ..serve.profiles import request_profile
+from ..serve.scheduler import SchedulerConfig
+from ..serve.simulate import ChipServer
+from ..serve.sketch import LatencySketch
+from ..serve.workload import Request
+from .admission import AdmissionConfig, ShedRecord, eligible_chips
+from .autoscale import AutoscaleConfig, ScalingEvent
+from .fleet import ChipSpec, FleetSpec, chip_config
+from .report import (
+    ClusterReport,
+    ShardChipStats,
+    WindowStats,
+    build_sharded_cluster_report,
+)
+from .routing import make_policy
+
+__all__ = [
+    "SHARD_POLICIES",
+    "ShardInit",
+    "ShardState",
+    "ShardingConfig",
+    "WindowDigest",
+    "make_shard_state",
+    "partition_fleet",
+    "simulate_cluster_sharded",
+]
+
+SHARD_POLICIES = ("round_robin", "least_backlog")
+
+# Give up if this many consecutive windows pass with busy shards making
+# zero progress — a stalled shard engine is a bug, not a backlog.
+_STALL_WINDOWS = 10_000
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """How a fleet is sharded and windowed.
+
+    ``window_s`` is the coordination quantum: routing across shards and
+    autoscaling happen only at window edges, so smaller windows track
+    load faster while larger ones amortize per-window dispatch cost.
+    ``jobs`` sizes the actor pool (``1`` = run shards inline, ``0`` =
+    one worker per core).
+    """
+
+    num_shards: int = 4
+    window_s: float = 0.25
+    jobs: int = 1
+    shard_policy: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ValueError(
+                f"unknown shard policy {self.shard_policy!r};"
+                f" options {sorted(SHARD_POLICIES)}"
+            )
+
+
+def partition_fleet(
+    fleet: FleetSpec, num_shards: int
+) -> list[tuple[tuple[int, ChipSpec], ...]]:
+    """Deal chips to shards round-robin, keeping global indices.
+
+    Chip ``i`` goes to shard ``i % num_shards``; the returned entries
+    carry ``(global_index, spec)`` so shards name chips globally
+    (``chip7`` is ``chip7`` in any sharding).  Interleaving — rather
+    than contiguous blocks — is what makes shard-level round-robin
+    compose with chip-level round-robin into the global round-robin
+    order when ``num_shards`` divides the fleet size.
+    """
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    if num_shards > len(fleet):
+        raise ValueError(
+            f"cannot split {len(fleet)} chips into {num_shards} shards"
+        )
+    shards: list[list[tuple[int, ChipSpec]]] = [[] for _ in range(num_shards)]
+    for index, spec in enumerate(fleet.chips):
+        shards[index % num_shards].append((index, spec))
+    return [tuple(shard) for shard in shards]
+
+
+# ----------------------------------------------------------------------
+# The shard actor
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardInit:
+    """Picklable construction payload of one shard (actor factory input)."""
+
+    shard: int
+    chip_names: tuple[str, ...]
+    chip_kinds: tuple[str, ...]
+    chip_models: tuple[tuple[str, ...] | None, ...]
+    workload_models: tuple[str, ...]
+    policy: str
+    scheduler: SchedulerConfig
+    queue_capacity: int | None
+    bs_t: int
+    bs_n: int
+    seed: int
+    passes: str | None
+
+
+@dataclass(frozen=True)
+class WindowDigest:
+    """One shard's window summary — everything the coordinator consumes.
+
+    Sketches cover **this window's completions only**; the coordinator
+    merges them into the cumulative fleet sketch (exact, order-free
+    merges — see :mod:`repro.serve.sketch`), so per-window payloads stay
+    small no matter how long the run gets.
+    """
+
+    shard: int
+    until_s: float
+    window_served: int
+    window_shed: int
+    served: int                   # cumulative
+    shed: int                     # cumulative
+    delivered: int                # cumulative requests fed to this shard
+    pending: int                  # queued across chips at window end
+    inflight: int
+    outstanding_s: float
+    accepting_chips: int
+    hosted_models: tuple[str, ...]
+    latency: LatencySketch
+    wait: LatencySketch
+    applied: tuple[tuple[str, str | None], ...] = ()   # command acks
+
+    @property
+    def busy(self) -> bool:
+        return self.pending > 0 or self.inflight > 0
+
+
+@dataclass(frozen=True)
+class ShardFinal:
+    """End-of-run shard summary: per-chip counters for the fleet report."""
+
+    shard: int
+    served: int
+    shed: int
+    delivered: int
+    shed_by_model: dict[str, int]
+    last_finish_s: float
+    chips: tuple[ShardChipStats, ...]
+
+
+class ShardState:
+    """One shard's private simulator, living in one worker process.
+
+    The ``recorder`` seam of :class:`ChipServer` points back at the
+    shard, so completions stream into per-window latency/wait sample
+    buffers instead of accumulating ``ServedRequest`` lists — a shard's
+    memory footprint is bounded by its in-flight window, not the run
+    length.
+    """
+
+    def __init__(self, init: ShardInit):
+        self.init = init
+        self.engine = Engine()
+        self.policy = make_policy(init.policy)
+        self.policy.reset()
+        self.chips: list[ChipServer] = []
+        self.served = 0
+        self.shed = 0
+        self.delivered = 0
+        self.shed_by_model: dict[str, int] = {}
+        self.last_finish_s = 0.0
+        self._window_latencies: list[float] = []
+        self._window_waits: list[float] = []
+        self._window_served = 0
+        self._window_shed = 0
+        for name, kind, models in zip(
+            init.chip_names, init.chip_kinds, init.chip_models
+        ):
+            hosted = (
+                tuple(init.workload_models)
+                if models is None
+                else tuple(m for m in models if m in init.workload_models)
+            )
+            self._add_chip(name, kind, hosted)
+
+    def _add_chip(
+        self, name: str, kind: str, models: tuple[str, ...]
+    ) -> ChipServer:
+        init = self.init
+        config = chip_config(kind, init.bs_t, init.bs_n)
+        profiles = {
+            model: request_profile(
+                model, seed=init.seed, config=config, passes=init.passes
+            )
+            for model in models
+        }
+        chip = ChipServer(
+            self.engine,
+            BishopMachine(self.engine, name=name),
+            profiles,
+            init.scheduler,
+            name=name,
+            kind=kind,
+            queue_capacity=init.queue_capacity,
+            recorder=self,
+        )
+        self.chips.append(chip)
+        return chip
+
+    # -- ChipServer recorder seam -----------------------------------------
+    def observe(
+        self,
+        request: Request,
+        start_s: float,
+        finish_s: float,
+        batch_size: int,
+        chip: str,
+    ) -> None:
+        self._window_latencies.append(finish_s - request.arrival_s)
+        self._window_waits.append(start_s - request.arrival_s)
+        self._window_served += 1
+        self.served += 1
+        if finish_s > self.last_finish_s:
+            self.last_finish_s = finish_s
+
+    # -- window advance ----------------------------------------------------
+    def _feed(self, requests: tuple[Request, ...]):
+        for request in requests:
+            gap = request.arrival_s - self.engine.now
+            if gap > 0:
+                yield Hold(gap)
+            chip = self.policy.choose(
+                request, eligible_chips(request, self.chips)
+            )
+            if chip is None:
+                self.shed += 1
+                self._window_shed += 1
+                self.shed_by_model[request.model] = (
+                    self.shed_by_model.get(request.model, 0) + 1
+                )
+            else:
+                chip.enqueue(request)
+            self.delivered += 1
+
+    def _apply(self, command: tuple) -> tuple[str, str | None]:
+        action = command[0]
+        if action == "add":
+            _, kind, name = command
+            chip = self._add_chip(name, kind, tuple(self.init.workload_models))
+            return ("add", chip.name)
+        if action == "drain":
+            victim = self._drainable_victim()
+            if victim is None:
+                return ("drain", None)
+            victim.accepting = False
+            victim.close()
+            return ("drain", victim.name)
+        raise ValueError(f"unknown shard command {command!r}")
+
+    def _drainable_victim(self) -> ChipServer | None:
+        """Least-loaded accepting chip whose models stay covered in-shard."""
+        accepting = [chip for chip in self.chips if chip.accepting]
+        candidates = []
+        for chip in accepting:
+            others = [c for c in accepting if c is not chip]
+            if all(
+                any(other.hosts(model) for other in others)
+                for model in chip.profiles
+            ):
+                candidates.append(chip)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: (c.outstanding_s, c.name))
+
+    def step(
+        self,
+        requests: tuple[Request, ...],
+        until: float,
+        commands: tuple[tuple, ...] = (),
+    ) -> WindowDigest:
+        """Advance this shard exactly to ``until``; returns the digest.
+
+        Commands (autoscaler add/drain decisions from the coordinator)
+        apply at the window start, before any of the window's arrivals.
+        """
+        applied = tuple(self._apply(command) for command in commands)
+        self._window_latencies = []
+        self._window_waits = []
+        self._window_served = 0
+        self._window_shed = 0
+        if requests:
+            self.engine.spawn(
+                self._feed(tuple(requests)),
+                name=f"shard{self.init.shard}:feed",
+            )
+        self.engine.run(until=until)
+        latency = LatencySketch()
+        latency.add_many(self._window_latencies)
+        wait = LatencySketch()
+        wait.add_many(self._window_waits)
+        accepting = [chip for chip in self.chips if chip.accepting]
+        hosted: set[str] = set()
+        for chip in accepting:
+            if chip.has_queue_capacity():
+                hosted.update(chip.profiles)
+        return WindowDigest(
+            shard=self.init.shard,
+            until_s=until,
+            window_served=self._window_served,
+            window_shed=self._window_shed,
+            served=self.served,
+            shed=self.shed,
+            delivered=self.delivered,
+            pending=sum(len(chip.pending) for chip in self.chips),
+            inflight=sum(chip.inflight for chip in self.chips),
+            outstanding_s=sum(chip.outstanding_s for chip in self.chips),
+            accepting_chips=len(accepting),
+            hosted_models=tuple(sorted(hosted)),
+            latency=latency,
+            wait=wait,
+            applied=applied,
+        )
+
+    def finalize(self) -> ShardFinal:
+        """End-of-run per-chip counters (called once, after the last step)."""
+        for resource in self.engine.resources.values():
+            resource._integrate()
+        chips = tuple(
+            ShardChipStats(
+                name=chip.name or "chip",
+                kind=chip.kind,
+                models=tuple(sorted(chip.profiles)),
+                requests_served=chip.served_count,
+                mean_batch_size=chip.mean_batch_size,
+                busy_s={
+                    unit: resource.stats.busy_s
+                    for unit, resource in chip.machine.resources.items()
+                },
+                capacity={
+                    unit: resource.capacity
+                    for unit, resource in chip.machine.resources.items()
+                },
+                dynamic_energy_pj=chip.dynamic_energy_pj,
+                started_s=chip.started_s,
+                accepting=chip.accepting,
+                drained_s=chip.drained_s,
+            )
+            for chip in self.chips
+        )
+        return ShardFinal(
+            shard=self.init.shard,
+            served=self.served,
+            shed=self.shed,
+            delivered=self.delivered,
+            shed_by_model=dict(self.shed_by_model),
+            last_finish_s=self.last_finish_s,
+            chips=chips,
+        )
+
+
+def make_shard_state(init: ShardInit) -> ShardState:
+    """ShardPool actor factory (``repro.cluster.sharding:make_shard_state``)."""
+    return ShardState(init)
+
+
+# ----------------------------------------------------------------------
+# Shard-level routing
+# ----------------------------------------------------------------------
+class _ShardRouter:
+    """Assign one window's requests to shards, between-window state only.
+
+    ``round_robin`` cycles the eligible shards per request — with
+    interleaved partitioning and chip-level round-robin this reproduces
+    the global round-robin assignment exactly (the conformance mode).
+    ``least_backlog`` sends each request to the eligible shard with the
+    least estimated outstanding work per accepting chip, where the
+    estimate is the last digest's outstanding plus this window's
+    assignments so far.
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        num_shards: int,
+        estimates: dict[str, float],
+    ):
+        self.policy = policy
+        self.num_shards = num_shards
+        self.estimates = estimates       # model → single-request seconds
+        self._turn = 0
+
+    def assign(
+        self,
+        requests: list[Request],
+        digests: dict[int, WindowDigest],
+        hosted: list[set[str]],
+        accepting: list[int],
+    ) -> tuple[dict[int, list[Request]], list[Request]]:
+        """Split ``requests`` across shards; returns (per-shard, unroutable)."""
+        per_shard: dict[int, list[Request]] = {}
+        unroutable: list[Request] = []
+        backlog = {
+            shard: digests[shard].outstanding_s if shard in digests else 0.0
+            for shard in range(self.num_shards)
+        }
+        for request in requests:
+            eligible = [
+                shard
+                for shard in range(self.num_shards)
+                if request.model in hosted[shard]
+            ]
+            if not eligible:
+                unroutable.append(request)
+                continue
+            if self.policy == "round_robin":
+                shard = eligible[self._turn % len(eligible)]
+                self._turn += 1
+            else:
+                shard = min(
+                    eligible,
+                    key=lambda s: (
+                        backlog[s] / max(1, accepting[s]), s
+                    ),
+                )
+            backlog[shard] += self.estimates.get(request.model, 0.0)
+            per_shard.setdefault(shard, []).append(request)
+        return per_shard, unroutable
+
+
+# ----------------------------------------------------------------------
+# The coordinator
+# ----------------------------------------------------------------------
+def simulate_cluster_sharded(
+    requests: list[Request],
+    fleet: FleetSpec,
+    scheduler: SchedulerConfig | None = None,
+    policy: str = "round_robin",
+    admission: AdmissionConfig | None = None,
+    autoscale: AutoscaleConfig | None = None,
+    sharding: ShardingConfig | None = None,
+    *,
+    bs_t: int = 2,
+    bs_n: int = 4,
+    seed: int = 0,
+    energy: EnergyModel | None = None,
+    passes: str | None = None,
+    slo_ms: float | None = None,
+) -> ClusterReport:
+    """Serve ``requests`` on a sharded fleet; returns the cluster report.
+
+    The sharded counterpart of :func:`repro.cluster.simulate_cluster`:
+    same fleet/scheduler/admission semantics, but chips are partitioned
+    into ``sharding.num_shards`` independent engines coordinated at
+    ``sharding.window_s`` boundaries on the actor pool.  ``policy`` (a
+    name — instances don't cross process boundaries) routes *within*
+    a shard; ``sharding.shard_policy`` routes *across* shards.  The
+    optional ``autoscale`` control loop runs at window granularity on
+    digest pressure.  With ``slo_ms`` the report carries SLO attainment
+    (overall and per window).
+    """
+    if not isinstance(policy, str):
+        raise TypeError(
+            "sharded simulation needs a routing policy *name*"
+            " (policy instances cannot cross process boundaries)"
+        )
+    scheduler = scheduler or SchedulerConfig()
+    admission = admission or AdmissionConfig()
+    sharding = sharding or ShardingConfig()
+    energy = energy or EnergyModel()
+    # Imported here: repro.runtime imports the harness registry, which
+    # imports this package — runtime access must be deferred to call time.
+    from ..runtime.executor import ShardPool
+
+    stream = sorted(requests, key=lambda r: (r.arrival_s, r.index))
+    models = tuple(sorted({r.model for r in stream}))
+    if models:
+        fleet.validate_placement(models)
+    num_shards = sharding.num_shards
+    shards = partition_fleet(fleet, num_shards)
+
+    inits = [
+        ShardInit(
+            shard=index,
+            chip_names=tuple(f"chip{i}" for i, _ in shard),
+            chip_kinds=tuple(spec.kind for _, spec in shard),
+            chip_models=tuple(spec.models for _, spec in shard),
+            workload_models=models,
+            policy=policy,
+            scheduler=scheduler,
+            queue_capacity=admission.queue_capacity,
+            bs_t=bs_t,
+            bs_n=bs_n,
+            seed=seed,
+            passes=passes,
+        )
+        for index, shard in enumerate(shards)
+    ]
+    # Static hosting sets; updated from digests (queue-full shards drop
+    # out until a window frees capacity, drained chips stop counting).
+    hosted: list[set[str]] = [
+        {
+            model
+            for (_, spec) in shard
+            for model in (spec.models if spec.models is not None else models)
+            if model in models
+        }
+        for shard in shards
+    ]
+    accepting = [len(shard) for shard in shards]
+    estimates = _service_estimates(fleet, models, bs_t, bs_n, seed, passes)
+    router = _ShardRouter(sharding.shard_policy, num_shards, estimates)
+
+    shed_records: list[ShedRecord] = []
+    shed_by_model: dict[str, int] = {}
+    scaling_events: list[ScalingEvent] = []
+    windows: list[WindowStats] = []
+    total_latency = LatencySketch()
+    total_wait = LatencySketch()
+    digests: dict[int, WindowDigest] = {}
+    pending_commands: dict[int, list[tuple]] = {}
+    next_chip = len(fleet)
+    next_scale_check = autoscale.interval_s if autoscale else None
+    arrivals_done = False
+    stalled = 0
+
+    jobs = sharding.jobs if sharding.jobs else (os.cpu_count() or 1)
+    pool = ShardPool(
+        min(jobs, num_shards), "repro.cluster.sharding:make_shard_state"
+    )
+    try:
+        position = 0
+        window = 0
+        while True:
+            busy = {s for s, digest in digests.items() if digest.busy}
+            if position >= len(stream) and not busy and window > 0:
+                break
+            start_s = window * sharding.window_s
+            until = (window + 1) * sharding.window_s
+            batch: list[Request] = []
+            while (
+                position < len(stream)
+                and stream[position].arrival_s < until
+            ):
+                batch.append(stream[position])
+                position += 1
+            arrivals_done = position >= len(stream)
+            per_shard, unroutable = router.assign(
+                batch, digests, hosted, accepting
+            )
+            for request in unroutable:
+                shed_records.append(
+                    ShedRecord(request.index, request.model, request.arrival_s)
+                )
+                shed_by_model[request.model] = (
+                    shed_by_model.get(request.model, 0) + 1
+                )
+            step_shards = sorted(
+                busy | set(per_shard) | set(pending_commands)
+            )
+            futures = {
+                shard: pool.submit(
+                    shard,
+                    inits[shard],
+                    "step",
+                    tuple(per_shard.get(shard, ())),
+                    until,
+                    tuple(pending_commands.get(shard, ())),
+                )
+                for shard in step_shards
+            }
+            pending_commands = {}
+            window_served = 0
+            window_shed = 0
+            progressed = False
+            for shard in step_shards:
+                digest = futures[shard].result()
+                digests[shard] = digest
+                total_latency.update(digest.latency)
+                total_wait.update(digest.wait)
+                window_served += digest.window_served
+                window_shed += digest.window_shed
+                hosted[shard] = set(digest.hosted_models)
+                accepting[shard] = digest.accepting_chips
+                if digest.window_served or digest.window_shed:
+                    progressed = True
+                for action, chip_name in digest.applied:
+                    if chip_name is not None:
+                        scaling_events.append(ScalingEvent(
+                            t_s=start_s,
+                            action=action,
+                            chip=chip_name,
+                            pressure=_pressure(
+                                digests, accepting, sharding.window_s
+                            ),
+                            accepting_chips=sum(accepting),
+                        ))
+            window_shed += len(unroutable)
+            backlog = sum(d.pending + d.inflight for d in digests.values())
+            window_p99 = (
+                _window_percentile(digests, step_shards, 99.0) * 1e3
+            )
+            window_mean = (
+                _window_mean(digests, step_shards) * 1e3
+            )
+            attainment = None
+            if slo_ms is not None and window_served:
+                merged = LatencySketch()
+                for shard in step_shards:
+                    merged.update(digests[shard].latency)
+                attainment = merged.cdf(slo_ms * 1e-3)
+            windows.append(WindowStats(
+                index=window,
+                start_s=start_s,
+                end_s=until,
+                arrivals=len(batch),
+                served=window_served,
+                shed=window_shed,
+                backlog=backlog,
+                p99_ms=window_p99,
+                mean_ms=window_mean,
+                slo_attainment=attainment,
+            ))
+            if autoscale is not None and not arrivals_done:
+                while next_scale_check <= until:
+                    next_scale_check += autoscale.interval_s
+                    command, target = _autoscale_decision(
+                        autoscale, digests, accepting, sharding.window_s,
+                        next_chip,
+                    )
+                    if command is not None:
+                        pending_commands.setdefault(target, []).append(command)
+                        if command[0] == "add":
+                            next_chip += 1
+            if busy and not progressed and not batch:
+                stalled += 1
+                if stalled > _STALL_WINDOWS:
+                    raise RuntimeError(
+                        "sharded cluster simulation stalled:"
+                        f" {sum(d.served for d in digests.values())} served,"
+                        f" backlog {backlog} after {window + 1} windows"
+                    )
+            else:
+                stalled = 0
+            window += 1
+
+        finals: list[ShardFinal] = []
+        futures = {
+            shard: pool.submit(shard, inits[shard], "finalize")
+            for shard in range(num_shards)
+        }
+        for shard in range(num_shards):
+            finals.append(futures[shard].result())
+    finally:
+        pool.close()
+
+    served = sum(final.served for final in finals)
+    shard_shed = sum(final.shed for final in finals)
+    for final in finals:
+        for model, count in final.shed_by_model.items():
+            shed_by_model[model] = shed_by_model.get(model, 0) + count
+    total_shed = shard_shed + len(shed_records)
+    if served + total_shed != len(stream):  # pragma: no cover - invariant
+        raise RuntimeError(
+            f"sharded simulation lost requests: {served} served +"
+            f" {total_shed} shed != {len(stream)} offered"
+        )
+
+    horizon = max((final.last_finish_s for final in finals), default=0.0)
+    span = stream[-1].arrival_s - stream[0].arrival_s if stream else 0.0
+    offered = (len(stream) - 1) / span if span > 0 else 0.0
+    chip_stats = [chip for final in finals for chip in final.chips]
+    chip_stats.sort(key=lambda c: c.name)
+    return build_sharded_cluster_report(
+        chip_stats,
+        total_shed,
+        shed_by_model,
+        shed_records,
+        total_latency,
+        total_wait,
+        offered_rps=offered,
+        horizon_s=horizon,
+        policy=policy,
+        queue_capacity=admission.queue_capacity,
+        initial_chips=len(fleet),
+        scaling_events=scaling_events,
+        static_pj_per_s=energy.static_pj(1.0),
+        num_shards=num_shards,
+        window_s=sharding.window_s,
+        windows=windows,
+        slo_ms=slo_ms,
+    )
+
+
+def _service_estimates(
+    fleet: FleetSpec,
+    models: tuple[str, ...],
+    bs_t: int,
+    bs_n: int,
+    seed: int,
+    passes: str | None,
+) -> dict[str, float]:
+    """Per-model single-request latency on the first hosting chip's kind —
+    the coordinator's backlog-estimate unit for ``least_backlog``."""
+    estimates: dict[str, float] = {}
+    for model in models:
+        for spec in fleet.chips:
+            if spec.models is None or model in spec.models:
+                config = chip_config(spec.kind, bs_t, bs_n)
+                estimates[model] = request_profile(
+                    model, seed=seed, config=config, passes=passes
+                ).single_latency_s
+                break
+    return estimates
+
+
+def _pressure(
+    digests: dict[int, WindowDigest],
+    accepting: list[int],
+    window_s: float,
+) -> float:
+    chips = sum(accepting)
+    if not chips:
+        return 0.0
+    outstanding = sum(d.outstanding_s for d in digests.values())
+    return outstanding / (chips * window_s)
+
+
+def _window_percentile(
+    digests: dict[int, WindowDigest], shards: list[int], q: float
+) -> float:
+    merged = LatencySketch()
+    for shard in shards:
+        merged.update(digests[shard].latency)
+    return merged.percentile(q) if merged.count else 0.0
+
+
+def _window_mean(
+    digests: dict[int, WindowDigest], shards: list[int]
+) -> float:
+    merged = LatencySketch()
+    for shard in shards:
+        merged.update(digests[shard].latency)
+    return merged.mean_s
+
+
+def _autoscale_decision(
+    config: AutoscaleConfig,
+    digests: dict[int, WindowDigest],
+    accepting: list[int],
+    window_s: float,
+    next_chip: int,
+) -> tuple[tuple | None, int]:
+    """One windowed control-loop tick: returns (command, target shard).
+
+    The same pressure signal as the single-process
+    :class:`~repro.cluster.autoscale.Autoscaler`, but normalized by the
+    *autoscale interval* and evaluated on window-edge digests: add a
+    replica to the emptiest shard under high pressure, drain from the
+    least-loaded shard under low pressure (the shard itself picks — and
+    may refuse — the placement-safe victim).
+    """
+    total_accepting = sum(accepting)
+    if not total_accepting or not digests:
+        return None, 0
+    outstanding = sum(d.outstanding_s for d in digests.values())
+    pressure = outstanding / (total_accepting * config.interval_s)
+    if pressure > config.high_pressure and total_accepting < config.max_chips:
+        target = min(
+            range(len(accepting)), key=lambda s: (accepting[s], s)
+        )
+        return ("add", config.kind, f"chip{next_chip}"), target
+    if pressure < config.low_pressure and total_accepting > config.min_chips:
+        candidates = [
+            shard for shard, count in enumerate(accepting) if count > 0
+        ]
+        if not candidates:
+            return None, 0
+        target = min(
+            candidates,
+            key=lambda s: (
+                digests[s].outstanding_s if s in digests else 0.0, s
+            ),
+        )
+        return ("drain",), target
+    return None, 0

@@ -1026,6 +1026,318 @@ def experiment_engine_fastpath_bench(
     }
 
 
+def _planet_trace(
+    trace: str,
+    num_requests: int,
+    peak_rate: float,
+    weights: dict[str, float],
+    seed: int,
+    period_s: float,
+    regions: str,
+    spike_factor: float,
+):
+    """One trace-driven arrival stream at a given PEAK rate.
+
+    ``period_s=0`` auto-sizes the diurnal/regional period so the trace
+    covers about one full cycle (the diurnal mean rate with the default
+    trough fraction 0.25 is ``0.625 x`` peak); the flash-crowd spike is
+    placed at fixed fractions of the stream's baseline span.
+    """
+    from ..serve import (
+        diurnal_arrivals,
+        flash_crowd_arrivals,
+        poisson_arrivals,
+        regional_arrivals,
+    )
+
+    if trace == "poisson":
+        return poisson_arrivals(num_requests, peak_rate, weights, seed)
+    if period_s <= 0:
+        period_s = num_requests / (0.625 * peak_rate)
+    if trace == "diurnal":
+        return diurnal_arrivals(
+            num_requests, peak_rate, weights, seed, period_s=period_s
+        )
+    if trace == "flash_crowd":
+        base_rate = peak_rate / spike_factor
+        base_span = num_requests / base_rate
+        return flash_crowd_arrivals(
+            num_requests, base_rate, weights, seed,
+            spike_at_s=0.3 * base_span,
+            spike_duration_s=0.2 * base_span,
+            spike_factor=spike_factor,
+        )
+    if trace == "regional":
+        return regional_arrivals(
+            num_requests, peak_rate, regions, weights, seed,
+            period_s=period_s,
+        )
+    raise ValueError(
+        f"unknown trace kind {trace!r};"
+        " use poisson|diurnal|flash_crowd|regional"
+    )
+
+
+def experiment_cluster_planet_scale(
+    mix: str = "model4",
+    chips: int = 1000,
+    kind: str = "standard",
+    shards: int = 8,
+    window_ms: float = 0.0,
+    policy: str = "least_work",
+    shard_policy: str = "least_backlog",
+    trace: str = "diurnal",
+    num_requests: int = 4000,
+    rho_peak: float = 0.7,
+    period_s: float = 0.0,
+    regions: str = "us:0.5@0.0+eu:0.3@0.33+apac:0.2@0.66",
+    spike_factor: float = 4.0,
+    slo_ms: float = 0.0,
+    queue_capacity: int = 0,
+    jobs: int = 1,
+    seed: int = 0,
+    max_batch: int = 1,
+    max_inflight: int = 2,
+    bs_t: int = 2,
+    bs_n: int = 4,
+    passes: str = "all",
+) -> dict:
+    """Cluster — planet-scale sharded fleet under a trace-driven workload.
+
+    A ``chips``-wide homogeneous fleet is partitioned into ``shards``
+    independent engines coordinated in windows on the actor pool
+    (``repro.cluster.simulate_cluster_sharded``), and driven by one of
+    the trace workloads: ``poisson`` | ``diurnal`` (cosine day curve) |
+    ``flash_crowd`` (rectangular spike) | ``regional`` (phase-shifted
+    regional day curves).  ``rho_peak`` is offered load at the trace's
+    PEAK rate relative to fleet aggregate capacity; ``slo_ms=0``
+    auto-sets the SLO to 20x the mix's mean single-request latency.  The
+    report carries overall and per-window SLO attainment; per-chip rows
+    are aggregated by chip kind (a 10,000-chip run stays a small JSON).
+    """
+    from ..cluster import (
+        AdmissionConfig,
+        ShardingConfig,
+        fleet_capacity_rps,
+        homogeneous_fleet,
+        simulate_cluster_sharded,
+    )
+    from ..serve import SchedulerConfig, parse_model_mix
+
+    weights = parse_model_mix(mix)
+    fleet = homogeneous_fleet(chips, kind)
+    capacity = fleet_capacity_rps(fleet, weights, bs_t, bs_n, seed, passes)
+    peak_rate = rho_peak * capacity
+    stream = _planet_trace(
+        trace, num_requests, peak_rate, weights, seed, period_s, regions,
+        spike_factor,
+    )
+    span = stream[-1].arrival_s if stream else 0.0
+    if slo_ms <= 0:
+        mean_service_s = chips / capacity
+        slo_ms = 20.0 * mean_service_s * 1e3
+    window_s = window_ms * 1e-3 if window_ms > 0 else max(span / 32.0, 1e-9)
+    report = simulate_cluster_sharded(
+        stream,
+        fleet,
+        SchedulerConfig(max_batch=max_batch, max_inflight=max_inflight),
+        policy=policy,
+        admission=AdmissionConfig(queue_capacity=queue_capacity or None),
+        sharding=ShardingConfig(
+            num_shards=shards, window_s=window_s, jobs=jobs,
+            shard_policy=shard_policy,
+        ),
+        bs_t=bs_t,
+        bs_n=bs_n,
+        seed=seed,
+        passes=passes,
+        slo_ms=slo_ms,
+    )
+
+    by_kind: dict[str, dict] = {}
+    for chip in report.chips.values():
+        entry = by_kind.setdefault(chip.kind, {
+            "chips": 0,
+            "requests_served": 0,
+            "min_served": None,
+            "max_served": 0,
+            "dynamic_energy_mj": 0.0,
+            "utilization_sums": {},
+        })
+        entry["chips"] += 1
+        entry["requests_served"] += chip.requests_served
+        entry["min_served"] = (
+            chip.requests_served
+            if entry["min_served"] is None
+            else min(entry["min_served"], chip.requests_served)
+        )
+        entry["max_served"] = max(entry["max_served"], chip.requests_served)
+        entry["dynamic_energy_mj"] += chip.dynamic_energy_mj
+        for unit, value in chip.utilization.items():
+            entry["utilization_sums"][unit] = (
+                entry["utilization_sums"].get(unit, 0.0) + value
+            )
+    for entry in by_kind.values():
+        sums = entry.pop("utilization_sums")
+        entry["mean_utilization"] = {
+            unit: total / entry["chips"] for unit, total in sums.items()
+        }
+        entry["mean_served"] = entry["requests_served"] / entry["chips"]
+    return {
+        "mix": weights,
+        "kind": kind,
+        "chips": chips,
+        "trace": trace,
+        "rho_peak": rho_peak,
+        "capacity_rps": capacity,
+        "peak_rate_rps": peak_rate,
+        "trace_span_s": span,
+        "sharding": {
+            "num_shards": shards,
+            "window_s": window_s,
+            "num_windows": len(report.windows),
+            "jobs": jobs,
+            "shard_policy": shard_policy,
+            "routing_policy": policy,
+        },
+        "served": report.served,
+        "shed": report.shed,
+        "throughput_rps": report.throughput_rps,
+        "latency_ms": {
+            "mean": report.latency_mean_ms,
+            "max": report.latency_max_ms,
+            **report.latency_percentiles_ms,
+        },
+        "queue_wait_mean_ms": report.queue_wait_mean_ms,
+        "slo": report.slo,
+        "energy_mj": {
+            "dynamic": report.dynamic_energy_mj,
+            "static": report.static_energy_mj,
+            "per_request": report.energy_per_request_mj,
+        },
+        "autoscaler_events": len(report.scaling_events),
+        "fleet_by_kind": by_kind,
+        "windows": [window.to_dict() for window in report.windows],
+    }
+
+
+def experiment_cluster_sharding_bench(
+    mix: str = "model4",
+    chips: int = 1000,
+    kind: str = "standard",
+    shards: int = 8,
+    window_ms: float = 0.0,
+    num_requests: int = 3000,
+    rho: float = 0.7,
+    jobs: int = 1,
+    seed: int = 0,
+    max_batch: int = 1,
+    max_inflight: int = 2,
+    bs_t: int = 2,
+    bs_n: int = 4,
+    passes: str = "all",
+) -> dict:
+    """Wall-clock comparison of the sharded vs single-process cluster.
+
+    The SAME Poisson stream is served by the single-engine
+    :class:`~repro.cluster.ClusterSimulation` and by the windowed shard
+    coordinator in conformance mode (round-robin at both levels, which
+    with interleaved partitioning reproduces the global round-robin
+    request for request when ``shards`` divides ``chips``) — so the
+    speedup is measured against a run with byte-identical per-chip
+    assignment, and the percentile disagreement is pure sketch
+    quantization.  ``jobs`` sizes the actor pool (1 = shards inline in
+    one process: the speedup is then the router/event-locality win
+    alone; on a multi-core host ``jobs>1`` adds true parallelism).  The
+    ``bench_metrics`` block is lifted into ``repro bench`` JSON
+    payloads and the committed ``BENCH_baseline.json`` trajectory.
+    """
+    import time
+
+    from ..cluster import (
+        ClusterSimulation,
+        ShardingConfig,
+        fleet_capacity_rps,
+        homogeneous_fleet,
+        simulate_cluster_sharded,
+    )
+    from ..serve import SchedulerConfig, parse_model_mix, poisson_arrivals
+
+    weights = parse_model_mix(mix)
+    fleet = homogeneous_fleet(chips, kind)
+    capacity = fleet_capacity_rps(fleet, weights, bs_t, bs_n, seed, passes)
+    rate = rho * capacity
+    stream = poisson_arrivals(num_requests, rate, weights, seed)
+    span = stream[-1].arrival_s if stream else 0.0
+    window_s = window_ms * 1e-3 if window_ms > 0 else max(span / 16.0, 1e-9)
+    scheduler = SchedulerConfig(max_batch=max_batch, max_inflight=max_inflight)
+
+    started = time.perf_counter()
+    single = ClusterSimulation(
+        fleet, scheduler, policy="round_robin", bs_t=bs_t, bs_n=bs_n,
+        seed=seed, passes=passes,
+    ).run(stream)
+    single_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sharded = simulate_cluster_sharded(
+        stream,
+        fleet,
+        scheduler,
+        policy="round_robin",
+        sharding=ShardingConfig(
+            num_shards=shards, window_s=window_s, jobs=jobs,
+            shard_policy="round_robin",
+        ),
+        bs_t=bs_t,
+        bs_n=bs_n,
+        seed=seed,
+        passes=passes,
+    )
+    sharded_s = time.perf_counter() - started
+
+    percentile_errs = {
+        key: (
+            abs(sharded.latency_percentiles_ms[key] - exact_ms)
+            / max(exact_ms, 1e-30)
+        )
+        for key, exact_ms in single.latency_percentiles_ms.items()
+    }
+    chips_match = all(
+        single.chips[name].requests_served == chip.requests_served
+        for name, chip in sharded.chips.items()
+    )
+    speedup = single_s / sharded_s if sharded_s > 0 else float("inf")
+    return {
+        "mix": weights,
+        "kind": kind,
+        "chips": chips,
+        "num_requests": num_requests,
+        "arrival_rate_rps": rate,
+        "sharding": {
+            "num_shards": shards,
+            "window_s": window_s,
+            "num_windows": len(sharded.windows),
+            "jobs": jobs,
+        },
+        "served": {"single": single.served, "sharded": sharded.served},
+        "conformance": {
+            "per_chip_assignment_identical": chips_match,
+            "percentile_rel_err": percentile_errs,
+            "mean_ms": {
+                "single": single.latency_mean_ms,
+                "sharded": sharded.latency_mean_ms,
+            },
+        },
+        "bench_metrics": {
+            "single_process_s": single_s,
+            "sharded_s": sharded_s,
+            "speedup": speedup,
+            "p99_rel_err": percentile_errs["p99"],
+        },
+    }
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -1288,6 +1600,75 @@ EXPERIMENTS: dict[str, Experiment] = _register((
         },
         smoke_params={"num_requests": 80, "policies": "round_robin+sparsity"},
         description="routing-policy comparison at a fixed heterogeneous fleet",
+    ),
+    Experiment(
+        "cluster_planet_scale", "Cluster", experiment_cluster_planet_scale,
+        cost="heavy",
+        params={
+            "mix": _MIX,
+            "chips": ParamSpec(int, 1000, "fleet size (chips)"),
+            "kind": ParamSpec(str, "standard", "chip kind of the homogeneous fleet"),
+            "shards": ParamSpec(int, 8, "independent shard engines"),
+            "window_ms": ParamSpec(
+                float, 0.0, "coordination window (ms); 0 = trace span / 32"
+            ),
+            "policy": ParamSpec(str, "least_work", "in-shard routing policy"),
+            "shard_policy": ParamSpec(
+                str, "least_backlog", "cross-shard routing: round_robin | least_backlog"
+            ),
+            "trace": ParamSpec(
+                str, "diurnal", "poisson | diurnal | flash_crowd | regional"
+            ),
+            "num_requests": ParamSpec(int, 4000, "requests in the trace"),
+            "rho_peak": ParamSpec(
+                float, 0.7, "offered load AT TRACE PEAK vs fleet capacity"
+            ),
+            "period_s": ParamSpec(
+                float, 0.0, "diurnal/regional period (s); 0 = one cycle per trace"
+            ),
+            "regions": ParamSpec(
+                str, "us:0.5@0.0+eu:0.3@0.33+apac:0.2@0.66",
+                "regional trace spec: name:weight@phase '+'-joined",
+            ),
+            "spike_factor": ParamSpec(float, 4.0, "flash-crowd rate multiplier"),
+            "slo_ms": ParamSpec(
+                float, 0.0, "latency SLO (ms); 0 = 20x mean single-request latency"
+            ),
+            "queue_capacity": ParamSpec(int, 0, "per-chip queue bound (0: unbounded)"),
+            "jobs": ParamSpec(int, 1, "shard worker processes (0 = one per core)"),
+            "seed": _SEED,
+            "max_batch": ParamSpec(int, 1, "same-model batching limit"),
+            "max_inflight": ParamSpec(int, 2, "concurrent inferences per chip"),
+            "bs_t": _BS_T, "bs_n": _BS_N,
+            "passes": _PASSES,
+        },
+        smoke_params={"chips": 64, "shards": 2, "num_requests": 240},
+        description="sharded planet-scale fleet under trace-driven load"
+        " with per-window SLO attainment",
+    ),
+    Experiment(
+        "cluster_sharding_bench", "Cluster", experiment_cluster_sharding_bench,
+        cost="heavy",
+        params={
+            "mix": _MIX,
+            "chips": ParamSpec(int, 1000, "fleet size (chips)"),
+            "kind": ParamSpec(str, "standard", "chip kind of the homogeneous fleet"),
+            "shards": ParamSpec(int, 8, "independent shard engines"),
+            "window_ms": ParamSpec(
+                float, 0.0, "coordination window (ms); 0 = trace span / 16"
+            ),
+            "num_requests": ParamSpec(int, 3000, "requests in the stream"),
+            "rho": ParamSpec(float, 0.7, "offered load vs fleet aggregate capacity"),
+            "jobs": ParamSpec(int, 1, "shard worker processes (0 = one per core)"),
+            "seed": _SEED,
+            "max_batch": ParamSpec(int, 1, "same-model batching limit"),
+            "max_inflight": ParamSpec(int, 2, "concurrent inferences per chip"),
+            "bs_t": _BS_T, "bs_n": _BS_N,
+            "passes": _PASSES,
+        },
+        smoke_params={"chips": 64, "shards": 2, "num_requests": 200},
+        description="sharded-vs-single-process fleet speedup + percentile"
+        " conformance (a BENCH trajectory deliverable)",
     ),
 ))
 

@@ -14,10 +14,12 @@ fresh run.
 
 from __future__ import annotations
 
+import importlib
+import itertools
 import os
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
@@ -27,7 +29,7 @@ from .artifacts import ArtifactStore, canonical_payload
 from .cache import CacheEntry, ResultCache, cache_key, config_hash
 from .sweep import expand_grid
 
-__all__ = ["ExperimentRunner", "RunOutcome", "RunSummary"]
+__all__ = ["ExperimentRunner", "RunOutcome", "RunSummary", "ShardPool"]
 
 
 @dataclass(frozen=True)
@@ -354,3 +356,122 @@ class ExperimentRunner:
             cache_key=request.key,
             artifact_path=artifact_path,
         )
+
+
+# ----------------------------------------------------------------------
+# Stateful actor pool (sharded cluster simulation)
+# ----------------------------------------------------------------------
+# Worker-process registry of live actors, keyed by (pool tag, actor id).
+# concurrent.futures gives no per-task worker pinning, so ShardPool runs
+# one single-worker executor per job slot: an actor's calls always land
+# in the same process, where its mutable state (a shard's engine, chips,
+# queues) persists across calls.
+_ACTOR_STATES: dict[tuple[str, int], object] = {}
+
+_POOL_TAGS = itertools.count()
+
+
+def _actor_call(
+    tag: str, factory: str, actor_id: int, init: object,
+    method: str, args: tuple,
+) -> object:
+    """Worker entry point: construct-on-first-use, then dispatch.
+
+    ``factory`` is a ``"module:callable"`` path resolved in the worker —
+    actors are never pickled, only their construction payload and the
+    per-call arguments are.
+    """
+    key = (tag, actor_id)
+    actor = _ACTOR_STATES.get(key)
+    if actor is None:
+        module_name, _, attr = factory.partition(":")
+        actor = getattr(importlib.import_module(module_name), attr)(init)
+        _ACTOR_STATES[key] = actor
+    return getattr(actor, method)(*args)
+
+
+class ShardPool:
+    """Affinity-preserving pool of stateful actors over worker processes.
+
+    The :class:`ExperimentRunner` pool above is stateless — any worker
+    may run any experiment.  Sharded cluster simulation needs the
+    opposite: each shard's simulator state must live in one process for
+    the whole run, with the coordinator calling into it window after
+    window.  ``ShardPool`` pins actor ``i`` to job slot ``i % jobs``
+    (one single-worker process each), so calls to the same actor are
+    ordered and state persists; distinct actors advance in parallel.
+
+    ``jobs=1`` runs actors inline in the calling process — deterministic
+    and debuggable, and the mode nested runs use (an experiment already
+    executing inside an ``ExperimentRunner`` worker defaults to inline
+    shards rather than nesting pools).
+    """
+
+    def __init__(self, jobs: int, factory: str):
+        jobs = int(jobs)
+        if jobs == 0:
+            jobs = os.cpu_count() or 1
+        elif jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        if ":" not in factory:
+            raise ValueError(
+                f"factory must be a 'module:callable' path, got {factory!r}"
+            )
+        self.jobs = jobs
+        self.factory = factory
+        self._tag = f"pool{next(_POOL_TAGS)}"
+        self._executors: list[ProcessPoolExecutor] = []
+        self._started: set[int] = set()
+        self._closed = False
+        if jobs > 1:
+            self._executors = [
+                ProcessPoolExecutor(max_workers=1) for _ in range(jobs)
+            ]
+
+    @property
+    def inline(self) -> bool:
+        return not self._executors
+
+    def submit(
+        self, actor_id: int, init: object, method: str, *args: object
+    ) -> Future:
+        """Call ``method(*args)`` on actor ``actor_id``; returns a Future.
+
+        ``init`` is the construction payload, used only on the actor's
+        first call in its process.  Inline pools resolve the future
+        immediately (exceptions are captured, matching pool semantics).
+        """
+        if self._closed:
+            raise RuntimeError("ShardPool is closed")
+        if self.inline:
+            future: Future = Future()
+            try:
+                future.set_result(_actor_call(
+                    self._tag, self.factory, actor_id, init, method, args
+                ))
+            except BaseException as error:  # noqa: BLE001 - future contract
+                future.set_exception(error)
+            self._started.add(actor_id)
+            return future
+        executor = self._executors[actor_id % self.jobs]
+        self._started.add(actor_id)
+        return executor.submit(
+            _actor_call, self._tag, self.factory, actor_id, init, method, args
+        )
+
+    def close(self) -> None:
+        """Tear down worker processes (and any actor state they hold)."""
+        if self._closed:
+            return
+        self._closed = True
+        for actor_id in self._started:
+            _ACTOR_STATES.pop((self._tag, actor_id), None)
+        for executor in self._executors:
+            executor.shutdown(wait=True)
+        self._executors = []
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

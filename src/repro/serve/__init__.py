@@ -20,10 +20,22 @@ from .profiles import RequestProfile, profile_config, request_profile
 from .report import LatencyStats, ServedRequest, ServingReport, latency_stats
 from .scheduler import SchedulerConfig, take_batch
 from .simulate import ChipServer, simulate_serving
-from .workload import Request, bursty_arrivals, parse_model_mix, poisson_arrivals
+from .sketch import LatencySketch
+from .workload import (
+    Request,
+    bursty_arrivals,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    parse_model_mix,
+    parse_regions,
+    poisson_arrivals,
+    regional_arrivals,
+    spawn_seeds,
+)
 
 __all__ = [
     "ChipServer",
+    "LatencySketch",
     "LatencyStats",
     "Request",
     "RequestProfile",
@@ -31,11 +43,16 @@ __all__ = [
     "ServedRequest",
     "ServingReport",
     "bursty_arrivals",
+    "diurnal_arrivals",
+    "flash_crowd_arrivals",
     "latency_stats",
     "parse_model_mix",
+    "parse_regions",
     "poisson_arrivals",
     "profile_config",
+    "regional_arrivals",
     "request_profile",
     "simulate_serving",
+    "spawn_seeds",
     "take_batch",
 ]

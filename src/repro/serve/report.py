@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..arch.engine.timeline import EngineRun
+from .sketch import LatencySketch
 
 __all__ = ["LatencyStats", "ServedRequest", "ServingReport", "latency_stats"]
 
@@ -30,8 +31,33 @@ class LatencyStats:
     percentiles_ms: dict[str, float]
 
 
-def latency_stats(latencies_s: "np.ndarray | list[float]") -> LatencyStats:
-    """Summarize a latency sample set; safe on empty and single samples."""
+def latency_stats(
+    latencies_s: "np.ndarray | list[float] | LatencySketch",
+) -> LatencyStats:
+    """Summarize a latency sample set; safe on empty and single samples.
+
+    Accepts either raw samples (exact percentiles) or a streaming
+    :class:`~repro.serve.sketch.LatencySketch` (bounded-error
+    percentiles, exact count/mean/max) — the seam the sharded cluster
+    simulation uses so fleet-scale runs never hold full latency lists.
+    """
+    if isinstance(latencies_s, LatencySketch):
+        sketch = latencies_s
+        if sketch.count == 0:
+            return LatencyStats(
+                count=0,
+                mean_ms=0.0,
+                max_ms=0.0,
+                percentiles_ms={f"p{p}": 0.0 for p in PERCENTILES},
+            )
+        return LatencyStats(
+            count=sketch.count,
+            mean_ms=sketch.mean_s * 1e3,
+            max_ms=sketch.max_s * 1e3,
+            percentiles_ms={
+                f"p{p}": sketch.percentile(p) * 1e3 for p in PERCENTILES
+            },
+        )
     samples = np.asarray(latencies_s, dtype=float)
     if samples.size == 0:
         return LatencyStats(

@@ -61,6 +61,7 @@ class ChipServer:
         queue_capacity: int | None = None,
         timeline: list[TimelineEntry] | None = None,
         on_complete: Callable[[list[Request]], None] | None = None,
+        recorder: "object | None" = None,
     ):
         if queue_capacity is not None and queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1 (or None: unbounded)")
@@ -73,12 +74,20 @@ class ChipServer:
         self.queue_capacity = queue_capacity
         self.timeline = timeline
         self.on_complete = on_complete
+        # A recorder replaces the per-request `served` list with streaming
+        # observation (``recorder.observe(request, start_s, finish_s,
+        # batch_size, chip)``) — how sharded fleet runs keep memory
+        # bounded.  The summary counters below are maintained either way.
+        self.recorder = recorder
 
         self.pending: deque[Request] = deque()
         self.work = engine.gate()
         self.inflight = 0
         self.dispatched = 0
         self.served: list[ServedRequest] = []
+        self.served_count = 0
+        self.batch_size_weighted = 0.0   # Σ batch² (per-request mean weighting)
+        self.last_finish_s = 0.0
         self.dynamic_energy_pj = 0.0
         self.outstanding_s = 0.0     # estimated queued + in-flight work
         self.accepting = True        # routing eligibility (autoscaler drain)
@@ -119,6 +128,14 @@ class ChipServer:
     @property
     def idle(self) -> bool:
         return not self.pending and self.inflight == 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Per-request mean batch size (each request weighted equally,
+        matching the ServedRequest-list definition)."""
+        if not self.served_count:
+            return 0.0
+        return self.batch_size_weighted / self.served_count
 
     def active_span_s(self, horizon_s: float) -> float:
         """Seconds this chip was powered: creation until the run's horizon,
@@ -169,16 +186,25 @@ class ChipServer:
             self.timeline,
         )
         finish = self.engine.now
+        size = len(batch)
+        self.served_count += size
+        self.batch_size_weighted += float(size) * size
+        self.last_finish_s = max(self.last_finish_s, finish)
         for request in batch:
-            self.served.append(ServedRequest(
-                index=request.index,
-                model=request.model,
-                arrival_s=request.arrival_s,
-                start_s=start,
-                finish_s=finish,
-                batch_size=len(batch),
-                chip=self.name or "",
-            ))
+            if self.recorder is None:
+                self.served.append(ServedRequest(
+                    index=request.index,
+                    model=request.model,
+                    arrival_s=request.arrival_s,
+                    start_s=start,
+                    finish_s=finish,
+                    batch_size=size,
+                    chip=self.name or "",
+                ))
+            else:
+                self.recorder.observe(
+                    request, start, finish, size, self.name or ""
+                )
             self.outstanding_s -= self.service_estimate_s(request.model)
         self.dynamic_energy_pj += profile.batch_dynamic_pj(len(batch))
         self.inflight -= 1

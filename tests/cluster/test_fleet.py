@@ -107,3 +107,40 @@ class TestCapacity:
         assert fleet_capacity_rps(only_m4, weights) == pytest.approx(
             fleet_capacity_rps(only_m4, {"model4": 1.0})
         )
+
+
+class TestCapacityMemoization:
+    def test_planet_scale_fleet_rates_at_one_chip_cost(self):
+        import time
+
+        weights = {"model4": 1.0}
+        reference = fleet_capacity_rps(homogeneous_fleet(1), weights)
+        started = time.perf_counter()
+        capacity = fleet_capacity_rps(homogeneous_fleet(10_000), weights)
+        elapsed = time.perf_counter() - started
+        assert capacity == pytest.approx(10_000 * reference)
+        # memoized per (kind, placement): the 10,000-chip sum is pure
+        # cache hits, far below one per-chip profile evaluation each
+        assert elapsed < 1.0
+
+    def test_register_chip_kind_invalidates_the_caches(self):
+        from repro.cluster import register_chip_kind
+        from repro.cluster.fleet import CHIP_KINDS
+
+        weights = {"model4": 1.0}
+        name = "test_memo_kind"
+        try:
+            register_chip_kind(name, {"sparse_units": 256})
+            before = fleet_capacity_rps(homogeneous_fleet(2, name), weights)
+            sparse_config = chip_config(name)
+            # re-register the same name with different silicon: cached
+            # configs and capacities must not leak through
+            register_chip_kind(name, {"dense_rows": 24, "sparse_units": 64})
+            after = fleet_capacity_rps(homogeneous_fleet(2, name), weights)
+            assert chip_config(name) != sparse_config
+            assert after != before
+        finally:
+            CHIP_KINDS.pop(name, None)
+            from repro.cluster.fleet import _invalidate_kind_caches
+
+            _invalidate_kind_caches()

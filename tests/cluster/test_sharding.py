@@ -1,0 +1,307 @@
+"""Sharded cluster simulation: conformance, windows, processes, scaling."""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    AdmissionConfig,
+    AutoscaleConfig,
+    ChipSpec,
+    FleetSpec,
+    ShardingConfig,
+    homogeneous_fleet,
+    partition_fleet,
+    simulate_cluster,
+    simulate_cluster_sharded,
+)
+from repro.serve import (
+    Request,
+    SchedulerConfig,
+    flash_crowd_arrivals,
+    poisson_arrivals,
+    request_profile,
+)
+
+MODEL = "model4"
+
+
+@pytest.fixture(scope="module")
+def capacity():
+    return 1.0 / request_profile(MODEL).single_latency_s
+
+
+def sharded(stream, fleet, scheduler=None, *, shards=2, window_s=0.05, **kw):
+    config = ShardingConfig(
+        num_shards=shards,
+        window_s=window_s,
+        jobs=kw.pop("jobs", 1),
+        shard_policy=kw.pop("shard_policy", "round_robin"),
+    )
+    return simulate_cluster_sharded(
+        stream, fleet, scheduler, sharding=config, **kw
+    )
+
+
+class TestPartition:
+    def test_interleaved_deal_keeps_global_indices(self):
+        fleet = homogeneous_fleet(8)
+        shards = partition_fleet(fleet, 3)
+        assert [[i for i, _ in shard] for shard in shards] == [
+            [0, 3, 6], [1, 4, 7], [2, 5],
+        ]
+
+    def test_one_shard_is_the_whole_fleet(self):
+        fleet = homogeneous_fleet(4)
+        (shard,) = partition_fleet(fleet, 1)
+        assert [i for i, _ in shard] == [0, 1, 2, 3]
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="at least one"):
+            partition_fleet(homogeneous_fleet(4), 0)
+        with pytest.raises(ValueError, match="cannot split"):
+            partition_fleet(homogeneous_fleet(2), 3)
+
+
+class TestShardingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shard"):
+            ShardingConfig(num_shards=0)
+        with pytest.raises(ValueError, match="window_s"):
+            ShardingConfig(window_s=0.0)
+        with pytest.raises(ValueError, match="jobs"):
+            ShardingConfig(jobs=-1)
+        with pytest.raises(ValueError, match="shard policy"):
+            ShardingConfig(shard_policy="nope")
+
+    def test_policy_instances_rejected(self):
+        from repro.cluster import RoundRobin
+
+        with pytest.raises(TypeError, match="name"):
+            simulate_cluster_sharded(
+                [], homogeneous_fleet(2), policy=RoundRobin()
+            )
+
+
+class TestConformance:
+    """Round-robin at both levels over an interleaved partition reproduces
+    the single-process global round-robin request for request."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_round_robin_exact_per_chip_assignment(self, capacity, shards):
+        fleet = homogeneous_fleet(8)
+        stream = poisson_arrivals(240, 4.0 * capacity, MODEL, seed=0)
+        scheduler = SchedulerConfig(max_inflight=2)
+        single = simulate_cluster(stream, fleet, scheduler, policy="round_robin")
+        report = sharded(
+            stream, fleet, scheduler, shards=shards, policy="round_robin"
+        )
+        assert report.served == single.served == 240
+        for name, chip in single.chips.items():
+            assert report.chips[name].requests_served == chip.requests_served
+        # identical sample sets → exact mean/max and horizon, sketch-bounded
+        # percentiles (the ≤1% acceptance bound)
+        assert report.latency_mean_ms == pytest.approx(
+            single.latency_mean_ms, rel=1e-9
+        )
+        assert report.latency_max_ms == pytest.approx(
+            single.latency_max_ms, rel=1e-9
+        )
+        assert report.horizon_s == pytest.approx(single.horizon_s, rel=1e-9)
+        assert report.dynamic_energy_mj == pytest.approx(
+            single.dynamic_energy_mj, rel=1e-9
+        )
+        for key, exact in single.latency_percentiles_ms.items():
+            assert report.latency_percentiles_ms[key] == pytest.approx(
+                exact, rel=0.01
+            )
+
+    def test_window_size_does_not_change_the_outcome(self, capacity):
+        fleet = homogeneous_fleet(4)
+        stream = poisson_arrivals(160, 3.0 * capacity, MODEL, seed=1)
+        coarse = sharded(stream, fleet, shards=2, window_s=0.5)
+        fine = sharded(stream, fleet, shards=2, window_s=0.002)
+        assert len(fine.windows) > len(coarse.windows)
+        assert fine.served == coarse.served
+        for name, chip in coarse.chips.items():
+            assert fine.chips[name].requests_served == chip.requests_served
+        assert fine.latency_mean_ms == pytest.approx(
+            coarse.latency_mean_ms, rel=1e-9
+        )
+        assert fine.latency_percentiles_ms == coarse.latency_percentiles_ms
+
+    def test_worker_processes_match_inline_exactly(self, capacity):
+        """jobs=2 (real process pool) is byte-identical to jobs=1 (inline)."""
+        fleet = homogeneous_fleet(4)
+        stream = poisson_arrivals(120, 3.0 * capacity, MODEL, seed=2)
+        inline = sharded(stream, fleet, shards=2, jobs=1)
+        pooled = sharded(stream, fleet, shards=2, jobs=2)
+        assert inline.to_dict() == pooled.to_dict()
+
+
+class TestShardRouting:
+    def test_least_backlog_spreads_and_serves_everything(self, capacity):
+        fleet = homogeneous_fleet(8)
+        stream = poisson_arrivals(240, 4.0 * capacity, MODEL, seed=3)
+        report = sharded(
+            stream, fleet, shards=4, shard_policy="least_backlog",
+            policy="least_work",
+        )
+        assert report.served == 240
+        assert report.shed == 0
+        served = [c.requests_served for c in report.chips.values()]
+        assert all(count > 0 for count in served)
+
+    def test_placement_restriction_respected_across_shards(self):
+        # model4 lives only on chips 1 and 3 → shard 1 (of 2); every
+        # request must land there, none on shard 0's chips
+        fleet = FleetSpec((
+            ChipSpec(models=("model1",)),
+            ChipSpec(models=("model1", "model4")),
+            ChipSpec(models=("model1",)),
+            ChipSpec(models=("model4",)),
+        ))
+        stream = [
+            Request(index=i, model=MODEL, arrival_s=i * 1e-3)
+            for i in range(12)
+        ]
+        report = sharded(stream, fleet, shards=2)
+        assert report.shed == 0
+        assert report.chips["chip0"].requests_served == 0
+        assert report.chips["chip2"].requests_served == 0
+        assert (
+            report.chips["chip1"].requests_served
+            + report.chips["chip3"].requests_served
+        ) == 12
+
+    def test_unplaceable_workload_rejected(self):
+        fleet = FleetSpec((ChipSpec(models=("model1",)),))
+        stream = [Request(index=0, model=MODEL, arrival_s=0.0)]
+        with pytest.raises(ValueError, match="not placed"):
+            simulate_cluster_sharded(stream, fleet)
+
+
+class TestAdmission:
+    def test_shedding_accounting_closes(self, capacity):
+        stream = poisson_arrivals(200, 6.0 * capacity, MODEL, seed=0)
+        report = sharded(
+            stream,
+            homogeneous_fleet(2),
+            SchedulerConfig(max_inflight=1),
+            shards=2,
+            admission=AdmissionConfig(queue_capacity=2),
+        )
+        assert report.shed > 0
+        assert report.served + report.shed == report.num_requests == 200
+        assert report.shed_by_model == {MODEL: report.shed}
+        assert sum(w.shed for w in report.windows) == report.shed
+        json.dumps(report.to_dict(), allow_nan=False)
+
+
+class TestWindowsAndSlo:
+    def test_window_series_accounts_for_every_request(self, capacity):
+        stream = poisson_arrivals(150, 3.0 * capacity, MODEL, seed=4)
+        report = sharded(stream, homogeneous_fleet(4), shards=2, slo_ms=5.0)
+        assert sum(w.arrivals for w in report.windows) == 150
+        assert sum(w.served for w in report.windows) == report.served
+        assert report.windows[-1].backlog == 0
+        assert report.num_shards == 2
+        assert report.slo is not None
+        assert 0.0 <= report.slo["attainment"] <= 1.0
+        assert report.slo["violations"] == round(
+            (1.0 - report.slo["attainment"]) * report.served
+        )
+        payload = json.loads(json.dumps(report.to_dict(), allow_nan=False))
+        assert payload["sharding"]["num_shards"] == 2
+        assert len(payload["sharding"]["windows"]) == len(report.windows)
+
+    def test_slo_attainment_degrades_under_overload(self, capacity):
+        scheduler = SchedulerConfig(max_inflight=1)
+        lean = poisson_arrivals(100, 0.5 * capacity, MODEL, seed=5)
+        slammed = poisson_arrivals(100, 8.0 * capacity, MODEL, seed=5)
+        slo = 2 * request_profile(MODEL).single_latency_s * 1e3
+        easy = sharded(
+            lean, homogeneous_fleet(2), scheduler, shards=2, slo_ms=slo
+        )
+        hard = sharded(
+            slammed, homogeneous_fleet(2), scheduler, shards=2, slo_ms=slo
+        )
+        assert easy.slo["attainment"] > hard.slo["attainment"]
+
+    def test_empty_stream(self):
+        report = sharded([], homogeneous_fleet(2))
+        assert report.num_requests == 0
+        assert report.throughput_rps == 0.0
+        json.dumps(report.to_dict(), allow_nan=False)
+
+
+class TestWindowedAutoscale:
+    def test_flash_crowd_triggers_add_then_drain(self, capacity):
+        # early spike, long base-rate tail: pressure spikes (replicas are
+        # added) then collapses (the extras drain back out)
+        stream = flash_crowd_arrivals(
+            800, 0.4 * capacity, MODEL, seed=0,
+            spike_at_s=0.02, spike_duration_s=0.03, spike_factor=8.0,
+        )
+        mean_latency = request_profile(MODEL).single_latency_s
+        report = sharded(
+            stream,
+            homogeneous_fleet(2),
+            SchedulerConfig(max_inflight=2),
+            shards=2,
+            window_s=0.02,
+            autoscale=AutoscaleConfig(
+                interval_s=20 * mean_latency,
+                high_pressure=0.5,
+                low_pressure=0.05,
+                max_chips=6,
+            ),
+        )
+        actions = [event.action for event in report.scaling_events]
+        assert "add" in actions
+        assert "drain" in actions
+        assert report.served + report.shed == 800
+        # added replicas exist in the per-chip table with a start time
+        added = [
+            name for name, chip in report.chips.items() if chip.added_s > 0
+        ]
+        assert added
+        json.dumps(report.to_dict(), allow_nan=False)
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self, capacity):
+        stream = poisson_arrivals(120, 3.0 * capacity, MODEL, seed=6)
+        fleet = homogeneous_fleet(4)
+        a = sharded(stream, fleet, shards=2, shard_policy="least_backlog")
+        b = sharded(stream, fleet, shards=2, shard_policy="least_backlog")
+        assert a.to_dict() == b.to_dict()
+
+
+class TestExperiments:
+    def test_planet_scale_smoke(self):
+        from repro.harness import run_experiment
+
+        result = run_experiment(
+            "cluster_planet_scale",
+            chips=16, shards=2, num_requests=60, trace="regional",
+        )
+        assert result["served"] + result["shed"] == 60
+        assert result["slo"] is not None
+        assert result["fleet_by_kind"]["standard"]["chips"] == 16
+        assert sum(w["arrivals"] for w in result["windows"]) == 60
+        json.dumps(result, allow_nan=False)
+
+    def test_sharding_bench_smoke(self):
+        from repro.harness import run_experiment
+
+        result = run_experiment(
+            "cluster_sharding_bench", chips=8, shards=2, num_requests=80,
+        )
+        metrics = result["bench_metrics"]
+        assert set(metrics) >= {
+            "single_process_s", "sharded_s", "speedup", "p99_rel_err",
+        }
+        assert result["conformance"]["per_chip_assignment_identical"]
+        assert metrics["p99_rel_err"] < 0.01
+        json.dumps(result, allow_nan=False)

@@ -1,0 +1,168 @@
+"""Trace-driven workloads: diurnal / flash-crowd / regional generators."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    parse_regions,
+    regional_arrivals,
+    spawn_seeds,
+)
+
+
+def windowed_rates(requests, num_windows):
+    times = np.array([r.arrival_s for r in requests])
+    span = times[-1]
+    edges = np.linspace(0.0, span, num_windows + 1)
+    counts, _ = np.histogram(times, bins=edges)
+    return counts / np.diff(edges)
+
+
+class TestSpawnSeeds:
+    def test_children_are_independent_of_sibling_count(self):
+        # child i is a pure function of (seed, i): asking for more
+        # children never perturbs the earlier ones
+        few = spawn_seeds(7, 2)
+        many = spawn_seeds(7, 5)
+        for a, b in zip(few, many):
+            assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            spawn_seeds(0, 0)
+
+
+class TestDiurnal:
+    def test_deterministic(self):
+        a = diurnal_arrivals(200, 100.0, seed=3)
+        b = diurnal_arrivals(200, 100.0, seed=3)
+        assert a == b
+
+    def test_sorted_and_indexed(self):
+        requests = diurnal_arrivals(100, 50.0, seed=0)
+        assert [r.index for r in requests] == list(range(100))
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_peak_vs_trough_rate_ratio(self):
+        # one full period; default trough_fraction 0.25 → peak/trough ≈ 4
+        requests = diurnal_arrivals(
+            40_000, 1000.0, seed=0, period_s=40.0, trough_fraction=0.25
+        )
+        rates = windowed_rates(requests, 8)
+        # trough windows sit at the period edges, the peak mid-period
+        trough = min(rates[0], rates[-1])
+        peak = rates.max()
+        assert peak / trough > 2.5
+        assert peak == pytest.approx(1000.0, rel=0.25)
+
+    def test_phase_shifts_the_trough(self):
+        base = diurnal_arrivals(
+            20_000, 1000.0, seed=0, period_s=40.0, phase_s=0.0
+        )
+        shifted = diurnal_arrivals(
+            20_000, 1000.0, seed=0, period_s=40.0, phase_s=20.0
+        )
+        # opposite phase: the shifted trace peaks where the base troughs
+        assert windowed_rates(base, 8)[0] < windowed_rates(shifted, 8)[0] / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(0, 10.0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(10, 10.0, period_s=0.0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(10, 10.0, trough_fraction=0.0)
+
+
+class TestFlashCrowd:
+    def test_spike_window_is_hotter(self):
+        requests = flash_crowd_arrivals(
+            30_000, 200.0, seed=0,
+            spike_at_s=20.0, spike_duration_s=10.0, spike_factor=8.0,
+        )
+        times = np.array([r.arrival_s for r in requests])
+        in_spike = ((times >= 20.0) & (times < 30.0)).sum() / 10.0
+        before = (times < 20.0).sum() / 20.0
+        assert in_spike / before == pytest.approx(8.0, rel=0.2)
+
+    def test_deterministic(self):
+        a = flash_crowd_arrivals(100, 50.0, seed=9)
+        b = flash_crowd_arrivals(100, 50.0, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="spike_factor"):
+            flash_crowd_arrivals(10, 10.0, spike_factor=0.5)
+        with pytest.raises(ValueError, match="spike window"):
+            flash_crowd_arrivals(10, 10.0, spike_duration_s=0.0)
+
+
+class TestParseRegions:
+    def test_full_spec(self):
+        parsed = parse_regions("us:0.5@0.0+eu:0.3@0.33+apac:0.2@0.66")
+        assert [name for name, _, _ in parsed] == ["us", "eu", "apac"]
+        assert sum(w for _, w, _ in parsed) == pytest.approx(1.0)
+        assert parsed[1][2] == pytest.approx(0.33)
+
+    def test_defaults_and_normalization(self):
+        parsed = parse_regions("us+eu")
+        assert parsed == [("us", 0.5, 0.0), ("eu", 0.5, 0.0)]
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="empty region spec"):
+            parse_regions("+")
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_regions("us+us")
+        with pytest.raises(ValueError, match="weight"):
+            parse_regions("us:0")
+        with pytest.raises(ValueError, match="phase"):
+            parse_regions("us:1@1.5")
+
+
+class TestRegional:
+    def test_weights_apportion_requests(self):
+        requests = regional_arrivals(
+            1000, 500.0, "us:0.5@0.0+eu:0.3@0.33+apac:0.2@0.66", seed=0
+        )
+        by_region = {
+            name: sum(r.region == name for r in requests)
+            for name in ("us", "eu", "apac")
+        }
+        assert by_region == {"us": 500, "eu": 300, "apac": 200}
+        assert [r.index for r in requests] == list(range(1000))
+
+    def test_region_subtrace_independent_of_other_regions(self):
+        """The determinism satellite: a region's trace depends only on its
+        own position/parameters, never on sibling regions."""
+        both = regional_arrivals(
+            1000, 500.0, "us:0.5@0.0+eu:0.5@0.5", seed=11, period_s=40.0
+        )
+        alone = regional_arrivals(
+            500, 250.0, "us:1.0@0.0", seed=11, period_s=40.0
+        )
+        us_from_both = [
+            (r.model, r.arrival_s) for r in both if r.region == "us"
+        ]
+        us_alone = [(r.model, r.arrival_s) for r in alone]
+        assert us_from_both == us_alone
+
+    def test_first_region_matches_diurnal_on_spawned_child(self):
+        # region 0 IS a diurnal trace drawn from child 0 of the seed
+        regional = regional_arrivals(
+            300, 100.0, "us:1.0@0.0", seed=5, period_s=40.0
+        )
+        child = spawn_seeds(5, 1)[0]
+        direct = diurnal_arrivals(
+            300, 100.0, seed=child, period_s=40.0, region="us"
+        )
+        assert [(r.model, r.arrival_s) for r in regional] == [
+            (r.model, r.arrival_s) for r in direct
+        ]
+
+    def test_deterministic(self):
+        a = regional_arrivals(200, 100.0, seed=2)
+        b = regional_arrivals(200, 100.0, seed=2)
+        assert a == b

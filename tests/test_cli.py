@@ -363,6 +363,35 @@ class TestCluster:
         assert main(argv) == 2
         assert "unknown routing policy" in capsys.readouterr().err
 
+    def test_cluster_sharded_trace_run(self, tmp_path, capsys):
+        target = tmp_path / "planet.json"
+        argv = ["cluster", "--fleet", "standard:8", "--requests", "60",
+                "--rho", "0.5", "--arrival", "diurnal", "--shards", "2",
+                "--shard-policy", "least_backlog", "--slo-ms", "2.0",
+                "--seed", "1", "--output", str(target)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sharded: 2 shards" in out
+        assert "slo 2.000 ms" in out
+        payload = json.loads(target.read_text())
+        assert payload["served"] + payload["shed"] == 60
+        assert payload["sharding"]["num_shards"] == 2
+        assert payload["slo"]["slo_ms"] == 2.0
+
+    def test_cluster_large_fleet_elides_per_chip_rows(self, capsys):
+        argv = ["cluster", "--fleet", "standard:20", "--requests", "30",
+                "--rho", "0.5", "--shards", "4", "--window-ms", "0.1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "per-chip rows elided" in out
+        assert "chip0 " not in out
+
+    def test_cluster_rejects_bad_shard_count(self, capsys):
+        argv = ["cluster", "--fleet", "standard:2", "--requests", "5",
+                "--shards", "4"]
+        assert main(argv) == 2
+        assert "cannot split" in capsys.readouterr().err
+
 
 class TestCacheCommands:
     def seed_cache(self, tmp_path, ids="table2,fig17"):
