@@ -30,6 +30,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Generator
 
+from ... import obs
+
 __all__ = [
     "Acquire",
     "Command",
@@ -226,17 +228,18 @@ class Engine:
         earlier, never backwards) whether events remain or the heap drains
         first — the invariant incremental window-stepped draining relies on.
         """
-        while self._heap:
-            time, _, fn = self._heap[0]
-            if until is not None and time > until:
+        with obs.span("engine.run", cat="engine"):
+            while self._heap:
+                time, _, fn = self._heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(self._heap)
+                self.now = time
+                fn()
+            if until is not None and until > self.now:
                 self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            self.now = time
-            fn()
-        if until is not None and until > self.now:
-            self.now = until
-        return self.now
+            return self.now
 
     # -- process stepping --------------------------------------------------
     def _resume(self, process: Process, value: object = None) -> None:

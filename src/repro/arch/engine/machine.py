@@ -319,26 +319,34 @@ def simulate_inference(
     """
     energy = energy or EnergyModel()
     timings = layer_timings(report, config, energy)
+    from ... import obs
     from .fastpath import engine_mode, schedule_for
 
-    if engine_mode() == "fast":
-        schedule = schedule_for(timings)
-        run = schedule.serial_run(
-            batch=1, label=report.model_name, record_timeline=record_timeline
+    mode = engine_mode()
+    obs.inc(f"engine.dispatch.{mode}")
+    with obs.span(
+        "engine.simulate", cat="engine", model=report.model_name, mode=mode
+    ):
+        if mode == "fast":
+            schedule = schedule_for(timings)
+            run = schedule.serial_run(
+                batch=1, label=report.model_name, record_timeline=record_timeline
+            )
+            run.energy_pj = schedule.dynamic_pj + energy.static_pj(run.makespan_s)
+            return run
+        engine = Engine()
+        machine = BishopMachine(engine)
+        timeline: list[TimelineEntry] | None = [] if record_timeline else None
+        engine.spawn(
+            inference_process(
+                engine, machine, timings, report.model_name, 1, timeline
+            ),
+            name=report.model_name,
         )
-        run.energy_pj = schedule.dynamic_pj + energy.static_pj(run.makespan_s)
-        return run
-    engine = Engine()
-    machine = BishopMachine(engine)
-    timeline: list[TimelineEntry] | None = [] if record_timeline else None
-    engine.spawn(
-        inference_process(engine, machine, timings, report.model_name, 1, timeline),
-        name=report.model_name,
-    )
-    engine.run()
-    dynamic_pj = sum(timing.dynamic_pj for timing in timings)
-    return EngineRun.capture(
-        engine,
-        energy_pj=dynamic_pj + energy.static_pj(engine.now),
-        timeline=timeline,
-    )
+        engine.run()
+        dynamic_pj = sum(timing.dynamic_pj for timing in timings)
+        return EngineRun.capture(
+            engine,
+            energy_pj=dynamic_pj + energy.static_pj(engine.now),
+            timeline=timeline,
+        )

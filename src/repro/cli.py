@@ -52,7 +52,17 @@ dse <model> [--strategy S] [--budget N] [--objectives SPEC] [--seed N]
 cache ls|gc
     Inspect or garbage-collect the runtime's content-addressed result
     cache (``artifacts/cache``); ``gc --keep-latest N`` bounds long
-    sweep campaigns.
+    sweep campaigns.  ``ls --stats`` adds a per-store summary line
+    (entry counts and bytes for the result and program caches).
+trace <experiment-id> [--param k=v ...] [--smoke] [--output FILE]
+    Run one experiment with telemetry on and write a Chrome trace-event
+    JSON (wall-clock spans plus simulated-time tracks) loadable at
+    https://ui.perfetto.dev.  ``run``/``run-all``/``cluster``/``dse``
+    accept ``--trace`` to do the same alongside their normal output.
+metrics <experiment-id> | --manifest FILE
+    Dump the metrics registry (counters, gauges, sketch-backed
+    histograms): either run one experiment with metrics on, or read the
+    ``metrics`` block a ``run-all --trace`` recorded in its manifest.
 zoo
     Print the Table-2 model zoo.
 
@@ -60,6 +70,9 @@ Reproducibility: ``run``/``sweep``/``cluster`` accept ``--seed N``,
 threaded end-to-end into workload generation and synthetic traces (for
 registry experiments it sets the ``seed`` parameter unless one is given
 explicitly via ``--param``).
+
+Observability: see docs/OBSERVABILITY.md for the span/metric naming
+convention and the ``repro.obs`` API the instrumented layers use.
 """
 
 from __future__ import annotations
@@ -70,6 +83,7 @@ import sys
 import time
 from pathlib import Path
 
+from . import obs
 from .harness import EXPERIMENTS, get_experiment
 from .model import MODEL_ZOO
 from .runtime import (
@@ -77,7 +91,9 @@ from .runtime import (
     ResultCache,
     RunSummary,
     canonical_json,
+    format_provenance,
     parse_param_specs,
+    provenance,
 )
 
 __all__ = ["main", "build_parser"]
@@ -105,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--output", type=Path, default=None, help="write JSON here instead of stdout"
     )
+    run.add_argument(
+        "--trace", action="store_true",
+        help="run with telemetry on and write TRACE_<experiment>.json",
+    )
 
     run_all = sub.add_parser(
         "run-all", help="run every experiment via the parallel cached runtime"
@@ -127,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.add_argument(
         "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR",
         help="artifact/cache root (default: ./artifacts)",
+    )
+    run_all.add_argument(
+        "--trace", action="store_true",
+        help="run with telemetry on: write trace.json under the artifact"
+        " root and record the metrics registry in the manifest",
     )
 
     sweep = sub.add_parser("sweep", help="parameter sweep of one experiment")
@@ -307,6 +332,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None, metavar="FILE",
         help="also write the full cluster report JSON here",
     )
+    cluster.add_argument(
+        "--trace", action="store_true",
+        help="run with telemetry on and write TRACE_cluster.json"
+        " (wall-clock spans plus simulated-time window tracks)",
+    )
 
     dse = sub.add_parser(
         "dse", help="Pareto search over Bishop chip configurations"
@@ -354,6 +384,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None, metavar="FILE",
         help="write the full frontier report JSON here",
     )
+    dse.add_argument(
+        "--trace", action="store_true",
+        help="run with telemetry on and write TRACE_dse_<model>.json",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect / garbage-collect the result cache"
@@ -364,6 +398,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR",
         help="artifact root holding the cache (default: ./artifacts)",
     )
+    cache_ls.add_argument(
+        "--stats", action="store_true",
+        help="append a per-store summary line (result vs program cache)",
+    )
     cache_gc = cache_sub.add_parser(
         "gc", help="delete all but the most recent entries"
     )
@@ -373,6 +411,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_gc.add_argument(
         "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR"
+    )
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment with tracing on; write Perfetto JSON"
+    )
+    trace.add_argument("experiment", help="experiment id (see `repro list`)")
+    trace.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        help="override one experiment parameter (repeatable)",
+    )
+    trace.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="set the experiment's seed parameter (reproducible workloads)",
+    )
+    trace.add_argument(
+        "--smoke", action="store_true",
+        help="start from the experiment's cheap smoke params (CI)",
+    )
+    trace.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="trace path (default: ./TRACE_<experiment>.json)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="dump the metrics registry from a run or a manifest"
+    )
+    metrics.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment id to run with metrics on (see `repro list`)",
+    )
+    metrics.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        help="override one experiment parameter (repeatable)",
+    )
+    metrics.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="set the experiment's seed parameter (reproducible workloads)",
+    )
+    metrics.add_argument(
+        "--smoke", action="store_true",
+        help="start from the experiment's cheap smoke params (CI)",
+    )
+    metrics.add_argument(
+        "--manifest", type=Path, default=None, metavar="FILE",
+        help="read the metrics block out of a `run-all --trace` manifest"
+        " instead of running an experiment",
+    )
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="print the raw registry snapshot as JSON",
     )
 
     sub.add_parser("zoo", help="print the Table-2 model zoo")
@@ -458,6 +546,85 @@ def _print_summary(summary: RunSummary) -> None:
         print(f"manifest: {summary.manifest_path}")
 
 
+def _write_trace(path: Path, extra_events: list | None = None) -> None:
+    """Serialize the global tracer to ``path`` and print a summary line."""
+    payload = obs.tracer.write(path, extra_events)
+    spans = sum(1 for e in payload["traceEvents"] if e.get("ph") == "X")
+    print(f"trace: {path} ({spans} spans; open at https://ui.perfetto.dev)")
+
+
+def _traced_params(args) -> dict:
+    """Params for `trace`/`metrics`: the experiment's smoke params (when
+    ``--smoke``) under any explicit ``--param``/``--seed`` overrides."""
+    params = _parse_single_params(args.experiment, args.param, args.seed)
+    if args.smoke:
+        params = {**get_experiment(args.experiment).smoke_params, **params}
+    return params
+
+
+def _run_traced_experiment(args):
+    """Run one experiment uncached with telemetry on.
+
+    Returns the outcome, or ``None`` (error already printed).  Bypassing
+    the result cache matters: a cache hit would execute nothing and
+    record an empty trace.
+    """
+    params = _traced_params(args)
+    obs.enable()
+    outcome = ExperimentRunner(artifacts_root=None).run(args.experiment, params)
+    if not outcome.ok:
+        print(outcome.error, file=sys.stderr)
+        return None
+    return outcome
+
+
+def _run_trace(args) -> int:
+    """The `repro trace` body: one traced run, one Perfetto JSON out."""
+    outcome = _run_traced_experiment(args)
+    if outcome is None:
+        return 1
+    output = args.output or Path(f"TRACE_{args.experiment}.json")
+    _write_trace(output, obs.result_events(outcome.result))
+    return 0
+
+
+def _run_metrics(args) -> int:
+    """The `repro metrics` body: dump a registry snapshot, live or saved."""
+    if args.manifest is not None:
+        try:
+            payload = json.loads(args.manifest.read_text())
+        except FileNotFoundError:
+            print(f"--manifest: {args.manifest} not found", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as error:
+            print(f"--manifest: {args.manifest}: {error}", file=sys.stderr)
+            return 2
+        snapshot = payload.get("metrics") if isinstance(payload, dict) else None
+        if not snapshot:
+            print(
+                f"{args.manifest}: no metrics block (record one with"
+                " `repro run-all --trace`)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        if args.experiment is None:
+            print(
+                "metrics: give an experiment id or --manifest FILE",
+                file=sys.stderr,
+            )
+            return 2
+        if _run_traced_experiment(args) is None:
+            return 1
+        snapshot = obs.registry.to_dict()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True, default=float))
+    else:
+        for line in obs.format_metrics(snapshot):
+            print(line)
+    return 0
+
+
 def _run_cluster(args) -> int:
     """The `repro cluster` body: build the fleet, serve the stream, print."""
     # Imported lazily: the cluster layer pulls the whole simulator stack,
@@ -477,6 +644,8 @@ def _run_cluster(args) -> int:
         poisson_arrivals,
     )
 
+    if args.trace:
+        obs.enable()
     if args.kinds_file is not None:
         from .cluster import load_chip_kinds
 
@@ -613,6 +782,10 @@ def _run_cluster(args) -> int:
     if args.output is not None:
         args.output.write_text(canonical_json(report.to_dict()))
         print(f"wrote {args.output}")
+    if args.trace:
+        _write_trace(
+            Path("TRACE_cluster.json"), obs.result_events(report.to_dict())
+        )
     return 0
 
 
@@ -726,6 +899,8 @@ def _run_dse(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.trace:
+        obs.enable()
     objectives = parse_objectives(args.objectives)
     config = DSEConfig(
         model=args.model,
@@ -763,6 +938,8 @@ def _run_dse(args) -> int:
     if args.output is not None:
         args.output.write_text(canonical_json(report))
         print(f"wrote {args.output}")
+    if args.trace:
+        _write_trace(Path(f"TRACE_dse_{args.model}.json"))
     return 0
 
 
@@ -803,6 +980,8 @@ def _print_bench_compare(
         f"vs {old_path} (generated {old_payload.get('generated_at', '?')},"
         f" code {str(old_payload.get('code_hash', '?'))[:12]})"
     )
+    print(f"  old: {format_provenance(old_payload.get('provenance'))}")
+    print(f"  new: {format_provenance(payload.get('provenance'))}")
     shared = sorted(name for name in new_experiments if name in old_experiments)
     failed: list[tuple[str, str, str]] = []
     timed: list[tuple[str, float, float]] = []
@@ -878,6 +1057,15 @@ def _run_cache(args) -> int:
                 f"programs: {program_entries} entries,"
                 f" {program_bytes} bytes ({programs.root})"
             )
+        if args.stats:
+            result_stats = cache.stats()
+            print(
+                "stats: "
+                f"{result_stats.entries + program_entries} entries,"
+                f" {result_stats.total_bytes + program_bytes} bytes"
+                f" | result {result_stats.entries} / {result_stats.total_bytes}B"
+                f" | program {program_entries} / {program_bytes}B"
+            )
         return 0
     if args.keep_latest < 0:
         print("--keep-latest must be >= 0", file=sys.stderr)
@@ -898,6 +1086,15 @@ def _run_cache(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    # Honour REPRO_TRACE/REPRO_METRICS from the environment for every
+    # command (the same contract as REPRO_ENGINE: strict values, an
+    # unrecognized spelling is exit 2, never a silent fall-through).
+    try:
+        obs.enable_from_env()
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
 
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
@@ -928,6 +1125,8 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as error:
             print(error, file=sys.stderr)
             return 2
+        if args.trace:
+            obs.enable()
         outcome = ExperimentRunner(artifacts_root=None).run(args.experiment, params)
         if not outcome.ok:
             print(outcome.error, file=sys.stderr)
@@ -938,10 +1137,24 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.output}")
         else:
             print(text)
+        if args.trace:
+            _write_trace(
+                Path(f"TRACE_{args.experiment}.json"),
+                obs.result_events(outcome.result),
+            )
         return 0
 
     if args.command == "run-all":
-        code, _ = _run_registry(args, force=args.force)
+        if args.trace:
+            obs.enable()
+        code, summary = _run_registry(args, force=args.force)
+        if args.trace and summary is not None:
+            root = (
+                Path(summary.manifest_path).parent
+                if summary.manifest_path
+                else Path(args.artifacts)
+            )
+            _write_trace(root / "trace.json")
         return code
 
     if args.command == "bench":
@@ -958,6 +1171,7 @@ def main(argv: list[str] | None = None) -> int:
             return code
         payload = {
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "provenance": provenance(),
             "smoke": args.smoke,
             "jobs": summary.jobs,
             "code_hash": summary.code_hash,
@@ -1047,6 +1261,17 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "cache":
         return _run_cache(args)
+
+    if args.command in ("trace", "metrics"):
+        handler = _run_trace if args.command == "trace" else _run_metrics
+        try:
+            return handler(args)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
 
     if args.command == "sweep":
         try:

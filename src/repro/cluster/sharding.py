@@ -39,8 +39,10 @@ scheduling and, for the trace itself, of the shard count.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
+from .. import obs
 from ..arch.engine.kernel import Engine, Hold
 from ..arch.engine.machine import BishopMachine
 from ..arch.energy import EnergyModel
@@ -178,6 +180,7 @@ class WindowDigest:
     latency: LatencySketch
     wait: LatencySketch
     applied: tuple[tuple[str, str | None], ...] = ()   # command acks
+    wall_s: float = 0.0           # worker wall time spent in this step
 
     @property
     def busy(self) -> bool:
@@ -332,17 +335,22 @@ class ShardState:
         Commands (autoscaler add/drain decisions from the coordinator)
         apply at the window start, before any of the window's arrivals.
         """
+        wall_start = time.perf_counter()
         applied = tuple(self._apply(command) for command in commands)
         self._window_latencies = []
         self._window_waits = []
         self._window_served = 0
         self._window_shed = 0
-        if requests:
-            self.engine.spawn(
-                self._feed(tuple(requests)),
-                name=f"shard{self.init.shard}:feed",
-            )
-        self.engine.run(until=until)
+        with obs.span(
+            "cluster.shard.step", cat="cluster",
+            shard=self.init.shard, arrivals=len(requests),
+        ):
+            if requests:
+                self.engine.spawn(
+                    self._feed(tuple(requests)),
+                    name=f"shard{self.init.shard}:feed",
+                )
+            self.engine.run(until=until)
         latency = LatencySketch()
         latency.add_many(self._window_latencies)
         wait = LatencySketch()
@@ -368,6 +376,7 @@ class ShardState:
             latency=latency,
             wait=wait,
             applied=applied,
+            wall_s=time.perf_counter() - wall_start,
         )
 
     def finalize(self) -> ShardFinal:
@@ -576,6 +585,13 @@ def simulate_cluster_sharded(
     pool = ShardPool(
         min(jobs, num_shards), "repro.cluster.sharding:make_shard_state"
     )
+    # Entered manually: the span brackets the whole windowed run without
+    # re-indenting the coordinator loop; closed in the finally below.
+    run_span = obs.span(
+        "cluster.sharded", cat="cluster",
+        shards=num_shards, chips=len(fleet), requests=len(stream),
+    )
+    run_span.__enter__()
     try:
         position = 0
         window = 0
@@ -606,43 +622,51 @@ def simulate_cluster_sharded(
             step_shards = sorted(
                 busy | set(per_shard) | set(pending_commands)
             )
-            futures = {
-                shard: pool.submit(
-                    shard,
-                    inits[shard],
-                    "step",
-                    tuple(per_shard.get(shard, ())),
-                    until,
-                    tuple(pending_commands.get(shard, ())),
-                )
-                for shard in step_shards
-            }
-            pending_commands = {}
-            window_served = 0
-            window_shed = 0
-            progressed = False
-            for shard in step_shards:
-                digest = futures[shard].result()
-                digests[shard] = digest
-                total_latency.update(digest.latency)
-                total_wait.update(digest.wait)
-                window_served += digest.window_served
-                window_shed += digest.window_shed
-                hosted[shard] = set(digest.hosted_models)
-                accepting[shard] = digest.accepting_chips
-                if digest.window_served or digest.window_shed:
-                    progressed = True
-                for action, chip_name in digest.applied:
-                    if chip_name is not None:
-                        scaling_events.append(ScalingEvent(
-                            t_s=start_s,
-                            action=action,
-                            chip=chip_name,
-                            pressure=_pressure(
-                                digests, accepting, sharding.window_s
-                            ),
-                            accepting_chips=sum(accepting),
-                        ))
+            window_span = obs.span(
+                "cluster.window", cat="cluster",
+                window=window, shards=len(step_shards), arrivals=len(batch),
+            )
+            with window_span:
+                futures = {
+                    shard: pool.submit(
+                        shard,
+                        inits[shard],
+                        "step",
+                        tuple(per_shard.get(shard, ())),
+                        until,
+                        tuple(pending_commands.get(shard, ())),
+                    )
+                    for shard in step_shards
+                }
+                pending_commands = {}
+                window_served = 0
+                window_shed = 0
+                progressed = False
+                for shard in step_shards:
+                    digest = futures[shard].result()
+                    digests[shard] = digest
+                    # Per-worker window wall time, merged coordinator-side
+                    # (workers on a process pool can't share the registry).
+                    obs.observe("cluster.shard_window_s", digest.wall_s)
+                    total_latency.update(digest.latency)
+                    total_wait.update(digest.wait)
+                    window_served += digest.window_served
+                    window_shed += digest.window_shed
+                    hosted[shard] = set(digest.hosted_models)
+                    accepting[shard] = digest.accepting_chips
+                    if digest.window_served or digest.window_shed:
+                        progressed = True
+                    for action, chip_name in digest.applied:
+                        if chip_name is not None:
+                            scaling_events.append(ScalingEvent(
+                                t_s=start_s,
+                                action=action,
+                                chip=chip_name,
+                                pressure=_pressure(
+                                    digests, accepting, sharding.window_s
+                                ),
+                                accepting_chips=sum(accepting),
+                            ))
             window_shed += len(unroutable)
             backlog = sum(d.pending + d.inflight for d in digests.values())
             window_p99 = (
@@ -701,6 +725,7 @@ def simulate_cluster_sharded(
             finals.append(futures[shard].result())
     finally:
         pool.close()
+        run_span.__exit__(None, None, None)
 
     served = sum(final.served for final in finals)
     shard_shed = sum(final.shed for final in finals)

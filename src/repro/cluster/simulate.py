@@ -23,6 +23,7 @@ Processes:
 
 from __future__ import annotations
 
+from .. import obs
 from ..arch.engine.kernel import Engine, Hold
 from ..arch.engine.machine import BishopMachine
 from ..arch.engine.timeline import EngineRun, TimelineEntry, merge_timelines
@@ -148,6 +149,7 @@ class ClusterSimulation:
                 yield Hold(gap)
             chip = policy.choose(request, eligible_chips(request, self.chips))
             if chip is None:
+                obs.inc("serve.shed")
                 self.shed.append(
                     ShedRecord(request.index, request.model, request.arrival_s)
                 )
@@ -162,6 +164,13 @@ class ClusterSimulation:
     # -- the simulation ----------------------------------------------------
     def run(self, requests: list[Request]) -> ClusterReport:
         """Serve ``requests`` on the fleet; returns the cluster report."""
+        with obs.span(
+            "cluster.run", cat="cluster",
+            chips=len(self.fleet), requests=len(requests),
+        ):
+            return self._run(requests)
+
+    def _run(self, requests: list[Request]) -> ClusterReport:
         stream = sorted(requests, key=lambda r: (r.arrival_s, r.index))
         self._models = tuple(sorted({r.model for r in stream}))
         if self._models:

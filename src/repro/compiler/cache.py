@@ -33,6 +33,7 @@ from dataclasses import asdict
 from functools import lru_cache
 from pathlib import Path
 
+from .. import obs
 from ..algo.ecp import ECPConfig
 from ..arch.config import BishopConfig
 from ..arch.energy import EnergyModel
@@ -163,6 +164,7 @@ class ProgramCache:
             freed += size
             path.unlink(missing_ok=True)
         removed = len(doomed)
+        obs.inc("cache.program.evict", removed)
         cutoff = time.time() - self.TMP_ORPHAN_AGE_S
         for tmp in self.root.glob("*/*.tmp"):
             try:
@@ -185,22 +187,31 @@ class ProgramCache:
     def get(self, key: str) -> Program | None:
         program = self._memory.get(key)
         if program is not None:
+            obs.inc("cache.program.hit")
+            obs.inc("cache.program.hit_memory")
             return program
         path = self.path_for(key)
         if path is None:
+            obs.inc("cache.program.miss")
             return None
         try:
             program = Program.from_dict(json.loads(path.read_text()))
         except FileNotFoundError:
+            obs.inc("cache.program.miss")
             return None
         except (json.JSONDecodeError, KeyError, TypeError, ValueError,
                 UnicodeDecodeError):
             path.unlink(missing_ok=True)  # corrupted: self-heal on next put
+            obs.inc("cache.program.corrupt")
+            obs.inc("cache.program.miss")
             return None
         self._memory[key] = program
+        obs.inc("cache.program.hit")
+        obs.inc("cache.program.hit_disk")
         return program
 
     def put(self, key: str, program: Program) -> None:
+        obs.inc("cache.program.put")
         self._memory[key] = program
         path = self.path_for(key)
         if path is None:
@@ -270,19 +281,22 @@ def compile_model(
     pass_config = PassConfig.parse(passes)
     cache = cache if cache is not None else default_program_cache()
     key = program_key(model, config, pass_config, seed=seed, ecp=ecp, energy=energy)
-    program = cache.get(key)
-    if program is not None:
+    with obs.span("compile.model", cat="compile", model=model) as span:
+        program = cache.get(key)
+        if program is not None:
+            span.set(cache="hit")
+            return program
+        span.set(cache="miss")
+        trace = synthetic_trace(
+            model_config(model), PROFILES[model], config.bundle_spec, seed=seed
+        )
+        program = compile_trace(
+            trace,
+            config,
+            energy=energy,
+            ecp=ecp,
+            passes=pass_config,
+            meta={"seed": int(seed), "cache_key": key},
+        )
+        cache.put(key, program)
         return program
-    trace = synthetic_trace(
-        model_config(model), PROFILES[model], config.bundle_spec, seed=seed
-    )
-    program = compile_trace(
-        trace,
-        config,
-        energy=energy,
-        ecp=ecp,
-        passes=pass_config,
-        meta={"seed": int(seed), "cache_key": key},
-    )
-    cache.put(key, program)
-    return program

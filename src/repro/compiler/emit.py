@@ -18,6 +18,7 @@ through one path.
 
 from __future__ import annotations
 
+from .. import obs
 from ..arch.engine.fastpath import engine_mode, schedule_for
 from ..arch.engine.kernel import Engine, Join, WaitFor
 from ..arch.engine.machine import (
@@ -67,7 +68,9 @@ def measure_timings(
     (:func:`measure_timings_kernel`, the reference implementation).
     """
     timings = tuple(timings)
-    if engine_mode() == "fast":
+    mode = engine_mode()
+    obs.inc(f"engine.dispatch.{mode}")
+    if mode == "fast":
         schedule = schedule_for(timings)
         if scheduled:
             return schedule.scheduled_makespan(batch)

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
+from .. import obs
 from ..algo.ecp import ECPConfig
 from ..arch.attention_core import merge_attention_heads
 from ..arch.config import BishopConfig
@@ -374,7 +375,10 @@ class PassManager:
 
     def run(self, comp: Compilation, meta: dict | None = None) -> Program:
         for compiler_pass in self.pipeline:
-            compiler_pass.run(comp)
+            with obs.span(
+                f"compile.pass.{compiler_pass.name}", cat="compile"
+            ):
+                compiler_pass.run(comp)
             comp.log.append(compiler_pass.name)
         if any(draft.report is None for draft in comp.drafts):
             raise RuntimeError(

@@ -1,0 +1,213 @@
+"""Converters: simulation outputs → Chrome trace-event tracks.
+
+Wall-clock spans (from :mod:`repro.obs.trace`) show where *runtime*
+went; the converters here render what the *simulated hardware* did —
+an :class:`~repro.arch.engine.timeline.EngineRun`'s per-resource
+timeline and a sharded cluster run's per-window digests — as extra
+trace tracks in the same document, so one `repro trace` artifact holds
+the whole story.
+
+Simulated time and wall-clock time have different bases, so simulated
+tracks live under their own synthetic process ids (``SIM_PID_BASE``
+upward) with explicit process names; Perfetto renders them as separate
+process groups.  Everything duck-types: both live objects
+(``TimelineEntry`` / ``WindowStats``) and their ``to_dict`` payloads
+are accepted, so the converters work on fresh runs and on JSON
+artifacts alike.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SIM_PID_BASE",
+    "engine_run_events",
+    "window_events",
+    "result_events",
+]
+
+#: Synthetic pid namespace for simulated-time tracks (real pids are far
+#: below this on any practical system).
+SIM_PID_BASE = 1_000_000
+
+
+def _get(entry, key, default=None):
+    if isinstance(entry, dict):
+        return entry.get(key, default)
+    return getattr(entry, key, default)
+
+
+def engine_run_events(
+    run_or_timeline,
+    pid: int = SIM_PID_BASE,
+    process_name: str = "simulated engine",
+) -> list[dict]:
+    """Render an ``EngineRun`` (or bare timeline) as per-resource tracks.
+
+    Each distinct ``resource`` becomes one track (tid); every
+    ``TimelineEntry`` becomes a complete event spanning its simulated
+    interval (simulated seconds → trace microseconds, so 1 sim-µs reads
+    as 1 trace-µs).
+    """
+    timeline = _get(run_or_timeline, "timeline", run_or_timeline)
+    if timeline is None:
+        return []
+    entries = list(timeline)
+    resources = sorted({_get(e, "resource", "?") for e in entries})
+    tids = {resource: index for index, resource in enumerate(resources)}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for resource, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": resource},
+            }
+        )
+    for entry in entries:
+        start_s = float(_get(entry, "start_s", 0.0))
+        end_s = float(_get(entry, "end_s", start_s))
+        events.append(
+            {
+                "name": str(_get(entry, "label", "busy")),
+                "cat": "engine.timeline",
+                "ph": "X",
+                "ts": start_s * 1e6,
+                "dur": max(end_s - start_s, 0.0) * 1e6,
+                "pid": pid,
+                "tid": tids[_get(entry, "resource", "?")],
+            }
+        )
+    return events
+
+
+def window_events(
+    windows,
+    pid: int = SIM_PID_BASE + 1,
+    process_name: str = "simulated cluster windows",
+) -> list[dict]:
+    """Render sharded-run window digests as one track plus counter series.
+
+    Each window becomes a complete event spanning its simulated
+    interval, carrying the fleet-aggregated stats as args; ``backlog``
+    and ``served`` additionally become ``ph: "C"`` counter tracks so
+    Perfetto draws them as area charts.
+    """
+    rows = list(windows or [])
+    if not rows:
+        return []
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "windows"},
+        },
+    ]
+    for row in rows:
+        start_s = float(_get(row, "start_s", 0.0))
+        end_s = float(_get(row, "end_s", start_s))
+        args = {
+            "arrivals": _get(row, "arrivals", 0),
+            "served": _get(row, "served", 0),
+            "shed": _get(row, "shed", 0),
+            "backlog": _get(row, "backlog", 0),
+            "p99_ms": _get(row, "p99_ms", 0.0),
+            "mean_ms": _get(row, "mean_ms", 0.0),
+        }
+        slo = _get(row, "slo_attainment")
+        if slo is not None:
+            args["slo_attainment"] = slo
+        index = _get(row, "index", 0)
+        events.append(
+            {
+                "name": f"window {index}",
+                "cat": "cluster.window",
+                "ph": "X",
+                "ts": start_s * 1e6,
+                "dur": max(end_s - start_s, 0.0) * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            }
+        )
+        events.append(
+            {
+                "name": "backlog",
+                "ph": "C",
+                "ts": end_s * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": {"backlog": args["backlog"]},
+            }
+        )
+        events.append(
+            {
+                "name": "throughput",
+                "ph": "C",
+                "ts": end_s * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": {"served": args["served"], "shed": args["shed"]},
+            }
+        )
+    return events
+
+
+def result_events(result) -> list[dict]:
+    """Extract simulated-time tracks from an experiment result payload.
+
+    Walks the payload for the shapes the converters understand —
+    ``windows`` lists (sharded cluster reports) and ``timeline`` lists
+    (engine runs) — wherever they appear at the top level or one level
+    down, giving each discovered track its own synthetic pid.
+    """
+    if not isinstance(result, dict):
+        return []
+    events: list[dict] = []
+    pid = SIM_PID_BASE
+
+    def visit(payload, label: str) -> None:
+        nonlocal pid
+        if not isinstance(payload, dict):
+            return
+        timeline = payload.get("timeline")
+        if isinstance(timeline, list) and timeline:
+            events.extend(
+                engine_run_events(
+                    timeline, pid=pid, process_name=f"simulated engine [{label}]"
+                )
+            )
+            pid += 1
+        windows = payload.get("windows")
+        if isinstance(windows, list) and windows:
+            events.extend(
+                window_events(
+                    windows, pid=pid, process_name=f"simulated windows [{label}]"
+                )
+            )
+            pid += 1
+
+    visit(result, "result")
+    if isinstance(result, dict):
+        for key, value in result.items():
+            if isinstance(value, dict):
+                visit(value, str(key))
+    return events

@@ -1,0 +1,270 @@
+"""Metrics registry: counters, gauges, and sketch-backed histograms.
+
+Three instrument kinds, matching what the instrumented layers need:
+
+* **Counter** — monotonically increasing event count (cache hits,
+  dispatches, sheds).  Merging adds.
+* **Gauge** — a last-observed level with a tracked high-water mark
+  (queue depth, cache bytes).  Merging keeps the other side's last
+  value and the max of the high-water marks, so merge order only
+  affects ``last`` (documented; the high-water mark is order-free).
+* **Histogram** — a distribution of observations backed by the
+  existing :class:`~repro.serve.sketch.LatencySketch`, so shard-side
+  histograms merge through the coordinator *exactly* like latency
+  sketches do: exact count addition, associative and commutative.
+
+Like tracing, metrics are off by default; the module-level helpers in
+``repro.obs`` (``inc`` / ``observe`` / ``set_gauge``) cost one bool
+check while disabled.  The ``LatencySketch`` import is deferred to
+first histogram construction so this module stays import-light (no
+package-cycle risk when low-level modules import ``repro.obs``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS_ENV",
+    "registry",
+]
+
+METRICS_ENV = "REPRO_METRICS"
+
+
+def _latency_sketch_cls():
+    from ..serve.sketch import LatencySketch  # deferred: avoids import cycles
+
+    return LatencySketch
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-observed level plus its high-water mark."""
+
+    __slots__ = ("name", "last", "high")
+
+    def __init__(self, name: str, last: float = 0.0, high: float = 0.0):
+        self.name = name
+        self.last = last
+        self.high = high
+
+    def set(self, value: float) -> None:
+        self.last = value
+        if value > self.high:
+            self.high = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "last": self.last, "high": self.high}
+
+
+class Histogram:
+    """A sketch-backed distribution (seconds-ish units, but unit-free)."""
+
+    __slots__ = ("name", "sketch")
+
+    #: Histogram geometry: wider than the latency default so byte counts
+    #: and batch sizes fit without clamping (1e-7 .. 1e9).
+    _LO, _HI, _REL_ERR = 1e-7, 1e9, 0.005
+
+    def __init__(self, name: str, sketch=None):
+        self.name = name
+        if sketch is None:
+            sketch = _latency_sketch_cls()(self._LO, self._HI, self._REL_ERR)
+        self.sketch = sketch
+
+    def observe(self, value: float) -> None:
+        self.sketch.add(value)
+
+    def observe_many(self, values) -> None:
+        self.sketch.add_many(values)
+
+    def merge(self, other: "Histogram") -> None:
+        self.sketch.update(other.sketch)
+
+    def to_dict(self) -> dict:
+        sketch = self.sketch
+        summary = {
+            "type": "histogram",
+            "count": int(sketch.count),
+            "sum": sketch.sum_s,
+            "mean": sketch.mean_s,
+        }
+        if sketch.count:
+            summary["min"] = sketch.min_s
+            summary["max"] = sketch.max_s
+            summary["p50"] = sketch.percentile(50.0)
+            summary["p95"] = sketch.percentile(95.0)
+            summary["p99"] = sketch.percentile(99.0)
+        summary["sketch"] = sketch.to_dict()
+        return summary
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict) -> "Histogram":
+        sketch = _latency_sketch_cls().from_dict(payload["sketch"])
+        return cls(name, sketch=sketch)
+
+
+class MetricsRegistry:
+    """Thread-safe named instruments with snapshot/merge/restore."""
+
+    def __init__(self):
+        self.active = False
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def enable(self) -> None:
+        self.active = True
+
+    def disable(self) -> None:
+        self.active = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def enable_from_env(self) -> bool:
+        from .trace import _env_flag  # shared strict on/off parser
+
+        if _env_flag(METRICS_ENV):
+            self.active = True
+        return self.active
+
+    # -- instrument access (creating on first use) -------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    # -- guarded recording helpers -----------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        if not self.active:
+            return
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.active:
+            return
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.active:
+            return
+        self.histogram(name).observe(value)
+
+    # -- snapshot / merge --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dump, instruments sorted by name (deterministic)."""
+        with self._lock:
+            counters = {n: c.to_dict() for n, c in sorted(self._counters.items())}
+            gauges = {n: g.to_dict() for n, g in sorted(self._gauges.items())}
+            histograms = {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`to_dict` snapshot (e.g. from a worker) into this
+        registry: counters add, gauges keep max high-water, histograms
+        merge through their sketches."""
+        for name, payload in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(int(payload["value"]))
+        for name, payload in (snapshot.get("gauges") or {}).items():
+            gauge = self.gauge(name)
+            gauge.last = float(payload["last"])
+            gauge.high = max(gauge.high, float(payload["high"]))
+        for name, payload in (snapshot.get("histograms") or {}).items():
+            incoming = Histogram.from_dict(name, payload)
+            with self._lock:
+                existing = self._histograms.get(name)
+                if existing is None:
+                    self._histograms[name] = incoming
+                    existing = None
+            if existing is not None:
+                existing.merge(incoming)
+
+    def is_empty(self) -> bool:
+        with self._lock:
+            return not (self._counters or self._gauges or self._histograms)
+
+
+def format_metrics(snapshot: dict) -> list[str]:
+    """Human-readable lines for a :meth:`MetricsRegistry.to_dict` dump."""
+    lines: list[str] = []
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, payload in counters.items():
+            lines.append(f"  {name:<{width}}  {payload['value']}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, payload in gauges.items():
+            lines.append(
+                f"  {name:<{width}}  last={payload['last']:g}"
+                f" high={payload['high']:g}"
+            )
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name, payload in histograms.items():
+            line = f"  {name:<{width}}  count={payload['count']}"
+            if payload["count"]:
+                line += (
+                    f" mean={payload['mean']:.6g}"
+                    f" p50={payload['p50']:.6g}"
+                    f" p95={payload['p95']:.6g}"
+                    f" p99={payload['p99']:.6g}"
+                    f" max={payload['max']:.6g}"
+                )
+            lines.append(line)
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return lines
+
+
+#: The process-global registry every ``repro.obs`` helper records into.
+registry = MetricsRegistry()

@@ -12,10 +12,12 @@ from .cache import (
     CacheEntryInfo,
     GcResult,
     ResultCache,
+    StoreStats,
     cache_key,
     config_hash,
 )
 from .executor import ExperimentRunner, RunOutcome, RunSummary
+from .provenance import format_provenance, provenance
 from .sweep import expand_grid, parse_param_specs
 
 __all__ = [
@@ -27,10 +29,13 @@ __all__ = [
     "ResultCache",
     "RunOutcome",
     "RunSummary",
+    "StoreStats",
     "cache_key",
     "canonical_json",
     "canonical_payload",
     "config_hash",
     "expand_grid",
+    "format_provenance",
     "parse_param_specs",
+    "provenance",
 ]

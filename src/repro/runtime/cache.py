@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from .. import obs
 from .artifacts import canonical_json
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "CacheEntryInfo",
     "GcResult",
     "ResultCache",
+    "StoreStats",
     "cache_key",
     "config_hash",
 ]
@@ -88,17 +90,23 @@ class ResultCache:
                 result=raw["result"],
             )
         except FileNotFoundError:
+            obs.inc("cache.result.miss")
             return None
         except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
             # Corrupted entry: drop it so the re-run rewrites a good one.
             path.unlink(missing_ok=True)
+            obs.inc("cache.result.corrupt")
+            obs.inc("cache.result.miss")
             return None
         if experiment_id is not None and entry.experiment != experiment_id:
             path.unlink(missing_ok=True)
+            obs.inc("cache.result.miss")
             return None
+        obs.inc("cache.result.hit")
         return entry
 
     def put(self, key: str, entry: CacheEntry) -> Path:
+        obs.inc("cache.result.put")
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".tmp")
@@ -194,11 +202,29 @@ class ResultCache:
                     shard.rmdir()  # only succeeds when empty
                 except OSError:
                     pass  # non-empty, or a concurrent writer repopulated it
+        obs.inc("cache.result.evict", removed)
         return GcResult(
             kept=len(entries) - len(doomed),
             removed=removed,
             freed_bytes=freed,
         )
+
+    def stats(self) -> "StoreStats":
+        """Entry count and total bytes (stat-only scan, no payload reads).
+
+        Also publishes the numbers as gauges (``cache.result.entries`` /
+        ``cache.result.bytes``) when metrics are on, so a registry dump
+        records cache shape alongside the hit/miss counters.
+        """
+        entries = self._scan()
+        stats = StoreStats(
+            store="result",
+            entries=len(entries),
+            total_bytes=sum(size for _, size, _ in entries),
+        )
+        obs.set_gauge("cache.result.entries", stats.entries)
+        obs.set_gauge("cache.result.bytes", stats.total_bytes)
+        return stats
 
 
 @dataclass(frozen=True)
@@ -220,3 +246,12 @@ class GcResult:
     kept: int
     removed: int
     freed_bytes: int
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Shape of one cache store (``repro cache ls --stats``)."""
+
+    store: str
+    entries: int
+    total_bytes: int

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
+from .. import obs
 from ..harness import EXPERIMENTS, get_experiment, registry_code_hash
 from .artifacts import ArtifactStore, canonical_payload
 from .cache import CacheEntry, ResultCache, cache_key, config_hash
@@ -117,10 +118,29 @@ def _execute(name: str, params: dict) -> tuple[str, object, float]:
     start = time.perf_counter()
     try:
         experiment = get_experiment(name)
-        result = canonical_payload(experiment.run(**params))
+        with obs.span("runtime.experiment", cat="runtime", experiment=name):
+            result = canonical_payload(experiment.run(**params))
         return "ok", result, time.perf_counter() - start
     except Exception:
         return "error", traceback.format_exc(), time.perf_counter() - start
+
+
+def _execute_traced(name: str, params: dict) -> tuple[str, object, float, object]:
+    """Telemetry-shipping pool-worker entry point.
+
+    Used instead of :func:`_execute` when the parent has telemetry on:
+    the worker enables itself from the environment (set by
+    ``obs.enable``), records into fresh buffers, and returns the
+    telemetry snapshot as a fourth element for the parent to ingest.
+    """
+    obs.tracer.reset()
+    obs.registry.reset()
+    try:
+        obs.enable_from_env()
+    except ValueError as error:
+        return "error", f"telemetry configuration: {error}", 0.0, None
+    status, payload, duration = _execute(name, params)
+    return status, payload, duration, obs.export_telemetry()
 
 
 @dataclass
@@ -211,9 +231,12 @@ class ExperimentRunner:
             else:
                 misses.append(request)
 
-        for request, (status, payload, duration) in zip(
+        obs.set_gauge("runtime.queue_depth", len(misses))
+        for request, (status, payload, duration, telemetry) in zip(
             misses, self._execute_all(misses)
         ):
+            obs.ingest_telemetry(telemetry)
+            obs.observe("runtime.experiment_s", duration)
             outcomes[request.index] = self._finalize(
                 request, status, payload, duration, cache_hit=False,
                 store=store if write_artifacts else None,
@@ -250,7 +273,12 @@ class ExperimentRunner:
             store = ArtifactStore(store.root / "smoke")
         summary = self.run_many(requests, store=store)
         if write_manifest and store is not None:
-            path = store.write_manifest(summary.manifest())
+            manifest = summary.manifest()
+            # When metrics are on, the registry dump rides along in the
+            # manifest so `repro metrics --manifest` can read it back.
+            if obs.registry.active and not obs.registry.is_empty():
+                manifest["metrics"] = obs.registry.to_dict()
+            path = store.write_manifest(manifest)
             summary = RunSummary(
                 outcomes=summary.outcomes,
                 jobs=summary.jobs,
@@ -294,22 +322,30 @@ class ExperimentRunner:
     # -- internals --------------------------------------------------------
     def _execute_all(
         self, misses: Sequence[_Request]
-    ) -> list[tuple[str, object, float]]:
+    ) -> list[tuple[str, object, float, object]]:
+        """Execute cache misses; always yields 4-tuples ending in the
+        worker telemetry snapshot (``None`` for inline runs, where spans
+        and metrics land directly in the parent's buffers)."""
         if not misses:
             return []
         if self.jobs == 1 or len(misses) == 1:
-            return [_execute(r.experiment, r.params) for r in misses]
-        results: dict[int, tuple[str, object, float]] = {}
+            return [(*_execute(r.experiment, r.params), None) for r in misses]
+        # Pool path: with telemetry on, workers ship their buffers back.
+        entry_point = _execute_traced if obs.enabled() else _execute
+        results: dict[int, tuple[str, object, float, object]] = {}
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(misses))) as pool:
             futures = {
-                pool.submit(_execute, r.experiment, r.params): i
+                pool.submit(entry_point, r.experiment, r.params): i
                 for i, r in enumerate(misses)
             }
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    results[futures[future]] = future.result()
+                    outcome = future.result()
+                    if len(outcome) == 3:
+                        outcome = (*outcome, None)
+                    results[futures[future]] = outcome
         return [results[i] for i in range(len(misses))]
 
     def _finalize(

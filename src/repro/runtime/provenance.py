@@ -1,0 +1,76 @@
+"""Run provenance: who/what/where a measurement was taken.
+
+``BENCH_*.json`` files accumulate into a perf trajectory; a wall-time
+number is only attributable if the payload records what produced it.
+:func:`provenance` captures the minimal reproducibility context —
+UTC timestamp, interpreter and numpy versions, host shape, and the git
+SHA when the working tree is a checkout — with every field best-effort
+(a missing git binary must not fail a bench run).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+__all__ = ["provenance", "format_provenance"]
+
+
+def _git_sha() -> str | None:
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if result.returncode != 0:
+        return None
+    sha = result.stdout.strip()
+    return sha or None
+
+
+def _numpy_version() -> str | None:
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        return None
+    return numpy.__version__
+
+
+def provenance() -> dict:
+    """A JSON-ready provenance block (every field present, maybe None)."""
+    return {
+        "generated_at_utc": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "numpy": _numpy_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+        "argv": list(sys.argv),
+    }
+
+
+def format_provenance(block: dict | None, label: str = "") -> str:
+    """One human line: ``[label] 2026-08-08T.. py3.12 numpy2.x 8cpu @abc123``."""
+    if not block:
+        return f"{label}(no provenance recorded)" if label else "(no provenance)"
+    parts = []
+    when = block.get("generated_at_utc")
+    if when:
+        parts.append(str(when))
+    if block.get("python"):
+        parts.append(f"py{block['python']}")
+    if block.get("numpy"):
+        parts.append(f"numpy{block['numpy']}")
+    if block.get("cpu_count"):
+        parts.append(f"{block['cpu_count']}cpu")
+    if block.get("git_sha"):
+        parts.append(f"@{block['git_sha']}")
+    return (label + " ".join(parts)) if parts else f"{label}(empty provenance)"

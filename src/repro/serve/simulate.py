@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from .. import obs
 from ..arch.engine.kernel import Engine, Hold, WaitFor
 from ..arch.engine.machine import (
     BishopMachine,
@@ -117,6 +118,8 @@ class ChipServer:
         if self.closed:
             raise RuntimeError(f"chip {self.name!r} is closed")
         self.pending.append(request)
+        obs.inc("serve.admitted")
+        obs.set_gauge("serve.queue_depth", len(self.pending))
         self.outstanding_s += self.service_estimate_s(request.model)
         self.work.signal()
 
@@ -187,6 +190,8 @@ class ChipServer:
         )
         finish = self.engine.now
         size = len(batch)
+        obs.inc("serve.batches")
+        obs.observe("serve.batch_size", size)
         self.served_count += size
         self.batch_size_weighted += float(size) * size
         self.last_finish_s = max(self.last_finish_s, finish)
@@ -238,28 +243,32 @@ def simulate_serving(
     energy = energy or EnergyModel()
     stream = sorted(requests, key=lambda r: (r.arrival_s, r.index))
     profiles = dict(profiles) if profiles else {}  # never mutate the caller's
-    for model in {r.model for r in stream}:
-        if model not in profiles:
-            profiles[model] = request_profile(
-                model, bs_t=bs_t, bs_n=bs_n, seed=seed, passes=passes
-            )
+    with obs.span(
+        "serve.simulate", cat="serve",
+        requests=len(stream), policy=scheduler.policy,
+    ):
+        for model in {r.model for r in stream}:
+            if model not in profiles:
+                profiles[model] = request_profile(
+                    model, bs_t=bs_t, bs_n=bs_n, seed=seed, passes=passes
+                )
 
-    engine = Engine()
-    machine = BishopMachine(engine)
-    timeline: list[TimelineEntry] | None = [] if record_timeline else None
-    chip = ChipServer(engine, machine, profiles, scheduler, timeline=timeline)
-    total = len(stream)
+        engine = Engine()
+        machine = BishopMachine(engine)
+        timeline: list[TimelineEntry] | None = [] if record_timeline else None
+        chip = ChipServer(engine, machine, profiles, scheduler, timeline=timeline)
+        total = len(stream)
 
-    def arrivals():
-        for request in stream:
-            gap = request.arrival_s - engine.now
-            if gap > 0:
-                yield Hold(gap)
-            chip.enqueue(request)
-        chip.close()
+        def arrivals():
+            for request in stream:
+                gap = request.arrival_s - engine.now
+                if gap > 0:
+                    yield Hold(gap)
+                chip.enqueue(request)
+            chip.close()
 
-    engine.spawn(arrivals(), name="arrivals")
-    engine.run()
+        engine.spawn(arrivals(), name="arrivals")
+        engine.run()
     if len(chip.served) != total:  # pragma: no cover - engine invariant
         raise RuntimeError(
             f"serving simulation stalled: {len(chip.served)}/{total} completed"

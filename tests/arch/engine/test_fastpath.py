@@ -63,10 +63,13 @@ class TestEngineMode:
         monkeypatch.setenv("REPRO_ENGINE", mode)
         assert engine_mode() == mode.strip().lower()
 
-    def test_invalid_mode_rejected(self, monkeypatch):
-        monkeypatch.setenv("REPRO_ENGINE", "warp")
-        with pytest.raises(ValueError, match="REPRO_ENGINE"):
+    @pytest.mark.parametrize("mode", ["warp", "fastt", "fast kernel", "1"])
+    def test_invalid_mode_rejected(self, monkeypatch, mode):
+        monkeypatch.setenv("REPRO_ENGINE", mode)
+        with pytest.raises(ValueError, match="REPRO_ENGINE") as excinfo:
             engine_mode()
+        # The error must name every valid spelling, not just reject.
+        assert "fast|kernel" in str(excinfo.value)
 
     def test_measure_timings_honours_the_switch(self, monkeypatch):
         timings = random_timings(np.random.default_rng(0), 4)

@@ -1,0 +1,22 @@
+"""Shared fixture: every obs test leaves the global telemetry off.
+
+The tracer and registry are process-global singletons (and ``enable``
+sets ``REPRO_TRACE``/``REPRO_METRICS`` in the environment so pool
+workers self-enable), so each test must restore the disabled default
+or it would leak spans into unrelated suites.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.tracer.reset()
+    obs.registry.reset()
+    yield
+    obs.disable()
+    obs.tracer.reset()
+    obs.registry.reset()

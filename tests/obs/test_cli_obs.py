@@ -1,0 +1,154 @@
+"""CLI telemetry surfaces: trace / metrics / --trace / --stats / provenance."""
+
+import json
+
+from repro.cli import main
+
+
+def load_trace(path):
+    payload = json.loads(path.read_text())
+    return [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+
+
+class TestTraceCommand:
+    def test_writes_perfetto_json_with_layered_spans(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main(
+            ["trace", "engine_fastpath_bench", "--smoke", "--output", str(path)]
+        )
+        assert code == 0
+        spans = load_trace(path)
+        assert spans
+        layers = {e["name"].split(".")[0] for e in spans}
+        assert "runtime" in layers and "engine" in layers
+        out = capsys.readouterr().out
+        assert "perfetto" in out and str(path) in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_default_output_lands_in_cwd(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "engine_fastpath_bench", "--smoke"]) == 0
+        assert load_trace(tmp_path / "TRACE_engine_fastpath_bench.json")
+
+
+class TestMetricsCommand:
+    def test_live_run_prints_the_registry(self, capsys):
+        assert main(["metrics", "serve_batch_sweep", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out and "serve.admitted" in out
+        assert "histograms:" in out and "runtime.experiment_s" in out
+
+    def test_json_output_parses(self, capsys):
+        code = main(["metrics", "engine_fastpath_bench", "--smoke", "--json"])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "counters" in snapshot
+
+    def test_requires_experiment_or_manifest(self, capsys):
+        assert main(["metrics"]) == 2
+        assert "--manifest" in capsys.readouterr().err
+
+    def test_missing_manifest_file(self, tmp_path, capsys):
+        assert main(["metrics", "--manifest", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_manifest_without_metrics_block(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({"outcomes": []}))
+        assert main(["metrics", "--manifest", str(manifest)]) == 1
+        assert "no metrics block" in capsys.readouterr().err
+
+
+class TestEnvEntry:
+    def test_invalid_repro_trace_value_is_exit_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TRACE", "enabled")
+        assert main(["list"]) == 2
+        assert "REPRO_TRACE" in capsys.readouterr().err
+
+    def test_env_var_enables_telemetry_for_plain_runs(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        artifacts = tmp_path / "artifacts"
+        assert main([
+            "run-all", "--smoke", "--only", "engine_fastpath_bench",
+            "--artifacts", str(artifacts),
+        ]) == 0
+        manifest = json.loads((artifacts / "smoke" / "manifest.json").read_text())
+        assert "metrics" in manifest
+
+
+class TestTraceFlags:
+    def test_run_trace_writes_artifact(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "table2", "--trace"]) == 0
+        assert load_trace(tmp_path / "TRACE_table2.json")
+
+    def test_run_all_trace_records_trace_and_manifest_metrics(
+        self, tmp_path, capsys
+    ):
+        artifacts = tmp_path / "artifacts"
+        code = main([
+            "run-all", "--smoke", "--only", "engine_fastpath_bench",
+            "--artifacts", str(artifacts), "--trace",
+        ])
+        assert code == 0
+        assert load_trace(artifacts / "smoke" / "trace.json")
+        manifest = json.loads((artifacts / "smoke" / "manifest.json").read_text())
+        assert manifest["metrics"]["counters"]
+        capsys.readouterr()
+        assert (
+            main(["metrics", "--manifest", str(artifacts / "smoke" / "manifest.json")])
+            == 0
+        )
+        assert "counters:" in capsys.readouterr().out
+
+
+class TestCacheStats:
+    def test_stats_line_summarizes_both_stores(self, tmp_path, capsys):
+        artifacts = tmp_path / "artifacts"
+        assert main([
+            "run-all", "--smoke", "--only", "engine_fastpath_bench",
+            "--artifacts", str(artifacts),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--stats", "--artifacts", str(artifacts)]) == 0
+        out = capsys.readouterr().out
+        stats_lines = [l for l in out.splitlines() if l.startswith("stats:")]
+        assert len(stats_lines) == 1
+        assert "result 1" in stats_lines[0] and "program" in stats_lines[0]
+
+    def test_without_flag_no_stats_line(self, tmp_path, capsys):
+        assert main(["cache", "ls", "--artifacts", str(tmp_path)]) == 0
+        assert "stats:" not in capsys.readouterr().out
+
+
+class TestBenchProvenance:
+    def test_payload_carries_provenance_and_compare_prints_it(
+        self, tmp_path, capsys
+    ):
+        artifacts = tmp_path / "artifacts"
+        output = tmp_path / "BENCH_new.json"
+        old = tmp_path / "BENCH_old.json"
+        old.write_text(json.dumps({
+            "generated_at": "2026-01-01T00:00:00+0000",
+            "experiments": {"table2": {"duration_s": 1.0, "status": "ok"}},
+        }))
+        code = main([
+            "bench", "--smoke", "--only", "table2",
+            "--artifacts", str(artifacts),
+            "--output", str(output), "--compare", str(old),
+        ])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        block = payload["provenance"]
+        assert block["python"] and block["generated_at_utc"]
+        assert "cpu_count" in block and "git_sha" in block
+        out = capsys.readouterr().out
+        assert "old: (no provenance)" in out
+        assert f"new: {block['generated_at_utc']}" in out
+        assert f"py{block['python']}" in out

@@ -1,0 +1,107 @@
+"""Converter tests: simulation outputs → Chrome trace-event tracks."""
+
+import json
+
+from repro.obs.convert import (
+    SIM_PID_BASE,
+    engine_run_events,
+    result_events,
+    window_events,
+)
+
+TIMELINE = [
+    {"resource": "dense_core", "label": "L0", "start_s": 0.0, "end_s": 1e-3},
+    {"resource": "dram", "label": "L0:w", "start_s": 0.0, "end_s": 2e-3},
+    {"resource": "dense_core", "label": "L1", "start_s": 2e-3, "end_s": 3e-3},
+]
+
+WINDOWS = [
+    {
+        "index": 0, "start_s": 0.0, "end_s": 0.01, "arrivals": 10,
+        "served": 8, "shed": 1, "backlog": 1, "p99_ms": 4.0, "mean_ms": 2.0,
+    },
+    {
+        "index": 1, "start_s": 0.01, "end_s": 0.02, "arrivals": 5,
+        "served": 6, "shed": 0, "backlog": 0, "p99_ms": 3.0, "mean_ms": 1.5,
+        "slo_attainment": 0.99,
+    },
+]
+
+
+class TestEngineRunEvents:
+    def test_one_track_per_resource(self):
+        events = engine_run_events(TIMELINE)
+        threads = [e for e in events if e["name"] == "thread_name"]
+        assert {t["args"]["name"] for t in threads} == {"dense_core", "dram"}
+        x = [e for e in events if e.get("ph") == "X"]
+        assert len(x) == 3
+        dense_tid = next(
+            t["tid"] for t in threads if t["args"]["name"] == "dense_core"
+        )
+        assert [e["name"] for e in x if e["tid"] == dense_tid] == ["L0", "L1"]
+
+    def test_sim_seconds_become_trace_microseconds(self):
+        events = engine_run_events(TIMELINE)
+        l1 = next(e for e in events if e.get("name") == "L1")
+        assert l1["ts"] == 2e-3 * 1e6 and l1["dur"] == 1e-3 * 1e6
+
+    def test_synthetic_pid_and_process_name(self):
+        events = engine_run_events(TIMELINE, pid=SIM_PID_BASE + 7, process_name="sim")
+        assert all(e["pid"] == SIM_PID_BASE + 7 for e in events)
+        meta = next(e for e in events if e["name"] == "process_name")
+        assert meta["args"]["name"] == "sim"
+
+    def test_accepts_run_object_with_timeline_attr(self):
+        class Run:
+            timeline = TIMELINE
+
+        assert engine_run_events(Run()) == engine_run_events(TIMELINE)
+
+    def test_empty_timeline(self):
+        assert engine_run_events(None) == []
+        assert engine_run_events({"timeline": None}) == []
+
+
+class TestWindowEvents:
+    def test_window_spans_carry_fleet_stats(self):
+        events = window_events(WINDOWS)
+        x = [e for e in events if e.get("ph") == "X"]
+        assert [e["name"] for e in x] == ["window 0", "window 1"]
+        assert x[0]["args"]["arrivals"] == 10
+        assert "slo_attainment" not in x[0]["args"]
+        assert x[1]["args"]["slo_attainment"] == 0.99
+
+    def test_counter_tracks_for_backlog_and_throughput(self):
+        events = window_events(WINDOWS)
+        counters = [e for e in events if e.get("ph") == "C"]
+        assert {e["name"] for e in counters} == {"backlog", "throughput"}
+        backlog = [e for e in counters if e["name"] == "backlog"]
+        assert [e["args"]["backlog"] for e in backlog] == [1, 0]
+
+    def test_empty_windows(self):
+        assert window_events([]) == []
+        assert window_events(None) == []
+
+
+class TestResultEvents:
+    def test_discovers_tracks_at_top_level_and_one_level_down(self):
+        result = {
+            "timeline": TIMELINE,
+            "sharded": {"windows": WINDOWS},
+            "scalar": 42,
+            "rows": [1, 2, 3],
+        }
+        events = result_events(result)
+        pids = {e["pid"] for e in events}
+        assert len(pids) == 2  # each discovered track gets its own pid
+        names = {e.get("name") for e in events}
+        assert "window 0" in names and "L0" in names
+
+    def test_non_dict_results_are_ignored(self):
+        assert result_events(None) == []
+        assert result_events([1, 2]) == []
+        assert result_events({"plain": 1}) == []
+
+    def test_events_are_json_serializable(self):
+        events = result_events({"timeline": TIMELINE, "windows": WINDOWS})
+        assert json.loads(json.dumps(events)) == events

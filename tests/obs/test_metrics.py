@@ -1,0 +1,165 @@
+"""Metrics registry tests: instruments, merge semantics, formatting."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.metrics import (
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.inc("cache.result.hit")
+        registry.inc("cache.result.hit", 4)
+        assert registry.to_dict()["counters"]["cache.result.hit"]["value"] == 5
+
+    def test_gauge_tracks_last_and_high_water(self):
+        gauge = Gauge("serve.queue_depth")
+        gauge.set(3)
+        gauge.set(7)
+        gauge.set(2)
+        assert gauge.last == 2 and gauge.high == 7
+
+    def test_histogram_summary_stats(self):
+        histogram = Histogram("serve.batch_size")
+        histogram.observe_many([1, 2, 4, 8])
+        payload = histogram.to_dict()
+        assert payload["count"] == 4
+        assert payload["sum"] == pytest.approx(15.0)
+        assert payload["min"] == pytest.approx(1.0, rel=0.01)
+        assert payload["max"] == pytest.approx(8.0, rel=0.01)
+        assert payload["p50"] <= payload["p95"] <= payload["p99"]
+
+    def test_histogram_round_trips_through_dict(self):
+        histogram = Histogram("x")
+        histogram.observe_many([0.001, 0.01, 0.1])
+        restored = Histogram.from_dict("x", histogram.to_dict())
+        assert restored.to_dict() == histogram.to_dict()
+
+    def test_empty_histogram_has_no_percentiles(self):
+        payload = Histogram("x").to_dict()
+        assert payload["count"] == 0
+        assert "p99" not in payload
+
+
+class TestDisabledPath:
+    def test_helpers_record_nothing_while_disabled(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.set_gauge("b", 1.0)
+        registry.observe("c", 2.0)
+        assert registry.is_empty()
+
+    def test_disabled_inc_overhead_is_tiny(self):
+        registry = MetricsRegistry()
+        n = 50_000
+        start = time.perf_counter()
+        for _ in range(n):
+            registry.inc("hot.counter")
+        per_call = (time.perf_counter() - start) / n
+        assert per_call < 5e-6, f"disabled inc cost {per_call * 1e6:.2f}us"
+
+
+class TestMerge:
+    def build(self, counter=0, gauge=(0.0, 0.0), samples=()):
+        registry = MetricsRegistry()
+        registry.enable()
+        if counter:
+            registry.inc("c", counter)
+        last, high = gauge
+        if high:
+            registry.set_gauge("g", high)
+            registry.set_gauge("g", last)
+        for sample in samples:
+            registry.observe("h", sample)
+        return registry
+
+    def test_counters_add(self):
+        sink = self.build(counter=3)
+        sink.merge(self.build(counter=5).to_dict())
+        assert sink.to_dict()["counters"]["c"]["value"] == 8
+
+    def test_gauges_keep_max_high_water(self):
+        # The high-water mark is merge-order-free; `last` takes the
+        # incoming side's (documented, and what the coordinator wants).
+        sink = self.build(gauge=(2.0, 9.0))
+        sink.merge(self.build(gauge=(4.0, 6.0)).to_dict())
+        merged = sink.to_dict()["gauges"]["g"]
+        assert merged["high"] == 9.0 and merged["last"] == 4.0
+
+    def test_histograms_merge_like_latency_sketches(self):
+        sink = self.build(samples=[0.001, 0.002, 0.004])
+        sink.merge(self.build(samples=[0.008, 0.016]).to_dict())
+        combined = self.build(samples=[0.001, 0.002, 0.004, 0.008, 0.016])
+        assert (
+            sink.to_dict()["histograms"]["h"]
+            == combined.to_dict()["histograms"]["h"]
+        )
+
+    def test_merge_into_empty_registry(self):
+        source = self.build(counter=2, gauge=(1.0, 3.0), samples=[0.5])
+        sink = MetricsRegistry()
+        sink.enable()
+        sink.merge(source.to_dict())
+        assert sink.to_dict() == source.to_dict()
+
+    def test_merge_is_associative_on_histogram_counts(self):
+        a = self.build(samples=[1.0] * 10)
+        b = self.build(samples=[2.0] * 20)
+        c = self.build(samples=[4.0] * 30)
+        left = self.build(samples=[1.0] * 10)
+        left.merge(b.to_dict())
+        left.merge(c.to_dict())
+        right = self.build(samples=[2.0] * 20)
+        right.merge(c.to_dict())
+        fold = self.build(samples=[1.0] * 10)
+        fold.merge(right.to_dict())
+        assert (
+            left.to_dict()["histograms"]["h"]
+            == fold.to_dict()["histograms"]["h"]
+        )
+        assert left.to_dict()["histograms"]["h"]["count"] == 60
+        a.merge(b.to_dict())  # keep `a` used and counted
+        assert a.to_dict()["histograms"]["h"]["count"] == 30
+
+
+class TestSnapshotShape:
+    def test_to_dict_is_sorted_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.inc("z.last")
+        registry.inc("a.first")
+        registry.observe("m.hist", 0.5)
+        snapshot = registry.to_dict()
+        assert list(snapshot["counters"]) == ["a.first", "z.last"]
+        assert json.loads(json.dumps(snapshot, default=float))
+
+    def test_env_enable_raises_on_bad_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS", "maybe")
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="REPRO_METRICS"):
+            registry.enable_from_env()
+
+
+class TestFormatting:
+    def test_format_covers_all_instrument_kinds(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.inc("cache.result.hit", 7)
+        registry.set_gauge("serve.queue_depth", 3)
+        registry.observe("serve.batch_size", 4.0)
+        text = "\n".join(format_metrics(registry.to_dict()))
+        assert "counters:" in text and "cache.result.hit" in text
+        assert "gauges:" in text and "last=3" in text
+        assert "histograms:" in text and "count=1" in text
+
+    def test_format_empty_snapshot(self):
+        assert format_metrics({}) == ["(no metrics recorded)"]
