@@ -144,6 +144,27 @@ class EngineRun:
     def busy_s(self, resource: str) -> float:
         return self.resource_stats[resource].busy_s
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload: the shape ``repro analyze`` consumes."""
+        return {
+            "makespan_s": self.makespan_s,
+            "energy_pj": self.energy_pj,
+            "timeline": entries_to_dicts(self.timeline),
+            "utilization": self.utilization(),
+        }
+
+    def critical_path(self):
+        """The binding-resource chain bounding this run's makespan.
+
+        Delegates to :func:`repro.obs.analyze.critical_path` (imported
+        lazily — the engine package is imported *by* ``repro.obs``, so
+        the dependency must stay call-time only); see there for the
+        exactness guarantees.
+        """
+        from ...obs.analyze import critical_path
+
+        return critical_path(self)
+
     @classmethod
     def capture(
         cls,

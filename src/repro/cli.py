@@ -63,8 +63,26 @@ metrics <experiment-id> | --manifest FILE
     Dump the metrics registry (counters, gauges, sketch-backed
     histograms): either run one experiment with metrics on, or read the
     ``metrics`` block a ``run-all --trace`` recorded in its manifest.
+analyze <trace|artifact> [--critical-path] [--self-time] [--diff OTHER]
+    Offline analysis of a saved trace or experiment artifact (a file
+    path or an artifact id under ``--artifacts``): ``--critical-path``
+    extracts the binding-resource chain whose durations sum exactly to
+    the makespan (per-resource blocking attribution), ``--self-time``
+    rolls the span tree up per name, ``--diff OTHER`` localizes a bench
+    regression to the spans that slowed down (OTHER is the baseline).
+    With no mode flags, every analysis that applies to the input runs.
+slo <artifact> [--slo-ms MS] [--target T]
+    Replay the saved window series of a cluster artifact through the
+    SLO monitor: attainment, error-budget burn-down, and burn-rate
+    alert transitions, window by window.
 zoo
     Print the Table-2 model zoo.
+
+Alerting: ``cluster --alerts`` runs the detector rule engine
+(queue-growth, shed-rate, saturation, latency-drift) streaming in the
+shard coordinator and writes a JSON incident report;
+``run-all --alerts`` records registry health rules and experiment
+failures as an ``alerts`` block in the manifest.
 
 Reproducibility: ``run``/``sweep``/``cluster`` accept ``--seed N``,
 threaded end-to-end into workload generation and synthetic traces (for
@@ -152,6 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="run with telemetry on: write trace.json under the artifact"
         " root and record the metrics registry in the manifest",
+    )
+    run_all.add_argument(
+        "--alerts", action="store_true",
+        help="record an alerts block in the manifest: registry health"
+        " rules (dropped spans, corrupt cache entries), failed"
+        " experiments, and alerts fired inside simulated runs",
     )
 
     sweep = sub.add_parser("sweep", help="parameter sweep of one experiment")
@@ -305,7 +329,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--slo-ms", type=float, default=0.0, metavar="MS",
-        help="latency SLO for the attainment report (0 = off)",
+        help="latency SLO: streaming attainment / error-budget /"
+        " burn-rate report (0 = off; sharded runs evaluate it live in"
+        " the coordinator loop)",
+    )
+    cluster.add_argument(
+        "--slo-target", type=float, default=0.99, metavar="T",
+        help="SLO attainment target in (0,1) (default: 0.99)",
+    )
+    cluster.add_argument(
+        "--alerts", action="store_true",
+        help="run the detector rule engine (queue-growth, shed-rate,"
+        " saturation, latency-drift) streaming in the shard coordinator"
+        " and write INCIDENT_cluster.json (requires --shards)",
     )
     cluster.add_argument("--max-batch", type=int, default=1, metavar="B")
     cluster.add_argument("--max-inflight", type=int, default=2, metavar="I")
@@ -463,6 +499,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw registry snapshot as JSON",
     )
 
+    analyze = sub.add_parser(
+        "analyze", help="analyze a saved trace or artifact offline"
+    )
+    analyze.add_argument(
+        "target",
+        help="trace/artifact JSON path, or an artifact id under --artifacts",
+    )
+    analyze.add_argument(
+        "--critical-path", action="store_true",
+        help="extract the binding-resource chain (durations sum to the"
+        " makespan) with per-resource blocking attribution",
+    )
+    analyze.add_argument(
+        "--self-time", action="store_true",
+        help="span-tree rollup: wall-clock total and self time per span name",
+    )
+    analyze.add_argument(
+        "--diff", default=None, metavar="OTHER",
+        help="diff self-times against a baseline trace (path or artifact"
+        " id): localizes a bench regression to specific spans",
+    )
+    analyze.add_argument(
+        "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR",
+        help="artifact root for id resolution (default: ./artifacts)",
+    )
+    analyze.add_argument(
+        "--top", type=int, default=12, metavar="N",
+        help="rows to print per table (default: 12)",
+    )
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="print the full analysis payload as JSON",
+    )
+
+    slo = sub.add_parser(
+        "slo", help="replay a cluster artifact's window series through the SLO monitor"
+    )
+    slo.add_argument(
+        "artifact",
+        help="cluster report JSON path, or an artifact id under --artifacts",
+    )
+    slo.add_argument(
+        "--slo-ms", type=float, default=0.0, metavar="MS",
+        help="latency SLO override (default: the artifact's slo block)",
+    )
+    slo.add_argument(
+        "--target", type=float, default=0.0, metavar="T",
+        help="attainment target override in (0,1) (default: the"
+        " artifact's, else 0.99)",
+    )
+    slo.add_argument(
+        "--artifacts", type=Path, default=Path("artifacts"), metavar="DIR",
+        help="artifact root for id resolution (default: ./artifacts)",
+    )
+    slo.add_argument(
+        "--json", action="store_true",
+        help="print the full SLO replay payload as JSON",
+    )
+
     sub.add_parser("zoo", help="print the Table-2 model zoo")
     return parser
 
@@ -483,7 +578,10 @@ def _run_registry(args, force: bool) -> tuple[int, RunSummary | None]:
         runner = ExperimentRunner(
             artifacts_root=args.artifacts, jobs=args.jobs, force=force
         )
-        summary = runner.run_all(only=_parse_only(args.only), smoke=args.smoke)
+        summary = runner.run_all(
+            only=_parse_only(args.only), smoke=args.smoke,
+            alerts=getattr(args, "alerts", False),
+        )
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2, None
@@ -625,6 +723,219 @@ def _run_metrics(args) -> int:
     return 0
 
 
+def _resolve_artifact(target: str, artifacts_root: Path) -> Path:
+    """Resolve a CLI target to a JSON file: a path, or an artifact id.
+
+    Ids are looked up under the artifact root and its ``smoke/``
+    subdirectory.  Unknown ids raise ``KeyError`` with the available ids
+    in the message (the caller maps that to exit 2) — never a traceback.
+    """
+    path = Path(target)
+    if path.is_file():
+        return path
+    roots = [artifacts_root, artifacts_root / "smoke"]
+    for root in roots:
+        candidate = root / f"{target}.json"
+        if candidate.is_file():
+            return candidate
+    available = sorted({
+        entry.stem
+        for root in roots
+        if root.is_dir()
+        for entry in root.glob("*.json")
+        if entry.stem != "manifest"
+    })
+    listing = ", ".join(available) if available else "(none)"
+    raise KeyError(
+        f"unknown artifact {target!r} under {artifacts_root};"
+        f" available ids: {listing} — or pass a JSON file path"
+    )
+
+
+def _load_json(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from None
+
+
+def _print_critical_path(label: str, cp, top: int) -> None:
+    print(
+        f"critical path [{label}]: {len(cp.segments)} segments,"
+        f" path {cp.total_s * 1e3:.6f} ms / makespan {cp.makespan_s * 1e3:.6f} ms"
+    )
+    for resource, share in sorted(
+        cp.blocking_shares().items(), key=lambda kv: -kv[1]
+    ):
+        bar = "#" * int(round(share * 40))
+        print(f"  {resource:<18} {share:7.2%}  {bar}")
+    for seg in cp.segments[:top]:
+        print(
+            f"    {seg.start_s * 1e3:10.4f} -> {seg.end_s * 1e3:10.4f} ms"
+            f"  {seg.resource:<18} {seg.label}"
+        )
+    if len(cp.segments) > top:
+        print(f"    ... {len(cp.segments) - top} more segments (--top N)")
+
+
+def _run_analyze(args) -> int:
+    """The `repro analyze` body: critical path / self time / trace diff."""
+    path = _resolve_artifact(args.target, args.artifacts)
+    doc = _load_json(path)
+    is_trace = isinstance(doc, dict) and isinstance(doc.get("traceEvents"), list)
+    modes = [
+        mode for mode, wanted in (
+            ("critical-path", args.critical_path),
+            ("self-time", args.self_time),
+            ("diff", args.diff is not None),
+        ) if wanted
+    ]
+    if not modes:        # default: everything that applies to the input
+        modes = ["critical-path"] + (["self-time"] if is_trace else [])
+    payload: dict = {"input": str(path)}
+
+    if "critical-path" in modes:
+        paths: list[tuple[str, object]] = []
+        if is_trace:
+            paths.append(("trace", obs.critical_path_trace(doc)))
+        else:
+            timelines = obs.analyze.find_timelines(doc)
+            if not timelines:
+                raise ValueError(
+                    f"{path}: no engine timeline found (artifacts carry one"
+                    " when the experiment records an EngineRun; traces always"
+                    " analyze)"
+                )
+            paths.extend(
+                (label, obs.critical_path(sub)) for label, sub in timelines
+            )
+        payload["critical_path"] = {
+            label: cp.to_dict() for label, cp in paths
+        }
+        if not args.json:
+            for label, cp in paths:
+                _print_critical_path(label, cp, args.top)
+
+    if "self-time" in modes:
+        if not is_trace:
+            raise ValueError(
+                f"{path}: --self-time needs a Chrome trace document"
+                " (written by `repro trace` or any --trace flag)"
+            )
+        rows = obs.self_time(doc)
+        payload["self_time"] = rows
+        if not args.json:
+            print(f"self time [{path.name}]: {len(rows)} span names")
+            width = max((len(r["name"]) for r in rows[:args.top]), default=4)
+            for row in rows[:args.top]:
+                print(
+                    f"  {row['name']:<{width}}  x{row['count']:<5}"
+                    f" self {row['self_us'] / 1e3:10.3f} ms"
+                    f"  total {row['total_us'] / 1e3:10.3f} ms"
+                )
+
+    if "diff" in modes:
+        other = _resolve_artifact(args.diff, args.artifacts)
+        old_doc = _load_json(other)
+        if not is_trace or not isinstance(old_doc.get("traceEvents"), list):
+            raise ValueError(
+                "--diff compares two Chrome trace documents"
+                f" ({path} vs {other})"
+            )
+        rows = obs.diff_traces(old_doc, doc)
+        payload["diff"] = {"baseline": str(other), "rows": rows}
+        if not args.json:
+            print(f"trace diff [{other.name} -> {path.name}]:")
+            width = max((len(r["name"]) for r in rows[:args.top]), default=4)
+            for row in rows[:args.top]:
+                delta_ms = row["delta_self_us"] / 1e3
+                print(
+                    f"  {row['name']:<{width}}  {delta_ms:+10.3f} ms self"
+                    f"  ({row['old_self_us'] / 1e3:.3f} ->"
+                    f" {row['new_self_us'] / 1e3:.3f} ms) {row['status']}"
+                )
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=float))
+    return 0
+
+
+def _run_slo(args) -> int:
+    """The `repro slo` body: offline SLO replay over a saved window series."""
+    path = _resolve_artifact(args.artifact, args.artifacts)
+    doc = _load_json(path)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: not a cluster report payload")
+    windows = doc.get("windows")
+    if not isinstance(windows, list):
+        windows = (doc.get("sharding") or {}).get("windows")
+    if not isinstance(windows, list) or not windows:
+        raise ValueError(
+            f"{path}: no window series (sharded cluster artifacts carry"
+            " one; run `repro cluster --shards K --slo-ms MS --output ...`)"
+        )
+    saved = doc.get("slo") if isinstance(doc.get("slo"), dict) else {}
+    slo_ms = args.slo_ms or saved.get("slo_ms")
+    if not slo_ms:
+        raise ValueError(
+            f"{path}: no SLO in the artifact; pass --slo-ms MS"
+        )
+    target = args.target or saved.get("target", 0.99)
+    monitor = obs.SLOMonitor(
+        obs.SLOObjective(slo_ms=float(slo_ms), target=float(target))
+    )
+    for row in windows:
+        served = int(row.get("served", 0))
+        attainment = row.get("slo_attainment")
+        # Offline replay reduces each window to (served, good) counts;
+        # windows recorded without attainment count as all-good.
+        good = served * float(attainment) if attainment is not None else served
+        monitor.observe_counts(
+            int(row.get("index", 0)),
+            float(row.get("start_s", 0.0)),
+            float(row.get("end_s", 0.0)),
+            served,
+            good,
+        )
+    summary = monitor.summary()
+    if args.json:
+        print(json.dumps(
+            {"input": str(path), "slo": summary,
+             "windows": [s.to_dict() for s in monitor.states]},
+            indent=2, sort_keys=True, default=float,
+        ))
+        return 0
+    budget = summary["budget"]
+    print(
+        f"slo [{path.name}]: {summary['slo_ms']:g} ms @"
+        f" target {summary['target']:g} over {len(windows)} windows"
+    )
+    print(
+        f"  attainment {summary['attainment']:.4f}"
+        f" ({summary['violations']} violations)"
+    )
+    print(
+        f"  error budget: consumed {budget['consumed']:.2f}x,"
+        f" remaining {budget['remaining']:.2%}"
+    )
+    worst = max(monitor.states, key=lambda s: s.burn_rate, default=None)
+    if worst is not None:
+        print(
+            f"  peak burn rate {worst.burn_rate:.2f}x"
+            f" (window {worst.index} @ {worst.end_s * 1e3:.2f} ms)"
+        )
+    if summary["alerts"]:
+        for event in summary["alerts"]:
+            print(
+                f"  alert {event['rule']} {event['kind']}"
+                f" @ window {event.get('window')}"
+                f" (burn {event['value']:.2f}x)"
+            )
+    else:
+        print("  no burn-rate alerts")
+    return 0
+
+
 def _run_cluster(args) -> int:
     """The `repro cluster` body: build the fleet, serve the stream, print."""
     # Imported lazily: the cluster layer pulls the whole simulator stack,
@@ -644,6 +955,10 @@ def _run_cluster(args) -> int:
         poisson_arrivals,
     )
 
+    if args.alerts and not args.shards:
+        raise ValueError(
+            "--alerts needs the windowed coordinator: add --shards K"
+        )
     if args.trace:
         obs.enable()
     if args.kinds_file is not None:
@@ -711,6 +1026,8 @@ def _run_cluster(args) -> int:
             seed=args.seed,
             passes=args.passes,
             slo_ms=args.slo_ms or None,
+            slo_target=args.slo_target,
+            alerts=args.alerts,
         )
     else:
         report = ClusterSimulation(
@@ -755,6 +1072,29 @@ def _run_cluster(args) -> int:
             f" {report.slo['attainment']:.4f}"
             f" ({report.slo['violations']} violations)"
         )
+        budget = report.slo.get("budget")
+        if budget is not None:
+            print(
+                f"  error budget: consumed {budget['consumed']:.2f}x,"
+                f" remaining {budget['remaining']:.2%}"
+                f" (target {report.slo.get('target', 0.99):g})"
+            )
+    if report.alerts:
+        fired = [a for a in report.alerts if a.get("kind") == "fired"]
+        rules = sorted({a["rule"] for a in fired})
+        print(
+            f"  alerts: {len(fired)} fired"
+            + (f" ({', '.join(rules)})" if rules else "")
+        )
+        for alert in report.alerts:
+            window = alert.get("window")
+            at = f" @ window {window}" if window is not None else ""
+            print(
+                f"    {alert['severity']:<8} {alert['rule']}"
+                f" {alert['kind']}{at}: {alert['message']}"
+            )
+    elif args.alerts or (report.slo or {}).get("rules"):
+        print("  alerts: none fired")
     if len(report.chips) <= 16:
         for name, chip in report.chips.items():
             util = chip.utilization
@@ -782,6 +1122,18 @@ def _run_cluster(args) -> int:
     if args.output is not None:
         args.output.write_text(canonical_json(report.to_dict()))
         print(f"wrote {args.output}")
+    if args.alerts:
+        # Reconstruct incident episodes from the recorded transitions and
+        # write the JSON incident report alongside the run.
+        monitor = obs.Monitor(detectors=[])
+        monitor.alerts = [
+            obs.AlertEvent.from_dict(alert) for alert in report.alerts
+        ]
+        incident_path = Path("INCIDENT_cluster.json")
+        incident_path.write_text(canonical_json(
+            monitor.incident_report(slo_summary=report.slo)
+        ))
+        print(f"incident report: {incident_path}")
     if args.trace:
         _write_trace(
             Path("TRACE_cluster.json"), obs.result_events(report.to_dict())
@@ -1262,8 +1614,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "cache":
         return _run_cache(args)
 
-    if args.command in ("trace", "metrics"):
-        handler = _run_trace if args.command == "trace" else _run_metrics
+    if args.command in ("trace", "metrics", "analyze", "slo"):
+        handler = {
+            "trace": _run_trace,
+            "metrics": _run_metrics,
+            "analyze": _run_analyze,
+            "slo": _run_slo,
+        }[args.command]
         try:
             return handler(args)
         except KeyError as error:

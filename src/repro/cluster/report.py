@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..arch.engine.timeline import EngineRun
-from ..serve.report import ServedRequest, latency_stats
+from ..serve.report import ServedRequest, latency_stats, slo_block
 from ..serve.simulate import ChipServer
 from ..serve.sketch import LatencySketch
 from .admission import ShedRecord
@@ -104,6 +104,12 @@ class WindowStats:
     p99_ms: float                # this window's completions
     mean_ms: float
     slo_attainment: float | None = None
+    # Streaming-monitor series (populated when the SLO monitor / alert
+    # detectors run alongside the coordinator loop).
+    pressure: float | None = None        # outstanding work / fleet capacity
+    pending: int | None = None           # queued-only (backlog minus in-flight)
+    budget_remaining: float | None = None
+    burn_rate: float | None = None
 
     def to_dict(self) -> dict:
         payload = {
@@ -119,6 +125,10 @@ class WindowStats:
         }
         if self.slo_attainment is not None:
             payload["slo_attainment"] = self.slo_attainment
+        for key in ("pressure", "pending", "budget_remaining", "burn_rate"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
         return payload
 
 
@@ -154,6 +164,7 @@ class ClusterReport:
     windows: tuple[WindowStats, ...] = field(default_factory=tuple, repr=False)
     latency_sketch: LatencySketch | None = field(default=None, repr=False)
     slo: dict | None = None
+    alerts: tuple[dict, ...] = field(default_factory=tuple)
 
     @property
     def shed_fraction(self) -> float:
@@ -207,6 +218,8 @@ class ClusterReport:
             }
         if self.slo is not None:
             payload["slo"] = dict(self.slo)
+        if self.alerts:
+            payload["alerts"] = [dict(alert) for alert in self.alerts]
         return payload
 
 
@@ -328,6 +341,8 @@ def build_sharded_cluster_report(
     window_s: float,
     windows: list[WindowStats],
     slo_ms: float | None = None,
+    slo_summary: dict | None = None,
+    alerts: list[dict] | None = None,
 ) -> ClusterReport:
     """The sharded counterpart of :func:`build_cluster_report`.
 
@@ -350,12 +365,20 @@ def build_sharded_cluster_report(
     }
     slo = None
     if slo_ms is not None:
-        attainment = latency.cdf(slo_ms * 1e-3) if served else 0.0
-        slo = {
-            "slo_ms": float(slo_ms),
-            "attainment": attainment,
-            "violations": int(round((1.0 - attainment) * served)),
-        }
+        slo = slo_block(latency, slo_ms)
+        if slo_summary is not None:
+            # The streaming monitor's extras (budget, burn-rate rules,
+            # alert transitions) layered over the post-hoc block.  The
+            # attainment/violations keys stay post-hoc — the streaming
+            # values agree exactly (sketch merges are exact integer
+            # addition), which tests assert rather than assume.
+            slo.update({
+                key: value for key, value in slo_summary.items()
+                if key in (
+                    "target", "budget", "rules", "alerts",
+                    "alerts_fired", "active_rules",
+                )
+            })
     return ClusterReport(
         num_requests=served + shed_total,
         served=served,
@@ -386,4 +409,5 @@ def build_sharded_cluster_report(
         windows=tuple(windows),
         latency_sketch=latency,
         slo=slo,
+        alerts=tuple(alerts or ()),
     )

@@ -503,6 +503,10 @@ def simulate_cluster_sharded(
     energy: EnergyModel | None = None,
     passes: str | None = None,
     slo_ms: float | None = None,
+    slo_target: float = 0.99,
+    burn_rules: tuple | None = None,
+    alerts: bool = False,
+    detectors: list | None = None,
 ) -> ClusterReport:
     """Serve ``requests`` on a sharded fleet; returns the cluster report.
 
@@ -513,8 +517,17 @@ def simulate_cluster_sharded(
     name — instances don't cross process boundaries) routes *within*
     a shard; ``sharding.shard_policy`` routes *across* shards.  The
     optional ``autoscale`` control loop runs at window granularity on
-    digest pressure.  With ``slo_ms`` the report carries SLO attainment
-    (overall and per window).
+    digest pressure.
+
+    With ``slo_ms`` an :class:`~repro.obs.slo.SLOMonitor` runs
+    *streaming* in the coordinator loop — each window's merged latency
+    sketch feeds live attainment, error-budget, and multi-window
+    burn-rate evaluation (``slo_target``/``burn_rules``), and the report
+    carries the attainment series plus budget/alert record.  With
+    ``alerts`` the :class:`~repro.obs.monitor.Monitor` detector set
+    (``detectors`` to override) additionally watches the window stream
+    for queue growth, shedding, saturation, and latency drift; all
+    alert transitions land in ``report.alerts``.
     """
     if not isinstance(policy, str):
         raise TypeError(
@@ -572,6 +585,21 @@ def simulate_cluster_sharded(
     shed_by_model: dict[str, int] = {}
     scaling_events: list[ScalingEvent] = []
     windows: list[WindowStats] = []
+    # Streaming analysis: the SLO monitor consumes each window's merged
+    # sketch as the coordinator produces it (exactly equivalent to the
+    # post-hoc pass — sketch merges are exact); the detector monitor
+    # watches the fleet-aggregated window stats.
+    slo_monitor = None
+    if slo_ms is not None:
+        slo_monitor = obs.SLOMonitor(
+            obs.SLOObjective(slo_ms=float(slo_ms), target=slo_target),
+            rules=burn_rules,
+        )
+    monitor = (
+        obs.Monitor(detectors)
+        if (alerts or detectors is not None)
+        else None
+    )
     total_latency = LatencySketch()
     total_wait = LatencySketch()
     digests: dict[int, WindowDigest] = {}
@@ -676,12 +704,19 @@ def simulate_cluster_sharded(
                 _window_mean(digests, step_shards) * 1e3
             )
             attainment = None
-            if slo_ms is not None and window_served:
+            budget_remaining = None
+            burn_rate = None
+            if slo_monitor is not None:
                 merged = LatencySketch()
                 for shard in step_shards:
                     merged.update(digests[shard].latency)
-                attainment = merged.cdf(slo_ms * 1e-3)
-            windows.append(WindowStats(
+                state = slo_monitor.observe_window(
+                    window, start_s, until, merged
+                )
+                attainment = state.attainment
+                budget_remaining = state.budget_remaining
+                burn_rate = state.burn_rate
+            stats = WindowStats(
                 index=window,
                 start_s=start_s,
                 end_s=until,
@@ -692,7 +727,22 @@ def simulate_cluster_sharded(
                 p99_ms=window_p99,
                 mean_ms=window_mean,
                 slo_attainment=attainment,
-            ))
+                pressure=(
+                    _pressure(digests, accepting, sharding.window_s)
+                    if monitor is not None
+                    else None
+                ),
+                pending=(
+                    sum(d.pending for d in digests.values())
+                    if monitor is not None
+                    else None
+                ),
+                budget_remaining=budget_remaining,
+                burn_rate=burn_rate,
+            )
+            windows.append(stats)
+            if monitor is not None:
+                monitor.observe_window(stats)
             if autoscale is not None and not arrivals_done:
                 while next_scale_check <= until:
                     next_scale_check += autoscale.interval_s
@@ -744,6 +794,13 @@ def simulate_cluster_sharded(
     offered = (len(stream) - 1) / span if span > 0 else 0.0
     chip_stats = [chip for final in finals for chip in final.chips]
     chip_stats.sort(key=lambda c: c.name)
+    alert_events = [
+        *(slo_monitor.alerts if slo_monitor is not None else ()),
+        *(monitor.alerts if monitor is not None else ()),
+    ]
+    alert_events.sort(
+        key=lambda e: (e.window if e.window is not None else -1, e.rule)
+    )
     return build_sharded_cluster_report(
         chip_stats,
         total_shed,
@@ -762,6 +819,10 @@ def simulate_cluster_sharded(
         window_s=sharding.window_s,
         windows=windows,
         slo_ms=slo_ms,
+        slo_summary=(
+            slo_monitor.summary() if slo_monitor is not None else None
+        ),
+        alerts=[event.to_dict() for event in alert_events],
     )
 
 

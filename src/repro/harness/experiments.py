@@ -1101,6 +1101,7 @@ def experiment_cluster_planet_scale(
     bs_t: int = 2,
     bs_n: int = 4,
     passes: str = "all",
+    alerts: int = 1,
 ) -> dict:
     """Cluster — planet-scale sharded fleet under a trace-driven workload.
 
@@ -1114,6 +1115,13 @@ def experiment_cluster_planet_scale(
     auto-sets the SLO to 20x the mix's mean single-request latency.  The
     report carries overall and per-window SLO attainment; per-chip rows
     are aggregated by chip kind (a 10,000-chip run stays a small JSON).
+
+    The streaming SLO monitor always runs (burn-rate alerts over the
+    window stream as the coordinator merges each digest); ``alerts=1``
+    additionally enables the operational detectors (queue growth, shed
+    rate, saturation, latency drift) and surfaces every transition in
+    the payload's ``alerts`` list — the record ``repro trace`` folds
+    into the Perfetto view and ``run-all --alerts`` rolls up.
     """
     from ..cluster import (
         AdmissionConfig,
@@ -1152,6 +1160,7 @@ def experiment_cluster_planet_scale(
         seed=seed,
         passes=passes,
         slo_ms=slo_ms,
+        alerts=bool(alerts),
     )
 
     by_kind: dict[str, dict] = {}
@@ -1218,6 +1227,7 @@ def experiment_cluster_planet_scale(
         "autoscaler_events": len(report.scaling_events),
         "fleet_by_kind": by_kind,
         "windows": [window.to_dict() for window in report.windows],
+        "alerts": [dict(alert) for alert in report.alerts],
     }
 
 
@@ -1334,6 +1344,72 @@ def experiment_cluster_sharding_bench(
             "sharded_s": sharded_s,
             "speedup": speedup,
             "p99_rel_err": percentile_errs["p99"],
+        },
+    }
+
+
+def experiment_obs_analyze_bench(
+    model: str = "model4", repeats: int = 20, seed: int = 0
+) -> dict:
+    """Wall-clock overhead of the offline trace analyzers.
+
+    Replays one compiled program into an :class:`EngineRun` and times
+    ``repro analyze``'s critical-path extraction over its timeline
+    ``repeats`` times, recording per-call cost and per-entry cost — the
+    budget an operator pays to attribute a makespan after a run.  The
+    exactness invariants ride along as evidence, not just tests: the
+    path's segment durations must telescope to the makespan and the
+    per-resource blocking shares must sum to one.  The ``bench_metrics``
+    block is lifted into ``repro bench`` JSON payloads and the committed
+    ``BENCH_baseline.json`` trajectory.
+    """
+    import math
+    import time
+
+    from ..arch import (
+        BishopAccelerator,
+        BishopConfig,
+        EnergyModel,
+        simulate_inference,
+    )
+    from ..obs.analyze import critical_path
+
+    repeats = max(1, int(repeats))
+    spec = BundleSpec(2, 4)
+    trace = synthetic_trace(model_config(model), PROFILES[model], spec, seed=seed)
+    report = BishopAccelerator(
+        BishopConfig(bundle_spec=spec)
+    ).run_trace(trace, simulate_events=False)
+    run = simulate_inference(
+        report, BishopConfig(bundle_spec=spec), EnergyModel()
+    )
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        path = critical_path(run)
+    analyze_s = (time.perf_counter() - started) / repeats
+
+    entries = len(run.timeline)
+    makespan_err = abs(path.total_s - run.makespan_s) / max(
+        run.makespan_s, 1e-30
+    )
+    shares = path.blocking_shares()
+    shares_err = abs(math.fsum(shares.values()) - 1.0)
+    return {
+        "model": model,
+        "repeats": repeats,
+        "timeline_entries": entries,
+        "makespan_s": run.makespan_s,
+        "critical_path": {
+            "segments": len(path.segments),
+            "blocking_shares": shares,
+            "makespan_rel_err": makespan_err,
+            "shares_sum_err": shares_err,
+        },
+        "bench_metrics": {
+            "critical_path_s": analyze_s,
+            "per_entry_us": analyze_s / max(entries, 1) * 1e6,
+            "makespan_rel_err": makespan_err,
         },
     }
 
@@ -1641,10 +1717,14 @@ EXPERIMENTS: dict[str, Experiment] = _register((
             "max_inflight": ParamSpec(int, 2, "concurrent inferences per chip"),
             "bs_t": _BS_T, "bs_n": _BS_N,
             "passes": _PASSES,
+            "alerts": ParamSpec(
+                int, 1, "1 = run the detector rule engine alongside the"
+                " always-on burn-rate monitor",
+            ),
         },
         smoke_params={"chips": 64, "shards": 2, "num_requests": 240},
         description="sharded planet-scale fleet under trace-driven load"
-        " with per-window SLO attainment",
+        " with per-window SLO attainment and streaming alerts",
     ),
     Experiment(
         "cluster_sharding_bench", "Cluster", experiment_cluster_sharding_bench,
@@ -1669,6 +1749,17 @@ EXPERIMENTS: dict[str, Experiment] = _register((
         smoke_params={"chips": 64, "shards": 2, "num_requests": 200},
         description="sharded-vs-single-process fleet speedup + percentile"
         " conformance (a BENCH trajectory deliverable)",
+    ),
+    Experiment(
+        "obs_analyze_bench", "Engine", experiment_obs_analyze_bench,
+        params={
+            "model": ParamSpec(str, "model4", _MODEL.help),
+            "repeats": ParamSpec(int, 20, "timed critical-path extractions"),
+            "seed": _SEED,
+        },
+        smoke_params={"repeats": 2},
+        description="critical-path analyzer overhead + exactness evidence"
+        " (a BENCH trajectory deliverable)",
     ),
 ))
 

@@ -26,21 +26,57 @@ from __future__ import annotations
 
 import os
 
-from .convert import engine_run_events, result_events, window_events
+from .analyze import (
+    CriticalPath,
+    critical_path,
+    critical_path_trace,
+    diff_traces,
+    self_time,
+)
+from .convert import (
+    alert_events,
+    engine_run_events,
+    result_events,
+    window_events,
+)
 from .metrics import (
     METRICS_ENV,
     MetricsRegistry,
     format_metrics,
     registry,
 )
-from .trace import TRACE_ENV, SpanRecord, Tracer, tracer
+from .monitor import DEFAULT_DETECTORS, Detector, Monitor, registry_alerts
+from .slo import (
+    DEFAULT_BURN_RULES,
+    AlertEvent,
+    BurnRateRule,
+    Hysteresis,
+    SLOMonitor,
+    SLOObjective,
+)
+from .trace import TRACE_ENV, TRACE_LIMIT_ENV, SpanRecord, Tracer, tracer
 
 __all__ = [
+    "AlertEvent",
+    "BurnRateRule",
+    "CriticalPath",
+    "DEFAULT_BURN_RULES",
+    "DEFAULT_DETECTORS",
+    "Detector",
+    "Hysteresis",
     "METRICS_ENV",
-    "TRACE_ENV",
+    "Monitor",
     "MetricsRegistry",
+    "SLOMonitor",
+    "SLOObjective",
     "SpanRecord",
+    "TRACE_ENV",
+    "TRACE_LIMIT_ENV",
     "Tracer",
+    "alert_events",
+    "critical_path",
+    "critical_path_trace",
+    "diff_traces",
     "disable",
     "enable",
     "enable_from_env",
@@ -53,7 +89,9 @@ __all__ = [
     "instant",
     "observe",
     "registry",
+    "registry_alerts",
     "result_events",
+    "self_time",
     "set_gauge",
     "span",
     "tracer",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 __all__ = [
     "SIM_PID_BASE",
+    "alert_events",
     "engine_run_events",
     "window_events",
     "result_events",
@@ -135,6 +136,10 @@ def window_events(
         slo = _get(row, "slo_attainment")
         if slo is not None:
             args["slo_attainment"] = slo
+        for extra in ("budget_remaining", "burn_rate", "pressure"):
+            value = _get(row, extra)
+            if value is not None:
+                args[extra] = value
         index = _get(row, "index", 0)
         events.append(
             {
@@ -171,6 +176,59 @@ def window_events(
     return events
 
 
+def alert_events(
+    alerts,
+    pid: int = SIM_PID_BASE + 2,
+    process_name: str = "alerts",
+) -> list[dict]:
+    """Render :class:`~repro.obs.slo.AlertEvent` rows as instant events.
+
+    Each fired/cleared transition becomes a ``ph: "i"`` instant at its
+    simulated timestamp (Perfetto draws these as flag markers), grouped
+    on one ``alerts`` track.  Rows without a timestamp (end-of-run
+    registry rules) land at t=0.
+    """
+    rows = list(alerts or [])
+    if not rows:
+        return []
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "alerts"},
+        },
+    ]
+    for row in rows:
+        t_s = _get(row, "t_s")
+        events.append(
+            {
+                "name": f"{_get(row, 'rule', 'alert')} {_get(row, 'kind', '')}".strip(),
+                "cat": "obs.alert",
+                "ph": "i",
+                "s": "g",
+                "ts": float(t_s or 0.0) * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "severity": _get(row, "severity", "warning"),
+                    "value": _get(row, "value", 0.0),
+                    "threshold": _get(row, "threshold", 0.0),
+                    "message": _get(row, "message", ""),
+                },
+            }
+        )
+    return events
+
+
 def result_events(result) -> list[dict]:
     """Extract simulated-time tracks from an experiment result payload.
 
@@ -201,6 +259,14 @@ def result_events(result) -> list[dict]:
             events.extend(
                 window_events(
                     windows, pid=pid, process_name=f"simulated windows [{label}]"
+                )
+            )
+            pid += 1
+        alerts = payload.get("alerts")
+        if isinstance(alerts, list) and alerts:
+            events.extend(
+                alert_events(
+                    alerts, pid=pid, process_name=f"alerts [{label}]"
                 )
             )
             pid += 1

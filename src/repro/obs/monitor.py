@@ -1,0 +1,384 @@
+"""Detector rule engine over the window stream and metrics registry.
+
+Where :mod:`repro.obs.slo` watches one contract (the latency SLO), the
+:class:`Monitor` here watches the *symptoms* that usually precede or
+explain an SLO breach: a backlog that grows monotonically
+(queue-growth), admission control turning traffic away (shed-rate), the
+fleet running at or past its service capacity
+(utilization-saturation), and the per-window mean drifting away from
+its own recent baseline (latency-drift).  Each detector reduces a
+:class:`~repro.cluster.report.WindowStats` row to one scalar and feeds
+it through the same :class:`~repro.obs.slo.Hysteresis` latch the
+burn-rate rules use, emitting :class:`~repro.obs.slo.AlertEvent`
+transitions.
+
+A second entry point, :meth:`Monitor.observe_registry` /
+:func:`registry_alerts`, evaluates end-of-run rules over a metrics
+registry snapshot (dropped trace spans, corrupt cache entries) so
+``repro run-all --alerts`` can fold health checks into the manifest
+without any windowed stream.
+
+Alerts end up in three places: the cluster report (``report.alerts``),
+the Perfetto trace as instant events
+(:func:`repro.obs.convert.alert_events`), and the JSON incident report
+written by ``repro cluster --alerts`` (:meth:`Monitor.incident_report`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .slo import AlertEvent, Hysteresis
+
+__all__ = [
+    "DEFAULT_DETECTORS",
+    "Detector",
+    "Monitor",
+    "latency_drift",
+    "queue_growth",
+    "registry_alerts",
+    "shed_rate",
+    "utilization_saturation",
+]
+
+
+class Detector:
+    """One windowed detector: a signal function latched with hysteresis.
+
+    Subclasses (or instances built by the factory helpers below) define
+    ``signal(window) -> float | None`` — ``None`` means "no reading this
+    window" and leaves the latch untouched.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fire: float,
+        clear: float | None = None,
+        severity: str = "warning",
+        unit: str = "",
+    ):
+        self.name = name
+        self.severity = severity
+        self.unit = unit
+        self._latch = Hysteresis(fire, clear)
+
+    def signal(self, window) -> float | None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def active(self) -> bool:
+        return self._latch.active
+
+    def observe(self, window) -> AlertEvent | None:
+        value = self.signal(window)
+        if value is None:
+            return None
+        transition = self._latch.update(value)
+        if transition is None:
+            return None
+        threshold = (
+            self._latch.fire if transition == "fired" else self._latch.clear
+        )
+        unit = f" {self.unit}" if self.unit else ""
+        return AlertEvent(
+            rule=self.name,
+            kind=transition,
+            severity=self.severity,
+            message=(
+                f"{self.name} {transition}: {value:.3g}{unit}"
+                f" ({'>=' if transition == 'fired' else '<'} {threshold:g})"
+            ),
+            value=value,
+            threshold=threshold,
+            window=int(window.index),
+            t_s=float(window.end_s),
+        )
+
+
+class queue_growth(Detector):
+    """Backlog growing for N consecutive windows.
+
+    The signal is the length of the current strictly-increasing backlog
+    streak; the latch fires once the streak reaches ``windows`` and
+    clears the moment the backlog stops growing (streak resets to 0).
+    A transient one-window blip never fires; a sustained overload does.
+
+    Prefers the queued-only ``pending`` series when the window carries
+    one: the aggregate ``backlog`` column counts in-flight requests too,
+    so it ramps benignly as a calm fleet warms up to its steady-state
+    concurrency — growth in *waiting* requests is the overload signal.
+    """
+
+    def __init__(self, windows: int = 3, severity: str = "critical"):
+        super().__init__(
+            "queue_growth", fire=windows, clear=1, severity=severity,
+            unit="windows",
+        )
+        self._last_backlog: int | None = None
+        self._streak = 0
+
+    def signal(self, window) -> float:
+        pending = getattr(window, "pending", None)
+        backlog = int(window.backlog if pending is None else pending)
+        if self._last_backlog is not None and backlog > self._last_backlog:
+            self._streak += 1
+        else:
+            self._streak = 0
+        self._last_backlog = backlog
+        return float(self._streak)
+
+
+class shed_rate(Detector):
+    """Admission control shedding more than ``threshold`` of arrivals."""
+
+    def __init__(
+        self, threshold: float = 0.05, severity: str = "warning",
+    ):
+        super().__init__(
+            "shed_rate", fire=threshold, clear=threshold / 2.0,
+            severity=severity,
+        )
+
+    def signal(self, window) -> float | None:
+        arrivals = int(window.arrivals)
+        if not arrivals:
+            return None
+        return int(window.shed) / arrivals
+
+
+class utilization_saturation(Detector):
+    """Fleet pressure (outstanding work / serviceable work) at capacity.
+
+    Pressure > 1 means the window holds more outstanding service time
+    than the accepting chips can provide in one window.  Raw pressure
+    alone over-triggers when service times span multiple coordination
+    windows (a warm fleet's *in-flight* work already exceeds one window
+    of capacity while throughput keeps up), so the signal is weighted by
+    the queued share of the backlog: pressure counts only insofar as
+    requests are actually waiting.  Fires slightly below 1 so the alert
+    leads the queue, clears at 0.8.
+    """
+
+    def __init__(self, threshold: float = 0.95, severity: str = "warning"):
+        super().__init__(
+            "utilization_saturation", fire=threshold, clear=0.8,
+            severity=severity, unit="x capacity",
+        )
+
+    def signal(self, window) -> float | None:
+        pressure = getattr(window, "pressure", None)
+        if pressure is None:
+            return None
+        pressure = float(pressure)
+        pending = getattr(window, "pending", None)
+        backlog = int(getattr(window, "backlog", 0) or 0)
+        if pending is not None and backlog > 0:
+            pressure *= int(pending) / backlog
+        return pressure
+
+
+class latency_drift(Detector):
+    """Window mean latency drifting above its own EWMA baseline.
+
+    The signal is ``mean_ms / baseline``; the baseline is an EWMA of
+    past window means that **freezes while the detector is active**, so
+    a slow incident can't drag the baseline up and mask itself.  The
+    first ``warmup`` windows only feed the baseline.
+    """
+
+    def __init__(
+        self,
+        ratio: float = 2.0,
+        warmup: int = 3,
+        alpha: float = 0.3,
+        severity: str = "warning",
+    ):
+        super().__init__(
+            "latency_drift", fire=ratio, clear=(1.0 + ratio) / 2.0,
+            severity=severity, unit="x baseline",
+        )
+        self.warmup = int(warmup)
+        self.alpha = float(alpha)
+        self._baseline: float | None = None
+        self._seen = 0
+
+    def signal(self, window) -> float | None:
+        mean_ms = float(window.mean_ms)
+        if mean_ms <= 0.0:
+            return None
+        self._seen += 1
+        if self._baseline is None:
+            self._baseline = mean_ms
+            return None
+        ratio = mean_ms / self._baseline
+        if not self.active:
+            self._baseline += self.alpha * (mean_ms - self._baseline)
+        if self._seen <= self.warmup:
+            return None
+        return ratio
+
+
+def DEFAULT_DETECTORS() -> list[Detector]:
+    """A fresh default detector set (stateful, so built per run)."""
+    return [
+        queue_growth(),
+        shed_rate(),
+        utilization_saturation(),
+        latency_drift(),
+    ]
+
+
+#: End-of-run registry rules: counter name -> (threshold, severity, note).
+_REGISTRY_RULES: dict[str, tuple[float, str, str]] = {
+    "trace.dropped": (
+        1, "warning", "span ring buffer overflowed; raise REPRO_TRACE_LIMIT",
+    ),
+    "runtime.cache_corrupt": (
+        1, "warning", "result cache entries failed verification",
+    ),
+    "serve.rejected": (
+        1, "info", "admission control rejected requests",
+    ),
+}
+
+
+def registry_alerts(snapshot: dict) -> list[AlertEvent]:
+    """Evaluate end-of-run health rules over a registry snapshot."""
+    counters = snapshot.get("counters", {}) if snapshot else {}
+    alerts = []
+    for name, (threshold, severity, note) in sorted(_REGISTRY_RULES.items()):
+        value = float(counters.get(name, 0))
+        if value >= threshold:
+            alerts.append(AlertEvent(
+                rule=f"registry.{name}",
+                kind="fired",
+                severity=severity,
+                message=f"{name}={value:g}: {note}",
+                value=value,
+                threshold=float(threshold),
+            ))
+    return alerts
+
+
+@dataclass(frozen=True)
+class _Incident:
+    """A fired..cleared (or fired..end-of-run) episode of one rule."""
+
+    rule: str
+    severity: str
+    start_window: int | None
+    end_window: int | None
+    start_s: float | None
+    end_s: float | None
+    peak_value: float
+    resolved: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "start_window": self.start_window,
+            "end_window": self.end_window,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "peak_value": self.peak_value,
+            "resolved": self.resolved,
+        }
+
+
+class Monitor:
+    """Runs a detector set over the window stream, collecting alerts."""
+
+    def __init__(self, detectors: list[Detector] | None = None):
+        self.detectors = (
+            DEFAULT_DETECTORS() if detectors is None else list(detectors)
+        )
+        self.alerts: list[AlertEvent] = []
+
+    def observe_window(self, window) -> list[AlertEvent]:
+        """Feed one WindowStats row to every detector; returns transitions."""
+        events = []
+        for detector in self.detectors:
+            event = detector.observe(window)
+            if event is not None:
+                events.append(event)
+        self.alerts.extend(events)
+        return events
+
+    def observe_registry(self, snapshot: dict) -> list[AlertEvent]:
+        """Evaluate end-of-run registry rules; folds into ``alerts``."""
+        events = registry_alerts(snapshot)
+        self.alerts.extend(events)
+        return events
+
+    @property
+    def fired(self) -> list[AlertEvent]:
+        return [event for event in self.alerts if event.kind == "fired"]
+
+    @property
+    def active_rules(self) -> list[str]:
+        return sorted(d.name for d in self.detectors if d.active)
+
+    def incidents(
+        self, extra: list[AlertEvent] | None = None
+    ) -> list[_Incident]:
+        """Pair fired/cleared transitions into incident episodes."""
+        events = sorted(
+            self.alerts + list(extra or ()),
+            key=lambda e: (e.window if e.window is not None else -1),
+        )
+        open_by_rule: dict[str, AlertEvent] = {}
+        peaks: dict[str, float] = {}
+        episodes: list[_Incident] = []
+        for event in events:
+            if event.kind == "fired":
+                open_by_rule.setdefault(event.rule, event)
+                peaks[event.rule] = max(
+                    peaks.get(event.rule, float("-inf")), event.value
+                )
+            elif event.kind == "cleared" and event.rule in open_by_rule:
+                start = open_by_rule.pop(event.rule)
+                episodes.append(_Incident(
+                    rule=event.rule,
+                    severity=start.severity,
+                    start_window=start.window,
+                    end_window=event.window,
+                    start_s=start.t_s,
+                    end_s=event.t_s,
+                    peak_value=peaks.pop(event.rule),
+                    resolved=True,
+                ))
+        for rule, start in sorted(open_by_rule.items()):
+            episodes.append(_Incident(
+                rule=rule,
+                severity=start.severity,
+                start_window=start.window,
+                end_window=None,
+                start_s=start.t_s,
+                end_s=None,
+                peak_value=peaks[rule],
+                resolved=False,
+            ))
+        episodes.sort(key=lambda i: (
+            i.start_window if i.start_window is not None else -1, i.rule,
+        ))
+        return episodes
+
+    def incident_report(
+        self,
+        slo_summary: dict | None = None,
+        extra: list[AlertEvent] | None = None,
+    ) -> dict:
+        """The JSON incident report for ``repro cluster --alerts``."""
+        all_alerts = self.alerts + list(extra or ())
+        fired = [e for e in all_alerts if e.kind == "fired"]
+        report = {
+            "alerts_fired": len(fired),
+            "rules_fired": sorted({e.rule for e in fired}),
+            "incidents": [i.to_dict() for i in self.incidents(extra)],
+            "alerts": [e.to_dict() for e in all_alerts],
+        }
+        if slo_summary is not None:
+            report["slo"] = slo_summary
+        return report

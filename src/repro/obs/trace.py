@@ -32,16 +32,19 @@ import json
 import os
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 __all__ = [
     "SpanRecord",
     "Tracer",
     "TRACE_ENV",
+    "TRACE_LIMIT_ENV",
     "tracer",
 ]
 
 TRACE_ENV = "REPRO_TRACE"
+TRACE_LIMIT_ENV = "REPRO_TRACE_LIMIT"
 
 _TRUTHY = ("1", "on", "true", "yes")
 _FALSY = ("", "0", "off", "false", "no")
@@ -64,6 +67,28 @@ def _env_flag(name: str) -> bool:
         f"{name}={raw!r}: expected one of "
         f"{'|'.join(_TRUTHY)} (on) or {'|'.join(v for v in _FALSY if v)} (off)"
     )
+
+
+def _env_int(name: str) -> int | None:
+    """Strictly parse a non-negative integer environment variable.
+
+    Unset, empty, or ``0`` mean "no limit" (``None``); anything that is
+    not a non-negative integer raises, mirroring :func:`_env_flag`.
+    """
+    raw = os.environ.get(name, "")
+    value = raw.strip()
+    if not value:
+        return None
+    try:
+        parsed = int(value)
+    except ValueError:
+        parsed = -1
+    if parsed < 0:
+        raise ValueError(
+            f"{name}={raw!r}: expected a non-negative integer span cap"
+            " (0 or unset = unlimited)"
+        )
+    return parsed or None
 
 
 class _NullSpan:
@@ -175,7 +200,9 @@ class Tracer:
     def __init__(self):
         self.active = False
         self._lock = threading.Lock()
-        self._spans: list[SpanRecord] = []
+        self._spans: deque[SpanRecord] = deque()
+        self._limit: int | None = None
+        self.dropped = 0
         self._local = threading.local()
 
     # -- per-thread nesting ------------------------------------------------
@@ -187,8 +214,23 @@ class Tracer:
         return stack
 
     def _record(self, span: SpanRecord) -> None:
+        overflowed = False
         with self._lock:
             self._spans.append(span)
+            if self._limit is not None and len(self._spans) > self._limit:
+                self._spans.popleft()          # ring buffer: drop oldest
+                self.dropped += 1
+                overflowed = True
+        if overflowed:
+            # Deferred import: metrics imports nothing from here, so the
+            # edge stays one-way; guarded so a bare tracer (registry off)
+            # still just counts locally.
+            try:
+                from .metrics import registry
+            except ImportError:  # pragma: no cover - stdlib-only fallback
+                return
+            if registry.active:
+                registry.inc("trace.dropped")
 
     # -- lifecycle ---------------------------------------------------------
     def enable(self) -> None:
@@ -200,12 +242,39 @@ class Tracer:
     def reset(self) -> None:
         with self._lock:
             self._spans.clear()
+        self.dropped = 0
         self._local = threading.local()
 
+    def set_limit(self, limit: int | None) -> None:
+        """Cap the span buffer (``None``/``0`` = unlimited).
+
+        When the buffer is over a newly-set cap, the oldest spans are
+        dropped immediately and counted in :attr:`dropped`.
+        """
+        if limit is not None and limit < 0:
+            raise ValueError("trace limit must be non-negative")
+        with self._lock:
+            self._limit = limit or None
+            if self._limit is not None:
+                while len(self._spans) > self._limit:
+                    self._spans.popleft()
+                    self.dropped += 1
+
+    @property
+    def limit(self) -> int | None:
+        return self._limit
+
     def enable_from_env(self) -> bool:
-        """Enable iff ``REPRO_TRACE`` is set truthy (worker-side hook)."""
+        """Enable iff ``REPRO_TRACE`` is set truthy (worker-side hook).
+
+        Also applies the ``REPRO_TRACE_LIMIT`` span cap — parsed
+        unconditionally so an invalid value fails fast even when
+        tracing stays off.
+        """
+        limit = _env_int(TRACE_LIMIT_ENV)
         if _env_flag(TRACE_ENV):
             self.active = True
+            self.set_limit(limit)
         return self.active
 
     # -- recording ---------------------------------------------------------
@@ -250,6 +319,10 @@ class Tracer:
         records = [SpanRecord.from_dict(payload) for payload in snapshot]
         with self._lock:
             self._spans.extend(records)
+            if self._limit is not None:
+                while len(self._spans) > self._limit:
+                    self._spans.popleft()
+                    self.dropped += 1
         return len(records)
 
     def structure(self) -> list[tuple]:

@@ -108,6 +108,55 @@ class RunSummary:
         }
 
 
+def _manifest_alerts(summary: "RunSummary") -> dict:
+    """The ``run-all --alerts`` manifest block.
+
+    Three alert sources fold together: end-of-run metrics-registry
+    health rules (:func:`repro.obs.registry_alerts`), one critical event
+    per failed experiment, and a rollup of any alerts the experiments'
+    own simulated runs recorded in their payloads.
+    """
+    events: list[obs.AlertEvent] = []
+    if obs.registry.active and not obs.registry.is_empty():
+        events.extend(obs.registry_alerts(obs.registry.to_dict()))
+    for outcome in summary.outcomes:
+        if not outcome.ok:
+            events.append(obs.AlertEvent(
+                rule=f"runtime.failed.{outcome.experiment}",
+                kind="fired",
+                severity="critical",
+                message=(
+                    f"experiment {outcome.experiment} failed:"
+                    f" {(outcome.error or 'unknown error').splitlines()[-1]}"
+                ),
+                value=1.0,
+                threshold=1.0,
+            ))
+            continue
+        result = outcome.result if isinstance(outcome.result, dict) else {}
+        fired = sum(
+            1 for alert in result.get("alerts", ())
+            if isinstance(alert, dict) and alert.get("kind") == "fired"
+        )
+        if fired:
+            events.append(obs.AlertEvent(
+                rule=f"runtime.alerts.{outcome.experiment}",
+                kind="fired",
+                severity="warning",
+                message=(
+                    f"{outcome.experiment}: {fired} alert(s) fired in the"
+                    " simulated run (see its artifact)"
+                ),
+                value=float(fired),
+                threshold=1.0,
+            ))
+    return {
+        "alerts_fired": len(events),
+        "rules": sorted({event.rule for event in events}),
+        "events": [event.to_dict() for event in events],
+    }
+
+
 def _execute(name: str, params: dict) -> tuple[str, object, float]:
     """Worker entry point: run one experiment by registry id.
 
@@ -255,6 +304,7 @@ class ExperimentRunner:
         only: Iterable[str] | None = None,
         smoke: bool = False,
         write_manifest: bool = True,
+        alerts: bool = False,
     ) -> RunSummary:
         """Run every registered experiment (or the ``only`` subset).
 
@@ -262,6 +312,9 @@ class ExperimentRunner:
         ``smoke_params`` configuration instead of the paper-faithful
         defaults (used by CI); smoke artifacts and manifest land under
         ``<root>/smoke/`` so they never overwrite the paper results.
+        With ``alerts=True`` the manifest gains an ``alerts`` summary:
+        end-of-run registry health rules (dropped spans, corrupt cache
+        entries) plus one event per failed experiment.
         """
         names = sorted(EXPERIMENTS) if only is None else list(only)
         requests = [
@@ -278,6 +331,8 @@ class ExperimentRunner:
             # manifest so `repro metrics --manifest` can read it back.
             if obs.registry.active and not obs.registry.is_empty():
                 manifest["metrics"] = obs.registry.to_dict()
+            if alerts:
+                manifest["alerts"] = _manifest_alerts(summary)
             path = store.write_manifest(manifest)
             summary = RunSummary(
                 outcomes=summary.outcomes,

@@ -9,9 +9,39 @@ import numpy as np
 from ..arch.engine.timeline import EngineRun
 from .sketch import LatencySketch
 
-__all__ = ["LatencyStats", "ServedRequest", "ServingReport", "latency_stats"]
+__all__ = [
+    "LatencyStats",
+    "ServedRequest",
+    "ServingReport",
+    "latency_stats",
+    "slo_block",
+]
 
 PERCENTILES = (50, 90, 95, 99)
+
+
+def slo_block(latencies_s, slo_ms: float) -> dict:
+    """The canonical SLO summary block quoted in reports.
+
+    Accepts raw samples or a :class:`~repro.serve.sketch.LatencySketch`
+    (same seam as :func:`latency_stats`): attainment is the CDF at the
+    objective, violations the complementary count.  An empty sample set
+    reports zero attainment — "no data" must not read as "SLO met".
+    """
+    if isinstance(latencies_s, LatencySketch):
+        count = latencies_s.count
+        attainment = latencies_s.cdf(slo_ms * 1e-3) if count else 0.0
+    else:
+        samples = np.asarray(latencies_s, dtype=float)
+        count = int(samples.size)
+        attainment = (
+            float((samples <= slo_ms * 1e-3).mean()) if count else 0.0
+        )
+    return {
+        "slo_ms": float(slo_ms),
+        "attainment": attainment,
+        "violations": int(round((1.0 - attainment) * count)),
+    }
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,107 @@
+"""Streaming SLO + alerting acceptance on the planet-scale coordinator.
+
+The PR's acceptance pair: a flash-crowd overload must page (burn-rate
+alert inside the spike) and the calm diurnal baseline must stay silent —
+with the streaming monitor's budget arithmetic agreeing *exactly* with
+the post-hoc computation over the run's total latency sketch.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+FLASH = dict(
+    chips=8, shards=2, num_requests=400, trace="flash_crowd", rho_peak=3.0,
+)
+CALM = dict(
+    chips=16, shards=2, num_requests=160, trace="diurnal", rho_peak=0.6,
+)
+
+
+@pytest.fixture(scope="module")
+def flash_crowd():
+    return run_experiment("cluster_planet_scale", **FLASH)
+
+
+@pytest.fixture(scope="module")
+def calm_diurnal():
+    return run_experiment("cluster_planet_scale", **CALM)
+
+
+class TestFlashCrowdPages:
+    def test_burn_rate_alert_fires(self, flash_crowd):
+        fired = [
+            a for a in flash_crowd["slo"]["alerts"] if a["kind"] == "fired"
+        ]
+        assert fired, "flash-crowd overload must fire a burn-rate alert"
+        assert {a["rule"] for a in fired} <= {
+            "slo_fast_burn", "slo_slow_burn",
+        }
+
+    def test_alert_fires_within_the_spike(self, flash_crowd):
+        """Transitions land after spike onset, inside the run's windows.
+
+        The violating completions are the spike's own queued requests,
+        so the page arrives while the spike backlog is live (between the
+        spike's start and the final drain window) — never before it.
+        """
+        spike_at_s = 0.3 * (
+            FLASH["num_requests"] * 4.0 / flash_crowd["peak_rate_rps"]
+        )
+        last_window_end = max(w["end_s"] for w in flash_crowd["windows"])
+        for alert in flash_crowd["slo"]["alerts"]:
+            if alert["kind"] == "fired":
+                assert alert["t_s"] >= spike_at_s
+                assert alert["t_s"] <= last_window_end
+                assert alert["window"] is not None
+
+    def test_streaming_budget_matches_posthoc_exactly(self, flash_crowd):
+        """consumed == (1 - posthoc attainment) / budget fraction, ==."""
+        slo = flash_crowd["slo"]
+        posthoc = (1.0 - slo["attainment"]) / (1.0 - slo["target"])
+        assert slo["budget"]["consumed"] == posthoc
+        assert slo["budget"]["remaining"] == max(0.0, 1.0 - posthoc)
+
+    def test_window_series_carries_monitor_columns(self, flash_crowd):
+        windows = flash_crowd["windows"]
+        assert all("budget_remaining" in w and "burn_rate" in w
+                   for w in windows)
+        assert all(0.0 <= w["budget_remaining"] <= 1.0 for w in windows)
+        assert any(w["burn_rate"] > 0.0 for w in windows)
+        served_attainments = [
+            w["slo_attainment"] for w in windows if "slo_attainment" in w
+        ]
+        assert served_attainments
+        assert all(0.0 <= a <= 1.0 for a in served_attainments)
+
+    def test_payload_alerts_include_detectors_and_burn(self, flash_crowd):
+        rules = {a["rule"] for a in flash_crowd["alerts"]}
+        assert "slo_fast_burn" in rules
+        assert rules & {"queue_growth", "utilization_saturation",
+                        "latency_drift", "shed_rate"}
+
+
+class TestCalmDiurnalStaysSilent:
+    def test_no_alerts_at_all(self, calm_diurnal):
+        assert calm_diurnal["alerts"] == []
+        assert calm_diurnal["slo"]["alerts_fired"] == 0
+        assert calm_diurnal["slo"]["active_rules"] == []
+
+    def test_budget_intact(self, calm_diurnal):
+        assert calm_diurnal["slo"]["budget"]["remaining"] == pytest.approx(
+            1.0
+        )
+        assert calm_diurnal["slo"]["attainment"] == 1.0
+
+
+class TestAlertsOff:
+    def test_alerts_zero_drops_detectors_keeps_burn_rules(self):
+        payload = run_experiment(
+            "cluster_planet_scale", alerts=0, **FLASH
+        )
+        rules = {a["rule"] for a in payload["alerts"]}
+        assert rules <= {"slo_fast_burn", "slo_slow_burn"}
+        assert "slo_fast_burn" in rules
+        # Detector-only columns stay absent without the monitor.
+        assert all("pressure" not in w and "pending" not in w
+                   for w in payload["windows"])

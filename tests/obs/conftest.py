@@ -15,8 +15,10 @@ from repro import obs
 def clean_obs():
     obs.disable()
     obs.tracer.reset()
+    obs.tracer.set_limit(None)
     obs.registry.reset()
     yield
     obs.disable()
     obs.tracer.reset()
+    obs.tracer.set_limit(None)
     obs.registry.reset()

@@ -1,0 +1,178 @@
+"""Detector rule engine: window detectors, registry rules, incidents."""
+
+import pytest
+
+from repro.cluster.report import WindowStats
+from repro.obs import DEFAULT_DETECTORS, AlertEvent, Monitor
+from repro.obs.monitor import (
+    latency_drift,
+    queue_growth,
+    registry_alerts,
+    shed_rate,
+    utilization_saturation,
+)
+
+
+def window(index=0, **overrides):
+    base = dict(
+        index=index, start_s=float(index), end_s=float(index + 1),
+        arrivals=10, served=10, shed=0, backlog=0, p99_ms=1.0, mean_ms=1.0,
+    )
+    base.update(overrides)
+    return WindowStats(**base)
+
+
+class TestQueueGrowth:
+    def test_fires_after_sustained_growth_and_clears(self):
+        detector = queue_growth(windows=3)
+        events = [
+            detector.observe(window(i, backlog=b))
+            for i, b in enumerate([0, 1, 2, 3, 3])
+        ]
+        kinds = [e.kind if e else None for e in events]
+        # streak reaches 3 at the fourth window; flat backlog clears it.
+        assert kinds == [None, None, None, "fired", "cleared"]
+
+    def test_blip_never_fires(self):
+        detector = queue_growth(windows=3)
+        for i, b in enumerate([0, 5, 0, 6, 0, 7]):
+            assert detector.observe(window(i, backlog=b)) is None
+
+    def test_prefers_pending_over_backlog(self):
+        """In-flight ramp-up (pending 0) must not count as queue growth."""
+        detector = queue_growth(windows=3)
+        for i, backlog in enumerate([10, 20, 30, 40, 50]):
+            event = detector.observe(window(i, backlog=backlog, pending=0))
+            assert event is None
+        # ...but growing pending with flat backlog does fire.
+        detector = queue_growth(windows=3)
+        events = [
+            detector.observe(window(i, backlog=50, pending=p))
+            for i, p in enumerate([0, 1, 2, 3])
+        ]
+        assert events[-1] is not None and events[-1].kind == "fired"
+
+
+class TestShedRate:
+    def test_fires_at_threshold(self):
+        detector = shed_rate(threshold=0.05)
+        assert detector.observe(window(0, arrivals=100, shed=4)) is None
+        event = detector.observe(window(1, arrivals=100, shed=5))
+        assert event is not None and event.kind == "fired"
+        assert event.value == pytest.approx(0.05)
+
+    def test_no_arrivals_is_no_reading(self):
+        detector = shed_rate()
+        detector.observe(window(0, arrivals=100, shed=50))   # fired
+        assert detector.active
+        # An idle window leaves the latch untouched (no spurious clear).
+        assert detector.observe(window(1, arrivals=0, shed=0)) is None
+        assert detector.active
+
+
+class TestUtilizationSaturation:
+    def test_fires_on_queued_pressure(self):
+        detector = utilization_saturation(threshold=0.95)
+        event = detector.observe(
+            window(0, pressure=2.0, pending=10, backlog=10)
+        )
+        assert event is not None and event.kind == "fired"
+
+    def test_inflight_only_pressure_is_discounted(self):
+        """A warm fleet (all backlog in flight) never reads as saturated."""
+        detector = utilization_saturation(threshold=0.95)
+        for i in range(5):
+            event = detector.observe(
+                window(i, pressure=3.0, pending=0, backlog=120)
+            )
+            assert event is None
+
+    def test_no_pressure_is_no_reading(self):
+        detector = utilization_saturation()
+        assert detector.observe(window(0)) is None
+
+    def test_raw_pressure_used_without_pending(self):
+        detector = utilization_saturation()
+        event = detector.observe(window(0, pressure=1.5))
+        assert event is not None and event.kind == "fired"
+
+
+class TestLatencyDrift:
+    def test_fires_on_drift_and_freezes_baseline(self):
+        detector = latency_drift(ratio=2.0, warmup=2, alpha=0.5)
+        for i in range(3):
+            assert detector.observe(window(i, mean_ms=1.0)) is None
+        event = detector.observe(window(3, mean_ms=4.0))
+        assert event is not None and event.kind == "fired"
+        # Baseline froze at ~1.0, so sustained 4x stays active instead of
+        # normalizing itself away.
+        assert detector.observe(window(4, mean_ms=4.0)) is None
+        assert detector.active
+
+    def test_zero_latency_windows_skipped(self):
+        detector = latency_drift(warmup=1)
+        assert detector.observe(window(0, mean_ms=0.0)) is None
+        assert detector.observe(window(1, mean_ms=1.0)) is None
+
+
+class TestRegistryAlerts:
+    def test_counters_trip_rules(self):
+        alerts = registry_alerts({"counters": {
+            "trace.dropped": 7, "serve.rejected": 2, "other": 100,
+        }})
+        rules = {a.rule: a for a in alerts}
+        assert set(rules) == {
+            "registry.trace.dropped", "registry.serve.rejected",
+        }
+        assert rules["registry.trace.dropped"].value == 7.0
+
+    def test_empty_snapshot(self):
+        assert registry_alerts({}) == []
+        assert registry_alerts({"counters": {}}) == []
+
+
+class TestMonitor:
+    def test_default_detectors_are_fresh_per_monitor(self):
+        a, b = Monitor(), Monitor()
+        assert a.detectors is not b.detectors
+        assert {d.name for d in a.detectors} == {
+            "queue_growth", "shed_rate", "utilization_saturation",
+            "latency_drift",
+        }
+        assert len(DEFAULT_DETECTORS()) == 4
+
+    def test_incidents_pair_fired_and_cleared(self):
+        monitor = Monitor(detectors=[queue_growth(windows=2)])
+        for i, pending in enumerate([0, 1, 2, 2, 0, 1, 2]):
+            monitor.observe_window(window(i, pending=pending, backlog=pending))
+        episodes = monitor.incidents()
+        assert len(episodes) == 2
+        first, second = episodes
+        assert first.resolved and first.rule == "queue_growth"
+        assert first.start_window == 2 and first.end_window == 3
+        assert not second.resolved and second.end_window is None
+
+    def test_incident_report_shape(self):
+        monitor = Monitor(detectors=[shed_rate()])
+        monitor.observe_window(window(0, arrivals=10, shed=5))
+        extra = [AlertEvent(
+            rule="slo_fast_burn", kind="fired", severity="critical",
+            message="", value=12.0, threshold=10.0, window=0, t_s=1.0,
+        )]
+        report = monitor.incident_report(
+            slo_summary={"slo_ms": 5.0}, extra=extra,
+        )
+        assert report["alerts_fired"] == 2
+        assert report["rules_fired"] == ["shed_rate", "slo_fast_burn"]
+        assert report["slo"] == {"slo_ms": 5.0}
+        assert {i["rule"] for i in report["incidents"]} == {
+            "shed_rate", "slo_fast_burn",
+        }
+
+    def test_observe_registry_folds_into_alerts(self):
+        monitor = Monitor(detectors=[])
+        events = monitor.observe_registry(
+            {"counters": {"runtime.cache_corrupt": 1}}
+        )
+        assert [e.rule for e in events] == ["registry.runtime.cache_corrupt"]
+        assert monitor.alerts == events

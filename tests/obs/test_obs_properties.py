@@ -1,0 +1,167 @@
+"""Hypothesis property suites for the observability analysis layer.
+
+Each property is one of the PR's acceptance invariants stated over
+randomized inputs: the error budget can never go negative, merged-window
+attainment is associative/commutative (streaming == post-hoc), the
+burn-rate hysteresis latch is monotone, and critical-path extraction
+tiles the makespan exactly on arbitrary engine-style interval graphs.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Hysteresis, SLOMonitor, SLOObjective
+from repro.obs.analyze import critical_path
+from repro.serve.sketch import LatencySketch
+
+latencies = st.lists(
+    st.floats(min_value=1e-6, max_value=10.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=20,
+)
+window_series = st.lists(latencies, min_size=1, max_size=10)
+
+
+def sketch_of(values):
+    sketch = LatencySketch()
+    sketch.add_many(list(values))
+    return sketch
+
+
+class TestBudgetNeverNegative:
+    @given(windows=window_series, slo_ms=st.floats(0.5, 1000.0),
+           target=st.floats(0.5, 0.999))
+    @settings(max_examples=60, deadline=None)
+    def test_budget_remaining_in_unit_interval(self, windows, slo_ms, target):
+        monitor = SLOMonitor(SLOObjective(slo_ms=slo_ms, target=target))
+        for index, values in enumerate(windows):
+            state = monitor.observe_window(
+                index, float(index), float(index + 1), sketch_of(values)
+            )
+            assert 0.0 <= state.budget_remaining <= 1.0
+            assert state.budget_consumed >= 0.0
+            assert 0.0 <= state.cumulative_attainment <= 1.0
+        assert monitor.summary()["budget"]["remaining"] >= 0.0
+
+
+class TestWindowMergeExactness:
+    """Streaming == post-hoc: window splits and order never matter."""
+
+    @given(windows=window_series, slo_ms=st.floats(0.5, 1000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_equals_posthoc(self, windows, slo_ms):
+        objective = SLOObjective(slo_ms=slo_ms, target=0.99)
+        monitor = SLOMonitor(objective)
+        total = LatencySketch()
+        for index, values in enumerate(windows):
+            sketch = sketch_of(values)
+            total.update(sketch)
+            state = monitor.observe_window(index, 0.0, 1.0, sketch)
+        posthoc = total.cdf(objective.slo_s) if total.count else 1.0
+        assert state.cumulative_attainment == posthoc
+
+    @given(windows=window_series, slo_ms=st.floats(0.5, 1000.0),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_attainment_commutative_over_window_order(
+        self, windows, slo_ms, seed
+    ):
+        import random
+
+        objective = SLOObjective(slo_ms=slo_ms, target=0.99)
+        shuffled = list(windows)
+        random.Random(seed).shuffle(shuffled)
+        final = []
+        for ordering in (windows, shuffled):
+            monitor = SLOMonitor(objective)
+            for index, values in enumerate(ordering):
+                state = monitor.observe_window(
+                    index, 0.0, 1.0, sketch_of(values)
+                )
+            final.append(state.cumulative_attainment)
+        assert final[0] == final[1]
+
+    @given(values=latencies, split=st.integers(0, 20),
+           slo_ms=st.floats(0.5, 1000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_attainment_associative_over_window_splits(
+        self, values, split, slo_ms
+    ):
+        """One big window == any two-way split of the same completions."""
+        objective = SLOObjective(slo_ms=slo_ms, target=0.99)
+        split = min(split, len(values))
+        one = SLOMonitor(objective)
+        whole = one.observe_window(0, 0.0, 1.0, sketch_of(values))
+        two = SLOMonitor(objective)
+        two.observe_window(0, 0.0, 1.0, sketch_of(values[:split]))
+        halves = two.observe_window(1, 1.0, 2.0, sketch_of(values[split:]))
+        assert halves.cumulative_attainment == whole.cumulative_attainment
+
+
+class TestHysteresisMonotone:
+    @given(
+        series=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+        bumps=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=30),
+        fire=st.floats(1.0, 50.0),
+        band=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pointwise_higher_series_is_active_whenever_lower_is(
+        self, series, bumps, fire, band
+    ):
+        clear = fire * (1.0 - band)
+        low = Hysteresis(fire, clear)
+        high = Hysteresis(fire, clear)
+        for value, bump in zip(series, bumps):
+            low.update(value)
+            high.update(value + bump)
+            if low.active:
+                assert high.active
+
+
+entries_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["dense", "sparse", "dram", "noc", "sram"]),
+        st.floats(0.0, 50.0, allow_nan=False),
+        st.floats(1e-9, 25.0, allow_nan=False),
+    ),
+    min_size=0, max_size=30,
+)
+
+
+class TestCriticalPathTilesMakespan:
+    @given(raw=entries_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_durations_sum_to_makespan(self, raw):
+        timeline = [
+            {"resource": resource, "label": resource,
+             "start_s": start, "end_s": start + duration}
+            for resource, start, duration in raw
+        ]
+        makespan = max((e["end_s"] for e in timeline), default=0.0)
+        path = critical_path(timeline)
+        assert path.makespan_s == makespan
+        assert path.total_s == pytest.approx(makespan, rel=1e-9, abs=1e-12)
+        if path.segments:
+            assert path.segments[0].start_s == 0.0
+            assert path.segments[-1].end_s == makespan
+            for left, right in zip(path.segments, path.segments[1:]):
+                assert left.end_s == right.start_s
+            shares = path.blocking_shares()
+            assert math.fsum(shares.values()) == pytest.approx(
+                1.0, abs=1e-9
+            )
+
+    @given(raw=entries_strategy, makespan=st.floats(1e-6, 200.0))
+    @settings(max_examples=60, deadline=None)
+    def test_declared_makespan_still_tiles(self, raw, makespan):
+        timeline = [
+            {"resource": resource, "label": resource,
+             "start_s": start, "end_s": start + duration}
+            for resource, start, duration in raw
+        ]
+        path = critical_path(timeline, makespan_s=makespan)
+        assert path.total_s == pytest.approx(makespan, rel=1e-9, abs=1e-12)
