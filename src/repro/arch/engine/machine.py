@@ -31,6 +31,7 @@ __all__ = [
     "layer_timings",
     "scheduled_inference_process",
     "simulate_inference",
+    "stage_process",
 ]
 
 # Upper bound on acquire/release quanta per core task: tile-granular
@@ -197,6 +198,41 @@ def _compute_chain(
     )
 
 
+def stage_process(
+    engine: Engine,
+    machine: BishopMachine,
+    timing: LayerTiming,
+    label: str,
+    batch: int = 1,
+    timeline: list[TimelineEntry] | None = None,
+):
+    """One compiled ``Stage`` (layer) of a batched inference, in isolation.
+
+    The compute chain and the stage's DRAM streaming run concurrently
+    (double-buffered GLBs); the stage completes when both finish —
+    ``max(compute, dram)`` when uncontended, longer when another request
+    holds a core or the DRAM channel.  This is the schedulable quantum of
+    the serving layer: :func:`inference_process` walks all stages
+    back-to-back, while the continuous-batching scheduler
+    (``repro.serve.continuous``) re-forms its execution groups *between*
+    stage boundaries — the `TileOp`/`Stage` preemption points.
+    """
+    compute = engine.spawn(
+        _compute_chain(engine, machine, timing, label, batch, timeline),
+        name=f"{label}:compute",
+    )
+    dram_s = timing.dram_s(batch)
+    dram = None
+    if dram_s > 0:
+        dram = engine.spawn(
+            use(engine, machine.dram, dram_s, timeline, f"{label}:dram", 1),
+            name=f"{label}:dram",
+        )
+    yield Join(compute)
+    if dram is not None:
+        yield Join(dram)
+
+
 def inference_process(
     engine: Engine,
     machine: BishopMachine,
@@ -207,27 +243,14 @@ def inference_process(
 ):
     """One (possibly batched) inference walking the layer chain.
 
-    Per layer, the compute chain and the layer's DRAM streaming run
-    concurrently (double-buffered GLBs); the layer completes when both
-    finish — ``max(compute, dram)`` when uncontended, longer when another
-    request holds a core or the DRAM channel.
+    Per layer, one :func:`stage_process`: compute and DRAM concurrent,
+    layers strictly serial.
     """
     for index, timing in enumerate(timings):
-        layer_label = f"{label}/L{index}.{timing.kind}"
-        compute = engine.spawn(
-            _compute_chain(engine, machine, timing, layer_label, batch, timeline),
-            name=f"{layer_label}:compute",
+        yield from stage_process(
+            engine, machine, timing, f"{label}/L{index}.{timing.kind}",
+            batch, timeline,
         )
-        dram_s = timing.dram_s(batch)
-        dram = None
-        if dram_s > 0:
-            dram = engine.spawn(
-                use(engine, machine.dram, dram_s, timeline, f"{layer_label}:dram", 1),
-                name=f"{layer_label}:dram",
-            )
-        yield Join(compute)
-        if dram is not None:
-            yield Join(dram)
 
 
 def scheduled_inference_process(

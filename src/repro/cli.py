@@ -39,7 +39,11 @@ cluster [--fleet SPEC] [--policy P] [--mix MIX] [--rho R] [--seed N]
     the fleet into K windowed shard engines on the actor pool (the
     planet-scale path); ``--arrival diurnal|flash_crowd|regional``
     selects the trace-driven workloads and ``--slo-ms`` adds an
-    SLO-attainment report.
+    SLO-attainment report.  ``--scheduler continuous`` switches chips
+    to continuous batching (stage-boundary join/leave + preemption);
+    ``--tenants 'gold:3@64+silver:1'`` enables multi-tenant WFQ with
+    admission quotas and a per-tenant report block, and
+    ``--priority-mix '0:0.8+1:0.2'`` tags priority tiers.
 dse <model> [--strategy S] [--budget N] [--objectives SPEC] [--seed N]
     [--jobs N] [--export-fleet FILE] [--output FILE]
     Multi-objective design-space exploration over Bishop chip
@@ -342,6 +346,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the detector rule engine (queue-growth, shed-rate,"
         " saturation, latency-drift) streaming in the shard coordinator"
         " and write INCIDENT_cluster.json (requires --shards)",
+    )
+    cluster.add_argument(
+        "--scheduler", default="auto",
+        choices=("auto", "fifo", "batch", "continuous"),
+        help="per-chip dispatch: auto (static, --max-batch decides"
+        " fifo/batch) | fifo (static, batch 1) | batch (static) |"
+        " continuous (stage-boundary join/leave, priority preemption,"
+        " per-tenant WFQ)",
+    )
+    cluster.add_argument(
+        "--tenants", default=None, metavar="SPEC",
+        help="multi-tenant serving: 'name[:weight][@quota]' '+'-joined,"
+        " e.g. 'gold:3@64+silver:1'; requests are assigned uniformly,"
+        " WFQ shapes served shares by weight, quotas bound outstanding"
+        " requests per tenant at admission",
+    )
+    cluster.add_argument(
+        "--priority-mix", default=None, metavar="MIX",
+        help="priority tiers: 'tier:weight' '+'-joined, e.g."
+        " '0:0.8+2:0.2'; higher tiers preempt at stage boundaries under"
+        " --scheduler continuous",
     )
     cluster.add_argument("--max-batch", type=int, default=1, metavar="B")
     cluster.add_argument("--max-inflight", type=int, default=2, metavar="I")
@@ -950,8 +975,12 @@ def _run_cluster(args) -> int:
     )
     from .serve import (
         SchedulerConfig,
+        assign_priorities,
+        assign_tenants,
         bursty_arrivals,
         parse_model_mix,
+        parse_priority_mix,
+        parse_tenants,
         poisson_arrivals,
     )
 
@@ -981,6 +1010,13 @@ def _run_cluster(args) -> int:
             args.arrival, args.requests, rate, weights, args.seed,
             args.period_s, args.regions, spike_factor=4.0,
         )
+    tenants = parse_tenants(args.tenants) if args.tenants else ()
+    if tenants:
+        stream = assign_tenants(stream, tenants, seed=args.seed)
+    if args.priority_mix:
+        stream = assign_priorities(
+            stream, parse_priority_mix(args.priority_mix), seed=args.seed
+        )
 
     autoscale = None
     if args.autoscale_max:
@@ -998,7 +1034,9 @@ def _run_cluster(args) -> int:
             kind=template_kind,
         )
     scheduler = SchedulerConfig(
-        max_batch=args.max_batch, max_inflight=args.max_inflight
+        max_batch=1 if args.scheduler == "fifo" else args.max_batch,
+        max_inflight=args.max_inflight,
+        mode="continuous" if args.scheduler == "continuous" else "static",
     )
     admission = AdmissionConfig(queue_capacity=args.queue_capacity or None)
     if args.shards:
@@ -1028,6 +1066,7 @@ def _run_cluster(args) -> int:
             slo_ms=args.slo_ms or None,
             slo_target=args.slo_target,
             alerts=args.alerts,
+            tenants=tenants,
         )
     else:
         report = ClusterSimulation(
@@ -1038,6 +1077,7 @@ def _run_cluster(args) -> int:
             autoscale=autoscale,
             seed=args.seed,
             passes=args.passes,
+            tenants=tenants,
         ).run(stream)
 
     p = report.latency_percentiles_ms
@@ -1058,6 +1098,17 @@ def _run_cluster(args) -> int:
         f"  p99 {p['p99']:.3f}  max {report.latency_max_ms:.3f}"
     )
     print(f"  energy/request {report.energy_per_request_mj:.4f} mJ")
+    if report.tenants:
+        print(f"  tenants ({args.scheduler} scheduler):")
+        for name, block in report.tenants.items():
+            quota = block["quota"]
+            print(
+                f"    {name:<10} w={block['weight']:g}"
+                f" quota={quota if quota is not None else '-'}"
+                f" served {block['served']:>5} shed {block['shed']:>4}"
+                f"  share {block['service_share']:6.2%}"
+                f"  p99 {block['latency_ms']['p99']:.3f} ms"
+            )
     if report.num_shards > 1:
         print(
             f"  sharded: {report.num_shards} shards,"

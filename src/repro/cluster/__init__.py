@@ -23,7 +23,12 @@ docs/CLUSTER.md describes the fleet model, routing policies, and
 autoscaler semantics.
 """
 
-from .admission import AdmissionConfig, ShedRecord, eligible_chips
+from .admission import (
+    AdmissionConfig,
+    ShedRecord,
+    TenantAdmission,
+    eligible_chips,
+)
 from .autoscale import AutoscaleConfig, Autoscaler, ScalingEvent
 from .fleet import (
     CHIP_KINDS,
@@ -43,6 +48,7 @@ from .report import (
     WindowStats,
     build_cluster_report,
     build_sharded_cluster_report,
+    tenant_report,
 )
 from .routing import (
     POLICIES,
@@ -85,6 +91,7 @@ __all__ = [
     "ShardingConfig",
     "ShedRecord",
     "SparsityAffinity",
+    "TenantAdmission",
     "WindowDigest",
     "WindowStats",
     "build_cluster_report",
@@ -100,4 +107,5 @@ __all__ = [
     "register_chip_kind",
     "simulate_cluster",
     "simulate_cluster_sharded",
+    "tenant_report",
 ]

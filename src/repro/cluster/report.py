@@ -16,6 +16,7 @@ from ..arch.engine.timeline import EngineRun
 from ..serve.report import ServedRequest, latency_stats, slo_block
 from ..serve.simulate import ChipServer
 from ..serve.sketch import LatencySketch
+from ..serve.workload import TenantSpec
 from .admission import ShedRecord
 from .autoscale import ScalingEvent
 
@@ -26,6 +27,7 @@ __all__ = [
     "WindowStats",
     "build_cluster_report",
     "build_sharded_cluster_report",
+    "tenant_report",
 ]
 
 
@@ -60,6 +62,47 @@ class ChipReport:
             "added_s": self.added_s,
             "drained": self.drained,
         }
+
+
+def tenant_report(
+    specs: tuple[TenantSpec, ...],
+    latency: dict[str, LatencySketch],
+    shed: dict[str, int],
+    service_s: dict[str, float],
+) -> dict[str, dict]:
+    """Per-tenant report blocks from per-tenant latency sketches.
+
+    Covers the union of declared tenants and tenants actually observed —
+    a declared tenant that served zero requests still gets a row (empty
+    sketch → all-zero latency stats, zero share), never a ``KeyError`` or
+    ``NaN``: "tenant was idle" must be distinguishable from "tenant was
+    dropped from the report".
+    """
+    by_name = {spec.name: spec for spec in specs}
+    names = sorted(set(by_name) | set(latency) | set(shed) | set(service_s))
+    total_service = sum(service_s.values())
+    blocks: dict[str, dict] = {}
+    for name in names:
+        spec = by_name.get(name)
+        sketch = latency.get(name) or LatencySketch()
+        stats = latency_stats(sketch)
+        service = service_s.get(name, 0.0)
+        blocks[name] = {
+            "weight": spec.weight if spec else 1.0,
+            "quota": spec.quota if spec else None,
+            "served": stats.count,
+            "shed": shed.get(name, 0),
+            "service_s": service,
+            "service_share": (
+                service / total_service if total_service > 0 else 0.0
+            ),
+            "latency_ms": {
+                "mean": stats.mean_ms,
+                "max": stats.max_ms,
+                **stats.percentiles_ms,
+            },
+        }
+    return blocks
 
 
 @dataclass(frozen=True)
@@ -165,6 +208,12 @@ class ClusterReport:
     latency_sketch: LatencySketch | None = field(default=None, repr=False)
     slo: dict | None = None
     alerts: tuple[dict, ...] = field(default_factory=tuple)
+    # Multi-tenant runs: per-tenant report blocks (tenant_report) and the
+    # underlying mergeable latency sketches (empty for idle tenants).
+    tenants: dict[str, dict] = field(default_factory=dict)
+    tenant_sketches: dict[str, LatencySketch] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def shed_fraction(self) -> float:
@@ -220,6 +269,10 @@ class ClusterReport:
             payload["slo"] = dict(self.slo)
         if self.alerts:
             payload["alerts"] = [dict(alert) for alert in self.alerts]
+        if self.tenants:
+            payload["tenants"] = {
+                name: dict(block) for name, block in self.tenants.items()
+            }
         return payload
 
 
@@ -254,9 +307,33 @@ def build_cluster_report(
     scaling_events: list[ScalingEvent],
     static_pj_per_s: float,
     run: EngineRun | None = None,
+    tenants: tuple[TenantSpec, ...] = (),
+    tenant_shed: dict[str, int] | None = None,
 ) -> ClusterReport:
     served = sorted(
         (r for chip in chips for r in chip.served), key=lambda r: r.index
+    )
+    tenant_shed = dict(tenant_shed or {})
+    tenant_sketches: dict[str, LatencySketch] = {
+        spec.name: LatencySketch() for spec in tenants
+    }
+    tenant_service: dict[str, float] = {
+        spec.name: 0.0 for spec in tenants
+    }
+    for chip in chips:
+        for tenant, service in chip.tenant_service_s.items():
+            if tenant:
+                tenant_service[tenant] = (
+                    tenant_service.get(tenant, 0.0) + service
+                )
+    for record in served:
+        if record.tenant:
+            sketch = tenant_sketches.setdefault(record.tenant, LatencySketch())
+            sketch.add(record.latency_s)
+    tenant_blocks = (
+        tenant_report(tenants, tenant_sketches, tenant_shed, tenant_service)
+        if tenants or tenant_sketches or tenant_shed
+        else {}
     )
     stats = latency_stats([r.latency_s for r in served])
     waits = np.array([r.queue_wait_s for r in served])
@@ -295,6 +372,8 @@ def build_cluster_report(
         requests=tuple(served),
         shed_records=tuple(shed),
         run=run,
+        tenants=tenant_blocks,
+        tenant_sketches=tenant_sketches,
     )
 
 
@@ -343,6 +422,10 @@ def build_sharded_cluster_report(
     slo_ms: float | None = None,
     slo_summary: dict | None = None,
     alerts: list[dict] | None = None,
+    tenants: tuple[TenantSpec, ...] = (),
+    tenant_latency: dict[str, LatencySketch] | None = None,
+    tenant_shed: dict[str, int] | None = None,
+    tenant_service_s: dict[str, float] | None = None,
 ) -> ClusterReport:
     """The sharded counterpart of :func:`build_cluster_report`.
 
@@ -356,6 +439,20 @@ def build_sharded_cluster_report(
     """
     stats = latency_stats(latency)
     served = stats.count
+    tenant_sketches = {
+        spec.name: LatencySketch() for spec in tenants
+    }
+    tenant_sketches.update(tenant_latency or {})
+    tenant_blocks = (
+        tenant_report(
+            tenants,
+            tenant_sketches,
+            dict(tenant_shed or {}),
+            dict(tenant_service_s or {}),
+        )
+        if tenants or tenant_sketches
+        else {}
+    )
     chip_reports = {
         report.name: report
         for report in (
@@ -410,4 +507,6 @@ def build_sharded_cluster_report(
         latency_sketch=latency,
         slo=slo,
         alerts=tuple(alerts or ()),
+        tenants=tenant_blocks,
+        tenant_sketches=tenant_sketches,
     )

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .. import obs
 from ..arch.engine.kernel import Engine, Hold
@@ -50,8 +50,13 @@ from ..serve.profiles import request_profile
 from ..serve.scheduler import SchedulerConfig
 from ..serve.simulate import ChipServer
 from ..serve.sketch import LatencySketch
-from ..serve.workload import Request
-from .admission import AdmissionConfig, ShedRecord, eligible_chips
+from ..serve.workload import Request, TenantSpec
+from .admission import (
+    AdmissionConfig,
+    ShedRecord,
+    TenantAdmission,
+    eligible_chips,
+)
 from .autoscale import AutoscaleConfig, ScalingEvent
 from .fleet import ChipSpec, FleetSpec, chip_config
 from .report import (
@@ -153,6 +158,7 @@ class ShardInit:
     bs_n: int
     seed: int
     passes: str | None
+    tenants: tuple[TenantSpec, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -198,6 +204,11 @@ class ShardFinal:
     shed_by_model: dict[str, int]
     last_finish_s: float
     chips: tuple[ShardChipStats, ...]
+    # Multi-tenant runs: this shard's cumulative per-tenant latency
+    # sketches (mergeable across shards), sheds, and service seconds.
+    tenant_latency: dict[str, LatencySketch] = field(default_factory=dict)
+    tenant_shed: dict[str, int] = field(default_factory=dict)
+    tenant_service_s: dict[str, float] = field(default_factory=dict)
 
 
 class ShardState:
@@ -221,6 +232,14 @@ class ShardState:
         self.delivered = 0
         self.shed_by_model: dict[str, int] = {}
         self.last_finish_s = 0.0
+        # Tenant quotas are enforced per shard (shards admit independently
+        # between coordination windows); sketches are cumulative and merge
+        # exactly across shards at finalize.
+        self.tenant_admission = TenantAdmission(init.tenants)
+        self.tenant_latency: dict[str, LatencySketch] = {
+            spec.name: LatencySketch() for spec in init.tenants
+        }
+        self.tenant_shed: dict[str, int] = {}
         self._window_latencies: list[float] = []
         self._window_waits: list[float] = []
         self._window_served = 0
@@ -255,6 +274,7 @@ class ShardState:
             kind=kind,
             queue_capacity=init.queue_capacity,
             recorder=self,
+            tenants=init.tenants,
         )
         self.chips.append(chip)
         return chip
@@ -274,6 +294,12 @@ class ShardState:
         self.served += 1
         if finish_s > self.last_finish_s:
             self.last_finish_s = finish_s
+        if request.tenant:
+            sketch = self.tenant_latency.setdefault(
+                request.tenant, LatencySketch()
+            )
+            sketch.add(finish_s - request.arrival_s)
+        self.tenant_admission.release(request)
 
     # -- window advance ----------------------------------------------------
     def _feed(self, requests: tuple[Request, ...]):
@@ -281,15 +307,23 @@ class ShardState:
             gap = request.arrival_s - self.engine.now
             if gap > 0:
                 yield Hold(gap)
-            chip = self.policy.choose(
-                request, eligible_chips(request, self.chips)
-            )
+            chip = None
+            if self.tenant_admission.admit(request):
+                chip = self.policy.choose(
+                    request, eligible_chips(request, self.chips)
+                )
+                if chip is None:
+                    self.tenant_admission.release(request)
             if chip is None:
                 self.shed += 1
                 self._window_shed += 1
                 self.shed_by_model[request.model] = (
                     self.shed_by_model.get(request.model, 0) + 1
                 )
+                if request.tenant:
+                    self.tenant_shed[request.tenant] = (
+                        self.tenant_shed.get(request.tenant, 0) + 1
+                    )
             else:
                 chip.enqueue(request)
             self.delivered += 1
@@ -368,7 +402,7 @@ class ShardState:
             served=self.served,
             shed=self.shed,
             delivered=self.delivered,
-            pending=sum(len(chip.pending) for chip in self.chips),
+            pending=sum(chip.queue_depth for chip in self.chips),
             inflight=sum(chip.inflight for chip in self.chips),
             outstanding_s=sum(chip.outstanding_s for chip in self.chips),
             accepting_chips=len(accepting),
@@ -405,6 +439,13 @@ class ShardState:
             )
             for chip in self.chips
         )
+        tenant_service: dict[str, float] = {}
+        for chip in self.chips:
+            for tenant, service in chip.tenant_service_s.items():
+                if tenant:
+                    tenant_service[tenant] = (
+                        tenant_service.get(tenant, 0.0) + service
+                    )
         return ShardFinal(
             shard=self.init.shard,
             served=self.served,
@@ -413,6 +454,9 @@ class ShardState:
             shed_by_model=dict(self.shed_by_model),
             last_finish_s=self.last_finish_s,
             chips=chips,
+            tenant_latency=dict(self.tenant_latency),
+            tenant_shed=dict(self.tenant_shed),
+            tenant_service_s=tenant_service,
         )
 
 
@@ -507,6 +551,7 @@ def simulate_cluster_sharded(
     burn_rules: tuple | None = None,
     alerts: bool = False,
     detectors: list | None = None,
+    tenants: tuple[TenantSpec, ...] = (),
 ) -> ClusterReport:
     """Serve ``requests`` on a sharded fleet; returns the cluster report.
 
@@ -563,6 +608,7 @@ def simulate_cluster_sharded(
             bs_n=bs_n,
             seed=seed,
             passes=passes,
+            tenants=tuple(tenants),
         )
         for index, shard in enumerate(shards)
     ]
@@ -641,9 +687,10 @@ def simulate_cluster_sharded(
                 batch, digests, hosted, accepting
             )
             for request in unroutable:
-                shed_records.append(
-                    ShedRecord(request.index, request.model, request.arrival_s)
-                )
+                shed_records.append(ShedRecord(
+                    request.index, request.model, request.arrival_s,
+                    tenant=request.tenant,
+                ))
                 shed_by_model[request.model] = (
                     shed_by_model.get(request.model, 0) + 1
                 )
@@ -779,9 +826,30 @@ def simulate_cluster_sharded(
 
     served = sum(final.served for final in finals)
     shard_shed = sum(final.shed for final in finals)
+    tenant_latency: dict[str, LatencySketch] = {
+        spec.name: LatencySketch() for spec in tenants
+    }
+    tenant_shed_totals: dict[str, int] = {}
+    tenant_service_totals: dict[str, float] = {}
     for final in finals:
         for model, count in final.shed_by_model.items():
             shed_by_model[model] = shed_by_model.get(model, 0) + count
+        for tenant, sketch in final.tenant_latency.items():
+            merged = tenant_latency.setdefault(tenant, LatencySketch())
+            merged.update(sketch)
+        for tenant, count in final.tenant_shed.items():
+            tenant_shed_totals[tenant] = (
+                tenant_shed_totals.get(tenant, 0) + count
+            )
+        for tenant, service in final.tenant_service_s.items():
+            tenant_service_totals[tenant] = (
+                tenant_service_totals.get(tenant, 0.0) + service
+            )
+    for record in shed_records:
+        if record.tenant:
+            tenant_shed_totals[record.tenant] = (
+                tenant_shed_totals.get(record.tenant, 0) + 1
+            )
     total_shed = shard_shed + len(shed_records)
     if served + total_shed != len(stream):  # pragma: no cover - invariant
         raise RuntimeError(
@@ -823,6 +891,10 @@ def simulate_cluster_sharded(
             slo_monitor.summary() if slo_monitor is not None else None
         ),
         alerts=[event.to_dict() for event in alert_events],
+        tenants=tuple(tenants),
+        tenant_latency=tenant_latency,
+        tenant_shed=tenant_shed_totals,
+        tenant_service_s=tenant_service_totals,
     )
 
 

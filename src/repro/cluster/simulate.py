@@ -31,8 +31,13 @@ from ..arch.energy import EnergyModel
 from ..serve.profiles import request_profile
 from ..serve.scheduler import SchedulerConfig
 from ..serve.simulate import ChipServer
-from ..serve.workload import Request
-from .admission import AdmissionConfig, ShedRecord, eligible_chips
+from ..serve.workload import Request, TenantSpec
+from .admission import (
+    AdmissionConfig,
+    ShedRecord,
+    TenantAdmission,
+    eligible_chips,
+)
 from .autoscale import AutoscaleConfig, Autoscaler
 from .fleet import FleetSpec, chip_config
 from .report import ClusterReport, build_cluster_report
@@ -82,11 +87,13 @@ class ClusterSimulation:
         energy: EnergyModel | None = None,
         record_timeline: bool = False,
         passes: str | None = None,
+        tenants: tuple[TenantSpec, ...] = (),
     ):
         self.fleet = fleet
         self.scheduler = scheduler or SchedulerConfig()
         self._policy_spec = policy
         self.admission = admission or AdmissionConfig()
+        self.tenants = tuple(tenants)
         self.autoscale = autoscale
         self.bs_t = bs_t
         self.bs_n = bs_n
@@ -99,6 +106,7 @@ class ClusterSimulation:
         self.engine: Engine | None = None
         self.chips: list[ChipServer] = []
         self.shed: list[ShedRecord] = []
+        self.tenant_admission = TenantAdmission(self.tenants)
         self.arrivals_done = False
         self._resolved = 0
         self._total = 0
@@ -135,24 +143,34 @@ class ClusterSimulation:
             queue_capacity=self.admission.queue_capacity,
             timeline=self._timeline,
             on_complete=self._on_complete,
+            tenants=self.tenants,
         )
         self.chips.append(chip)
         return chip
 
     def _on_complete(self, batch: list[Request]) -> None:
         self._resolved += len(batch)
+        for request in batch:
+            self.tenant_admission.release(request)
 
     def _router(self, stream: list[Request], policy: RoutingPolicy):
         for request in stream:
             gap = request.arrival_s - self.engine.now
             if gap > 0:
                 yield Hold(gap)
-            chip = policy.choose(request, eligible_chips(request, self.chips))
+            chip = None
+            if self.tenant_admission.admit(request):
+                chip = policy.choose(
+                    request, eligible_chips(request, self.chips)
+                )
+                if chip is None:
+                    self.tenant_admission.release(request)
             if chip is None:
                 obs.inc("serve.shed")
-                self.shed.append(
-                    ShedRecord(request.index, request.model, request.arrival_s)
-                )
+                self.shed.append(ShedRecord(
+                    request.index, request.model, request.arrival_s,
+                    tenant=request.tenant,
+                ))
                 self._resolved += 1
             else:
                 chip.enqueue(request)
@@ -180,6 +198,7 @@ class ClusterSimulation:
         self._timeline = [] if self.record_timeline else None
         self.chips = []
         self.shed = []
+        self.tenant_admission = TenantAdmission(self.tenants)
         self.arrivals_done = False
         self._resolved = 0
         self._total = len(stream)
@@ -223,6 +242,12 @@ class ClusterSimulation:
         )
         span = stream[-1].arrival_s - stream[0].arrival_s if stream else 0.0
         offered = (self._total - 1) / span if span > 0 else 0.0
+        tenant_shed: dict[str, int] = {}
+        for record in self.shed:
+            if record.tenant:
+                tenant_shed[record.tenant] = (
+                    tenant_shed.get(record.tenant, 0) + 1
+                )
         report = build_cluster_report(
             self.chips,
             self.shed,
@@ -233,6 +258,8 @@ class ClusterSimulation:
             scaling_events=autoscaler.events if autoscaler else [],
             static_pj_per_s=static_pj_per_s,
             run=run,
+            tenants=self.tenants,
+            tenant_shed=tenant_shed,
         )
         assert report.served == served  # bookkeeping cross-check
         return report
@@ -252,6 +279,7 @@ def simulate_cluster(
     energy: EnergyModel | None = None,
     record_timeline: bool = False,
     passes: str | None = None,
+    tenants: tuple[TenantSpec, ...] = (),
 ) -> ClusterReport:
     """One-call form of :class:`ClusterSimulation` (mirrors
     :func:`repro.serve.simulate_serving`)."""
@@ -267,4 +295,5 @@ def simulate_cluster(
         energy=energy,
         record_timeline=record_timeline,
         passes=passes,
+        tenants=tenants,
     ).run(requests)

@@ -550,6 +550,392 @@ def experiment_serve_batch_sweep(
 
 
 # ----------------------------------------------------------------------
+# Continuous batching / preemption / multi-tenant serving experiments
+# ----------------------------------------------------------------------
+_CONTINUOUS_PASSES = "packing+stratify+ecp"
+
+
+def _tier_latencies(report) -> dict[str, list[float]]:
+    tiers: dict[str, list[float]] = {}
+    for request in report.requests:
+        tiers.setdefault(str(request.priority), []).append(request.latency_s)
+    return tiers
+
+
+def _tier_stats(report) -> dict[str, dict]:
+    from ..serve import latency_stats
+
+    return {
+        tier: {
+            "count": stats.count,
+            "mean_ms": stats.mean_ms,
+            "p99_ms": stats.percentiles_ms["p99"],
+        }
+        for tier, samples in sorted(_tier_latencies(report).items())
+        for stats in (latency_stats(samples),)
+    }
+
+
+def experiment_serve_continuous_batching(
+    mix: str = "model4",
+    rho: float = 1.5,
+    num_requests: int = 300,
+    priority_mix: str = "0:0.8+1:0.2",
+    seed: int = 0,
+    max_batch: int = 4,
+    max_inflight: int = 2,
+    bs_t: int = 2,
+    bs_n: int = 4,
+    passes: str = _CONTINUOUS_PASSES,
+) -> dict:
+    """Serving — continuous batching vs static same-model batching.
+
+    One arrival trace, served three ways: static batching (priority
+    blind, so the plain and prioritized streams yield identical
+    per-request latencies); continuous batching on the prioritized
+    stream (preempted entries checkpoint mid-model and later *join*
+    other in-flight groups at their stage — the join/leave counters);
+    and the *degenerate* continuous configuration (one tier, joins and
+    preemption off) which must reproduce the static per-request
+    latencies to float precision — the conformance pin that keeps the
+    two schedulers semantically anchored.  The default ``passes`` omit
+    the prefetch-scheduling pass because continuous mode executes
+    stage-serially (a preemptable boundary per compiled stage precludes
+    the depth-1 weight-prefetch replay).
+    """
+    from ..serve import SchedulerConfig, assign_priorities, simulate_serving
+
+    weights, profiles, rate = _serve_setup(mix, bs_t, bs_n, seed, rho, passes)
+    plain = _serve_arrivals("poisson", num_requests, rate, weights, seed, 8.0)
+    prioritized = assign_priorities(plain, priority_mix, seed=seed)
+    common = dict(profiles=profiles, bs_t=bs_t, bs_n=bs_n, seed=seed)
+    static = simulate_serving(
+        plain,
+        SchedulerConfig(max_batch=max_batch, max_inflight=max_inflight),
+        **common,
+    )
+    continuous = simulate_serving(
+        prioritized,
+        SchedulerConfig(
+            max_batch=max_batch, max_inflight=max_inflight, mode="continuous"
+        ),
+        **common,
+    )
+    degenerate = simulate_serving(
+        plain,
+        SchedulerConfig(
+            max_batch=max_batch, max_inflight=max_inflight,
+            mode="continuous", allow_join=False, preempt=False,
+        ),
+        **common,
+    )
+    conformance = max(
+        (
+            abs(a.latency_s - b.latency_s)
+            for a, b in zip(static.requests, degenerate.requests)
+        ),
+        default=0.0,
+    )
+    top = max(
+        (str(r.priority) for r in continuous.requests), key=int, default="0"
+    )
+    return {
+        "mix": weights,
+        "priority_mix": priority_mix,
+        "target_rho": rho,
+        "passes": passes,
+        "arrival_rate_rps": rate,
+        "static": static.to_dict(),
+        "continuous": continuous.to_dict(),
+        "continuous_joins": continuous.continuous_joins,
+        "preemptions": continuous.preemptions,
+        "tiers": _tier_stats(continuous),
+        "degenerate_latency_conformance_s": conformance,
+        "high_tier_p99_gain": (
+            static.latency_percentiles_ms["p99"]
+            / _tier_stats(continuous)[top]["p99_ms"]
+            if _tier_stats(continuous).get(top, {}).get("p99_ms", 0.0) > 0
+            else 0.0
+        ),
+    }
+
+
+def experiment_serve_preemption_slo(
+    mix: str = "model4",
+    rho: float = 2.0,
+    num_requests: int = 300,
+    priority_mix: str = "0:0.8+1:0.2",
+    seed: int = 0,
+    max_inflight: int = 2,
+    bs_t: int = 2,
+    bs_n: int = 4,
+    passes: str = _CONTINUOUS_PASSES,
+) -> dict:
+    """Serving — what stage-boundary preemption buys the high tier.
+
+    A saturated stream (``rho > 1``) with a priority mix is served by
+    FIFO, by continuous scheduling without preemption, and by continuous
+    scheduling with preemption.  Preemption must strictly improve the
+    high-priority p99 over FIFO while conserving total work: all three
+    runs execute the same stages at batch 1, so per-resource busy
+    seconds agree to float tolerance (``busy_conservation_rel_err``) —
+    preemption reorders work, it never creates or destroys any.
+    """
+    from ..serve import (
+        SchedulerConfig,
+        assign_priorities,
+        simulate_serving,
+    )
+
+    weights, profiles, rate = _serve_setup(mix, bs_t, bs_n, seed, rho, passes)
+    requests = assign_priorities(
+        _serve_arrivals("poisson", num_requests, rate, weights, seed, 8.0),
+        priority_mix,
+        seed=seed,
+    )
+    common = dict(
+        profiles=profiles, bs_t=bs_t, bs_n=bs_n, seed=seed,
+        record_timeline=False,
+    )
+    fifo = simulate_serving(
+        requests, SchedulerConfig(max_inflight=max_inflight), **common
+    )
+    no_preempt = simulate_serving(
+        requests,
+        SchedulerConfig(
+            max_inflight=max_inflight, mode="continuous", preempt=False
+        ),
+        **common,
+    )
+    preempt = simulate_serving(
+        requests,
+        SchedulerConfig(max_inflight=max_inflight, mode="continuous"),
+        **common,
+    )
+    # Work conservation: identical per-resource busy seconds across the
+    # three schedules (float sum-order drift only).
+    units = sorted(fifo.run.utilization())
+    conservation = max(
+        (
+            abs(report.run.busy_s(unit) - fifo.run.busy_s(unit))
+            / max(fifo.run.busy_s(unit), 1e-30)
+            for report in (no_preempt, preempt)
+            for unit in units
+            if fifo.run.busy_s(unit) > 0
+        ),
+        default=0.0,
+    )
+    tiers = {
+        "fifo": _tier_stats(fifo),
+        "continuous_no_preempt": _tier_stats(no_preempt),
+        "continuous_preempt": _tier_stats(preempt),
+    }
+    top = max(
+        (str(r.priority) for r in preempt.requests), key=int, default="0"
+    )
+    fifo_p99 = tiers["fifo"].get(top, {}).get("p99_ms", 0.0)
+    preempt_p99 = tiers["continuous_preempt"].get(top, {}).get("p99_ms", 0.0)
+    return {
+        "mix": weights,
+        "priority_mix": priority_mix,
+        "target_rho": rho,
+        "passes": passes,
+        "arrival_rate_rps": rate,
+        "tiers": tiers,
+        "preemptions": preempt.preemptions,
+        "top_tier": top,
+        "high_priority_p99_ms": {"fifo": fifo_p99, "preempt": preempt_p99},
+        "high_priority_p99_improves": preempt_p99 < fifo_p99,
+        "busy_conservation_rel_err": conservation,
+    }
+
+
+def experiment_cluster_multitenant_fairness(
+    mix: str = "model4",
+    rho: float = 3.0,
+    tenants: str = "gold:3+silver:1",
+    fleet_size: int = 2,
+    num_requests: int = 400,
+    seed: int = 0,
+    quota: int = 0,
+    max_batch: int = 1,
+    max_inflight: int = 2,
+    bs_t: int = 2,
+    bs_n: int = 4,
+    passes: str = _CONTINUOUS_PASSES,
+) -> dict:
+    """Cluster — weighted fair queuing across tenants at saturation.
+
+    Tenants are assigned uniformly (each offers the same load), so while
+    the backlog lasts the continuous scheduler's WFQ rule serves tenants
+    in proportion to their declared weights — the payload reports the
+    served share inside the saturated window (finishes before the last
+    arrival) against the weight share, plus the per-tenant latency
+    ordering (heavier weight, lower p99).  ``quota`` (> 0) additionally
+    bounds each tenant's outstanding requests at admission,
+    demonstrating per-tenant shedding in the report block.
+    """
+    from ..cluster import (
+        AdmissionConfig,
+        ClusterSimulation,
+        homogeneous_fleet,
+    )
+    from ..serve import (
+        SchedulerConfig,
+        TenantSpec,
+        assign_tenants,
+        parse_tenants,
+    )
+
+    specs = parse_tenants(tenants)
+    if quota:
+        specs = tuple(
+            TenantSpec(s.name, s.weight, quota) for s in specs
+        )
+    weights, profiles, rate = _serve_setup(mix, bs_t, bs_n, seed, rho, passes)
+    stream = assign_tenants(
+        _serve_arrivals(
+            "poisson", num_requests, rate * fleet_size, weights, seed, 8.0
+        ),
+        specs,
+        seed=seed,
+    )
+    sim = ClusterSimulation(
+        homogeneous_fleet(fleet_size),
+        SchedulerConfig(
+            max_batch=max_batch, max_inflight=max_inflight, mode="continuous"
+        ),
+        admission=AdmissionConfig(),
+        bs_t=bs_t,
+        bs_n=bs_n,
+        seed=seed,
+        passes=passes,
+        tenants=specs,
+    )
+    report = sim.run(stream)
+    # A finite run-to-completion stream serves *everything*, so the
+    # full-run service share converges to the offered share (uniform)
+    # regardless of weights.  WFQ's signature shows while the backlog
+    # lasts: served share inside the saturated window (finishes before
+    # the last arrival), and the per-tenant latency ordering.
+    window_end = max((r.arrival_s for r in stream), default=0.0)
+    window_counts: dict[str, int] = {spec.name: 0 for spec in specs}
+    for chip in sim.chips:
+        for record in chip.served:
+            if record.tenant and record.finish_s <= window_end:
+                window_counts[record.tenant] = (
+                    window_counts.get(record.tenant, 0) + 1
+                )
+    window_total = sum(window_counts.values())
+    total_weight = sum(spec.weight for spec in specs)
+    fairness = {
+        spec.name: {
+            "weight_share": spec.weight / total_weight,
+            "window_served_share": (
+                window_counts.get(spec.name, 0) / window_total
+                if window_total else 0.0
+            ),
+            "service_share": report.tenants[spec.name]["service_share"],
+            "p99_ms": report.tenants[spec.name]["latency_ms"]["p99"],
+        }
+        for spec in specs
+    }
+    worst = max(
+        (
+            abs(row["window_served_share"] - row["weight_share"])
+            for row in fairness.values()
+        ),
+        default=0.0,
+    )
+    by_weight = sorted(specs, key=lambda s: s.weight, reverse=True)
+    latency_ordered = all(
+        fairness[a.name]["p99_ms"] <= fairness[b.name]["p99_ms"]
+        for a, b in zip(by_weight, by_weight[1:])
+        if a.weight > b.weight
+    )
+    return {
+        "mix": weights,
+        "tenants": tenants,
+        "quota": quota,
+        "target_rho": rho,
+        "passes": passes,
+        "fleet_size": fleet_size,
+        "served": report.served,
+        "shed": report.shed,
+        "window_served": window_total,
+        "per_tenant": report.to_dict().get("tenants", {}),
+        "fairness": fairness,
+        "worst_window_share_error": worst,
+        "latency_weight_ordered": latency_ordered,
+    }
+
+
+def experiment_serve_continuous_bench(
+    mix: str = "model4",
+    rho: float = 1.5,
+    num_requests: int = 400,
+    repeats: int = 3,
+    seed: int = 0,
+    max_batch: int = 4,
+    max_inflight: int = 2,
+    passes: str = _CONTINUOUS_PASSES,
+) -> dict:
+    """Serving — continuous-scheduler simulation overhead vs static.
+
+    Times the same stream through the static and continuous schedulers
+    (best of ``repeats``); the ``bench_metrics`` block lands in the
+    ``repro bench`` JSON so the continuous path's simulator cost is
+    tracked across PRs alongside the conformance residual.
+    """
+    import time as _time
+
+    from ..serve import SchedulerConfig, simulate_serving
+
+    weights, profiles, rate = _serve_setup(mix, 2, 4, seed, rho, passes)
+    requests = _serve_arrivals("poisson", num_requests, rate, weights, seed, 8.0)
+    common = dict(profiles=profiles, seed=seed)
+
+    def _best(config: "SchedulerConfig") -> tuple[float, object]:
+        best = float("inf")
+        report = None
+        for _ in range(max(1, repeats)):
+            started = _time.perf_counter()
+            report = simulate_serving(requests, config, **common)
+            best = min(best, _time.perf_counter() - started)
+        return best, report
+
+    static_s, static = _best(
+        SchedulerConfig(max_batch=max_batch, max_inflight=max_inflight)
+    )
+    continuous_s, continuous = _best(SchedulerConfig(
+        max_batch=max_batch, max_inflight=max_inflight, mode="continuous",
+        allow_join=False, preempt=False,
+    ))
+    conformance = max(
+        (
+            abs(a.latency_s - b.latency_s)
+            for a, b in zip(static.requests, continuous.requests)
+        ),
+        default=0.0,
+    )
+    overhead = continuous_s / static_s if static_s > 0 else 0.0
+    return {
+        "mix": weights,
+        "target_rho": rho,
+        "num_requests": num_requests,
+        "repeats": repeats,
+        "static_wall_s": static_s,
+        "continuous_wall_s": continuous_s,
+        "overhead_x": overhead,
+        "degenerate_latency_conformance_s": conformance,
+        "bench_metrics": {
+            "continuous_overhead_x": overhead,
+            "conformance_residual_s": conformance,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # Compiler experiments (beyond the paper: pass-pipeline ablation)
 # ----------------------------------------------------------------------
 def experiment_compiler_pass_ablation(
@@ -1635,6 +2021,61 @@ EXPERIMENTS: dict[str, Experiment] = _register((
         description="batching throughput/latency/energy trade-off",
     ),
     Experiment(
+        "serve_continuous_batching", "Serving",
+        experiment_serve_continuous_batching,
+        cost="medium",
+        params={
+            "mix": _MIX,
+            "rho": ParamSpec(float, 1.5, "offered load vs single-chip capacity"),
+            "num_requests": ParamSpec(int, 300, "requests in the stream"),
+            "priority_mix": ParamSpec(
+                str, "0:0.8+1:0.2", "tier mix, e.g. '0:0.8+1:0.2'"
+            ),
+            "seed": _SEED,
+            "max_batch": ParamSpec(int, 4, "stage-group size limit"),
+            "max_inflight": ParamSpec(int, 2, "concurrent lanes"),
+            "bs_t": _BS_T, "bs_n": _BS_N,
+            "passes": ParamSpec(str, _CONTINUOUS_PASSES, _PASSES.help),
+        },
+        smoke_params={"num_requests": 40},
+        description="continuous vs static batching + degenerate conformance pin",
+    ),
+    Experiment(
+        "serve_preemption_slo", "Serving", experiment_serve_preemption_slo,
+        cost="medium",
+        params={
+            "mix": _MIX,
+            "rho": ParamSpec(float, 2.0, "offered load vs single-chip capacity"),
+            "num_requests": ParamSpec(int, 300, "requests in the stream"),
+            "priority_mix": ParamSpec(
+                str, "0:0.8+1:0.2", "tier mix, e.g. '0:0.8+1:0.2'"
+            ),
+            "seed": _SEED,
+            "max_inflight": ParamSpec(int, 2, "concurrent lanes"),
+            "bs_t": _BS_T, "bs_n": _BS_N,
+            "passes": ParamSpec(str, _CONTINUOUS_PASSES, _PASSES.help),
+        },
+        smoke_params={"num_requests": 60},
+        description="stage-boundary preemption: high-tier p99 vs FIFO"
+        " at saturation, with per-resource work conservation",
+    ),
+    Experiment(
+        "serve_continuous_bench", "Serving", experiment_serve_continuous_bench,
+        params={
+            "mix": _MIX,
+            "rho": ParamSpec(float, 1.5, "offered load vs single-chip capacity"),
+            "num_requests": ParamSpec(int, 400, "requests in the stream"),
+            "repeats": ParamSpec(int, 3, "timed replays per scheduler"),
+            "seed": _SEED,
+            "max_batch": ParamSpec(int, 4, "batching / stage-group limit"),
+            "max_inflight": ParamSpec(int, 2, "concurrent lanes"),
+            "passes": ParamSpec(str, _CONTINUOUS_PASSES, _PASSES.help),
+        },
+        smoke_params={"num_requests": 60, "repeats": 2},
+        description="continuous-scheduler simulation overhead vs static"
+        " (tracked in BENCH_baseline.json)",
+    ),
+    Experiment(
         "cluster_scaling_curve", "Cluster", experiment_cluster_scaling_curve,
         cost="medium",
         params={
@@ -1676,6 +2117,33 @@ EXPERIMENTS: dict[str, Experiment] = _register((
         },
         smoke_params={"num_requests": 80, "policies": "round_robin+sparsity"},
         description="routing-policy comparison at a fixed heterogeneous fleet",
+    ),
+    Experiment(
+        "cluster_multitenant_fairness", "Cluster",
+        experiment_cluster_multitenant_fairness,
+        cost="medium",
+        params={
+            "mix": _MIX,
+            "rho": ParamSpec(float, 3.0, "offered load vs ONE chip's capacity"),
+            "tenants": ParamSpec(
+                str, "gold:3+silver:1", "tenant spec 'name[:weight][@quota]+...'"
+            ),
+            "fleet_size": ParamSpec(int, 2, "homogeneous fleet size"),
+            "num_requests": ParamSpec(int, 400, "requests in the stream"),
+            "seed": _SEED,
+            "quota": ParamSpec(
+                int, 0, "per-tenant outstanding bound (0: declared/unbounded)"
+            ),
+            "max_batch": ParamSpec(
+                int, 1, "stage-group size limit (1: tenant-pure WFQ quanta)"
+            ),
+            "max_inflight": ParamSpec(int, 2, "concurrent lanes per chip"),
+            "bs_t": _BS_T, "bs_n": _BS_N,
+            "passes": ParamSpec(str, _CONTINUOUS_PASSES, _PASSES.help),
+        },
+        smoke_params={"num_requests": 80},
+        description="WFQ service shares vs declared tenant weights under"
+        " saturation, with per-tenant report blocks",
     ),
     Experiment(
         "cluster_planet_scale", "Cluster", experiment_cluster_planet_scale,

@@ -16,18 +16,25 @@ Registered experiments: ``serve_latency_cdf`` and ``serve_batch_sweep``
 event model underneath.
 """
 
+from .continuous import ContinuousBatchScheduler, StageEntry, stage_serial_s
 from .profiles import RequestProfile, profile_config, request_profile
 from .report import LatencyStats, ServedRequest, ServingReport, latency_stats
-from .scheduler import SchedulerConfig, take_batch
+from .scheduler import SCHEDULER_MODES, SchedulerConfig, take_batch
 from .simulate import ChipServer, simulate_serving
 from .sketch import LatencySketch
 from .workload import (
     Request,
+    TenantSpec,
+    assign_priorities,
+    assign_tenants,
     bursty_arrivals,
     diurnal_arrivals,
+    dvs_stream_arrivals,
     flash_crowd_arrivals,
     parse_model_mix,
+    parse_priority_mix,
     parse_regions,
+    parse_tenants,
     poisson_arrivals,
     regional_arrivals,
     spawn_seeds,
@@ -35,24 +42,34 @@ from .workload import (
 
 __all__ = [
     "ChipServer",
+    "ContinuousBatchScheduler",
     "LatencySketch",
     "LatencyStats",
     "Request",
     "RequestProfile",
+    "SCHEDULER_MODES",
     "SchedulerConfig",
     "ServedRequest",
     "ServingReport",
+    "StageEntry",
+    "TenantSpec",
+    "assign_priorities",
+    "assign_tenants",
     "bursty_arrivals",
     "diurnal_arrivals",
+    "dvs_stream_arrivals",
     "flash_crowd_arrivals",
     "latency_stats",
     "parse_model_mix",
+    "parse_priority_mix",
     "parse_regions",
+    "parse_tenants",
     "poisson_arrivals",
     "profile_config",
     "regional_arrivals",
     "request_profile",
     "simulate_serving",
     "spawn_seeds",
+    "stage_serial_s",
     "take_batch",
 ]

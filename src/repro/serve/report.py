@@ -116,8 +116,11 @@ class ServedRequest:
     arrival_s: float
     start_s: float       # dispatch time (batch formed, chip slot granted)
     finish_s: float
-    batch_size: int
+    batch_size: int      # continuous mode: largest group the request ran in
     chip: str = ""       # serving chip (cluster runs; "" on a lone chip)
+    tenant: str = ""     # owning tenant ("" for single-tenant streams)
+    priority: int = 0    # scheduling tier
+    preemptions: int = 0  # times displaced at a stage boundary (continuous)
 
     @property
     def latency_s(self) -> float:
@@ -147,6 +150,10 @@ class ServingReport:
     policy: str
     max_batch: int
     max_inflight: int
+    mode: str = "static"
+    preemptions: int = 0         # continuous: priority displacements
+    continuous_joins: int = 0    # continuous: merges into in-flight cohorts
+    tenant_service_s: dict[str, float] = field(default_factory=dict)
     requests: tuple[ServedRequest, ...] = field(default_factory=tuple, repr=False)
     run: EngineRun | None = field(default=None, repr=False)
 
@@ -158,7 +165,7 @@ class ServingReport:
 
     def to_dict(self) -> dict:
         """JSON-ready payload (drops the raw request list and timeline)."""
-        return {
+        payload = {
             "num_requests": self.num_requests,
             "offered_rps": self.offered_rps,
             "horizon_s": self.horizon_s,
@@ -180,8 +187,21 @@ class ServingReport:
                 "policy": self.policy,
                 "max_batch": self.max_batch,
                 "max_inflight": self.max_inflight,
+                "mode": self.mode,
+                "preemptions": self.preemptions,
+                "continuous_joins": self.continuous_joins,
             },
         }
+        if self.tenant_service_s:
+            total = sum(self.tenant_service_s.values())
+            payload["tenants"] = {
+                tenant: {
+                    "service_s": service,
+                    "service_share": service / total if total > 0 else 0.0,
+                }
+                for tenant, service in sorted(self.tenant_service_s.items())
+            }
+        return payload
 
 
 def build_report(
@@ -193,6 +213,10 @@ def build_report(
     policy: str,
     max_batch: int,
     max_inflight: int,
+    mode: str = "static",
+    preemptions: int = 0,
+    continuous_joins: int = 0,
+    tenant_service_s: dict[str, float] | None = None,
 ) -> ServingReport:
     served = sorted(served, key=lambda r: r.index)
     stats = latency_stats([r.latency_s for r in served])
@@ -216,6 +240,10 @@ def build_report(
         policy=policy,
         max_batch=max_batch,
         max_inflight=max_inflight,
+        mode=mode,
+        preemptions=preemptions,
+        continuous_joins=continuous_joins,
+        tenant_service_s=dict(tenant_service_s or {}),
         requests=tuple(served),
         run=run,
     )

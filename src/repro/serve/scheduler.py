@@ -13,6 +13,15 @@ for cores.  Two axes:
     Concurrent inferences allowed on the chip.  More than one lets
     requests overlap on different cores (one request's attention phase
     under another's MLP), at the price of queueing on busy cores.
+``mode``
+    ``"static"`` (the default): batches are formed once at dispatch and
+    run to completion (:func:`take_batch` + the layer-serial or
+    scheduled inference process).  ``"continuous"``: execution groups
+    are re-formed at every compiled-``Stage`` boundary by the
+    :class:`~repro.serve.continuous.ContinuousBatchScheduler` —
+    requests join and leave in-flight groups, higher priority tiers
+    preempt at stage boundaries (``preempt``), and preempted requests
+    resume from their checkpointed stage index without redoing work.
 """
 
 from __future__ import annotations
@@ -22,7 +31,9 @@ from dataclasses import dataclass
 
 from .workload import Request
 
-__all__ = ["SchedulerConfig", "take_batch"]
+__all__ = ["SCHEDULER_MODES", "SchedulerConfig", "take_batch"]
+
+SCHEDULER_MODES = ("static", "continuous")
 
 
 @dataclass(frozen=True)
@@ -31,15 +42,29 @@ class SchedulerConfig:
 
     max_batch: int = 1
     max_inflight: int = 1
+    mode: str = "static"
+    allow_join: bool = True   # continuous: may requests join in-flight groups?
+    preempt: bool = True      # continuous: may priority displace at boundaries?
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if self.mode not in SCHEDULER_MODES:
+            raise ValueError(
+                f"unknown scheduler mode {self.mode!r};"
+                f" options {sorted(SCHEDULER_MODES)}"
+            )
+
+    @property
+    def continuous(self) -> bool:
+        return self.mode == "continuous"
 
     @property
     def policy(self) -> str:
+        if self.continuous:
+            return "continuous"
         return "fifo" if self.max_batch == 1 else "batch"
 
 

@@ -27,13 +27,15 @@ from ..arch.engine.machine import (
     BishopMachine,
     inference_process,
     scheduled_inference_process,
+    stage_process,
 )
 from ..arch.engine.timeline import EngineRun, TimelineEntry
 from ..arch.energy import EnergyModel
+from .continuous import ContinuousBatchScheduler, StageEntry
 from .profiles import RequestProfile, request_profile
 from .report import ServedRequest, ServingReport, build_report
 from .scheduler import SchedulerConfig, take_batch
-from .workload import Request
+from .workload import Request, TenantSpec
 
 __all__ = ["ChipServer", "simulate_serving"]
 
@@ -63,6 +65,7 @@ class ChipServer:
         timeline: list[TimelineEntry] | None = None,
         on_complete: Callable[[list[Request]], None] | None = None,
         recorder: "object | None" = None,
+        tenants: tuple[TenantSpec, ...] = (),
     ):
         if queue_capacity is not None and queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1 (or None: unbounded)")
@@ -80,8 +83,16 @@ class ChipServer:
         # batch_size, chip)``) — how sharded fleet runs keep memory
         # bounded.  The summary counters below are maintained either way.
         self.recorder = recorder
+        self.tenants = tuple(tenants)
 
         self.pending: deque[Request] = deque()
+        # Continuous mode replaces the pending deque with a stage-level
+        # ready pool: groups re-form at every compiled-Stage boundary.
+        self.continuous: ContinuousBatchScheduler | None = (
+            ContinuousBatchScheduler(self.scheduler, profiles, self.tenants)
+            if self.scheduler.continuous
+            else None
+        )
         self.work = engine.gate()
         self.inflight = 0
         self.dispatched = 0
@@ -90,11 +101,17 @@ class ChipServer:
         self.batch_size_weighted = 0.0   # Σ batch² (per-request mean weighting)
         self.last_finish_s = 0.0
         self.dynamic_energy_pj = 0.0
+        self.preemptions = 0         # continuous: priority displacements
+        self.continuous_joins = 0    # continuous: merges into in-flight cohorts
+        self._static_service_s: dict[str, float] = {
+            t.name: 0.0 for t in self.tenants
+        }
         self.outstanding_s = 0.0     # estimated queued + in-flight work
         self.accepting = True        # routing eligibility (autoscaler drain)
         self.closed = False          # no further arrivals will ever come
         self.started_s = engine.now  # chips added mid-run start later
         self.drained_s: float | None = None
+        self._lanes = 0
         self._process = engine.spawn(
             self._schedule_loop(), name=f"{name or 'chip'}:scheduler"
         )
@@ -104,11 +121,22 @@ class ChipServer:
         return model in self.profiles
 
     def has_queue_capacity(self) -> bool:
-        return self.queue_capacity is None or len(self.pending) < self.queue_capacity
+        return self.queue_capacity is None or self.queue_depth < self.queue_capacity
 
     @property
     def queue_depth(self) -> int:
+        if self.continuous is not None:
+            return self.continuous.queue_depth
         return len(self.pending)
+
+    @property
+    def tenant_service_s(self) -> dict[str, float]:
+        """Per-tenant service seconds delivered by this chip (serial
+        stage-seconds executed in continuous mode; uncontended request
+        seconds completed in static mode) — the WFQ fairness measure."""
+        if self.continuous is not None:
+            return dict(self.continuous.service_s)
+        return dict(self._static_service_s)
 
     def service_estimate_s(self, model: str) -> float:
         """Uncontended single-request latency of ``model`` on this chip."""
@@ -117,9 +145,12 @@ class ChipServer:
     def enqueue(self, request: Request) -> None:
         if self.closed:
             raise RuntimeError(f"chip {self.name!r} is closed")
-        self.pending.append(request)
+        if self.continuous is not None:
+            self.continuous.add(request)
+        else:
+            self.pending.append(request)
         obs.inc("serve.admitted")
-        obs.set_gauge("serve.queue_depth", len(self.pending))
+        obs.set_gauge("serve.queue_depth", self.queue_depth)
         self.outstanding_s += self.service_estimate_s(request.model)
         self.work.signal()
 
@@ -130,6 +161,8 @@ class ChipServer:
 
     @property
     def idle(self) -> bool:
+        if self.continuous is not None:
+            return self.continuous.empty and self.inflight == 0
         return not self.pending and self.inflight == 0
 
     @property
@@ -151,6 +184,9 @@ class ChipServer:
 
     # -- serving processes -------------------------------------------------
     def _schedule_loop(self):
+        if self.continuous is not None:
+            yield from self._continuous_loop()
+            return
         while True:
             if self.pending and self.inflight < self.scheduler.max_inflight:
                 batch = take_batch(self.pending, self.scheduler.max_batch)
@@ -160,6 +196,27 @@ class ChipServer:
                 self.engine.spawn(self._run_batch(batch, label), name=label)
                 continue
             if self.closed and not self.pending:
+                self._maybe_mark_drained()
+                return
+            yield WaitFor(self.work)
+
+    def _continuous_loop(self):
+        # Lanes are the chip's inference slots: each runs one execution
+        # group at a time, re-consulting the continuous scheduler at every
+        # stage boundary; a lane exits when the ready pool is dry and is
+        # respawned on the next arrival.
+        while True:
+            if (
+                not self.continuous.empty
+                and self.inflight < self.scheduler.max_inflight
+            ):
+                self.inflight += 1
+                lane = self._lanes
+                self._lanes += 1
+                name = f"{self.name or 'chip'}:lane{lane}"
+                self.engine.spawn(self._run_lane(), name=name)
+                continue
+            if self.closed and self.continuous.empty:
                 self._maybe_mark_drained()
                 return
             yield WaitFor(self.work)
@@ -205,18 +262,114 @@ class ChipServer:
                     finish_s=finish,
                     batch_size=size,
                     chip=self.name or "",
+                    tenant=request.tenant,
+                    priority=request.priority,
                 ))
             else:
                 self.recorder.observe(
                     request, start, finish, size, self.name or ""
                 )
             self.outstanding_s -= self.service_estimate_s(request.model)
+        for request in batch:
+            self._static_service_s[request.tenant] = (
+                self._static_service_s.get(request.tenant, 0.0)
+                + profile.single_latency_s
+            )
         self.dynamic_energy_pj += profile.batch_dynamic_pj(len(batch))
         self.inflight -= 1
         self._maybe_mark_drained()
         self.work.signal()
         if self.on_complete is not None:
             self.on_complete(batch)
+
+    # -- continuous-batching lane ------------------------------------------
+    def _stage_label(self, entry: StageEntry, stage: int, size: int) -> str:
+        request = entry.request
+        timing = self.profiles[request.model].timings[stage]
+        label = f"c{entry.cohort}x{size}/L{stage}.{timing.kind}"
+        return f"{self.name}/{label}" if self.name else label
+
+    def _run_lane(self):
+        """One inference slot under continuous batching.
+
+        The lane asks the scheduler for an execution group at every stage
+        boundary (handing back its previous group, so joins, leaves, WFQ
+        switches, and preemptions all happen here), executes exactly one
+        compiled stage for the whole group, then repeats; it exits when
+        the ready pool is dry.
+        """
+        sched = self.continuous
+        group: list[StageEntry] = []
+        while True:
+            group, stage, preempted, joined = sched.select(group)
+            for entry in preempted:
+                self.preemptions += 1
+                obs.inc("serve.preemptions")
+                with obs.span(
+                    "serve.preempt", cat="serve",
+                    request=entry.request.index,
+                    priority=entry.request.priority,
+                    resume_stage=entry.completed,
+                    chip=self.name or "",
+                ):
+                    pass
+            if joined:
+                self.continuous_joins += joined
+                obs.inc("serve.continuous_joins")
+            if not group:
+                break
+            head = group[0]
+            profile = self.profiles[head.request.model]
+            size = len(group)
+            for entry in group:
+                if entry.start_s is None:
+                    entry.start_s = self.engine.now
+                    self.dispatched += 1
+            timing = profile.timings[stage]
+            label = self._stage_label(head, stage, size)
+            obs.inc("serve.stage_groups")
+            yield from stage_process(
+                self.engine, self.machine, timing, label, size, self.timeline
+            )
+            self.dynamic_energy_pj += timing.batch_dynamic_pj(size)
+            finished = sched.stage_done(group, stage, self.engine.now)
+            if finished:
+                self._finish_entries(finished)
+                group = [e for e in group if not e.done]
+        self.inflight -= 1
+        self._maybe_mark_drained()
+        self.work.signal()
+
+    def _finish_entries(self, finished: list[StageEntry]) -> None:
+        now = self.engine.now
+        self.last_finish_s = max(self.last_finish_s, now)
+        completed: list[Request] = []
+        for entry in finished:
+            request = entry.request
+            size = entry.max_group
+            self.served_count += 1
+            self.batch_size_weighted += float(size)
+            if self.recorder is None:
+                self.served.append(ServedRequest(
+                    index=request.index,
+                    model=request.model,
+                    arrival_s=request.arrival_s,
+                    start_s=entry.start_s,
+                    finish_s=now,
+                    batch_size=size,
+                    chip=self.name or "",
+                    tenant=request.tenant,
+                    priority=request.priority,
+                    preemptions=entry.preemptions,
+                ))
+            else:
+                self.recorder.observe(
+                    request, entry.start_s, now, size, self.name or ""
+                )
+            self.outstanding_s -= self.service_estimate_s(request.model)
+            completed.append(request)
+        if self.on_complete is not None:
+            self.on_complete(completed)
 
 
 def simulate_serving(
@@ -229,6 +382,7 @@ def simulate_serving(
     energy: EnergyModel | None = None,
     record_timeline: bool = False,
     passes: str | None = None,
+    tenants: tuple[TenantSpec, ...] = (),
 ) -> ServingReport:
     """Serve an arrival stream on one Bishop chip; returns the report.
 
@@ -256,7 +410,10 @@ def simulate_serving(
         engine = Engine()
         machine = BishopMachine(engine)
         timeline: list[TimelineEntry] | None = [] if record_timeline else None
-        chip = ChipServer(engine, machine, profiles, scheduler, timeline=timeline)
+        chip = ChipServer(
+            engine, machine, profiles, scheduler,
+            timeline=timeline, tenants=tenants,
+        )
         total = len(stream)
 
         def arrivals():
@@ -290,4 +447,8 @@ def simulate_serving(
         policy=scheduler.policy,
         max_batch=scheduler.max_batch,
         max_inflight=scheduler.max_inflight,
+        mode=scheduler.mode,
+        preemptions=chip.preemptions,
+        continuous_joins=chip.continuous_joins,
+        tenant_service_s=chip.tenant_service_s,
     )

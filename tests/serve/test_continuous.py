@@ -1,0 +1,303 @@
+"""Continuous batching: stage-boundary selection, preemption, WFQ, tenancy.
+
+Scheduler-level tests drive :class:`ContinuousBatchScheduler` directly
+(synthetic stage clock, no engine); simulation-level tests go through
+``simulate_serving`` and check the report surface the experiments and
+the cluster layer consume.
+"""
+
+import pytest
+
+from repro.serve import (
+    ContinuousBatchScheduler,
+    Request,
+    SchedulerConfig,
+    StageEntry,
+    TenantSpec,
+    poisson_arrivals,
+    request_profile,
+    simulate_serving,
+    stage_serial_s,
+)
+
+MODEL = "model4"
+PASSES = "packing+stratify+ecp"
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {MODEL: request_profile(MODEL, passes=PASSES)}
+
+
+def make_scheduler(profiles, tenants=(), **config):
+    config.setdefault("mode", "continuous")
+    return ContinuousBatchScheduler(
+        SchedulerConfig(**config), profiles, tenants
+    )
+
+
+def request(i, tenant="", priority=0, model=MODEL):
+    return Request(
+        index=i, model=model, arrival_s=0.0, tenant=tenant, priority=priority
+    )
+
+
+def drain(sched, group=(), max_steps=100_000):
+    """Run the scheduler on a synthetic stage clock until the pool dries.
+
+    ``group`` is the lane's current in-flight group (the carry handed to
+    the first ``select``).  Returns every completed entry, in order.
+    """
+    finished = []
+    group = list(group)
+    now = 0.0
+    for _ in range(max_steps):
+        group, stage, _preempted, _joined = sched.select(group)
+        if not group:
+            return finished
+        now += 1.0
+        done = sched.stage_done(group, stage, now)
+        finished.extend(done)
+        group = [e for e in group if not e.done]
+    raise AssertionError("scheduler did not drain")
+
+
+class TestConfig:
+    def test_requires_continuous_mode(self, profiles):
+        with pytest.raises(ValueError, match="continuous"):
+            ContinuousBatchScheduler(SchedulerConfig(), profiles)
+
+    def test_policy_name(self):
+        assert SchedulerConfig(mode="continuous").policy == "continuous"
+        assert SchedulerConfig(max_batch=1).policy == "fifo"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            SchedulerConfig(mode="warp")
+
+
+class TestSelection:
+    def test_empty_pool_returns_empty_group(self, profiles):
+        sched = make_scheduler(profiles)
+        assert sched.select([]) == ([], 0, [], 0)
+
+    def test_fifo_order_within_one_tier(self, profiles):
+        sched = make_scheduler(profiles, max_batch=1)
+        for i in range(3):
+            sched.add(request(i))
+        finished = drain(sched)
+        assert [e.request.index for e in finished] == [0, 1, 2]
+
+    def test_group_capped_at_max_batch(self, profiles):
+        sched = make_scheduler(profiles, max_batch=2)
+        for i in range(5):
+            sched.add(request(i))
+        group, stage, _, _ = sched.select([])
+        assert stage == 0
+        assert len(group) == 2
+
+    def test_queue_depth_counts_only_unstarted(self, profiles):
+        sched = make_scheduler(profiles, max_batch=1)
+        for i in range(3):
+            sched.add(request(i))
+        assert sched.queue_depth == 3
+        group, stage, _, _ = sched.select([])
+        assert sched.queue_depth == 2  # the head entered service
+        sched.stage_done(group, stage, 1.0)
+        # handing the started entry back to the pool keeps it in-flight,
+        # not backlog — bounded admission must not count it
+        sched.select(group)
+        assert sched.queue_depth <= 2
+
+    def test_every_stage_runs_exactly_once_in_order(self, profiles):
+        sched = make_scheduler(profiles, max_batch=4)
+        for i in range(6):
+            sched.add(request(i))
+        finished = drain(sched)
+        assert len(finished) == 6
+        for entry in finished:
+            assert entry.executed == list(range(entry.total_stages))
+
+
+class TestPreemption:
+    def test_high_priority_displaces_at_boundary(self, profiles):
+        sched = make_scheduler(profiles, max_batch=1)
+        low = sched.add(request(0, priority=0))
+        group, stage, preempted, _ = sched.select([])
+        assert group == [low] and not preempted
+        sched.stage_done(group, stage, 1.0)
+        sched.add(request(1, priority=1))
+        group, stage, preempted, _ = sched.select(group)
+        assert group[0].request.index == 1
+        assert preempted == [low]
+        assert low.preemptions == 1
+        assert low.completed == 1  # checkpoint survives the displacement
+
+    def test_preempted_entry_resumes_at_checkpoint(self, profiles):
+        sched = make_scheduler(profiles, max_batch=1)
+        low = sched.add(request(0, priority=0))
+        group, stage, _, _ = sched.select([])
+        sched.stage_done(group, stage, 1.0)
+        sched.add(request(1, priority=1))
+        finished = drain(sched, group)
+        assert {e.request.index for e in finished} == {0, 1}
+        # no re-execution: the checkpointed stage list is still a
+        # permutation-free, in-order enumeration of the model's stages
+        assert low.executed == list(range(low.total_stages))
+        # the high-priority request finished first despite arriving later
+        assert finished[0].request.index == 1
+
+    def test_preempt_off_pins_inflight_group(self, profiles):
+        sched = make_scheduler(profiles, max_batch=1, preempt=False)
+        low = sched.add(request(0, priority=0))
+        group, stage, _, _ = sched.select([])
+        sched.stage_done(group, stage, 1.0)
+        sched.add(request(1, priority=1))
+        group, _, preempted, _ = sched.select(group)
+        assert group == [low]
+        assert not preempted
+        assert sched.preemptions == 0
+
+    def test_equal_priority_never_preempts(self, profiles):
+        sched = make_scheduler(profiles, max_batch=1)
+        for i in range(4):
+            sched.add(request(i))
+        drain(sched)
+        assert sched.preemptions == 0
+
+
+class TestJoinLeave:
+    def test_preempted_entry_joins_peer_group_at_same_stage(self, profiles):
+        sched = make_scheduler(profiles, max_batch=2)
+        a = sched.add(request(0))
+        b = sched.add(request(1))
+        group, stage, _, _ = sched.select([])
+        assert set(group) == {a, b}
+        sched.stage_done(group, stage, 1.0)
+        # a high-priority singleton displaces the pair at the boundary
+        sched.add(request(2, priority=1))
+        group, stage, preempted, _ = sched.select(group)
+        assert group[0].request.index == 2
+        assert set(preempted) == {a, b}
+        # when the pair re-enters, the two stage-1 checkpoints re-merge;
+        # their cohorts diverged, so the merge counts as a join
+        joins_before = sched.joins
+        finished = drain(sched, group)
+        assert len(finished) == 3
+        assert sched.joins > joins_before
+
+    def test_join_disabled_keeps_cohorts_separate(self, profiles):
+        sched = make_scheduler(profiles, max_batch=4, allow_join=False)
+        sched.add(request(0))
+        group, stage, _, _ = sched.select([])
+        sched.stage_done(group, stage, 1.0)
+        late = sched.add(request(1))
+        group, stage, _, joined = sched.select(group)
+        assert late not in group
+        assert joined == 0
+        sched.stage_done(group, stage, 2.0)
+        drain(sched, group)
+        assert sched.joins == 0
+
+
+class TestWFQ:
+    TENANTS = (TenantSpec("gold", 3.0), TenantSpec("silver", 1.0))
+
+    def test_service_ratio_tracks_weights_under_backlog(self, profiles):
+        sched = make_scheduler(profiles, max_batch=1, tenants=self.TENANTS)
+        for i in range(120):
+            sched.add(request(i, tenant="gold" if i % 2 == 0 else "silver"))
+        group = []
+        now = 0.0
+        # run while both tenants still have un-dispatched work, then
+        # compare cumulative virtual service
+        while any(e.request.tenant == "gold" for e in sched.pool) and any(
+            e.request.tenant == "silver" for e in sched.pool
+        ):
+            group, stage, _, _ = sched.select(group)
+            now += 1.0
+            sched.stage_done(group, stage, now)
+            group = [e for e in group if not e.done]
+        ratio = sched.service_s["gold"] / sched.service_s["silver"]
+        assert ratio == pytest.approx(3.0, rel=0.15)
+
+    def test_single_tenant_degenerates_to_fifo(self, profiles):
+        sched = make_scheduler(
+            profiles, max_batch=1, tenants=(TenantSpec("solo", 2.0),)
+        )
+        for i in range(3):
+            sched.add(request(i, tenant="solo"))
+        finished = drain(sched)
+        assert [e.request.index for e in finished] == [0, 1, 2]
+
+    def test_undeclared_tenant_defaults_to_weight_one(self, profiles):
+        sched = make_scheduler(profiles, max_batch=1, tenants=self.TENANTS)
+        sched.add(request(0, tenant="walkin"))
+        drain(sched)
+        assert sched.service_s["walkin"] > 0
+
+
+class TestStageSerial:
+    def test_matches_single_latency_sum(self, profiles):
+        profile = profiles[MODEL]
+        total = sum(stage_serial_s(t) for t in profile.timings)
+        assert total == pytest.approx(profile.single_latency_s, rel=1e-12)
+
+
+class TestSimulation:
+    def test_report_surface(self, profiles):
+        requests = poisson_arrivals(40, 3000.0, MODEL, seed=2)
+        report = simulate_serving(
+            requests,
+            SchedulerConfig(max_batch=4, max_inflight=2, mode="continuous"),
+            profiles=profiles,
+        )
+        assert report.mode == "continuous"
+        assert report.num_requests == 40
+        payload = report.to_dict()
+        assert payload["scheduler"]["mode"] == "continuous"
+        assert payload["scheduler"]["policy"] == "continuous"
+        assert "preemptions" in payload["scheduler"]
+
+    def test_requests_carry_tenant_and_priority_in_both_modes(self, profiles):
+        requests = [
+            Request(
+                index=i, model=MODEL, arrival_s=0.0,
+                tenant="acme", priority=1,
+            )
+            for i in range(3)
+        ]
+        for mode in ("static", "continuous"):
+            report = simulate_serving(
+                requests,
+                SchedulerConfig(max_batch=2, mode=mode),
+                profiles=profiles,
+            )
+            assert all(r.tenant == "acme" for r in report.requests)
+            assert all(r.priority == 1 for r in report.requests)
+
+    def test_deterministic(self, profiles):
+        requests = poisson_arrivals(50, 4000.0, MODEL, seed=7)
+        config = SchedulerConfig(max_batch=4, max_inflight=2, mode="continuous")
+        a = simulate_serving(requests, config, profiles=profiles)
+        b = simulate_serving(requests, config, profiles=profiles)
+        assert a.to_dict() == b.to_dict()
+
+    def test_preemption_counters_reach_report(self, profiles):
+        base = poisson_arrivals(60, 6000.0, MODEL, seed=3)
+        requests = [
+            Request(
+                index=r.index, model=r.model, arrival_s=r.arrival_s,
+                priority=1 if r.index % 5 == 0 else 0,
+            )
+            for r in base
+        ]
+        report = simulate_serving(
+            requests,
+            SchedulerConfig(max_inflight=2, mode="continuous"),
+            profiles=profiles,
+        )
+        assert report.preemptions > 0
+        assert report.to_dict()["scheduler"]["preemptions"] == report.preemptions
+        preempted = [r for r in report.requests if r.preemptions > 0]
+        assert preempted, "at least one served request recorded a preemption"

@@ -172,6 +172,81 @@ class TestCdf:
         assert LatencySketch().cdf(1.0) == 0.0
 
 
+class TestZeroServedTenant:
+    """A declared tenant that never gets a request is a legitimate
+    configuration, not an error: its ClusterReport block is all zeros,
+    its sketch is empty, and merging empty sketches stays associative."""
+
+    def _run(self, tenants, requests=6, fleet_size=1):
+        from repro.cluster import ClusterSimulation, homogeneous_fleet
+        from repro.serve import Request, SchedulerConfig
+
+        stream = [
+            Request(
+                index=i, model="model4", arrival_s=i * 1e-4, tenant="busy"
+            )
+            for i in range(requests)
+        ]
+        return ClusterSimulation(
+            homogeneous_fleet(fleet_size),
+            SchedulerConfig(mode="continuous"),
+            tenants=tenants,
+            passes="packing+stratify+ecp",
+        ).run(stream)
+
+    def test_idle_tenant_block_is_zeros_not_keyerror(self):
+        from repro.serve import TenantSpec
+
+        report = self._run(
+            (TenantSpec("busy", 2.0), TenantSpec("idle", 1.0, 4))
+        )
+        block = report.tenants["idle"]  # must not raise
+        assert block["served"] == 0
+        assert block["shed"] == 0
+        assert block["service_s"] == 0.0
+        assert block["service_share"] == 0.0
+        assert block["latency_ms"]["p99"] == 0.0
+        assert block["quota"] == 4
+        assert report.tenant_sketches["idle"].count == 0
+
+    def test_idle_tenant_json_is_strict(self):
+        import json
+
+        from repro.serve import TenantSpec
+
+        report = self._run((TenantSpec("busy"), TenantSpec("idle")))
+        text = json.dumps(report.to_dict(), allow_nan=False)  # no NaN/Inf
+        assert json.loads(text)["tenants"]["idle"]["latency_ms"]["mean"] == 0.0
+
+    def test_latency_stats_on_empty_sketch_is_all_zero(self):
+        stats = latency_stats(LatencySketch())
+        assert stats.count == 0
+        assert stats.mean_ms == 0.0
+        assert all(v == 0.0 for v in stats.percentiles_ms.values())
+
+    def test_merge_with_empties_stays_associative(self):
+        samples = lognormal_samples(4000, seed=10)
+        full = LatencySketch()
+        full.add_many(samples)
+        empty_a, empty_b = LatencySketch(), LatencySketch()
+        left = empty_a.merged(full).merged(empty_b)
+        right = empty_a.merged(full.merged(empty_b))
+        assert np.array_equal(left._counts, right._counts)
+        assert left.count == right.count == full.count
+        for q in (50, 99):
+            assert (
+                left.percentile(q)
+                == right.percentile(q)
+                == full.percentile(q)
+            )
+
+    def test_merging_only_empties_is_still_empty(self):
+        merged = LatencySketch().merged(LatencySketch()).merged(LatencySketch())
+        assert merged.count == 0
+        assert merged.percentile(99) == 0.0
+        assert merged.cdf(1.0) == 0.0
+
+
 class TestSerialization:
     def test_dict_round_trip(self):
         sketch = LatencySketch()

@@ -88,3 +88,154 @@ class TestBursty:
             bursty_arrivals(10, 10.0, burst_factor=1.0)
         with pytest.raises(ValueError, match="burst_fraction"):
             bursty_arrivals(10, 10.0, burst_fraction=1.0)
+
+
+class TestParseTenants:
+    def test_full_spec(self):
+        from repro.serve import parse_tenants
+
+        gold, silver = parse_tenants("gold:3@16+silver:1")
+        assert (gold.name, gold.weight, gold.quota) == ("gold", 3.0, 16)
+        assert (silver.name, silver.weight, silver.quota) == ("silver", 1.0, None)
+
+    def test_quota_without_weight(self):
+        from repro.serve import parse_tenants
+
+        (acme,) = parse_tenants("acme@4")
+        assert (acme.weight, acme.quota) == (1.0, 4)
+
+    @pytest.mark.parametrize("bad", [
+        "", "+", ":3", "gold:0", "gold:-1", "gold:x", "gold:1@0",
+        "gold:1@1.5", "gold:1@x", "gold+gold",
+    ])
+    def test_malformed_rejected(self, bad):
+        from repro.serve import parse_tenants
+
+        with pytest.raises(ValueError):
+            parse_tenants(bad)
+
+
+class TestParsePriorityMix:
+    def test_normalizes(self):
+        from repro.serve import parse_priority_mix
+
+        assert parse_priority_mix("0:0.8+1:0.2") == {
+            0: pytest.approx(0.8), 1: pytest.approx(0.2)
+        }
+
+    def test_unweighted_entries_share_equally(self):
+        from repro.serve import parse_priority_mix
+
+        assert parse_priority_mix("0+1") == {
+            0: pytest.approx(0.5), 1: pytest.approx(0.5)
+        }
+
+    @pytest.mark.parametrize("bad", [
+        "", "+", "x:1", "-1:1", "0.5:1", "0:0", "0:-2", "0:x", "0:1+0:2",
+    ])
+    def test_malformed_rejected(self, bad):
+        from repro.serve import parse_priority_mix
+
+        with pytest.raises(ValueError):
+            parse_priority_mix(bad)
+
+
+class TestAssignment:
+    def test_priorities_deterministic_and_trace_preserving(self):
+        from repro.serve import assign_priorities
+
+        base = poisson_arrivals(50, 500.0, seed=4)
+        a = assign_priorities(base, "0:0.7+1:0.3", seed=9)
+        b = assign_priorities(base, "0:0.7+1:0.3", seed=9)
+        assert [r.priority for r in a] == [r.priority for r in b]
+        assert {r.priority for r in a} == {0, 1}
+        for before, after in zip(base, a):
+            assert (before.index, before.model, before.arrival_s) == (
+                after.index, after.model, after.arrival_s
+            )
+
+    def test_tenants_deterministic_and_uniform_ish(self):
+        from repro.serve import assign_tenants, parse_tenants
+
+        base = poisson_arrivals(400, 500.0, seed=4)
+        specs = parse_tenants("gold:9+silver:1")
+        a = assign_tenants(base, specs, seed=9)
+        b = assign_tenants(base, specs, seed=9)
+        assert [r.tenant for r in a] == [r.tenant for r in b]
+        gold = sum(1 for r in a if r.tenant == "gold")
+        # offered load splits equally regardless of WFQ weight
+        assert gold == pytest.approx(200, abs=40)
+
+    def test_priority_and_tenant_draws_use_distinct_children(self):
+        from repro.serve import assign_priorities, assign_tenants
+
+        base = poisson_arrivals(100, 500.0, seed=4)
+        tagged = assign_priorities(
+            assign_tenants(base, "a+b", seed=9), "0+1", seed=9
+        )
+        by_tenant = {
+            t: [r.priority for r in tagged if r.tenant == t] for t in ("a", "b")
+        }
+        # same seed, but the two draws are independent spawn children —
+        # priorities are not a function of the tenant column
+        assert by_tenant["a"] != by_tenant["b"]
+
+
+class TestDvsStreams:
+    def test_identical_across_runs(self):
+        from repro.serve import dvs_stream_arrivals
+
+        a = dvs_stream_arrivals(4, 25, 1000.0, seed=3)
+        b = dvs_stream_arrivals(4, 25, 1000.0, seed=3)
+        assert [(r.index, r.tenant, r.arrival_s) for r in a] == [
+            (r.index, r.tenant, r.arrival_s) for r in b
+        ]
+
+    def test_adding_streams_never_perturbs_existing(self):
+        from repro.serve import dvs_stream_arrivals
+
+        small = dvs_stream_arrivals(2, 30, 1000.0, seed=3)
+        large = dvs_stream_arrivals(5, 30, 1000.0, seed=3)
+
+        def ticks(requests, tenant):
+            return [r.arrival_s for r in requests if r.tenant == tenant]
+
+        for cam in ("cam0", "cam1"):
+            assert ticks(small, cam) == ticks(large, cam)
+
+    def test_merged_trace_sorted_and_reindexed(self):
+        from repro.serve import dvs_stream_arrivals
+
+        stream = dvs_stream_arrivals(3, 20, 2000.0, seed=0)
+        assert [r.index for r in stream] == list(range(60))
+        arrivals = [r.arrival_s for r in stream]
+        assert arrivals == sorted(arrivals)
+
+    def test_near_periodic_rate(self):
+        from repro.serve import dvs_stream_arrivals
+
+        stream = dvs_stream_arrivals(1, 400, 1000.0, seed=5, jitter=0.2)
+        span = stream[-1].arrival_s - stream[0].arrival_s
+        assert (len(stream) - 1) / span == pytest.approx(1000.0, rel=0.1)
+
+    def test_each_stream_is_one_tenant_one_model(self):
+        from repro.serve import dvs_stream_arrivals
+
+        stream = dvs_stream_arrivals(
+            3, 10, 1000.0, mix="model2:0.5+model4:0.5", seed=1
+        )
+        for cam in ("cam0", "cam1", "cam2"):
+            models = {r.model for r in stream if r.tenant == cam}
+            assert len(models) == 1
+
+    def test_validation(self):
+        from repro.serve import dvs_stream_arrivals
+
+        with pytest.raises(ValueError):
+            dvs_stream_arrivals(0, 10, 1000.0)
+        with pytest.raises(ValueError):
+            dvs_stream_arrivals(1, 0, 1000.0)
+        with pytest.raises(ValueError):
+            dvs_stream_arrivals(1, 10, 0.0)
+        with pytest.raises(ValueError):
+            dvs_stream_arrivals(1, 10, 1000.0, jitter=1.0)

@@ -392,6 +392,54 @@ class TestCluster:
         assert main(argv) == 2
         assert "cannot split" in capsys.readouterr().err
 
+    def test_cluster_continuous_multitenant_run(self, tmp_path, capsys):
+        target = tmp_path / "tenants.json"
+        argv = ["cluster", "--fleet", "standard:2", "--requests", "40",
+                "--rho", "1.5", "--seed", "3", "--scheduler", "continuous",
+                "--tenants", "gold:3@16+silver:1", "--priority-mix",
+                "0:0.8+1:0.2", "--output", str(target)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "tenants (continuous scheduler):" in out
+        assert "gold" in out and "silver" in out
+        payload = json.loads(target.read_text())
+        assert set(payload["tenants"]) == {"gold", "silver"}
+        assert payload["tenants"]["gold"]["quota"] == 16
+        served = sum(t["served"] for t in payload["tenants"].values())
+        assert served == payload["served"]
+
+    def test_cluster_rejects_bad_tenant_spec(self, capsys):
+        argv = ["cluster", "--requests", "5", "--tenants", "gold:0"]
+        assert main(argv) == 2
+        assert "gold" in capsys.readouterr().err
+
+    def test_cluster_rejects_bad_tenant_quota(self, capsys):
+        argv = ["cluster", "--requests", "5", "--tenants", "gold:1@1.5"]
+        assert main(argv) == 2
+        assert "quota" in capsys.readouterr().err
+
+    def test_cluster_rejects_bad_priority_mix(self, capsys):
+        argv = ["cluster", "--requests", "5", "--priority-mix", "hi:0.5"]
+        assert main(argv) == 2
+        assert "priority" in capsys.readouterr().err
+
+    def test_cluster_rejects_unknown_scheduler(self):
+        argv = ["cluster", "--requests", "5", "--scheduler", "warp"]
+        with pytest.raises(SystemExit):  # argparse choices
+            main(argv)
+
+    def test_cluster_fifo_scheduler_forces_batch_one(self, tmp_path):
+        target = tmp_path / "fifo.json"
+        argv = ["cluster", "--requests", "30", "--rho", "3.0",
+                "--scheduler", "fifo", "--max-batch", "8",
+                "--output", str(target)]
+        assert main(argv) == 0
+        payload = json.loads(target.read_text())
+        chips = payload["fleet"]["chips"].values()
+        # --scheduler fifo overrides --max-batch: no batching even at
+        # a backlog-forming load
+        assert all(chip["mean_batch_size"] == 1.0 for chip in chips)
+
 
 class TestCacheCommands:
     def seed_cache(self, tmp_path, ids="table2,fig17"):
